@@ -1,0 +1,61 @@
+// Ablation: dynamic workload generation vs the static-uniform-workload
+// assumption of conventional prediction frameworks (the paper's §I
+// motivation). Quantifies, for both mapping algorithms, how far a static
+// model's per-interval peak load and migration traffic are from the
+// trace-derived truth — the gap that makes PIC applications "irregular".
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/static_baseline.hpp"
+#include "mapping/mapper.hpp"
+#include "study.hpp"
+#include "trace/trace_reader.hpp"
+#include "util/csv.hpp"
+#include "workload/generator.hpp"
+
+using namespace picp;
+
+int main(int argc, char** argv) {
+  const bench::StudyOptions options = bench::parse_options(argc, argv);
+  const SimConfig cfg = bench::hele_shaw_config(options.small);
+  const std::string trace_path =
+      bench::ensure_trace(options, cfg, "hele_shaw");
+  const SpectralMesh mesh(cfg.domain, cfg.nelx, cfg.nely, cfg.nelz,
+                          cfg.points_per_dim);
+
+  std::printf("# Ablation: static-uniform workload assumption vs the "
+              "Dynamic Workload Generator\n");
+  CsvWriter csv(std::cout);
+  csv.row("ranks", "mapper", "static_peak_mape_pct", "worst_peak_ratio",
+          "missed_migration");
+
+  for (const Rank ranks : {1044, 4176}) {
+    for (const std::string kind : {"bin", "element"}) {
+      const MeshPartition partition =
+          rcb_partition(mesh, static_cast<Rank>(ranks));
+      const auto mapper = make_mapper(kind, mesh, partition, cfg.filter_size);
+      WorkloadParams params;
+      params.compute_ghosts = false;
+      WorkloadGenerator generator(mesh, partition, *mapper, params);
+      TraceReader trace(trace_path);
+      const WorkloadResult dynamic = generator.generate(trace);
+
+      StaticBaselineParams sb;
+      sb.num_ranks = static_cast<Rank>(ranks);
+      sb.num_intervals = dynamic.num_intervals();
+      sb.num_particles = static_cast<std::int64_t>(cfg.bed.num_particles);
+      const WorkloadResult baseline = static_uniform_workload(sb);
+
+      const WorkloadComparison cmp = compare_workloads(dynamic, baseline);
+      csv.row(ranks, kind, cmp.peak_load_mape, cmp.worst_peak_ratio,
+              cmp.missed_migration);
+    }
+  }
+  std::printf(
+      "# reading: a static model underestimates the critical-path rank by "
+      "worst_peak_ratio at some interval\n"
+      "# and misses every migrated particle — the error the paper's "
+      "trace-driven generator eliminates.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Micro-benchmarks of the Model Generator: expression evaluation (the GP
+// inner loop), OLS fitting, and full symbolic-regression searches.
+
+#include <benchmark/benchmark.h>
+
+#include <array>
+
+#include "model/linear.hpp"
+#include "model/symreg.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace picp;
+
+Dataset synthetic(std::size_t rows, std::size_t features) {
+  std::vector<std::string> names;
+  for (std::size_t f = 0; f < features; ++f)
+    names.push_back("x" + std::to_string(f));
+  Dataset data(names);
+  Xoshiro256 rng(1);
+  std::vector<double> row(features);
+  for (std::size_t i = 0; i < rows; ++i) {
+    double y = 1e-6;
+    for (std::size_t f = 0; f < features; ++f) {
+      row[f] = rng.uniform(1, 100);
+      y += 1e-7 * row[f];
+    }
+    data.add(row, y);
+  }
+  return data;
+}
+
+void BM_ExprEvaluate(benchmark::State& state) {
+  const Expr expr =
+      Expr::from_tokens("add mul v0 v1 div sq v2 add c3.5 sqrt v0");
+  const std::array<double, 3> x = {12.0, 0.5, 7.0};
+  for (auto _ : state) benchmark::DoNotOptimize(expr.evaluate(x));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExprEvaluate);
+
+void BM_FitLinear(benchmark::State& state) {
+  const Dataset data = synthetic(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    const LinearModel model = fit_linear(data);
+    benchmark::DoNotOptimize(model.intercept());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FitLinear)->Arg(1000)->Arg(10000);
+
+void BM_FitPolynomial(benchmark::State& state) {
+  const Dataset data = synthetic(2000, 3);
+  for (auto _ : state) {
+    const PolynomialModel model =
+        fit_polynomial(data, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(&model);
+  }
+}
+BENCHMARK(BM_FitPolynomial)->Arg(2)->Arg(3);
+
+void BM_FitSymbolic(benchmark::State& state) {
+  const Dataset data = synthetic(500, 2);
+  SymRegParams params;
+  params.population = static_cast<std::size_t>(state.range(0));
+  params.generations = 10;
+  params.threads = 1;
+  for (auto _ : state) {
+    const SymbolicModel model = fit_symbolic(data, params);
+    benchmark::DoNotOptimize(model.scale());
+  }
+}
+BENCHMARK(BM_FitSymbolic)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,80 @@
+// Micro-benchmarks of the Dynamic Workload Generator internals: the
+// ghost-rank search (the generator's dominant cost) and full per-interval
+// accounting throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "mapping/element_mapper.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+#include "workload/ghost_finder.hpp"
+
+namespace {
+
+using namespace picp;
+
+struct World {
+  SpectralMesh mesh{Aabb(Vec3(0, 0, 0), Vec3(1, 1, 2)), 32, 32, 64, 5};
+  MeshPartition partition{rcb_partition(mesh, 1044)};
+};
+
+std::vector<Vec3> cloud(std::size_t n) {
+  Xoshiro256 rng(7);
+  std::vector<Vec3> out(n);
+  for (auto& p : out)
+    p = Vec3(rng.uniform(0.3, 0.7), rng.uniform(0.3, 0.7),
+             rng.uniform(0.05, 0.3));
+  return out;
+}
+
+void BM_GhostRanksNear(benchmark::State& state) {
+  World w;
+  const GhostFinder finder(w.mesh, w.partition,
+                           static_cast<double>(state.range(0)) * 1e-3);
+  const auto positions = cloud(10000);
+  std::vector<Rank> out;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    finder.ranks_near(positions[i], 0, out);
+    benchmark::DoNotOptimize(out.data());
+    i = (i + 1) % positions.size();
+  }
+}
+BENCHMARK(BM_GhostRanksNear)->Arg(12)->Arg(23)->Arg(46)->Arg(92);
+
+void BM_IntervalAccounting(benchmark::State& state) {
+  World w;
+  const auto positions = cloud(static_cast<std::size_t>(state.range(0)));
+  ElementMapper mapper(w.mesh, w.partition);
+  std::vector<Rank> owners;
+  mapper.map(positions, owners);
+  WorkloadParams params;
+  params.ghost_radius = 0.023;
+  for (auto _ : state) {
+    WorkloadResult result;
+    result.num_ranks = 1044;
+    result.comp_real = CompMatrix(1044, 1);
+    result.comp_ghost = CompMatrix(1044, 1);
+    result.comm_real = CommMatrix(1044, 1);
+    result.comm_ghost = CommMatrix(1044, 1);
+    accumulate_interval_workload(w.mesh, w.partition, positions, owners, {},
+                                 params, 0, result);
+    benchmark::DoNotOptimize(result.comp_real.interval_total(0));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IntervalAccounting)->Arg(10000)->Arg(30000);
+
+void BM_CommMatrixAdd(benchmark::State& state) {
+  CommMatrix comm(8352, 1);
+  Xoshiro256 rng(9);
+  for (auto _ : state) {
+    const Rank from = static_cast<Rank>(rng.uniform_below(8352));
+    const Rank to = static_cast<Rank>(rng.uniform_below(8352));
+    comm.add(from, to, 0, 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CommMatrixAdd);
+
+}  // namespace

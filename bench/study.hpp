@@ -1,0 +1,65 @@
+#pragma once
+
+// Shared infrastructure for the figure-reproduction benches: the scaled
+// Hele-Shaw case study (DESIGN.md, "Default problem scale"), plus disk
+// caching of the expensive artifacts (the particle trace and instrumented
+// timings) so the bench binaries can be re-run and composed cheaply.
+//
+// Every bench accepts two optional CLI flags:
+//   --data-dir <dir>   cache directory (default "picp_data")
+//   --small            quarter-scale problem for quick smoke runs
+
+#include <string>
+#include <vector>
+
+#include "core/trainer.hpp"
+#include "picsim/sim_config.hpp"
+#include "picsim/sim_driver.hpp"
+
+namespace picp::bench {
+
+struct StudyOptions {
+  std::string data_dir = "picp_data";
+  bool small = false;
+};
+
+/// Parse the common flags; unknown flags abort with a usage message.
+StudyOptions parse_options(int argc, char** argv);
+
+/// The scaled Hele-Shaw case-study configuration (the paper's 599,257
+/// particles / 216,225 elements on Quartz, scaled to one node — see
+/// DESIGN.md). `small` quarters the particle count and halves the run.
+SimConfig hele_shaw_config(bool small);
+
+/// The paper's processor configurations (§IV-B).
+std::vector<Rank> paper_rank_counts();
+
+/// Run (or reuse a cached) trace-producing simulation. Returns the trace
+/// path. A sidecar "<tag>.wall" file records the application wall time for
+/// the trace-vs-run cost comparison (§II).
+std::string ensure_trace(const StudyOptions& options, const SimConfig& config,
+                         const std::string& tag);
+
+/// Run (or reuse cached) instrumented measurements for one configuration.
+/// Returns the timings CSV path.
+std::string ensure_timings(const StudyOptions& options,
+                           const SimConfig& config, const std::string& tag);
+
+/// Application wall seconds recorded by ensure_trace / ensure_timings.
+double recorded_wall_seconds(const StudyOptions& options,
+                             const std::string& tag);
+
+/// Train (or load cached) models from a timings CSV.
+ModelSet ensure_models(const StudyOptions& options,
+                       const std::string& timings_path,
+                       const std::string& tag,
+                       const ModelGenConfig& config);
+
+/// Train (or load cached) models from the union of several timing CSVs
+/// (spanning wider workload-parameter ranges than one configuration).
+ModelSet ensure_models_merged(const StudyOptions& options,
+                              const std::vector<std::string>& timing_paths,
+                              const std::string& tag,
+                              const ModelGenConfig& config);
+
+}  // namespace picp::bench

@@ -1,0 +1,72 @@
+// Performance tuning (the paper's §IV-D workflow): study the projection
+// filter size. The filter controls simulation accuracy (how far particle
+// influence spreads) but also drives the ghost-particle count, the
+// create_ghost_particles cost, and — because CMT-nek reuses it as the
+// threshold bin size — the achievable parallelism of bin-based mapping.
+//
+// Usage: ./examples/filter_tuning
+
+#include <cstdio>
+
+#include "mapping/bin_mapper.hpp"
+#include "picsim/kernels.hpp"
+#include "picsim/instrumentation.hpp"
+#include "picsim/sim_driver.hpp"
+#include "trace/trace_reader.hpp"
+#include "workload/ghost_finder.hpp"
+
+using namespace picp;
+
+int main() {
+  SimConfig sim;
+  sim.nelx = 16;
+  sim.nely = 16;
+  sim.nelz = 32;
+  sim.bed.num_particles = 8000;
+  sim.num_iterations = 1500;
+  sim.sample_every = 50;
+  sim.num_ranks = 128;
+  const std::string trace_path = "filter_tuning_trace.bin";
+  SimDriver driver(sim);
+  std::printf("producing trace...\n\n");
+  driver.run(trace_path);
+
+  // Use the final (most dispersed) particle configuration.
+  TraceReader trace(trace_path);
+  TraceSample sample;
+  while (trace.read_next(sample)) {
+  }
+  std::vector<std::uint32_t> ids(sample.positions.size());
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    ids[i] = static_cast<std::uint32_t>(i);
+
+  const MeshPartition partition = rcb_partition(driver.mesh(), sim.num_ranks);
+  const GasModel gas(sim.gas, sim.domain);
+  SolverKernels kernels(driver.mesh(), gas, sim.physics);
+
+  std::printf("projection filter size trade-off (R=%d, %zu particles):\n\n",
+              sim.num_ranks, sample.positions.size());
+  std::printf("%10s %10s %12s %18s\n", "filter", "max bins", "ghosts",
+              "create_ghost [ms]");
+  for (const double filter : {0.02, 0.03, 0.045, 0.07, 0.1, 0.15}) {
+    BinMapper relaxed(1, filter, BinTree::kUnlimitedBins);
+    std::vector<Rank> owners;
+    relaxed.map(sample.positions, owners);
+
+    const GhostFinder finder(driver.mesh(), partition, filter);
+    std::vector<GhostRecord> ghosts;
+    const double seconds = measure_adaptive(
+        [&] { kernels.create_ghost(sample.positions, ids, -1, finder, ghosts); },
+        2e-3, 16);
+
+    std::printf("%10.3f %10lld %12zu %18.3f\n", filter,
+                static_cast<long long>(relaxed.num_partitions()),
+                ghosts.size(), seconds * 1e3);
+  }
+  std::printf(
+      "\nsmall filters maximize parallelism (more bins) and minimize ghost "
+      "cost but narrow the\nphysical projection support; large filters do "
+      "the opposite — the framework quantifies the\ntrade-off so application "
+      "users can pick a value (paper §IV-D).\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Algorithm evaluation (the paper's §IV-C workflow): compare particle
+// mapping strategies on a problem *before* implementing them at scale in
+// the real application. Evaluates element-based, bin-based, and Hilbert
+// mapping on the same trace and reports peak workload, utilization,
+// migration traffic, and ghost load for each.
+//
+// Usage: ./examples/mapping_eval [num_ranks]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "mapping/mapper.hpp"
+#include "picsim/sim_driver.hpp"
+#include "trace/trace_reader.hpp"
+#include "workload/generator.hpp"
+#include "workload/workload_stats.hpp"
+
+using namespace picp;
+
+int main(int argc, char** argv) {
+  const Rank ranks = argc > 1 ? static_cast<Rank>(std::atoi(argv[1])) : 128;
+
+  SimConfig sim;
+  sim.nelx = 16;
+  sim.nely = 16;
+  sim.nelz = 32;
+  sim.bed.num_particles = 8000;
+  sim.num_iterations = 2000;
+  sim.sample_every = 50;
+  sim.num_ranks = ranks;
+  const std::string trace_path = "mapping_eval_trace.bin";
+  SimDriver driver(sim);
+  std::printf("producing trace (%zu particles)...\n\n",
+              sim.bed.num_particles);
+  driver.run(trace_path);
+
+  const MeshPartition partition = rcb_partition(driver.mesh(), ranks);
+  std::printf("mapping strategy comparison at R=%d:\n\n", ranks);
+  std::printf("%10s %14s %14s %12s %14s %12s\n", "mapper", "peak np/rank",
+              "utilization %", "imbalance", "migrated", "ghosts");
+  for (const std::string kind : {"element", "bin", "hilbert"}) {
+    const auto mapper =
+        make_mapper(kind, driver.mesh(), partition, sim.filter_size);
+    WorkloadParams params;
+    params.ghost_radius = sim.filter_size;
+    WorkloadGenerator generator(driver.mesh(), partition, *mapper, params);
+    TraceReader trace(trace_path);
+    const WorkloadResult workload = generator.generate(trace);
+
+    const UtilizationStats stats = utilization(workload.comp_real);
+    const auto imbalance = imbalance_per_interval(workload.comp_real);
+    double mean_imbalance = 0.0;
+    for (const double v : imbalance) mean_imbalance += v;
+    mean_imbalance /= static_cast<double>(imbalance.size());
+    std::int64_t ghosts = 0;
+    for (std::size_t t = 0; t < workload.num_intervals(); ++t)
+      ghosts += workload.comp_ghost.interval_total(t);
+
+    std::printf("%10s %14lld %14.1f %12.1f %14lld %12lld\n", kind.c_str(),
+                static_cast<long long>(stats.peak_load),
+                100.0 * stats.mean_active_fraction, mean_imbalance,
+                static_cast<long long>(workload.comm_real.total_volume()),
+                static_cast<long long>(ghosts));
+  }
+  std::printf(
+      "\nreading the table:\n"
+      " * element-based: minimal ghost/migration traffic but extreme peak "
+      "load and idle processors;\n"
+      " * bin-based: near-uniform load at the cost of grid-data exchange "
+      "(ghosts);\n"
+      " * hilbert: balanced counts with locality-limited migration — the "
+      "trade-off curve the paper's framework lets you explore per problem.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+
+#include "bsst/event.hpp"
+
+namespace picp {
+
+class Engine;
+
+/// Base class for simulated system elements (processors, the interconnect's
+/// collective engine, ...). Components receive events via handle() and
+/// schedule future events through the engine — the classic conservative
+/// sequential DES component model (after SST's component/link structure,
+/// collapsed to a single event namespace since coarse-grained emulation
+/// needs no port fan-out).
+class Component {
+ public:
+  Component(ComponentId id, std::string name)
+      : id_(id), name_(std::move(name)) {}
+  virtual ~Component() = default;
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  ComponentId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  /// React to an event; called by the engine with the simulation clock
+  /// already advanced to event.time.
+  virtual void handle(Engine& engine, const Event& event) = 0;
+
+ private:
+  ComponentId id_;
+  std::string name_;
+};
+
+}  // namespace picp

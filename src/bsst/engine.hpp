@@ -1,0 +1,46 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bsst/component.hpp"
+#include "bsst/event_queue.hpp"
+
+namespace picp {
+
+/// Sequential discrete-event engine: components + one event queue. The
+/// engine is deterministic (stable (time, seq) ordering) and coarse-grained;
+/// it is the picpredict stand-in for SST's core, sufficient for behavioral
+/// emulation at the (rank × interval × phase) granularity the paper's
+/// Simulation Platform operates at.
+class Engine {
+ public:
+  /// Register a component; its id must equal its registration order.
+  ComponentId add_component(std::unique_ptr<Component> component);
+
+  Component& component(ComponentId id) {
+    return *components_[static_cast<std::size_t>(id)];
+  }
+  std::size_t num_components() const { return components_.size(); }
+
+  /// Current simulation time.
+  SimTime now() const { return now_; }
+
+  /// Schedule an event `delay` seconds from now (delay >= 0).
+  void schedule(ComponentId src, ComponentId dst, SimTime delay,
+                std::int32_t kind, std::int64_t a = 0, std::int64_t b = 0);
+
+  /// Dispatch events until the queue drains or `max_events` is hit.
+  /// Returns the number of events processed.
+  std::uint64_t run(std::uint64_t max_events = ~std::uint64_t{0});
+
+  std::uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  std::vector<std::unique_ptr<Component>> components_;
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t events_processed_ = 0;
+};
+
+}  // namespace picp

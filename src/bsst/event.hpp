@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+
+namespace picp {
+
+using ComponentId = std::int32_t;
+using SimTime = double;
+
+/// Discrete event delivered to a component. The payload is deliberately a
+/// small POD — coarse-grained behavioral emulation (BE-SST style) models
+/// *when* things complete, not message contents.
+struct Event {
+  SimTime time = 0.0;
+  /// Monotone sequence number: ties in `time` dispatch in schedule order,
+  /// making simulations bit-reproducible.
+  std::uint64_t seq = 0;
+  ComponentId dst = -1;
+  ComponentId src = -1;
+  /// Event kind, interpreted by the destination component.
+  std::int32_t kind = 0;
+  /// Kind-specific small payload (interval index, message count, ...).
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+};
+
+/// Ordering for the event queue: earliest time first, then sequence.
+struct EventAfter {
+  bool operator()(const Event& x, const Event& y) const {
+    if (x.time != y.time) return x.time > y.time;
+    return x.seq > y.seq;
+  }
+};
+
+}  // namespace picp

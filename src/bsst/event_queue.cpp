@@ -1,0 +1,23 @@
+#include "bsst/event_queue.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace picp {
+
+void EventQueue::push(Event event) {
+  event.seq = next_seq_++;
+  heap_.push_back(event);
+  std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
+}
+
+Event EventQueue::pop() {
+  PICP_REQUIRE(!heap_.empty(), "pop from empty event queue");
+  std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
+  const Event event = heap_.back();
+  heap_.pop_back();
+  return event;
+}
+
+}  // namespace picp

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <vector>
+
+#include "bsst/event.hpp"
+
+namespace picp {
+
+/// Binary min-heap of events with deterministic (time, seq) ordering.
+class EventQueue {
+ public:
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Push; the event's `seq` is assigned here (schedule order).
+  void push(Event event);
+
+  /// Pop the earliest event; precondition: !empty().
+  Event pop();
+
+  const Event& peek() const { return heap_.front(); }
+
+ private:
+  std::vector<Event> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace picp

@@ -1,0 +1,20 @@
+#include "bsst/network_model.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace picp {
+
+NetworkModel::NetworkModel(const NetworkParams& params) : params_(params) {
+  PICP_REQUIRE(params.alpha >= 0.0, "alpha must be non-negative");
+  PICP_REQUIRE(params.beta > 0.0, "beta must be positive");
+}
+
+double NetworkModel::collective_time(std::int64_t ranks, double bytes) const {
+  if (ranks <= 1) return 0.0;
+  const double stages = std::ceil(std::log2(static_cast<double>(ranks)));
+  return stages * message_time(bytes);
+}
+
+}  // namespace picp

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+
+namespace picp {
+
+/// Latency-bandwidth (α-β) interconnect model with log-tree collectives —
+/// the coarse-grained network abstraction BE-SST-style emulation uses.
+/// Defaults approximate a modern HPC fabric (Omni-Path-class: ~1 µs MPI
+/// latency, ~10 GB/s effective per-rank bandwidth).
+struct NetworkParams {
+  /// Point-to-point message latency (seconds).
+  double alpha = 1.5e-6;
+  /// Effective bandwidth (bytes per second).
+  double beta = 1.0e10;
+  /// Payload bytes carried per migrated particle (CMT-nek particles carry
+  /// position, velocity, and material state).
+  double bytes_per_particle = 96.0;
+  /// Payload bytes per ghost particle (position + projected properties).
+  double bytes_per_ghost = 48.0;
+};
+
+class NetworkModel {
+ public:
+  explicit NetworkModel(const NetworkParams& params);
+
+  const NetworkParams& params() const { return params_; }
+
+  /// Time for one point-to-point message of `bytes`.
+  double message_time(double bytes) const {
+    return params_.alpha + bytes / params_.beta;
+  }
+
+  double particle_message_time(std::int64_t particles) const {
+    return message_time(static_cast<double>(particles) *
+                        params_.bytes_per_particle);
+  }
+
+  double ghost_message_time(std::int64_t ghosts) const {
+    return message_time(static_cast<double>(ghosts) * params_.bytes_per_ghost);
+  }
+
+  /// Log-tree collective (barrier/allreduce) over `ranks` with a small
+  /// payload.
+  double collective_time(std::int64_t ranks, double bytes = 8.0) const;
+
+ private:
+  NetworkParams params_;
+};
+
+}  // namespace picp

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bsst/network_model.hpp"
+#include "workload/comm_matrix.hpp"
+
+namespace picp {
+
+/// Inputs to the trace-driven system-level simulation: per-(rank, interval)
+/// compute times (from the performance models applied to the generated
+/// workload) plus the communication matrices (from the Dynamic Workload
+/// Generator). This is the trace-based capability the paper describes as
+/// being added to BE-SST (§II-C / §VI).
+struct TraceSimInput {
+  Rank num_ranks = 0;
+  std::size_t num_intervals = 0;
+  /// compute_seconds[t * num_ranks + r]: modeled kernel time of rank r in
+  /// interval t.
+  std::vector<double> compute_seconds;
+  /// Particle-migration transfers (bytes_per_particle each); optional.
+  const CommMatrix* comm_real = nullptr;
+  /// Ghost-creation transfers (bytes_per_ghost each); optional.
+  const CommMatrix* comm_ghost = nullptr;
+  NetworkParams network;
+};
+
+/// Results of one system-level simulation.
+struct SimReport {
+  /// Predicted end-to-end time of the simulated phase.
+  double total_seconds = 0.0;
+  /// Barrier completion time of each interval.
+  std::vector<double> interval_end;
+  /// Per-rank total modeled compute time.
+  std::vector<double> rank_busy_seconds;
+  /// Sum over intervals of the slowest rank's compute (pure critical path,
+  /// no communication) — a lower bound useful for diagnosing comm overhead.
+  double critical_path_seconds = 0.0;
+  /// DES events dispatched.
+  std::uint64_t events = 0;
+};
+
+/// Run the coarse-grained simulation: per interval, every processor
+/// computes, exchanges the interval's migration/ghost messages over the
+/// α-β interconnect, and synchronizes on a log-tree barrier before the next
+/// interval begins (the BSP structure of the CMT-nek particle phase).
+SimReport run_trace_simulation(const TraceSimInput& input);
+
+}  // namespace picp

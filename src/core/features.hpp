@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "picsim/instrumentation.hpp"
+#include "picsim/kernels.hpp"
+#include "workload/generator.hpp"
+
+namespace picp {
+
+/// Canonical workload features each kernel's performance model consumes
+/// (paper §II-B: models are expressed in workload parameters such as N_p,
+/// N_gp per processor).
+///
+///   interpolate, eq_solve, push : {np}
+///   project, create_ghost       : {np, ngp, filter}
+///   migrate                     : {np, nmove}  (scan owned + pack movers)
+///   fluid                       : {nel}
+std::vector<std::string> kernel_features(Kernel k);
+
+/// Feature vector for one (rank, interval) from an instrumented record
+/// (training side — the features were recorded during measurement).
+std::vector<double> features_from_record(Kernel k, const TimingRecord& rec);
+
+/// Feature vector for one (rank, interval) from generated workload
+/// (prediction side — the features come from the Dynamic Workload
+/// Generator, never from the application).
+std::vector<double> features_from_workload(Kernel k,
+                                           const WorkloadResult& workload,
+                                           Rank rank, std::size_t interval,
+                                           double filter);
+
+}  // namespace picp

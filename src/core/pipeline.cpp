@@ -1,0 +1,53 @@
+#include "core/pipeline.hpp"
+
+#include "mapping/mapper.hpp"
+#include "mesh/partition.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace picp {
+
+PredictionPipeline::PredictionPipeline(const SpectralMesh& mesh,
+                                       ModelSet models)
+    : mesh_(&mesh), models_(std::move(models)) {}
+
+WorkloadResult PredictionPipeline::generate_workload(
+    TraceReader& trace, const PredictionConfig& config) const {
+  const MeshPartition partition = rcb_partition(*mesh_, config.num_ranks);
+  const auto mapper = make_mapper(config.mapper_kind, *mesh_, partition,
+                                  config.filter_size);
+  WorkloadParams params;
+  params.ghost_radius = config.filter_size;
+  params.compute_ghosts = config.compute_ghosts;
+  params.compute_comm = config.compute_comm;
+  params.max_intervals = config.max_intervals;
+  params.interval_stride = config.interval_stride;
+  WorkloadGenerator generator(*mesh_, partition, *mapper, params);
+  return generator.generate(trace);
+}
+
+PredictionOutcome PredictionPipeline::predict(
+    TraceReader& trace, const PredictionConfig& config) const {
+  PredictionOutcome outcome;
+
+  Stopwatch watch;
+  outcome.workload = generate_workload(trace, config);
+  outcome.workload_gen_seconds = watch.seconds();
+
+  const Predictor predictor(models_, config.filter_size);
+  watch.reset();
+  outcome.sim =
+      run_trace_simulation(predictor.sim_input(outcome.workload,
+                                               config.network));
+  outcome.sim_seconds = watch.seconds();
+
+  PICP_LOG_INFO << "prediction " << config.mapper_kind << " R="
+                << config.num_ranks << ": app time "
+                << outcome.sim.total_seconds << " s (workload gen "
+                << outcome.workload_gen_seconds << " s, DES "
+                << outcome.sim_seconds << " s, "
+                << outcome.sim.events << " events)";
+  return outcome;
+}
+
+}  // namespace picp

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <string>
+
+#include "bsst/trace_sim.hpp"
+#include "core/predictor.hpp"
+#include "mesh/spectral_mesh.hpp"
+#include "model/model_set.hpp"
+#include "trace/trace_reader.hpp"
+#include "workload/generator.hpp"
+
+namespace picp {
+
+/// One target-system prediction request: the paper's configuration-file
+/// inputs (system configuration = processor count; application
+/// configuration = mapping algorithm and problem parameters).
+struct PredictionConfig {
+  std::string mapper_kind = "bin";
+  Rank num_ranks = 1044;
+  /// Projection filter size (ghost radius + bin threshold).
+  double filter_size = 0.023;
+  NetworkParams network;
+  /// Workload-generation tuning (strides / interval caps for sweeps).
+  std::size_t max_intervals = static_cast<std::size_t>(-1);
+  std::size_t interval_stride = 1;
+  bool compute_ghosts = true;
+  bool compute_comm = true;
+};
+
+/// Everything a full prediction produces.
+struct PredictionOutcome {
+  WorkloadResult workload;
+  SimReport sim;
+  double workload_gen_seconds = 0.0;
+  double sim_seconds = 0.0;
+};
+
+/// The end-to-end prediction framework (paper Fig 2): particle trace +
+/// configuration → Dynamic Workload Generator → performance models →
+/// system-level simulation → predicted application performance. One
+/// pipeline instance serves any number of target processor counts from the
+/// same trace — the paper's central "single trace, any R" property.
+class PredictionPipeline {
+ public:
+  PredictionPipeline(const SpectralMesh& mesh, ModelSet models);
+
+  /// Workload generation only (no performance models needed) — enough for
+  /// the scalability / algorithm-evaluation studies (Figs 1, 5, 6, 8, 9).
+  WorkloadResult generate_workload(TraceReader& trace,
+                                   const PredictionConfig& config) const;
+
+  /// Full prediction: workload + models + trace-driven DES.
+  PredictionOutcome predict(TraceReader& trace,
+                            const PredictionConfig& config) const;
+
+  const SpectralMesh& mesh() const { return *mesh_; }
+  const ModelSet& models() const { return models_; }
+
+ private:
+  const SpectralMesh* mesh_;
+  ModelSet models_;
+};
+
+}  // namespace picp

@@ -1,0 +1,54 @@
+#include "core/predictor.hpp"
+
+#include "core/features.hpp"
+#include "util/error.hpp"
+
+namespace picp {
+
+Predictor::Predictor(const ModelSet& models, double filter_size)
+    : models_(&models), filter_size_(filter_size) {
+  PICP_REQUIRE(filter_size > 0.0, "filter size must be positive");
+  has_kernel_.resize(kNumKernels);
+  for (int k = 0; k < kNumKernels; ++k)
+    has_kernel_[static_cast<std::size_t>(k)] =
+        models.has(kernel_name(static_cast<Kernel>(k)));
+}
+
+double Predictor::predict_kernel(Kernel k, const WorkloadResult& workload,
+                                 Rank rank, std::size_t interval) const {
+  const auto features =
+      features_from_workload(k, workload, rank, interval, filter_size_);
+  return models_->predict(kernel_name(k), features);
+}
+
+std::vector<double> Predictor::compute_table(
+    const WorkloadResult& workload) const {
+  const auto r_count = static_cast<std::size_t>(workload.num_ranks);
+  const std::size_t t_count = workload.num_intervals();
+  std::vector<double> table(r_count * t_count, 0.0);
+  for (std::size_t t = 0; t < t_count; ++t) {
+    for (Rank r = 0; r < workload.num_ranks; ++r) {
+      double total = 0.0;
+      for (int k = 0; k < kNumKernels; ++k) {
+        if (!has_kernel_[static_cast<std::size_t>(k)]) continue;
+        total += predict_kernel(static_cast<Kernel>(k), workload, r, t);
+      }
+      table[t * r_count + static_cast<std::size_t>(r)] = total;
+    }
+  }
+  return table;
+}
+
+TraceSimInput Predictor::sim_input(const WorkloadResult& workload,
+                                   const NetworkParams& network) const {
+  TraceSimInput input;
+  input.num_ranks = workload.num_ranks;
+  input.num_intervals = workload.num_intervals();
+  input.compute_seconds = compute_table(workload);
+  input.comm_real = &workload.comm_real;
+  input.comm_ghost = &workload.comm_ghost;
+  input.network = network;
+  return input;
+}
+
+}  // namespace picp

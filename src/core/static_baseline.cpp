@@ -1,0 +1,74 @@
+#include "core/static_baseline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace picp {
+
+WorkloadResult static_uniform_workload(const StaticBaselineParams& params) {
+  PICP_REQUIRE(params.num_ranks > 0, "baseline needs ranks");
+  PICP_REQUIRE(params.num_intervals > 0, "baseline needs intervals");
+  PICP_REQUIRE(params.num_particles >= 0, "negative particle count");
+  PICP_REQUIRE(params.ghost_fraction >= 0.0, "negative ghost fraction");
+
+  WorkloadResult result;
+  result.num_ranks = params.num_ranks;
+  result.comp_real = CompMatrix(params.num_ranks, params.num_intervals);
+  result.comp_ghost = CompMatrix(params.num_ranks, params.num_intervals);
+  result.comm_real = CommMatrix(params.num_ranks, params.num_intervals);
+  result.comm_ghost = CommMatrix(params.num_ranks, params.num_intervals);
+  result.iterations.resize(params.num_intervals);
+  result.partitions_per_interval.assign(params.num_intervals,
+                                        params.num_ranks);
+
+  // Uniform distribution with the remainder spread over the first ranks —
+  // the most charitable version of the static assumption.
+  const std::int64_t base = params.num_particles / params.num_ranks;
+  const std::int64_t extra = params.num_particles % params.num_ranks;
+  for (std::size_t t = 0; t < params.num_intervals; ++t) {
+    result.iterations[t] = t;
+    for (Rank r = 0; r < params.num_ranks; ++r) {
+      const std::int64_t np = base + (r < extra ? 1 : 0);
+      result.comp_real.set(r, t, np);
+      result.comp_ghost.set(
+          r, t,
+          static_cast<std::int64_t>(std::llround(
+              params.ghost_fraction * static_cast<double>(np))));
+    }
+  }
+  return result;
+}
+
+WorkloadComparison compare_workloads(const WorkloadResult& reference,
+                                     const WorkloadResult& baseline) {
+  PICP_REQUIRE(reference.num_ranks == baseline.num_ranks,
+               "rank count mismatch");
+  const std::size_t intervals =
+      std::min(reference.num_intervals(), baseline.num_intervals());
+  PICP_REQUIRE(intervals > 0, "no overlapping intervals");
+
+  WorkloadComparison cmp;
+  double err_sum = 0.0;
+  std::size_t used = 0;
+  for (std::size_t t = 0; t < intervals; ++t) {
+    const auto ref_peak =
+        static_cast<double>(reference.comp_real.interval_max(t));
+    const auto base_peak =
+        static_cast<double>(baseline.comp_real.interval_max(t));
+    if (ref_peak <= 0.0) continue;
+    err_sum += std::abs(ref_peak - base_peak) / ref_peak * 100.0;
+    ++used;
+    if (base_peak > 0.0)
+      cmp.worst_peak_ratio =
+          std::max(cmp.worst_peak_ratio, ref_peak / base_peak);
+  }
+  cmp.peak_load_mape = used > 0 ? err_sum / static_cast<double>(used) : 0.0;
+  for (std::size_t t = 0; t < intervals; ++t)
+    cmp.missed_migration += reference.comm_real.interval_volume(t) -
+                            baseline.comm_real.interval_volume(t);
+  return cmp;
+}
+
+}  // namespace picp

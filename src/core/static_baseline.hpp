@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+
+#include "workload/generator.hpp"
+
+namespace picp {
+
+/// The static-workload assumption the paper's introduction argues against:
+/// existing prediction methods "assume a workload that is statically
+/// distributed across the processors". This baseline materializes that
+/// assumption — every processor holds N_p / R particles at every interval,
+/// no migration, ghosts estimated from a uniform-density surface heuristic —
+/// so benches can quantify exactly how much accuracy the Dynamic Workload
+/// Generator buys on irregular PIC workloads.
+struct StaticBaselineParams {
+  Rank num_ranks = 0;
+  std::size_t num_intervals = 0;
+  std::int64_t num_particles = 0;
+  /// Per-rank ghost estimate as a fraction of the per-rank particle count
+  /// (0 disables ghost modeling in the baseline).
+  double ghost_fraction = 0.0;
+};
+
+/// Build the uniform static workload. Iterations are numbered 0..T-1 with a
+/// unit stride (the baseline has no notion of real solver iterations).
+WorkloadResult static_uniform_workload(const StaticBaselineParams& params);
+
+/// Error metrics of a baseline against reference (dynamically generated or
+/// measured) workload: how far the static assumption is from reality.
+struct WorkloadComparison {
+  /// Mean over intervals of |peak_ref - peak_base| / peak_ref (percent).
+  double peak_load_mape = 0.0;
+  /// Reference peak / baseline peak at the worst interval.
+  double worst_peak_ratio = 0.0;
+  /// Migration volume the baseline misses entirely (particles).
+  std::int64_t missed_migration = 0;
+};
+
+WorkloadComparison compare_workloads(const WorkloadResult& reference,
+                                     const WorkloadResult& baseline);
+
+}  // namespace picp

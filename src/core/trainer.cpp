@@ -1,0 +1,106 @@
+#include "core/trainer.hpp"
+
+#include "core/features.hpp"
+#include "model/dataset.hpp"
+#include "model/linear.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/stats.hpp"
+#include "util/rng.hpp"
+#include "util/string_util.hpp"
+
+namespace picp {
+
+FitMethod fit_method_from_name(const std::string& name) {
+  const std::string n = to_lower(trim(name));
+  if (n == "linear") return FitMethod::kLinear;
+  if (n == "poly" || n == "polynomial") return FitMethod::kPolynomial;
+  if (n == "symbolic" || n == "symreg") return FitMethod::kSymbolic;
+  if (n == "auto") return FitMethod::kAuto;
+  throw Error("unknown fit method: " + name);
+}
+
+namespace {
+std::unique_ptr<PerfModel> fit_one(const Dataset& data,
+                                   const ModelGenConfig& config,
+                                   std::uint64_t seed_salt) {
+  FitMethod method = config.method;
+  // Auto: low-order polynomial for single-parameter kernels (captures the
+  // mild cache-effect curvature a pure linear fit misses), GP symbolic
+  // regression for multi-parameter kernels — the paper's split between
+  // "simple regression sufficed" and "symbolic regression for
+  // multi-parameter models".
+  if (method == FitMethod::kAuto)
+    method = data.num_features() <= 1 ? FitMethod::kPolynomial
+                                      : FitMethod::kSymbolic;
+  switch (method) {
+    case FitMethod::kLinear:
+      return std::make_unique<LinearModel>(fit_linear(data));
+    case FitMethod::kPolynomial:
+      return std::make_unique<PolynomialModel>(fit_polynomial(
+          data, config.method == FitMethod::kAuto
+                    ? std::min(config.poly_degree, 2)
+                    : config.poly_degree));
+    case FitMethod::kSymbolic: {
+      SymRegParams params = config.symreg;
+      params.seed += seed_salt;  // distinct streams per kernel
+      return std::make_unique<SymbolicModel>(fit_symbolic(data, params));
+    }
+    default:
+      throw Error("unresolved fit method");
+  }
+}
+}  // namespace
+
+ModelSet train_models(const KernelTimings& timings,
+                      const ModelGenConfig& config, TrainReport* report) {
+  PICP_REQUIRE(!timings.empty(), "no training data");
+  ModelSet set;
+  for (int k = 0; k < kNumKernels; ++k) {
+    const auto kernel = static_cast<Kernel>(k);
+    const auto features = kernel_features(kernel);
+    Dataset data(features);
+    std::size_t eligible = 0;
+    for (const TimingRecord& rec : timings.records())
+      if (rec.kernel == kernel && rec.seconds >= config.min_seconds)
+        ++eligible;
+    // Deterministic subsampling keeps every interval represented without
+    // holding 100k+ rows through the GP search.
+    Xoshiro256 rng(config.subsample_seed + static_cast<std::uint64_t>(k));
+    const double keep =
+        eligible <= config.max_rows
+            ? 1.0
+            : static_cast<double>(config.max_rows) /
+                  static_cast<double>(eligible);
+    for (const TimingRecord& rec : timings.records()) {
+      if (rec.kernel != kernel) continue;
+      if (rec.seconds < config.min_seconds) continue;
+      if (keep < 1.0 && rng.uniform() > keep) continue;
+      data.add(features_from_record(kernel, rec), rec.seconds);
+    }
+    if (data.empty()) continue;
+
+    auto model = fit_one(data, config, static_cast<std::uint64_t>(k));
+
+    if (report != nullptr) {
+      std::vector<double> predicted(data.size());
+      std::vector<double> actual(data.size());
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        predicted[i] = std::max(0.0, model->evaluate(data.row(i)));
+        actual[i] = data.target(i);
+      }
+      TrainReport::KernelFit fit;
+      fit.kernel = kernel_name(kernel);
+      fit.rows = data.size();
+      fit.train_mape = mape(actual, predicted);
+      fit.formula = model->describe();
+      report->kernels.push_back(std::move(fit));
+    }
+    PICP_LOG_DEBUG << "trained " << kernel_name(kernel) << " on "
+                   << data.size() << " rows: " << model->describe();
+    set.set(kernel_name(kernel), std::move(model), features);
+  }
+  return set;
+}
+
+}  // namespace picp

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+
+#include "model/model_set.hpp"
+#include "model/symreg.hpp"
+#include "picsim/instrumentation.hpp"
+
+namespace picp {
+
+/// How the Model Generator fits each kernel's model.
+enum class FitMethod {
+  kLinear,      // OLS linear (single-parameter kernels, §II-B)
+  kPolynomial,  // OLS over monomials (degree from ModelGenConfig)
+  kSymbolic,    // GP symbolic regression (multi-parameter kernels)
+  kAuto,        // linear for 1 feature, symbolic otherwise
+};
+
+FitMethod fit_method_from_name(const std::string& name);
+
+struct ModelGenConfig {
+  FitMethod method = FitMethod::kAuto;
+  int poly_degree = 3;
+  SymRegParams symreg;
+  /// Drop training rows whose measured time is below this (timer noise).
+  double min_seconds = 0.0;
+  /// Deterministically subsample each kernel's training data to at most
+  /// this many rows (instrumented runs produce one row per active rank per
+  /// interval — far more than regression needs).
+  std::size_t max_rows = 5000;
+  std::uint64_t subsample_seed = 1234;
+};
+
+/// Per-kernel training diagnostics.
+struct TrainReport {
+  struct KernelFit {
+    std::string kernel;
+    std::size_t rows = 0;
+    double train_mape = 0.0;  // percent, on the training data
+    std::string formula;
+  };
+  std::vector<KernelFit> kernels;
+};
+
+/// The Model Generator (paper §II-B): turn instrumented kernel benchmarks
+/// into analytical performance models, one per kernel present in
+/// `timings`.
+ModelSet train_models(const KernelTimings& timings,
+                      const ModelGenConfig& config, TrainReport* report = nullptr);
+
+}  // namespace picp

@@ -1,0 +1,68 @@
+#include "core/validation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace picp {
+
+ValidationReport validate_predictions(const KernelTimings& measured,
+                                      const Predictor& predictor,
+                                      const WorkloadResult& workload,
+                                      double floor_seconds) {
+  struct Acc {
+    double err_sum = 0.0;
+    double peak = 0.0;
+    std::size_t n = 0;
+    // per-interval sums of measured / predicted seconds
+    std::map<std::uint32_t, std::pair<double, double>> interval_sums;
+  };
+  std::vector<Acc> acc(kNumKernels);
+
+  for (const TimingRecord& rec : measured.records()) {
+    if (rec.seconds < floor_seconds) continue;
+    if (rec.interval >= workload.num_intervals()) continue;
+    const double predicted = predictor.predict_kernel(
+        rec.kernel, workload, rec.rank, rec.interval);
+    const double rel =
+        std::abs(rec.seconds - predicted) / rec.seconds * 100.0;
+    auto& a = acc[static_cast<std::size_t>(rec.kernel)];
+    a.err_sum += rel;
+    a.peak = std::max(a.peak, rel);
+    ++a.n;
+    auto& sums = a.interval_sums[rec.interval];
+    sums.first += rec.seconds;
+    sums.second += predicted;
+  }
+
+  ValidationReport report;
+  double weighted = 0.0;
+  std::size_t total = 0;
+  for (int k = 0; k < kNumKernels; ++k) {
+    const Acc& a = acc[static_cast<std::size_t>(k)];
+    if (a.n == 0) continue;
+    KernelAccuracy ka;
+    ka.kernel = kernel_name(static_cast<Kernel>(k));
+    ka.samples = a.n;
+    ka.mape = a.err_sum / static_cast<double>(a.n);
+    ka.peak_error = a.peak;
+    double agg_err = 0.0;
+    std::size_t agg_n = 0;
+    for (const auto& [interval, sums] : a.interval_sums) {
+      if (sums.first <= 0.0) continue;
+      agg_err += std::abs(sums.first - sums.second) / sums.first * 100.0;
+      ++agg_n;
+    }
+    ka.aggregate_mape = agg_n > 0 ? agg_err / static_cast<double>(agg_n) : 0.0;
+    weighted += a.err_sum;
+    total += a.n;
+    report.kernels.push_back(std::move(ka));
+  }
+  report.average_mape =
+      total == 0 ? 0.0 : weighted / static_cast<double>(total);
+  return report;
+}
+
+}  // namespace picp

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/predictor.hpp"
+#include "picsim/instrumentation.hpp"
+#include "workload/generator.hpp"
+
+namespace picp {
+
+/// Per-kernel prediction accuracy against instrumented measurements —
+/// the paper's Fig 7 (MAPE of key kernels per processor configuration).
+struct KernelAccuracy {
+  std::string kernel;
+  std::size_t samples = 0;
+  double mape = 0.0;       // percent, per (rank, interval) record
+  double peak_error = 0.0; // worst single |err|/actual, percent
+  /// MAPE of the per-interval aggregate (kernel time summed over ranks) —
+  /// robust to per-record timer noise on microsecond kernels, and the
+  /// granularity a system-level prediction ultimately consumes.
+  double aggregate_mape = 0.0;
+};
+
+struct ValidationReport {
+  std::vector<KernelAccuracy> kernels;
+  /// Weighted (by sample count) average MAPE over kernels — the paper's
+  /// headline 8.42%.
+  double average_mape = 0.0;
+};
+
+/// Compare measured kernel times against model predictions evaluated on
+/// *generated* workload (end-to-end: workload replay error + model error,
+/// exactly what the paper validates). Records whose measured time is below
+/// `floor_seconds` are skipped (idle ranks / timer noise).
+ValidationReport validate_predictions(const KernelTimings& measured,
+                                      const Predictor& predictor,
+                                      const WorkloadResult& workload,
+                                      double floor_seconds = 1e-7);
+
+}  // namespace picp

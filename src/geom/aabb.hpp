@@ -1,0 +1,95 @@
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+#include "geom/vec3.hpp"
+
+namespace picp {
+
+/// Axis-aligned bounding box. Used for the simulation domain, element
+/// extents, particle-domain boundaries, and bins from recursive planar cuts.
+struct Aabb {
+  Vec3 lo{std::numeric_limits<double>::max(),
+          std::numeric_limits<double>::max(),
+          std::numeric_limits<double>::max()};
+  Vec3 hi{std::numeric_limits<double>::lowest(),
+          std::numeric_limits<double>::lowest(),
+          std::numeric_limits<double>::lowest()};
+
+  constexpr Aabb() = default;
+  constexpr Aabb(const Vec3& lo_, const Vec3& hi_) : lo(lo_), hi(hi_) {}
+
+  constexpr bool valid() const {
+    return lo.x <= hi.x && lo.y <= hi.y && lo.z <= hi.z;
+  }
+
+  constexpr bool empty() const { return !valid(); }
+
+  /// Half-open membership test: [lo, hi) on each axis, matching the cell and
+  /// element ownership convention (a point on a shared face belongs to the
+  /// upper neighbor exactly once).
+  constexpr bool contains(const Vec3& p) const {
+    return p.x >= lo.x && p.x < hi.x && p.y >= lo.y && p.y < hi.y &&
+           p.z >= lo.z && p.z < hi.z;
+  }
+
+  /// Closed membership test (includes the upper faces).
+  constexpr bool contains_closed(const Vec3& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+           p.z >= lo.z && p.z <= hi.z;
+  }
+
+  void expand(const Vec3& p) {
+    lo.x = std::min(lo.x, p.x); lo.y = std::min(lo.y, p.y); lo.z = std::min(lo.z, p.z);
+    hi.x = std::max(hi.x, p.x); hi.y = std::max(hi.y, p.y); hi.z = std::max(hi.z, p.z);
+  }
+
+  void expand(const Aabb& other) {
+    if (other.empty()) return;
+    expand(other.lo);
+    expand(other.hi);
+  }
+
+  /// Grow by `margin` on every side.
+  Aabb inflated(double margin) const {
+    return Aabb(Vec3(lo.x - margin, lo.y - margin, lo.z - margin),
+                Vec3(hi.x + margin, hi.y + margin, hi.z + margin));
+  }
+
+  constexpr Vec3 extent() const {
+    return Vec3(hi.x - lo.x, hi.y - lo.y, hi.z - lo.z);
+  }
+
+  constexpr Vec3 center() const {
+    return Vec3(0.5 * (lo.x + hi.x), 0.5 * (lo.y + hi.y), 0.5 * (lo.z + hi.z));
+  }
+
+  constexpr double volume() const {
+    const Vec3 e = extent();
+    return e.x * e.y * e.z;
+  }
+
+  /// Index of the longest axis (ties broken toward x).
+  int longest_axis() const {
+    const Vec3 e = extent();
+    if (e.x >= e.y && e.x >= e.z) return 0;
+    if (e.y >= e.z) return 1;
+    return 2;
+  }
+
+  constexpr bool overlaps(const Aabb& o) const {
+    return lo.x < o.hi.x && o.lo.x < hi.x && lo.y < o.hi.y && o.lo.y < hi.y &&
+           lo.z < o.hi.z && o.lo.z < hi.z;
+  }
+
+  /// Squared distance from a point to the box (0 when inside).
+  double distance2(const Vec3& p) const {
+    const double dx = std::max({lo.x - p.x, 0.0, p.x - hi.x});
+    const double dy = std::max({lo.y - p.y, 0.0, p.y - hi.y});
+    const double dz = std::max({lo.z - p.z, 0.0, p.z - hi.z});
+    return dx * dx + dy * dy + dz * dz;
+  }
+};
+
+}  // namespace picp

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "geom/aabb.hpp"
+#include "geom/vec3.hpp"
+#include "util/error.hpp"
+
+namespace picp {
+
+/// Maps points in a rectangular domain to cells of a uniform nx × ny × nz
+/// grid and back. Shared by the spectral-element mesh (elements are the
+/// cells) and the ghost-particle spatial hash.
+class GridIndexer {
+ public:
+  GridIndexer() = default;
+
+  GridIndexer(const Aabb& domain, std::int64_t nx, std::int64_t ny,
+              std::int64_t nz)
+      : domain_(domain), nx_(nx), ny_(ny), nz_(nz) {
+    PICP_REQUIRE(nx > 0 && ny > 0 && nz > 0, "grid dims must be positive");
+    PICP_REQUIRE(domain.valid() && domain.volume() > 0.0,
+                 "grid domain must be non-degenerate");
+    const Vec3 e = domain.extent();
+    cell_ = Vec3(e.x / static_cast<double>(nx), e.y / static_cast<double>(ny),
+                 e.z / static_cast<double>(nz));
+  }
+
+  const Aabb& domain() const { return domain_; }
+  std::int64_t nx() const { return nx_; }
+  std::int64_t ny() const { return ny_; }
+  std::int64_t nz() const { return nz_; }
+  std::int64_t cell_count() const { return nx_ * ny_ * nz_; }
+  const Vec3& cell_size() const { return cell_; }
+
+  /// Cell coordinate of a point, clamped to the grid (points on/past the
+  /// upper boundary map to the last cell, matching half-open ownership).
+  std::array<std::int64_t, 3> cell_of(const Vec3& p) const {
+    return {clamp_axis((p.x - domain_.lo.x) / cell_.x, nx_),
+            clamp_axis((p.y - domain_.lo.y) / cell_.y, ny_),
+            clamp_axis((p.z - domain_.lo.z) / cell_.z, nz_)};
+  }
+
+  std::int64_t flat_index(std::int64_t ix, std::int64_t iy,
+                          std::int64_t iz) const {
+    return (iz * ny_ + iy) * nx_ + ix;
+  }
+
+  std::int64_t flat_cell_of(const Vec3& p) const {
+    const auto c = cell_of(p);
+    return flat_index(c[0], c[1], c[2]);
+  }
+
+  std::array<std::int64_t, 3> unflatten(std::int64_t flat) const {
+    const std::int64_t ix = flat % nx_;
+    const std::int64_t iy = (flat / nx_) % ny_;
+    const std::int64_t iz = flat / (nx_ * ny_);
+    return {ix, iy, iz};
+  }
+
+  /// Axis-aligned bounds of one cell.
+  Aabb cell_bounds(std::int64_t ix, std::int64_t iy, std::int64_t iz) const {
+    const Vec3 lo(domain_.lo.x + static_cast<double>(ix) * cell_.x,
+                  domain_.lo.y + static_cast<double>(iy) * cell_.y,
+                  domain_.lo.z + static_cast<double>(iz) * cell_.z);
+    return Aabb(lo, Vec3(lo.x + cell_.x, lo.y + cell_.y, lo.z + cell_.z));
+  }
+
+  Aabb cell_bounds(std::int64_t flat) const {
+    const auto c = unflatten(flat);
+    return cell_bounds(c[0], c[1], c[2]);
+  }
+
+ private:
+  static std::int64_t clamp_axis(double t, std::int64_t n) {
+    auto idx = static_cast<std::int64_t>(t);
+    if (t < 0.0) idx = 0;
+    if (idx >= n) idx = n - 1;
+    return idx;
+  }
+
+  Aabb domain_{Vec3(0, 0, 0), Vec3(1, 1, 1)};
+  std::int64_t nx_ = 1;
+  std::int64_t ny_ = 1;
+  std::int64_t nz_ = 1;
+  Vec3 cell_{1, 1, 1};
+};
+
+}  // namespace picp

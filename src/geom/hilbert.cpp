@@ -1,0 +1,94 @@
+#include "geom/hilbert.hpp"
+
+#include <array>
+
+#include "util/error.hpp"
+
+namespace picp {
+
+namespace {
+constexpr int kDims = 3;
+
+// Skilling's "transpose" representation: X[i] holds the i-th coordinate;
+// after TransposeToAxes / AxesToTranspose the bits of the Hilbert index are
+// distributed across the words, MSB-first, one bit per word per level.
+void axes_to_transpose(std::array<std::uint32_t, kDims>& x, int bits) {
+  std::uint32_t m = 1u << (bits - 1);
+  // Inverse undo.
+  for (std::uint32_t q = m; q > 1; q >>= 1) {
+    const std::uint32_t p = q - 1;
+    for (int i = 0; i < kDims; ++i) {
+      if (x[static_cast<std::size_t>(i)] & q) {
+        x[0] ^= p;  // invert
+      } else {  // exchange
+        const std::uint32_t t = (x[0] ^ x[static_cast<std::size_t>(i)]) & p;
+        x[0] ^= t;
+        x[static_cast<std::size_t>(i)] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (int i = 1; i < kDims; ++i)
+    x[static_cast<std::size_t>(i)] ^= x[static_cast<std::size_t>(i - 1)];
+  std::uint32_t t = 0;
+  for (std::uint32_t q = m; q > 1; q >>= 1)
+    if (x[kDims - 1] & q) t ^= q - 1;
+  for (int i = 0; i < kDims; ++i) x[static_cast<std::size_t>(i)] ^= t;
+}
+
+void transpose_to_axes(std::array<std::uint32_t, kDims>& x, int bits) {
+  const std::uint32_t n = 2u << (bits - 1);
+  // Gray decode by H ^ (H/2).
+  std::uint32_t t = x[kDims - 1] >> 1;
+  for (int i = kDims - 1; i > 0; --i)
+    x[static_cast<std::size_t>(i)] ^= x[static_cast<std::size_t>(i - 1)];
+  x[0] ^= t;
+  // Undo excess work.
+  for (std::uint32_t q = 2; q != n; q <<= 1) {
+    const std::uint32_t p = q - 1;
+    for (int i = kDims - 1; i >= 0; --i) {
+      if (x[static_cast<std::size_t>(i)] & q) {
+        x[0] ^= p;
+      } else {
+        const std::uint32_t w = (x[0] ^ x[static_cast<std::size_t>(i)]) & p;
+        x[0] ^= w;
+        x[static_cast<std::size_t>(i)] ^= w;
+      }
+    }
+  }
+}
+}  // namespace
+
+std::uint64_t hilbert_index_3d(std::uint32_t x, std::uint32_t y,
+                               std::uint32_t z, int bits) {
+  PICP_REQUIRE(bits >= 1 && bits <= 21, "hilbert bits out of range [1,21]");
+  PICP_REQUIRE((x >> bits) == 0 && (y >> bits) == 0 && (z >> bits) == 0,
+               "hilbert coordinate exceeds bit width");
+  std::array<std::uint32_t, kDims> coords = {x, y, z};
+  axes_to_transpose(coords, bits);
+  // Interleave transpose words MSB-first into a single index.
+  std::uint64_t index = 0;
+  for (int b = bits - 1; b >= 0; --b)
+    for (int i = 0; i < kDims; ++i)
+      index = (index << 1) |
+              ((coords[static_cast<std::size_t>(i)] >> b) & 1u);
+  return index;
+}
+
+void hilbert_coords_3d(std::uint64_t index, int bits, std::uint32_t& x,
+                       std::uint32_t& y, std::uint32_t& z) {
+  PICP_REQUIRE(bits >= 1 && bits <= 21, "hilbert bits out of range [1,21]");
+  std::array<std::uint32_t, kDims> coords = {0, 0, 0};
+  for (int b = bits - 1; b >= 0; --b)
+    for (int i = 0; i < kDims; ++i) {
+      const int shift = b * kDims + (kDims - 1 - i);
+      coords[static_cast<std::size_t>(i)] |=
+          static_cast<std::uint32_t>((index >> shift) & 1u) << b;
+    }
+  transpose_to_axes(coords, bits);
+  x = coords[0];
+  y = coords[1];
+  z = coords[2];
+}
+
+}  // namespace picp

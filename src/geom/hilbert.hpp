@@ -1,0 +1,18 @@
+#pragma once
+
+#include <cstdint>
+
+namespace picp {
+
+/// 3-D Hilbert space-filling curve index (Skilling's transpose algorithm).
+/// Coordinates are `bits`-bit integers; the returned index interleaves to a
+/// 3*bits-bit key preserving spatial locality. Used by the Hilbert particle
+/// mapper (Liao et al. style ordering of spectral elements).
+std::uint64_t hilbert_index_3d(std::uint32_t x, std::uint32_t y,
+                               std::uint32_t z, int bits);
+
+/// Inverse mapping: recover the coordinate from a Hilbert index.
+void hilbert_coords_3d(std::uint64_t index, int bits, std::uint32_t& x,
+                       std::uint32_t& y, std::uint32_t& z);
+
+}  // namespace picp

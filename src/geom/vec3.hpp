@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+namespace picp {
+
+/// Plain 3-component vector used for particle positions, velocities, and
+/// forces. Value type; all operations are constexpr-friendly.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr double operator[](int axis) const {
+    return axis == 0 ? x : (axis == 1 ? y : z);
+  }
+
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x; y += o.y; z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x; y -= o.y; z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(double s) {
+    x *= s; y *= s; z *= s;
+    return *this;
+  }
+
+  constexpr friend Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+  constexpr friend Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+  constexpr friend Vec3 operator*(Vec3 a, double s) { return a *= s; }
+  constexpr friend Vec3 operator*(double s, Vec3 a) { return a *= s; }
+  constexpr friend bool operator==(const Vec3& a, const Vec3& b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+  }
+
+  constexpr double dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  double norm() const { return std::sqrt(dot(*this)); }
+  constexpr double norm2() const { return dot(*this); }
+
+  /// Component-wise setter by axis index (0=x, 1=y, 2=z).
+  constexpr void set(int axis, double value) {
+    if (axis == 0) x = value;
+    else if (axis == 1) y = value;
+    else z = value;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+    return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+  }
+};
+
+}  // namespace picp

@@ -1,0 +1,29 @@
+#include "mapping/bin_mapper.hpp"
+
+#include "util/error.hpp"
+
+namespace picp {
+
+BinMapper::BinMapper(Rank num_ranks, double threshold, std::int64_t max_bins)
+    : num_ranks_(num_ranks) {
+  PICP_REQUIRE(num_ranks > 0, "BinMapper needs at least one rank");
+  PICP_REQUIRE(threshold > 0.0, "threshold bin size must be positive");
+  params_.threshold = threshold;
+  params_.max_bins = max_bins > 0 ? max_bins : num_ranks;
+  params_.min_particles = 1;
+}
+
+void BinMapper::map(std::span<const Vec3> positions,
+                    std::vector<Rank>& owners) {
+  tree_.build(positions, params_);
+  owners.resize(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i)
+    owners[i] = rank_of_bin(tree_.bin_of_built(i));
+}
+
+Rank BinMapper::owner_of_point(const Vec3& p) const {
+  PICP_REQUIRE(tree_.built(), "BinMapper::map must run before owner queries");
+  return rank_of_bin(tree_.bin_of(p));
+}
+
+}  // namespace picp

@@ -1,0 +1,44 @@
+#pragma once
+
+#include "mapping/bin_tree.hpp"
+#include "mapping/mapper.hpp"
+
+namespace picp {
+
+/// Bin-based mapping (paper §III-C, after Zwick & Balachandar): the particle
+/// domain is partitioned into bins by recursive planar cuts, rebuilt every
+/// interval as the particle cloud expands/shrinks; bins are distributed
+/// uniformly (block-cyclically) across ranks. Decouples particle load from
+/// the grid decomposition at the cost of extra particle-grid communication.
+class BinMapper final : public Mapper {
+ public:
+  /// `threshold` is the threshold bin size (the projection filter size in
+  /// CMT-nek). `max_bins` defaults to the rank count; pass
+  /// BinTree::kUnlimitedBins to study the bin limit itself (Fig 6).
+  BinMapper(Rank num_ranks, double threshold, std::int64_t max_bins = -1);
+
+  std::string name() const override { return "bin"; }
+  Rank num_ranks() const override { return num_ranks_; }
+
+  void map(std::span<const Vec3> positions,
+           std::vector<Rank>& owners) override;
+
+  Rank owner_of_point(const Vec3& p) const override;
+
+  /// Bins created by the last map() — the paper's Fig 6 series.
+  std::int64_t num_partitions() const override { return tree_.num_bins(); }
+
+  const BinTree& tree() const { return tree_; }
+  double threshold() const { return params_.threshold; }
+
+  Rank rank_of_bin(std::int32_t bin) const {
+    return static_cast<Rank>(bin % num_ranks_);
+  }
+
+ private:
+  Rank num_ranks_;
+  BinTree::BuildParams params_;
+  BinTree tree_;
+};
+
+}  // namespace picp

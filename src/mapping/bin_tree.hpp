@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "geom/vec3.hpp"
+
+namespace picp {
+
+/// Recursive-planar-cut bin tree over a particle cloud (Zwick & Balachandar's
+/// bin-based decomposition as described in the paper §III-C):
+///
+///   1. Compute the particle domain boundary (tight AABB).
+///   2. Repeatedly cut the bin with the largest extent on its longest axis
+///      at the median particle, until every bin's extent has reached the
+///      threshold bin size (the projection filter size) or the bin budget
+///      (#processors) is exhausted.
+///
+/// The tree is rebuilt from scratch every interval, because the particle
+/// domain expands and shrinks as particles move.
+class BinTree {
+ public:
+  struct BuildParams {
+    /// Threshold bin size: a bin whose longest extent is <= threshold is not
+    /// subdivided further. The paper uses the projection filter size here.
+    double threshold = 0.0;
+    /// Maximum number of bins (normally the processor count R). Use
+    /// kUnlimitedBins to relax the cap (paper Fig 6).
+    std::int64_t max_bins = 0;
+    /// Bins holding this many particles or fewer are not subdivided.
+    std::int64_t min_particles = 1;
+  };
+
+  static constexpr std::int64_t kUnlimitedBins =
+      std::int64_t{1} << 40;
+
+  BinTree() = default;
+
+  /// Build from particle positions. Deterministic for identical input.
+  void build(std::span<const Vec3> positions, const BuildParams& params);
+
+  bool built() const { return !nodes_.empty(); }
+  std::int64_t num_bins() const { return static_cast<std::int64_t>(bins_.size()); }
+
+  /// Bin of the i-th construction particle (O(1), recorded during build).
+  std::int32_t bin_of_built(std::size_t particle_index) const {
+    return built_bins_[particle_index];
+  }
+
+  /// Bin containing an arbitrary point (tree walk over cut planes). Points
+  /// outside the particle boundary land in the nearest bin along the walk.
+  std::int32_t bin_of(const Vec3& p) const;
+
+  /// Tight particle bounds of a bin at build time.
+  const Aabb& bin_bounds(std::int32_t bin) const {
+    return bins_[static_cast<std::size_t>(bin)].bounds;
+  }
+  /// Number of particles placed in a bin at build time.
+  std::int64_t bin_count(std::int32_t bin) const {
+    return bins_[static_cast<std::size_t>(bin)].count;
+  }
+
+  /// Particle domain boundary (tight AABB of all particles).
+  const Aabb& root_bounds() const { return root_bounds_; }
+
+ private:
+  struct Node {
+    // Internal node: axis >= 0, cut plane position, children indices.
+    // Leaf: axis == -1, `bin` is the bin id.
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    std::int32_t bin = -1;
+    std::int32_t axis = -1;
+    double cut = 0.0;
+  };
+  struct BinInfo {
+    Aabb bounds;
+    std::int64_t count = 0;
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<BinInfo> bins_;
+  std::vector<std::int32_t> built_bins_;
+  Aabb root_bounds_;
+};
+
+}  // namespace picp

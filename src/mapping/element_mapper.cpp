@@ -1,0 +1,22 @@
+#include "mapping/element_mapper.hpp"
+
+#include "util/error.hpp"
+
+namespace picp {
+
+ElementMapper::ElementMapper(const SpectralMesh& mesh,
+                             const MeshPartition& partition)
+    : mesh_(&mesh), partition_(&partition) {
+  PICP_REQUIRE(static_cast<std::int64_t>(partition.element_owners().size()) ==
+                   mesh.num_elements(),
+               "partition does not match mesh");
+}
+
+void ElementMapper::map(std::span<const Vec3> positions,
+                        std::vector<Rank>& owners) {
+  owners.resize(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i)
+    owners[i] = partition_->owner_of(mesh_->element_of(positions[i]));
+}
+
+}  // namespace picp

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "mapping/mapper.hpp"
+
+namespace picp {
+
+/// Element-based mapping (paper §III-B): a particle is owned by the rank
+/// that owns the spectral element it resides in. Preserves particle-grid
+/// locality (all interpolation/projection is rank-local) but inherits the
+/// grid decomposition's insensitivity to particle density, producing severe
+/// load imbalance for concentrated particle beds.
+class ElementMapper final : public Mapper {
+ public:
+  ElementMapper(const SpectralMesh& mesh, const MeshPartition& partition);
+
+  std::string name() const override { return "element"; }
+  Rank num_ranks() const override { return partition_->num_ranks(); }
+
+  void map(std::span<const Vec3> positions,
+           std::vector<Rank>& owners) override;
+
+  Rank owner_of_point(const Vec3& p) const override {
+    return partition_->owner_of(mesh_->element_of(p));
+  }
+
+  std::int64_t num_partitions() const override {
+    return partition_->num_ranks();
+  }
+
+ private:
+  const SpectralMesh* mesh_;
+  const MeshPartition* partition_;
+};
+
+}  // namespace picp

@@ -1,0 +1,69 @@
+#include "mapping/hilbert_mapper.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "geom/hilbert.hpp"
+#include "util/error.hpp"
+
+namespace picp {
+
+HilbertMapper::HilbertMapper(const SpectralMesh& mesh, Rank num_ranks)
+    : mesh_(&mesh), num_ranks_(num_ranks) {
+  PICP_REQUIRE(num_ranks > 0, "HilbertMapper needs at least one rank");
+  const std::int64_t max_dim =
+      std::max({mesh.nelx(), mesh.nely(), mesh.nelz()});
+  bits_ = 1;
+  while ((std::int64_t{1} << bits_) < max_dim) ++bits_;
+}
+
+std::uint64_t HilbertMapper::key_of(const Vec3& p) const {
+  const auto coords = mesh_->element_coords(mesh_->element_of(p));
+  return hilbert_index_3d(static_cast<std::uint32_t>(coords[0]),
+                          static_cast<std::uint32_t>(coords[1]),
+                          static_cast<std::uint32_t>(coords[2]), bits_);
+}
+
+void HilbertMapper::map(std::span<const Vec3> positions,
+                        std::vector<Rank>& owners) {
+  const std::size_t n = positions.size();
+  owners.resize(n);
+  std::vector<std::uint64_t> keys(n);
+  for (std::size_t i = 0; i < n; ++i) keys[i] = key_of(positions[i]);
+
+  std::vector<std::uint64_t> sorted = keys;
+  std::sort(sorted.begin(), sorted.end());
+
+  // Equal-count chunks; each rank's chunk ends at the key of its last
+  // particle in the sorted order. Ranks owning a key range that ties with
+  // the next chunk's first key absorb all equal keys (particles in the same
+  // element must share a rank to preserve locality).
+  chunk_upper_.assign(static_cast<std::size_t>(num_ranks_),
+                      std::numeric_limits<std::uint64_t>::max());
+  for (Rank r = 0; r + 1 < num_ranks_; ++r) {
+    const std::size_t split =
+        (static_cast<std::size_t>(r) + 1) * n / static_cast<std::size_t>(num_ranks_);
+    chunk_upper_[static_cast<std::size_t>(r)] =
+        split == 0 ? 0 : sorted[split - 1] + 1;
+  }
+  // Enforce monotonicity (equal keys straddling a split collapse chunks).
+  for (std::size_t r = 1; r + 1 <= chunk_upper_.size() - 1; ++r)
+    chunk_upper_[r] = std::max(chunk_upper_[r], chunk_upper_[r - 1]);
+  mapped_ = true;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto it =
+        std::upper_bound(chunk_upper_.begin(), chunk_upper_.end() - 1, keys[i]);
+    owners[i] = static_cast<Rank>(it - chunk_upper_.begin());
+  }
+}
+
+Rank HilbertMapper::owner_of_point(const Vec3& p) const {
+  PICP_REQUIRE(mapped_, "HilbertMapper::map must run before owner queries");
+  const std::uint64_t key = key_of(p);
+  const auto it =
+      std::upper_bound(chunk_upper_.begin(), chunk_upper_.end() - 1, key);
+  return static_cast<Rank>(it - chunk_upper_.begin());
+}
+
+}  // namespace picp

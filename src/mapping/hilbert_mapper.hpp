@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mapping/mapper.hpp"
+
+namespace picp {
+
+/// Hilbert-ordering mapper (extension; Liao et al. [10] style, listed in the
+/// paper's future work): particles receive a global order from the Hilbert
+/// index of their containing element; the ordered sequence is split into R
+/// equal-count chunks. Preserves locality (nearby particles share ranks)
+/// while balancing counts exactly, at the cost of chunk boundaries moving
+/// every interval.
+class HilbertMapper final : public Mapper {
+ public:
+  HilbertMapper(const SpectralMesh& mesh, Rank num_ranks);
+
+  std::string name() const override { return "hilbert"; }
+  Rank num_ranks() const override { return num_ranks_; }
+
+  void map(std::span<const Vec3> positions,
+           std::vector<Rank>& owners) override;
+
+  Rank owner_of_point(const Vec3& p) const override;
+
+  std::int64_t num_partitions() const override { return num_ranks_; }
+
+ private:
+  std::uint64_t key_of(const Vec3& p) const;
+
+  const SpectralMesh* mesh_;
+  Rank num_ranks_;
+  int bits_ = 1;
+  /// Sorted Hilbert keys of the last mapped particle set; chunk c covers
+  /// keys in [boundaries_[c], boundaries_[c+1]).
+  std::vector<std::uint64_t> chunk_upper_;  // exclusive upper key per rank
+  bool mapped_ = false;
+};
+
+}  // namespace picp

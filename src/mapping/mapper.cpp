@@ -1,0 +1,32 @@
+#include "mapping/mapper.hpp"
+
+#include "mapping/bin_mapper.hpp"
+#include "mapping/element_mapper.hpp"
+#include "mapping/hilbert_mapper.hpp"
+#include "mapping/weighted_mapper.hpp"
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace picp {
+
+std::unique_ptr<Mapper> make_mapper(const std::string& kind,
+                                    const SpectralMesh& mesh,
+                                    const MeshPartition& partition,
+                                    double bin_threshold,
+                                    std::int64_t max_bins) {
+  const std::string k = to_lower(trim(kind));
+  if (k == "element" || k == "element-based")
+    return std::make_unique<ElementMapper>(mesh, partition);
+  if (k == "bin" || k == "bin-based")
+    return std::make_unique<BinMapper>(partition.num_ranks(), bin_threshold,
+                                       max_bins);
+  if (k == "hilbert")
+    return std::make_unique<HilbertMapper>(mesh, partition.num_ranks());
+  if (k == "weighted" || k == "weighted-element")
+    return std::make_unique<WeightedElementMapper>(mesh,
+                                                   partition.num_ranks());
+  throw Error("unknown mapper kind: '" + kind +
+              "' (expected element | bin | hilbert | weighted)");
+}
+
+}  // namespace picp

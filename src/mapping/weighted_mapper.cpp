@@ -1,0 +1,58 @@
+#include "mapping/weighted_mapper.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace picp {
+
+WeightedElementMapper::WeightedElementMapper(const SpectralMesh& mesh,
+                                             Rank num_ranks,
+                                             double grid_weight,
+                                             double imbalance_trigger)
+    : mesh_(&mesh),
+      num_ranks_(num_ranks),
+      grid_weight_(grid_weight),
+      imbalance_trigger_(imbalance_trigger),
+      partition_(rcb_partition(mesh, num_ranks)) {
+  PICP_REQUIRE(num_ranks > 0, "WeightedElementMapper needs ranks");
+  PICP_REQUIRE(grid_weight >= 0.0, "grid weight non-negative");
+  PICP_REQUIRE(imbalance_trigger >= 1.0, "imbalance trigger >= 1");
+}
+
+double WeightedElementMapper::particle_imbalance(
+    std::span<const Rank> owners) const {
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(num_ranks_), 0);
+  for (const Rank r : owners) ++counts[static_cast<std::size_t>(r)];
+  const std::int64_t peak =
+      *std::max_element(counts.begin(), counts.end());
+  const double mean = static_cast<double>(owners.size()) /
+                      static_cast<double>(num_ranks_);
+  return mean > 0.0 ? static_cast<double>(peak) / mean : 1.0;
+}
+
+void WeightedElementMapper::map(std::span<const Vec3> positions,
+                                std::vector<Rank>& owners) {
+  owners.resize(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i)
+    owners[i] = partition_.owner_of(mesh_->element_of(positions[i]));
+
+  if (particle_imbalance(owners) <= imbalance_trigger_) return;
+
+  // Repartition: weight = grid work + particles residing in the element.
+  weights_.assign(static_cast<std::size_t>(mesh_->num_elements()),
+                  grid_weight_);
+  for (const Vec3& p : positions)
+    weights_[static_cast<std::size_t>(mesh_->element_of(p))] += 1.0;
+  partition_ = weighted_rcb_partition(*mesh_, num_ranks_, weights_);
+  ++repartitions_;
+
+  for (std::size_t i = 0; i < positions.size(); ++i)
+    owners[i] = partition_.owner_of(mesh_->element_of(positions[i]));
+}
+
+Rank WeightedElementMapper::owner_of_point(const Vec3& p) const {
+  return partition_.owner_of(mesh_->element_of(p));
+}
+
+}  // namespace picp

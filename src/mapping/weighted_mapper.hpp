@@ -1,0 +1,51 @@
+#pragma once
+
+#include <vector>
+
+#include "mapping/mapper.hpp"
+
+namespace picp {
+
+/// Load-balanced element mapping after Zhai et al. [11] (the paper's
+/// related work, added here per its §VI plan to grow the mapper library):
+/// particle-grid locality is preserved — a particle lives with its element —
+/// but the *element* partition itself is recomputed from per-element weights
+/// (grid points + particles) whenever the particle load imbalance exceeds a
+/// trigger. Between repartitions the existing assignment is reused, exactly
+/// like the original's threshold-triggered repartitioning.
+class WeightedElementMapper final : public Mapper {
+ public:
+  /// `grid_weight` is the constant per-element grid work added to the
+  /// particle count (Zhai et al. weight both); `imbalance_trigger` is the
+  /// max/mean particle-load ratio that forces a repartition.
+  WeightedElementMapper(const SpectralMesh& mesh, Rank num_ranks,
+                        double grid_weight = 1.0,
+                        double imbalance_trigger = 1.5);
+
+  std::string name() const override { return "weighted"; }
+  Rank num_ranks() const override { return num_ranks_; }
+
+  void map(std::span<const Vec3> positions,
+           std::vector<Rank>& owners) override;
+
+  Rank owner_of_point(const Vec3& p) const override;
+
+  std::int64_t num_partitions() const override { return num_ranks_; }
+
+  /// Repartitions performed so far (diagnostics).
+  std::size_t repartition_count() const { return repartitions_; }
+  const MeshPartition& partition() const { return partition_; }
+
+ private:
+  double particle_imbalance(std::span<const Rank> owners) const;
+
+  const SpectralMesh* mesh_;
+  Rank num_ranks_;
+  double grid_weight_;
+  double imbalance_trigger_;
+  MeshPartition partition_;
+  std::vector<double> weights_;  // scratch, one per element
+  std::size_t repartitions_ = 0;
+};
+
+}  // namespace picp

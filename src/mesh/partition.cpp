@@ -1,0 +1,193 @@
+#include "mesh/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace picp {
+
+MeshPartition::MeshPartition(Rank num_ranks, std::vector<Rank> element_owner,
+                             const SpectralMesh& mesh)
+    : num_ranks_(num_ranks),
+      element_owner_(std::move(element_owner)),
+      elements_per_rank_(static_cast<std::size_t>(num_ranks), 0),
+      rank_bounds_(static_cast<std::size_t>(num_ranks)) {
+  PICP_REQUIRE(num_ranks > 0, "partition needs at least one rank");
+  PICP_REQUIRE(static_cast<std::int64_t>(element_owner_.size()) ==
+                   mesh.num_elements(),
+               "owner array size must match element count");
+  for (std::size_t e = 0; e < element_owner_.size(); ++e) {
+    const Rank r = element_owner_[e];
+    PICP_REQUIRE(r >= 0 && r < num_ranks, "element owner out of range");
+    ++elements_per_rank_[static_cast<std::size_t>(r)];
+    rank_bounds_[static_cast<std::size_t>(r)].expand(
+        mesh.element_bounds(static_cast<ElementId>(e)));
+  }
+}
+
+std::int64_t MeshPartition::max_elements_per_rank() const {
+  return *std::max_element(elements_per_rank_.begin(),
+                           elements_per_rank_.end());
+}
+
+std::int64_t MeshPartition::min_elements_per_rank() const {
+  return *std::min_element(elements_per_rank_.begin(),
+                           elements_per_rank_.end());
+}
+
+namespace {
+
+struct RcbContext {
+  const SpectralMesh& mesh;
+  std::vector<Rank>& owner;
+  std::vector<ElementId>& ids;  // permuted in place during recursion
+};
+
+// Assign elements ids[begin, end) to ranks [r0, r1).
+void rcb_recurse(RcbContext& ctx, std::size_t begin, std::size_t end, Rank r0,
+                 Rank r1) {
+  if (r1 - r0 == 1) {
+    for (std::size_t i = begin; i < end; ++i)
+      ctx.owner[static_cast<std::size_t>(ctx.ids[i])] = r0;
+    return;
+  }
+  // Bounding box of this subset's element centers.
+  Aabb box;
+  for (std::size_t i = begin; i < end; ++i)
+    box.expand(ctx.mesh.element_center(ctx.ids[i]));
+  const int axis = box.valid() ? box.longest_axis() : 0;
+
+  const Rank ranks = r1 - r0;
+  const Rank left_ranks = ranks / 2;
+  const std::size_t count = end - begin;
+  // Elements proportional to the rank split, so odd rank counts stay balanced.
+  std::size_t left_count = count * static_cast<std::size_t>(left_ranks) /
+                           static_cast<std::size_t>(ranks);
+  left_count = std::min(left_count, count);
+
+  const auto mid = ctx.ids.begin() + static_cast<std::ptrdiff_t>(begin) +
+                   static_cast<std::ptrdiff_t>(left_count);
+  std::nth_element(
+      ctx.ids.begin() + static_cast<std::ptrdiff_t>(begin), mid,
+      ctx.ids.begin() + static_cast<std::ptrdiff_t>(end),
+      [&ctx, axis](ElementId a, ElementId b) {
+        const double ca = ctx.mesh.element_center(a)[axis];
+        const double cb = ctx.mesh.element_center(b)[axis];
+        if (ca != cb) return ca < cb;
+        return a < b;  // deterministic tie-break
+      });
+
+  rcb_recurse(ctx, begin, begin + left_count, r0, r0 + left_ranks);
+  rcb_recurse(ctx, begin + left_count, end, r0 + left_ranks, r1);
+}
+
+}  // namespace
+
+namespace {
+
+struct WeightedRcbContext {
+  const SpectralMesh& mesh;
+  std::span<const double> weights;
+  std::vector<Rank>& owner;
+  std::vector<ElementId>& ids;
+};
+
+// Assign elements ids[begin, end) to ranks [r0, r1), splitting weight
+// proportionally to the rank split.
+void weighted_rcb_recurse(WeightedRcbContext& ctx, std::size_t begin,
+                          std::size_t end, Rank r0, Rank r1) {
+  if (begin == end) return;  // more ranks than elements in this subtree
+  if (r1 - r0 == 1) {
+    for (std::size_t i = begin; i < end; ++i)
+      ctx.owner[static_cast<std::size_t>(ctx.ids[i])] = r0;
+    return;
+  }
+  if (end - begin == 1) {  // single element: the subtree's first rank owns it
+    ctx.owner[static_cast<std::size_t>(ctx.ids[begin])] = r0;
+    return;
+  }
+  Aabb box;
+  for (std::size_t i = begin; i < end; ++i)
+    box.expand(ctx.mesh.element_center(ctx.ids[i]));
+  const int axis = box.valid() ? box.longest_axis() : 0;
+
+  std::sort(ctx.ids.begin() + static_cast<std::ptrdiff_t>(begin),
+            ctx.ids.begin() + static_cast<std::ptrdiff_t>(end),
+            [&ctx, axis](ElementId a, ElementId b) {
+              const double ca = ctx.mesh.element_center(a)[axis];
+              const double cb = ctx.mesh.element_center(b)[axis];
+              if (ca != cb) return ca < cb;
+              return a < b;
+            });
+
+  const Rank ranks = r1 - r0;
+  const Rank left_ranks = ranks / 2;
+  double total = 0.0;
+  for (std::size_t i = begin; i < end; ++i)
+    total += ctx.weights[static_cast<std::size_t>(ctx.ids[i])];
+  const double target = total * static_cast<double>(left_ranks) /
+                        static_cast<double>(ranks);
+
+  // Walk the sorted elements until the left side holds the target weight;
+  // keep at least one element per side.
+  std::size_t split = begin;
+  double acc = 0.0;
+  while (split < end && acc < target) {
+    acc += ctx.weights[static_cast<std::size_t>(ctx.ids[split])];
+    ++split;
+  }
+  split = std::clamp(split, begin + 1, end - 1);
+
+  weighted_rcb_recurse(ctx, begin, split, r0, r0 + left_ranks);
+  weighted_rcb_recurse(ctx, split, end, r0 + left_ranks, r1);
+}
+
+}  // namespace
+
+MeshPartition weighted_rcb_partition(const SpectralMesh& mesh, Rank num_ranks,
+                                     std::span<const double> weights) {
+  PICP_REQUIRE(num_ranks > 0, "weighted_rcb_partition needs ranks");
+  PICP_REQUIRE(static_cast<std::int64_t>(weights.size()) ==
+                   mesh.num_elements(),
+               "one weight per element required");
+  double total = 0.0;
+  for (const double w : weights) {
+    PICP_REQUIRE(w >= 0.0, "element weights must be non-negative");
+    total += w;
+  }
+  if (total == 0.0) return rcb_partition(mesh, num_ranks);
+
+  const auto nel = static_cast<std::size_t>(mesh.num_elements());
+  std::vector<Rank> owner(nel, kInvalidRank);
+  std::vector<ElementId> ids(nel);
+  std::iota(ids.begin(), ids.end(), ElementId{0});
+  WeightedRcbContext ctx{mesh, weights, owner, ids};
+  weighted_rcb_recurse(ctx, 0, nel, 0, num_ranks);
+  return MeshPartition(num_ranks, std::move(owner), mesh);
+}
+
+MeshPartition rcb_partition(const SpectralMesh& mesh, Rank num_ranks) {
+  PICP_REQUIRE(num_ranks > 0, "rcb_partition needs at least one rank");
+  const auto nel = static_cast<std::size_t>(mesh.num_elements());
+  std::vector<Rank> owner(nel, kInvalidRank);
+  std::vector<ElementId> ids(nel);
+  std::iota(ids.begin(), ids.end(), ElementId{0});
+  RcbContext ctx{mesh, owner, ids};
+  rcb_recurse(ctx, 0, nel, 0, num_ranks);
+  return MeshPartition(num_ranks, std::move(owner), mesh);
+}
+
+MeshPartition block_partition(const SpectralMesh& mesh, Rank num_ranks) {
+  PICP_REQUIRE(num_ranks > 0, "block_partition needs at least one rank");
+  const std::int64_t nel = mesh.num_elements();
+  std::vector<Rank> owner(static_cast<std::size_t>(nel));
+  for (std::int64_t e = 0; e < nel; ++e) {
+    // Balanced contiguous chunks: first (nel % R) ranks get one extra.
+    const std::int64_t r = e * num_ranks / nel;
+    owner[static_cast<std::size_t>(e)] = static_cast<Rank>(r);
+  }
+  return MeshPartition(num_ranks, std::move(owner), mesh);
+}
+
+}  // namespace picp

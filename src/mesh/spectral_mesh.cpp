@@ -1,0 +1,14 @@
+#include "mesh/spectral_mesh.hpp"
+
+#include "util/error.hpp"
+
+namespace picp {
+
+SpectralMesh::SpectralMesh(const Aabb& domain, std::int64_t nelx,
+                           std::int64_t nely, std::int64_t nelz,
+                           int points_per_dim)
+    : indexer_(domain, nelx, nely, nelz), n_(points_per_dim) {
+  PICP_REQUIRE(points_per_dim >= 2, "spectral element needs N >= 2");
+}
+
+}  // namespace picp

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+
+#include "geom/aabb.hpp"
+#include "geom/grid_indexer.hpp"
+#include "geom/vec3.hpp"
+
+namespace picp {
+
+using ElementId = std::int64_t;
+
+/// Structured spectral-element mesh: the domain is divided into
+/// nelx × nely × nelz hexahedral elements, each carrying an N × N × N tensor
+/// grid of Gauss-Lobatto-style points (uniformly spaced here; the point
+/// placement does not affect workload accounting, only the fluid kernel's
+/// arithmetic intensity, which scales as N^3 either way).
+///
+/// This mirrors the Nek5000/CMT-nek discretization the paper builds on: the
+/// fluid workload per processor is (elements per rank) × N^3 grid points.
+class SpectralMesh {
+ public:
+  SpectralMesh(const Aabb& domain, std::int64_t nelx, std::int64_t nely,
+               std::int64_t nelz, int points_per_dim);
+
+  const Aabb& domain() const { return indexer_.domain(); }
+  std::int64_t nelx() const { return indexer_.nx(); }
+  std::int64_t nely() const { return indexer_.ny(); }
+  std::int64_t nelz() const { return indexer_.nz(); }
+  std::int64_t num_elements() const { return indexer_.cell_count(); }
+
+  /// Grid points per dimension within an element (the paper's N).
+  int points_per_dim() const { return n_; }
+  std::int64_t points_per_element() const {
+    return static_cast<std::int64_t>(n_) * n_ * n_;
+  }
+  std::int64_t total_grid_points() const {
+    return num_elements() * points_per_element();
+  }
+
+  /// Element containing a point (points outside the domain clamp to the
+  /// nearest boundary element, matching CMT-nek's outflow handling where
+  /// escaped particles are associated with the boundary element until
+  /// removed).
+  ElementId element_of(const Vec3& p) const { return indexer_.flat_cell_of(p); }
+
+  Aabb element_bounds(ElementId e) const { return indexer_.cell_bounds(e); }
+  Vec3 element_center(ElementId e) const {
+    return indexer_.cell_bounds(e).center();
+  }
+  std::array<std::int64_t, 3> element_coords(ElementId e) const {
+    return indexer_.unflatten(e);
+  }
+  ElementId element_at(std::int64_t ix, std::int64_t iy,
+                       std::int64_t iz) const {
+    return indexer_.flat_index(ix, iy, iz);
+  }
+
+  const Vec3& element_size() const { return indexer_.cell_size(); }
+  const GridIndexer& indexer() const { return indexer_; }
+
+ private:
+  GridIndexer indexer_;
+  int n_;
+};
+
+}  // namespace picp

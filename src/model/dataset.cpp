@@ -1,0 +1,54 @@
+#include "model/dataset.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace picp {
+
+void Dataset::add(std::span<const double> features, double target) {
+  PICP_REQUIRE(features.size() == num_features(),
+               "feature count mismatch in Dataset::add");
+  features_.insert(features_.end(), features.begin(), features.end());
+  targets_.push_back(target);
+}
+
+double Dataset::feature_max(std::size_t f) const {
+  PICP_REQUIRE(f < num_features(), "feature index out of range");
+  double m = 0.0;
+  for (std::size_t i = 0; i < size(); ++i)
+    m = std::max(m, std::abs(row(i)[f]));
+  return m;
+}
+
+double Dataset::target_mean() const {
+  if (targets_.empty()) return 0.0;
+  double s = 0.0;
+  for (double t : targets_) s += t;
+  return s / static_cast<double>(targets_.size());
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double train_fraction,
+                                           std::uint64_t seed) const {
+  PICP_REQUIRE(train_fraction > 0.0 && train_fraction < 1.0,
+               "train fraction must be in (0, 1)");
+  std::vector<std::size_t> order(size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  Xoshiro256 rng(seed);
+  for (std::size_t i = order.size(); i > 1; --i)
+    std::swap(order[i - 1], order[rng.uniform_below(i)]);
+
+  const auto train_count = static_cast<std::size_t>(
+      train_fraction * static_cast<double>(size()));
+  Dataset train(feature_names_);
+  Dataset test(feature_names_);
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    Dataset& dst = k < train_count ? train : test;
+    dst.add(row(order[k]), target(order[k]));
+  }
+  return {std::move(train), std::move(test)};
+}
+
+}  // namespace picp

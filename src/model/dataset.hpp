@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace picp {
+
+/// Training data for the Model Generator: one row per benchmarked kernel
+/// execution, features = workload parameters (N_p, N_gp, ...), target =
+/// measured seconds.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<std::string> feature_names)
+      : feature_names_(std::move(feature_names)) {}
+
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+  std::size_t num_features() const { return feature_names_.size(); }
+  std::size_t size() const { return targets_.size(); }
+  bool empty() const { return targets_.empty(); }
+
+  void add(std::span<const double> features, double target);
+
+  std::span<const double> row(std::size_t i) const {
+    return {features_.data() + i * num_features(), num_features()};
+  }
+  double target(std::size_t i) const { return targets_[i]; }
+  std::span<const double> targets() const { return targets_; }
+
+  /// Column statistics used for feature scaling in the GP.
+  double feature_max(std::size_t f) const;
+  double target_mean() const;
+
+  /// Deterministic shuffled split into (train, test).
+  std::pair<Dataset, Dataset> split(double train_fraction,
+                                    std::uint64_t seed) const;
+
+ private:
+  std::vector<std::string> feature_names_;
+  std::vector<double> features_;  // row-major
+  std::vector<double> targets_;
+};
+
+}  // namespace picp

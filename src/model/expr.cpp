@@ -1,0 +1,179 @@
+#include "model/expr.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace picp {
+
+std::size_t Expr::subtree_end(std::size_t pos) const {
+  PICP_REQUIRE(pos < nodes.size(), "subtree position out of range");
+  std::size_t end = pos;
+  int pending = 1;
+  while (pending > 0) {
+    PICP_ENSURE(end < nodes.size(), "malformed expression tree");
+    pending += arity(nodes[end].op) - 1;
+    ++end;
+  }
+  return end;
+}
+
+int Expr::depth() const {
+  // Iterative prefix walk tracking remaining-children counts per level.
+  int max_depth = 0;
+  std::vector<int> pending;
+  for (const ExprNode& node : nodes) {
+    pending.push_back(arity(node.op));
+    max_depth = std::max(max_depth, static_cast<int>(pending.size()));
+    while (!pending.empty() && pending.back() == 0) {
+      pending.pop_back();
+      if (!pending.empty()) --pending.back();
+    }
+  }
+  return max_depth;
+}
+
+namespace {
+double eval_recursive(const std::vector<ExprNode>& nodes, std::size_t& pos,
+                      std::span<const double> x) {
+  const ExprNode& node = nodes[pos++];
+  switch (node.op) {
+    case Op::kConst: return node.value;
+    case Op::kVar:
+      return node.var >= 0 && static_cast<std::size_t>(node.var) < x.size()
+                 ? x[static_cast<std::size_t>(node.var)]
+                 : 0.0;
+    case Op::kSqrt: {
+      const double a = eval_recursive(nodes, pos, x);
+      return std::sqrt(std::abs(a));
+    }
+    case Op::kSquare: {
+      const double a = eval_recursive(nodes, pos, x);
+      return a * a;
+    }
+    default: {
+      const double a = eval_recursive(nodes, pos, x);
+      const double b = eval_recursive(nodes, pos, x);
+      switch (node.op) {
+        case Op::kAdd: return a + b;
+        case Op::kSub: return a - b;
+        case Op::kMul: return a * b;
+        case Op::kDiv: {
+          const double mag = std::abs(b);
+          if (mag < 1e-9) return a;  // protected division
+          return a / b;
+        }
+        default: return 0.0;
+      }
+    }
+  }
+}
+
+std::string str_recursive(const std::vector<ExprNode>& nodes,
+                          std::size_t& pos,
+                          std::span<const std::string> names) {
+  const ExprNode& node = nodes[pos++];
+  std::ostringstream os;
+  os.precision(4);
+  switch (node.op) {
+    case Op::kConst:
+      os << node.value;
+      return os.str();
+    case Op::kVar:
+      if (node.var >= 0 && static_cast<std::size_t>(node.var) < names.size())
+        return names[static_cast<std::size_t>(node.var)];
+      return "x" + std::to_string(node.var);
+    case Op::kSqrt:
+      return "sqrt(" + str_recursive(nodes, pos, names) + ")";
+    case Op::kSquare:
+      return "(" + str_recursive(nodes, pos, names) + ")^2";
+    default: {
+      const std::string a = str_recursive(nodes, pos, names);
+      const std::string b = str_recursive(nodes, pos, names);
+      const char* sym = node.op == Op::kAdd   ? " + "
+                        : node.op == Op::kSub ? " - "
+                        : node.op == Op::kMul ? "*"
+                                              : "/";
+      return "(" + a + sym + b + ")";
+    }
+  }
+}
+}  // namespace
+
+double Expr::evaluate(std::span<const double> features) const {
+  PICP_REQUIRE(!nodes.empty(), "evaluating empty expression");
+  std::size_t pos = 0;
+  return eval_recursive(nodes, pos, features);
+}
+
+std::string Expr::to_string(
+    std::span<const std::string> feature_names) const {
+  if (nodes.empty()) return "<empty>";
+  std::size_t pos = 0;
+  return str_recursive(nodes, pos, feature_names);
+}
+
+std::string Expr::to_tokens() const {
+  std::ostringstream os;
+  os.precision(17);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (i > 0) os << ' ';
+    switch (nodes[i].op) {
+      case Op::kConst: os << 'c' << nodes[i].value; break;
+      case Op::kVar: os << 'v' << nodes[i].var; break;
+      case Op::kAdd: os << "add"; break;
+      case Op::kSub: os << "sub"; break;
+      case Op::kMul: os << "mul"; break;
+      case Op::kDiv: os << "div"; break;
+      case Op::kSqrt: os << "sqrt"; break;
+      case Op::kSquare: os << "sq"; break;
+    }
+  }
+  return os.str();
+}
+
+Expr Expr::from_tokens(const std::string& tokens) {
+  Expr expr;
+  std::istringstream in(tokens);
+  std::string tok;
+  while (in >> tok) {
+    ExprNode node;
+    if (tok == "add") node.op = Op::kAdd;
+    else if (tok == "sub") node.op = Op::kSub;
+    else if (tok == "mul") node.op = Op::kMul;
+    else if (tok == "div") node.op = Op::kDiv;
+    else if (tok == "sqrt") node.op = Op::kSqrt;
+    else if (tok == "sq") node.op = Op::kSquare;
+    else if (tok.front() == 'c') {
+      node.op = Op::kConst;
+      node.value = parse_double(tok.substr(1));
+    } else if (tok.front() == 'v') {
+      node.op = Op::kVar;
+      node.var = static_cast<int>(parse_int(tok.substr(1)));
+    } else {
+      throw Error("bad expression token: " + tok);
+    }
+    expr.nodes.push_back(node);
+  }
+  PICP_REQUIRE(!expr.nodes.empty(), "empty expression token string");
+  // Validate shape: subtree_end of root must equal size.
+  PICP_REQUIRE(expr.subtree_end(0) == expr.nodes.size(),
+               "malformed expression token string");
+  return expr;
+}
+
+Expr Expr::constant(double v) {
+  Expr e;
+  e.nodes.push_back(ExprNode{Op::kConst, v, 0});
+  return e;
+}
+
+Expr Expr::variable(int index) {
+  Expr e;
+  e.nodes.push_back(ExprNode{Op::kVar, 0.0, index});
+  return e;
+}
+
+}  // namespace picp

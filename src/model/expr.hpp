@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace picp {
+
+/// Operators available to the symbolic-regression search. Kept small and
+/// smooth: performance models are sums/products of workload terms with
+/// occasional powers, and a compact primitive set keeps the GP search space
+/// tractable (Chenna et al.'s symbolic-regression modeling paper [13] uses
+/// a similar arithmetic basis).
+enum class Op : std::uint8_t {
+  kConst = 0,
+  kVar = 1,
+  kAdd = 2,
+  kSub = 3,
+  kMul = 4,
+  kDiv = 5,   // protected: x / max(|y|, eps) with sign
+  kSqrt = 6,  // protected: sqrt(|x|)
+  kSquare = 7,
+};
+
+constexpr int arity(Op op) {
+  switch (op) {
+    case Op::kConst:
+    case Op::kVar: return 0;
+    case Op::kSqrt:
+    case Op::kSquare: return 1;
+    default: return 2;
+  }
+}
+
+struct ExprNode {
+  Op op = Op::kConst;
+  double value = 0.0;  // kConst payload
+  int var = 0;         // kVar payload
+};
+
+/// Expression tree in prefix (pre-order) layout. The flat layout makes
+/// subtree extraction and crossover splicing O(subtree) with no pointer
+/// chasing, which dominates GP throughput.
+class Expr {
+ public:
+  std::vector<ExprNode> nodes;
+
+  bool empty() const { return nodes.empty(); }
+  std::size_t size() const { return nodes.size(); }
+
+  /// One-past-the-end index of the subtree rooted at `pos`.
+  std::size_t subtree_end(std::size_t pos) const;
+
+  /// Depth of the whole tree (single node = 1).
+  int depth() const;
+
+  /// Evaluate against a feature vector. Out-of-range variable indices and
+  /// division blow-ups are guarded; the result may still be non-finite for
+  /// pathological constants (callers treat non-finite as unfit).
+  double evaluate(std::span<const double> features) const;
+
+  std::string to_string(std::span<const std::string> feature_names) const;
+
+  /// Token form used in serialized models, e.g. "add mul c1.5 v0 v1".
+  std::string to_tokens() const;
+  static Expr from_tokens(const std::string& tokens);
+
+  /// Convenience builders (mostly for tests).
+  static Expr constant(double v);
+  static Expr variable(int index);
+};
+
+}  // namespace picp

@@ -1,0 +1,214 @@
+#include "model/linear.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace picp {
+
+namespace {
+
+/// Solve the symmetric positive-semidefinite system A x = b in place by
+/// Gaussian elimination with partial pivoting and light ridge damping.
+std::vector<double> solve_normal_equations(std::vector<std::vector<double>> a,
+                                           std::vector<double> b) {
+  const std::size_t n = b.size();
+  // Ridge damping keeps rank-deficient designs (e.g. a constant feature)
+  // solvable; the damping scale is negligible against real signal.
+  double diag_scale = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    diag_scale = std::max(diag_scale, std::abs(a[i][i]));
+  const double ridge = diag_scale > 0.0 ? 1e-12 * diag_scale : 1e-12;
+  for (std::size_t i = 0; i < n; ++i) a[i][i] += ridge;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    PICP_ENSURE(std::abs(a[col][col]) > 0.0, "singular normal equations");
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a[r][col] / a[col][col];
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double s = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) s -= a[i][c] * x[c];
+    x[i] = s / a[i][i];
+  }
+  return x;
+}
+
+/// OLS over an explicit design matrix (rows of basis values).
+std::vector<double> ols(const std::vector<std::vector<double>>& design,
+                        std::span<const double> y) {
+  const std::size_t n = design.front().size();
+  std::vector<std::vector<double>> ata(n, std::vector<double>(n, 0.0));
+  std::vector<double> atb(n, 0.0);
+  for (std::size_t r = 0; r < design.size(); ++r) {
+    const auto& row = design[r];
+    for (std::size_t i = 0; i < n; ++i) {
+      atb[i] += row[i] * y[r];
+      for (std::size_t j = i; j < n; ++j) ata[i][j] += row[i] * row[j];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < i; ++j) ata[i][j] = ata[j][i];
+  return solve_normal_equations(std::move(ata), std::move(atb));
+}
+
+std::string format_coef(double c) {
+  std::ostringstream os;
+  os.precision(6);
+  os << c;
+  return os.str();
+}
+
+}  // namespace
+
+LinearModel::LinearModel(std::vector<double> coefficients, double intercept,
+                         std::vector<std::string> feature_names)
+    : coefficients_(std::move(coefficients)),
+      intercept_(intercept),
+      feature_names_(std::move(feature_names)) {
+  PICP_REQUIRE(coefficients_.size() == feature_names_.size(),
+               "coefficient / feature-name size mismatch");
+}
+
+double LinearModel::evaluate(std::span<const double> features) const {
+  PICP_REQUIRE(features.size() == coefficients_.size(),
+               "feature count mismatch");
+  double y = intercept_;
+  for (std::size_t i = 0; i < features.size(); ++i)
+    y += coefficients_[i] * features[i];
+  return y;
+}
+
+std::string LinearModel::describe() const {
+  std::string out = format_coef(intercept_);
+  for (std::size_t i = 0; i < coefficients_.size(); ++i)
+    out += " + " + format_coef(coefficients_[i]) + "*" + feature_names_[i];
+  return out;
+}
+
+std::string LinearModel::serialize() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "linear " << intercept_;
+  for (double c : coefficients_) os << ' ' << c;
+  return os.str();
+}
+
+std::unique_ptr<PerfModel> LinearModel::clone() const {
+  return std::make_unique<LinearModel>(*this);
+}
+
+PolynomialModel::PolynomialModel(std::vector<std::vector<int>> exponents,
+                                 std::vector<double> coefficients,
+                                 std::vector<std::string> feature_names)
+    : exponents_(std::move(exponents)),
+      coefficients_(std::move(coefficients)),
+      feature_names_(std::move(feature_names)) {
+  PICP_REQUIRE(exponents_.size() == coefficients_.size(),
+               "exponent / coefficient size mismatch");
+}
+
+double PolynomialModel::evaluate(std::span<const double> features) const {
+  double y = 0.0;
+  for (std::size_t k = 0; k < exponents_.size(); ++k) {
+    double term = coefficients_[k];
+    for (std::size_t f = 0; f < features.size(); ++f)
+      for (int e = 0; e < exponents_[k][f]; ++e) term *= features[f];
+    y += term;
+  }
+  return y;
+}
+
+std::string PolynomialModel::describe() const {
+  std::string out;
+  for (std::size_t k = 0; k < exponents_.size(); ++k) {
+    if (k > 0) out += " + ";
+    out += format_coef(coefficients_[k]);
+    for (std::size_t f = 0; f < feature_names_.size(); ++f)
+      for (int e = 0; e < exponents_[k][f]; ++e)
+        out += "*" + feature_names_[f];
+  }
+  return out;
+}
+
+std::string PolynomialModel::serialize() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "poly " << exponents_.size() << ' ' << feature_names_.size();
+  for (std::size_t k = 0; k < exponents_.size(); ++k) {
+    for (int e : exponents_[k]) os << ' ' << e;
+    os << ' ' << coefficients_[k];
+  }
+  return os.str();
+}
+
+std::unique_ptr<PerfModel> PolynomialModel::clone() const {
+  return std::make_unique<PolynomialModel>(*this);
+}
+
+std::vector<std::vector<int>> monomial_exponents(std::size_t features,
+                                                 int degree) {
+  PICP_REQUIRE(degree >= 0, "degree must be non-negative");
+  std::vector<std::vector<int>> out;
+  std::vector<int> current(features, 0);
+  // Depth-first enumeration in lexicographic order; constant term first.
+  const auto recurse = [&](auto&& self, std::size_t f, int remaining) -> void {
+    if (f == features) {
+      out.push_back(current);
+      return;
+    }
+    for (int e = 0; e <= remaining; ++e) {
+      current[f] = e;
+      self(self, f + 1, remaining - e);
+    }
+    current[f] = 0;
+  };
+  recurse(recurse, 0, degree);
+  return out;
+}
+
+LinearModel fit_linear(const Dataset& data) {
+  PICP_REQUIRE(!data.empty(), "cannot fit on empty dataset");
+  const std::size_t nf = data.num_features();
+  std::vector<std::vector<double>> design(data.size());
+  for (std::size_t r = 0; r < data.size(); ++r) {
+    design[r].reserve(nf + 1);
+    design[r].push_back(1.0);
+    const auto row = data.row(r);
+    design[r].insert(design[r].end(), row.begin(), row.end());
+  }
+  const std::vector<double> x = ols(design, data.targets());
+  return LinearModel(std::vector<double>(x.begin() + 1, x.end()), x[0],
+                     data.feature_names());
+}
+
+PolynomialModel fit_polynomial(const Dataset& data, int degree) {
+  PICP_REQUIRE(!data.empty(), "cannot fit on empty dataset");
+  const auto exps = monomial_exponents(data.num_features(), degree);
+  std::vector<std::vector<double>> design(data.size());
+  for (std::size_t r = 0; r < data.size(); ++r) {
+    const auto row = data.row(r);
+    design[r].reserve(exps.size());
+    for (const auto& exp : exps) {
+      double term = 1.0;
+      for (std::size_t f = 0; f < row.size(); ++f)
+        for (int e = 0; e < exp[f]; ++e) term *= row[f];
+      design[r].push_back(term);
+    }
+  }
+  return PolynomialModel(exps, ols(design, data.targets()),
+                         data.feature_names());
+}
+
+}  // namespace picp

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <vector>
+
+#include "model/dataset.hpp"
+#include "model/model.hpp"
+
+namespace picp {
+
+/// Ordinary-least-squares linear model t = b0 + Σ bi·xi. The paper's
+/// single-parameter kernel models (§II-B: "simple linear regression methods
+/// were sufficient to generate single parameter performance models").
+class LinearModel final : public PerfModel {
+ public:
+  LinearModel(std::vector<double> coefficients, double intercept,
+              std::vector<std::string> feature_names);
+
+  double evaluate(std::span<const double> features) const override;
+  std::string describe() const override;
+  std::string serialize() const override;
+  std::unique_ptr<PerfModel> clone() const override;
+
+  const std::vector<double>& coefficients() const { return coefficients_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  std::vector<double> coefficients_;
+  double intercept_;
+  std::vector<std::string> feature_names_;
+};
+
+/// Polynomial model over all monomials of total degree <= `degree` in the
+/// input features (including cross terms).
+class PolynomialModel final : public PerfModel {
+ public:
+  /// `exponents[k]` is the per-feature exponent tuple of monomial k.
+  PolynomialModel(std::vector<std::vector<int>> exponents,
+                  std::vector<double> coefficients,
+                  std::vector<std::string> feature_names);
+
+  double evaluate(std::span<const double> features) const override;
+  std::string describe() const override;
+  std::string serialize() const override;
+  std::unique_ptr<PerfModel> clone() const override;
+
+ private:
+  std::vector<std::vector<int>> exponents_;
+  std::vector<double> coefficients_;
+  std::vector<std::string> feature_names_;
+};
+
+/// Fit by OLS via normal equations (feature counts here are tiny). Throws
+/// picp::Error on an empty dataset; rank-deficient systems are solved with
+/// ridge damping (lambda ~ 1e-12 of the diagonal scale).
+LinearModel fit_linear(const Dataset& data);
+PolynomialModel fit_polynomial(const Dataset& data, int degree);
+
+/// Enumerate exponent tuples of total degree <= degree over `features`
+/// variables, constant term first (exposed for tests).
+std::vector<std::vector<int>> monomial_exponents(std::size_t features,
+                                                 int degree);
+
+}  // namespace picp

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+namespace picp {
+
+/// An analytical performance model t = f(workload parameters), the unit the
+/// paper's Model Generator produces (§II-B). Implementations: ordinary
+/// least-squares linear and polynomial models, and GP-discovered symbolic
+/// models. Features are positional; their names live in the owning ModelSet.
+class PerfModel {
+ public:
+  virtual ~PerfModel() = default;
+
+  /// Predicted kernel time (seconds) for a feature vector.
+  virtual double evaluate(std::span<const double> features) const = 0;
+
+  /// Human-readable formula, e.g. "3.1e-08*np + 5.2e-06".
+  virtual std::string describe() const = 0;
+
+  /// Serialized form parseable by ModelSet::load (one line, no newlines).
+  virtual std::string serialize() const = 0;
+
+  virtual std::unique_ptr<PerfModel> clone() const = 0;
+};
+
+}  // namespace picp

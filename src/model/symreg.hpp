@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+
+#include "model/dataset.hpp"
+#include "model/expr.hpp"
+#include "model/model.hpp"
+
+namespace picp {
+
+/// Genetic-programming hyperparameters for symbolic regression (the paper's
+/// multi-parameter Model Generator path, after Chenna et al. [13] / Koza).
+struct SymRegParams {
+  std::size_t population = 256;
+  std::size_t generations = 50;
+  int max_depth = 6;
+  std::size_t max_nodes = 48;
+  std::size_t tournament = 4;
+  double crossover_rate = 0.9;
+  double mutation_rate = 0.25;
+  /// Fitness penalty per node (parsimony pressure).
+  double parsimony = 1e-3;
+  std::uint64_t seed = 1;
+  /// Worker threads for fitness evaluation; 0 = hardware concurrency.
+  std::size_t threads = 0;
+  /// Stop early when the best training MAPE drops below this (percent).
+  double target_mape = 0.5;
+};
+
+/// A GP-discovered model with Keijzer-style linear scaling:
+///   t = scale * expr(x) + offset
+/// The (scale, offset) pair is refit by least squares for every candidate,
+/// so the GP only has to discover the *shape* of the response.
+class SymbolicModel final : public PerfModel {
+ public:
+  SymbolicModel(Expr expr, double scale, double offset,
+                std::vector<std::string> feature_names);
+
+  double evaluate(std::span<const double> features) const override;
+  std::string describe() const override;
+  std::string serialize() const override;
+  std::unique_ptr<PerfModel> clone() const override;
+
+  const Expr& expr() const { return expr_; }
+  double scale() const { return scale_; }
+  double offset() const { return offset_; }
+
+ private:
+  Expr expr_;
+  double scale_;
+  double offset_;
+  std::vector<std::string> feature_names_;
+};
+
+/// Run the GP search. Deterministic for a fixed seed and thread count 1;
+/// with multiple threads only fitness evaluation is parallel, so results
+/// remain deterministic for a fixed seed regardless of thread count.
+SymbolicModel fit_symbolic(const Dataset& data, const SymRegParams& params);
+
+}  // namespace picp

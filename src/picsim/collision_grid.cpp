@@ -1,0 +1,66 @@
+#include "picsim/collision_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/aabb.hpp"
+#include "util/error.hpp"
+
+namespace picp {
+
+CollisionGrid::CollisionGrid(double cutoff, std::size_t max_cells)
+    : cutoff_(cutoff), max_cells_(max_cells) {
+  PICP_REQUIRE(cutoff > 0.0, "collision cutoff must be positive");
+  PICP_REQUIRE(max_cells >= 1, "need at least one cell");
+}
+
+void CollisionGrid::rebuild(std::span<const Vec3> positions) {
+  positions_ = positions;
+  PICP_REQUIRE(!positions.empty(), "rebuild with no particles");
+
+  // Tight particle bounds, slightly inflated so boundary particles never
+  // sit exactly on the upper faces.
+  Aabb box;
+  for (const Vec3& p : positions) box.expand(p);
+  box = box.inflated(1e-9 + 1e-9 * box.extent().norm());
+
+  // Cell size: the cutoff, enlarged if necessary to respect max_cells.
+  double cell = cutoff_;
+  const Vec3 e = box.extent();
+  const auto dims_for = [&](double size) {
+    const auto along = [size](double extent) {
+      return std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(std::floor(extent / size)));
+    };
+    return std::array<std::int64_t, 3>{along(e.x), along(e.y), along(e.z)};
+  };
+  auto dims = dims_for(cell);
+  while (static_cast<std::size_t>(dims[0]) * static_cast<std::size_t>(dims[1]) *
+             static_cast<std::size_t>(dims[2]) >
+         max_cells_) {
+    cell *= 1.5;
+    dims = dims_for(cell);
+  }
+  indexer_ = GridIndexer(box, dims[0], dims[1], dims[2]);
+
+  const std::size_t cells = cell_count();
+  counts_.assign(cells, 0);
+  for (const Vec3& p : positions)
+    ++counts_[static_cast<std::size_t>(indexer_.flat_cell_of(p))];
+
+  cell_start_.resize(cells + 1);
+  cell_start_[0] = 0;
+  for (std::size_t c = 0; c < cells; ++c)
+    cell_start_[c + 1] = cell_start_[c] + counts_[c];
+
+  cell_items_.resize(positions.size());
+  // counts_ becomes the per-cell write cursor.
+  std::copy(cell_start_.begin(), cell_start_.end() - 1, counts_.begin());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const auto cell_index =
+        static_cast<std::size_t>(indexer_.flat_cell_of(positions[i]));
+    cell_items_[counts_[cell_index]++] = static_cast<std::uint32_t>(i);
+  }
+}
+
+}  // namespace picp

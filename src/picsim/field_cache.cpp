@@ -1,0 +1,60 @@
+#include "picsim/field_cache.hpp"
+
+#include <algorithm>
+
+namespace picp {
+
+FieldCache::FieldCache(const SpectralMesh& mesh, const GasModel& gas)
+    : mesh_(&mesh), gas_(&gas) {}
+
+const FieldCache::ElementField& FieldCache::element_field(ElementId e) {
+  const auto it = cache_.find(e);
+  if (it != cache_.end()) return it->second;
+  ElementField field;
+  field.bounds = mesh_->element_bounds(e);
+  const Vec3& lo = field.bounds.lo;
+  const Vec3& hi = field.bounds.hi;
+  int corner = 0;
+  for (int cz = 0; cz <= 1; ++cz)
+    for (int cy = 0; cy <= 1; ++cy)
+      for (int cx = 0; cx <= 1; ++cx) {
+        const Vec3 point(cx ? hi.x : lo.x, cy ? hi.y : lo.y,
+                         cz ? hi.z : lo.z);
+        field.corner_dir[static_cast<std::size_t>(corner)] =
+            gas_->direction(point);
+        field.corner_d[static_cast<std::size_t>(corner)] =
+            gas_->front_coord(point);
+        ++corner;
+      }
+  return cache_.emplace(e, field).first->second;
+}
+
+Vec3 FieldCache::interpolate(const Vec3& p, double t) {
+  const ElementId e = mesh_->element_of(p);
+  const ElementField& field = element_field(e);
+  const Vec3 ext = field.bounds.extent();
+  const double tx =
+      std::clamp((p.x - field.bounds.lo.x) / ext.x, 0.0, 1.0);
+  const double ty =
+      std::clamp((p.y - field.bounds.lo.y) / ext.y, 0.0, 1.0);
+  const double tz =
+      std::clamp((p.z - field.bounds.lo.z) / ext.z, 0.0, 1.0);
+  const double amp = gas_->amplitude(t);
+
+  Vec3 out;
+  int corner = 0;
+  for (int cz = 0; cz <= 1; ++cz)
+    for (int cy = 0; cy <= 1; ++cy)
+      for (int cx = 0; cx <= 1; ++cx) {
+        const double w = (cx ? tx : 1.0 - tx) * (cy ? ty : 1.0 - ty) *
+                         (cz ? tz : 1.0 - tz);
+        const auto c = static_cast<std::size_t>(corner);
+        const double scale =
+            w * amp * gas_->front_factor(field.corner_d[c], t);
+        out += scale * field.corner_dir[c];
+        ++corner;
+      }
+  return out;
+}
+
+}  // namespace picp

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <array>
+#include <unordered_map>
+
+#include "mesh/spectral_mesh.hpp"
+#include "picsim/gas_model.hpp"
+
+namespace picp {
+
+/// Per-element cache of the gas field's time-independent direction vectors
+/// at the 8 element corners. Interpolation gathers corner values and scales
+/// them by the time-dependent blast factor inline, so the expensive
+/// direction evaluation happens once per element for the whole run (the
+/// proxy's analogue of the fluid solver handing the particle solver a grid
+/// field).
+class FieldCache {
+ public:
+  FieldCache(const SpectralMesh& mesh, const GasModel& gas);
+
+  struct ElementField {
+    std::array<Vec3, 8> corner_dir;  // direction at the 8 corners
+    std::array<double, 8> corner_d;  // blast-center distance (front factor)
+    Aabb bounds;
+  };
+
+  /// Corner data for an element, computed on first access.
+  const ElementField& element_field(ElementId e);
+
+  /// Gas velocity at point p and time t by trilinear interpolation of the
+  /// cached corner directions (the PIC "Interpolation" kernel's gather).
+  Vec3 interpolate(const Vec3& p, double t);
+
+  std::size_t cached_elements() const { return cache_.size(); }
+
+ private:
+  const SpectralMesh* mesh_;
+  const GasModel* gas_;
+  std::unordered_map<ElementId, ElementField> cache_;
+};
+
+}  // namespace picp

@@ -1,0 +1,51 @@
+#include "picsim/gas_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace picp {
+
+GasModel::GasModel(const GasParams& params, const Aabb& domain)
+    : params_(params) {
+  PICP_REQUIRE(params.shock_speed > 0.0, "shock speed must be positive");
+  PICP_REQUIRE(params.decay_time > 0.0, "decay time must be positive");
+  PICP_REQUIRE(params.front_width > 0.0, "front width must be positive");
+  PICP_REQUIRE(params.jet_count >= 1, "need at least one jet lobe");
+  PICP_REQUIRE(params.jet_amplitude >= 0.0 && params.jet_amplitude <= 1.0,
+               "jet amplitude must be in [0, 1]");
+  PICP_REQUIRE(params.expansion_rate >= 0.0, "expansion rate non-negative");
+  PICP_REQUIRE(params.expansion_ref > 0.0, "expansion ref must be positive");
+  PICP_REQUIRE(domain.valid(), "domain must be valid");
+}
+
+double GasModel::amplitude(double t) const {
+  return params_.gas_speed * std::exp(-t / params_.decay_time);
+}
+
+double GasModel::front_factor(double d, double t) const {
+  const double df = params_.front_start + params_.shock_speed * t;
+  // Clamped linear ramp over [df - w, df + w]: 1 behind, 0 ahead. A ramp
+  // instead of tanh keeps the per-corner field update transcendental-free.
+  const double s = (df - d) / params_.front_width;
+  return std::clamp(0.5 * (s + 1.0), 0.0, 1.0);
+}
+
+Vec3 GasModel::direction(const Vec3& p) const {
+  const Vec3 rel = p - params_.center;
+  // Azimuthal jet lobes: expansion modulated between (1 - jet_amplitude)
+  // and 1.
+  double lobes = 1.0;
+  const double r_xy = std::sqrt(rel.x * rel.x + rel.y * rel.y);
+  if (params_.jet_amplitude > 0.0 && r_xy > 1e-12) {
+    const double theta = std::atan2(rel.y, rel.x);
+    lobes = 1.0 - params_.jet_amplitude +
+            params_.jet_amplitude * 0.5 *
+                (1.0 + std::cos(static_cast<double>(params_.jet_count) * theta));
+  }
+  const double fan = lobes * params_.expansion_rate / params_.expansion_ref;
+  return fan * rel + Vec3(0.0, 0.0, params_.lift);
+}
+
+}  // namespace picp

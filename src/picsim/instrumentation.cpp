@@ -1,0 +1,57 @@
+#include "picsim/instrumentation.hpp"
+
+#include <fstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace picp {
+
+std::vector<TimingRecord> KernelTimings::for_kernel(Kernel k) const {
+  std::vector<TimingRecord> out;
+  for (const TimingRecord& r : records_)
+    if (r.kernel == k) out.push_back(r);
+  return out;
+}
+
+void KernelTimings::save_csv(const std::string& path) const {
+  CsvWriter csv(path);
+  csv.row("interval", "rank", "kernel", "seconds", "np", "ngp", "nmove",
+          "filter", "nel");
+  for (const TimingRecord& r : records_)
+    csv.row(r.interval, r.rank, kernel_name(r.kernel), r.seconds, r.np, r.ngp,
+            r.nmove, r.filter, r.nel);
+}
+
+KernelTimings KernelTimings::load_csv(const std::string& path) {
+  std::ifstream in(path);
+  PICP_REQUIRE(in.is_open(), "cannot open timings CSV: " + path);
+  KernelTimings timings;
+  std::string line;
+  bool header = true;
+  while (std::getline(in, line)) {
+    if (header) {
+      header = false;
+      continue;
+    }
+    if (trim(line).empty()) continue;
+    const auto fields = split(line, ',');
+    PICP_REQUIRE(fields.size() == 8 || fields.size() == 9,
+                 "malformed timings row: " + line);
+    TimingRecord r;
+    r.interval = static_cast<std::uint32_t>(parse_int(fields[0]));
+    r.rank = static_cast<Rank>(parse_int(fields[1]));
+    r.kernel = kernel_from_name(trim(fields[2]));
+    r.seconds = parse_double(fields[3]);
+    r.np = parse_double(fields[4]);
+    r.ngp = parse_double(fields[5]);
+    r.nmove = parse_double(fields[6]);
+    r.filter = parse_double(fields[7]);
+    r.nel = fields.size() > 8 ? parse_double(fields[8]) : 0.0;
+    timings.add(r);
+  }
+  return timings;
+}
+
+}  // namespace picp

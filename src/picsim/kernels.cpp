@@ -1,0 +1,219 @@
+#include "picsim/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace picp {
+
+const char* kernel_name(Kernel k) {
+  switch (k) {
+    case Kernel::kInterpolate: return "interpolate";
+    case Kernel::kEqSolve: return "eq_solve";
+    case Kernel::kPush: return "push";
+    case Kernel::kProject: return "project";
+    case Kernel::kCreateGhost: return "create_ghost";
+    case Kernel::kMigrate: return "migrate";
+    case Kernel::kFluid: return "fluid";
+  }
+  return "unknown";
+}
+
+Kernel kernel_from_name(const std::string& name) {
+  for (int k = 0; k < kNumKernels; ++k)
+    if (name == kernel_name(static_cast<Kernel>(k)))
+      return static_cast<Kernel>(k);
+  throw Error("unknown kernel name: " + name);
+}
+
+ProjectionField::ProjectionField(int points_per_dim) : n_(points_per_dim) {
+  PICP_REQUIRE(points_per_dim >= 2, "projection field needs N >= 2");
+}
+
+std::span<double> ProjectionField::element_data(ElementId e) {
+  auto& v = data_[e];
+  if (v.empty())
+    v.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_) *
+                 static_cast<std::size_t>(n_),
+             0.0);
+  return v;
+}
+
+void ProjectionField::clear() { data_.clear(); }
+
+SolverKernels::SolverKernels(const SpectralMesh& mesh, const GasModel& gas,
+                             const PhysicsParams& params)
+    : mesh_(&mesh), gas_(&gas), params_(params), field_cache_(mesh, gas) {
+  PICP_REQUIRE(params.dt > 0.0, "dt must be positive");
+  PICP_REQUIRE(params.drag_tau > 0.0, "drag tau must be positive");
+}
+
+void SolverKernels::interpolate(std::span<const Vec3> positions,
+                                std::span<const std::uint32_t> indices,
+                                double time, std::span<Vec3> gas_out) {
+  for (const std::uint32_t i : indices)
+    gas_out[i] = field_cache_.interpolate(positions[i], time);
+}
+
+void SolverKernels::eq_solve(std::span<const Vec3> velocities,
+                             std::span<const Vec3> gas,
+                             const CollisionGrid& grid,
+                             std::span<const std::uint32_t> indices,
+                             std::span<Vec3> vel_out) {
+  const double inv_tau = 1.0 / params_.drag_tau;
+  const bool collide = params_.collision_radius > 0.0;
+  for (const std::uint32_t i : indices) {
+    Vec3 force = inv_tau * (gas[i] - velocities[i]) + params_.gravity;
+    if (collide) {
+      Vec3 fc;
+      grid.visit_neighbors(
+          i, params_.collision_radius, params_.max_collision_neighbors,
+          [&](std::size_t, const Vec3& delta, double d2) {
+            // Linear soft-sphere repulsion along the separation vector.
+            const double dist = std::sqrt(d2);
+            if (dist < 1e-12) return;
+            const double overlap = params_.collision_radius - dist;
+            fc += (params_.collision_stiffness * overlap / dist) * delta;
+          });
+      force += fc;
+    }
+    vel_out[i] = velocities[i] + params_.dt * force;
+  }
+}
+
+void SolverKernels::push(std::span<const Vec3> positions,
+                         std::span<Vec3> vel_inout,
+                         std::span<const std::uint32_t> indices,
+                         std::span<Vec3> pos_out) const {
+  const Aabb& domain = mesh_->domain();
+  // Keep reflected particles strictly inside so element lookups stay valid.
+  const Vec3 ext = domain.extent();
+  const double eps = 1e-9 * std::max({ext.x, ext.y, ext.z});
+  for (const std::uint32_t i : indices) {
+    Vec3 p = positions[i] + params_.dt * vel_inout[i];
+    Vec3 v = vel_inout[i];
+    for (int axis = 0; axis < 3; ++axis) {
+      const double lo = domain.lo[axis] + eps;
+      const double hi = domain.hi[axis] - eps;
+      double x = p[axis];
+      if (x < lo) {
+        x = std::min(2.0 * lo - x, hi);
+        v.set(axis, -params_.wall_restitution * v[axis]);
+      } else if (x > hi) {
+        x = std::max(2.0 * hi - x, lo);
+        v.set(axis, -params_.wall_restitution * v[axis]);
+      }
+      p.set(axis, x);
+    }
+    pos_out[i] = p;
+    vel_inout[i] = v;
+  }
+}
+
+std::int64_t SolverKernels::project(std::span<const Vec3> positions,
+                                    std::span<const std::uint32_t> indices,
+                                    double filter,
+                                    ProjectionField& field) const {
+  PICP_REQUIRE(filter > 0.0, "projection filter must be positive");
+  const int n = field.points_per_dim();
+  const double inv_f2 = 1.0 / (filter * filter);
+  std::int64_t updates = 0;
+  for (const std::uint32_t i : indices) {
+    const Vec3& p = positions[i];
+    const ElementId e = mesh_->element_of(p);
+    const Aabb box = mesh_->element_bounds(e);
+    const Vec3 ext = box.extent();
+    const double hx = ext.x / (n - 1);
+    const double hy = ext.y / (n - 1);
+    const double hz = ext.z / (n - 1);
+    // Grid-point index range of this element covered by the filter support.
+    const auto range = [n](double lo, double h, double c, double f) {
+      int a = static_cast<int>(std::ceil((c - f - lo) / h));
+      int b = static_cast<int>(std::floor((c + f - lo) / h));
+      return std::pair<int, int>{std::max(a, 0), std::min(b, n - 1)};
+    };
+    const auto [ix0, ix1] = range(box.lo.x, hx, p.x, filter);
+    const auto [iy0, iy1] = range(box.lo.y, hy, p.y, filter);
+    const auto [iz0, iz1] = range(box.lo.z, hz, p.z, filter);
+    if (ix0 > ix1 || iy0 > iy1 || iz0 > iz1) continue;
+    auto data = field.element_data(e);
+    for (int iz = iz0; iz <= iz1; ++iz) {
+      const double dz = box.lo.z + iz * hz - p.z;
+      for (int iy = iy0; iy <= iy1; ++iy) {
+        const double dy = box.lo.y + iy * hy - p.y;
+        for (int ix = ix0; ix <= ix1; ++ix) {
+          const double dx = box.lo.x + ix * hx - p.x;
+          const double q2 = (dx * dx + dy * dy + dz * dz) * inv_f2;
+          if (q2 >= 1.0) continue;
+          // Compact quartic (Wendland-style) projection weight.
+          const double w = (1.0 - q2) * (1.0 - q2);
+          data[static_cast<std::size_t>((iz * n + iy) * n + ix)] += w;
+          ++updates;
+        }
+      }
+    }
+  }
+  return updates;
+}
+
+std::size_t SolverKernels::create_ghost(std::span<const Vec3> positions,
+                                        std::span<const std::uint32_t> indices,
+                                        Rank owner, const GhostFinder& finder,
+                                        std::vector<GhostRecord>& out) const {
+  out.clear();
+  for (const std::uint32_t i : indices) {
+    finder.ranks_near(positions[i], owner, ghost_scratch_);
+    for (const Rank r : ghost_scratch_) out.push_back(GhostRecord{i, r});
+  }
+  return out.size();
+}
+
+std::int64_t SolverKernels::fluid_update(std::span<const ElementId> elements,
+                                         double time,
+                                         ProjectionField& field) const {
+  const int n = field.points_per_dim();
+  const double amp = gas_->amplitude(time);
+  std::int64_t updates = 0;
+  for (const ElementId e : elements) {
+    const Aabb box = mesh_->element_bounds(e);
+    const Vec3 ext = box.extent();
+    const double hx = ext.x / (n - 1);
+    const double hy = ext.y / (n - 1);
+    const double hz = ext.z / (n - 1);
+    auto data = field.element_data(e);
+    std::size_t idx = 0;
+    for (int iz = 0; iz < n; ++iz) {
+      const double z = box.lo.z + iz * hz;
+      for (int iy = 0; iy < n; ++iy) {
+        const double y = box.lo.y + iy * hy;
+        for (int ix = 0; ix < n; ++ix, ++idx) {
+          const double x = box.lo.x + ix * hx;
+          // Relax the stored field toward the gas speed magnitude at this
+          // point — a stand-in update with the fluid solve's per-point cost.
+          const double target =
+              amp * gas_->front_factor(gas_->front_coord(Vec3(x, y, z)),
+                                       time);
+          data[idx] = 0.9 * data[idx] + 0.1 * target;
+          ++updates;
+        }
+      }
+    }
+  }
+  return updates;
+}
+
+std::size_t SolverKernels::migrate(std::span<const Vec3> positions,
+                                   std::span<const Vec3> velocities,
+                                   std::span<const std::uint32_t> indices,
+                                   std::span<const Rank> prev_owners,
+                                   std::span<const Rank> owners,
+                                   std::vector<MigrantRecord>& out) const {
+  out.clear();
+  for (const std::uint32_t i : indices)
+    if (prev_owners[i] != owners[i])
+      out.push_back(MigrantRecord{positions[i], velocities[i], i});
+  return out.size();
+}
+
+}  // namespace picp

@@ -1,0 +1,150 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mesh/partition.hpp"
+#include "mesh/spectral_mesh.hpp"
+#include "picsim/collision_grid.hpp"
+#include "picsim/field_cache.hpp"
+#include "picsim/gas_model.hpp"
+#include "workload/ghost_finder.hpp"
+
+namespace picp {
+
+/// The PIC solver-loop kernels instrumented by the framework (paper §III-A
+/// lists the loop; §IV-D names create_ghost_particles explicitly).
+enum class Kernel : int {
+  kInterpolate = 0,  // grid → particle gather of fluid properties
+  kEqSolve = 1,      // forces (drag + gravity + collisions) → velocity
+  kPush = 2,         // advance positions
+  kProject = 3,      // particle → grid scatter within the filter radius
+  kCreateGhost = 4,  // pack ghost particles for neighboring ranks
+  kMigrate = 5,      // pack particles whose residing processor changed
+  kFluid = 6,        // fluid-solver grid update (element workload, Nel*N^3)
+};
+constexpr int kNumKernels = 7;
+
+const char* kernel_name(Kernel k);
+Kernel kernel_from_name(const std::string& name);
+
+/// Particle-dynamics constants of the proxy app.
+struct PhysicsParams {
+  double dt = 2.5e-4;
+  /// Drag relaxation time (particle velocity → gas velocity).
+  double drag_tau = 0.02;
+  Vec3 gravity{0.0, 0.0, -1.0};
+  /// Soft-sphere collision cutoff and stiffness; cutoff 0 disables.
+  double collision_radius = 0.0;
+  double collision_stiffness = 50.0;
+  /// Per-particle partner cap (bounds cost in densely packed beds).
+  int max_collision_neighbors = 8;
+  /// Velocity retained (per component) after a wall bounce.
+  double wall_restitution = 0.3;
+};
+
+/// One ghost particle packed for a neighboring rank.
+struct GhostRecord {
+  std::uint32_t particle = 0;
+  Rank target = kInvalidRank;
+};
+
+/// One migrating particle packed for its new owner (full state, as the real
+/// application ships position + velocity + material data).
+struct MigrantRecord {
+  Vec3 position;
+  Vec3 velocity;
+  std::uint32_t particle = 0;
+};
+
+/// Sparse particle→grid deposit field: per occupied element, an N×N×N
+/// accumulation array (the projected particle volume fraction). Only
+/// elements that receive deposits are materialized.
+class ProjectionField {
+ public:
+  explicit ProjectionField(int points_per_dim);
+
+  std::span<double> element_data(ElementId e);
+  std::size_t occupied_elements() const { return data_.size(); }
+  void clear();
+  int points_per_dim() const { return n_; }
+
+ private:
+  int n_;
+  std::unordered_map<ElementId, std::vector<double>> data_;
+};
+
+/// Stateless-per-call kernel implementations. Every kernel operates on an
+/// arbitrary subset of particle indices, so the same code path serves both
+/// the global physics step and the per-virtual-rank measured execution —
+/// the proxy's substitute for running each kernel on a real MPI rank.
+class SolverKernels {
+ public:
+  SolverKernels(const SpectralMesh& mesh, const GasModel& gas,
+                const PhysicsParams& params);
+
+  const PhysicsParams& params() const { return params_; }
+  FieldCache& field_cache() { return field_cache_; }
+
+  /// 1. Interpolation: gas velocity at each listed particle → gas_out[i].
+  void interpolate(std::span<const Vec3> positions,
+                   std::span<const std::uint32_t> indices, double time,
+                   std::span<Vec3> gas_out);
+
+  /// 2. Equation solver: drag + gravity + collision forces → vel_out[i].
+  /// `grid` must be rebuilt for `positions` when collisions are enabled.
+  void eq_solve(std::span<const Vec3> velocities, std::span<const Vec3> gas,
+                const CollisionGrid& grid,
+                std::span<const std::uint32_t> indices,
+                std::span<Vec3> vel_out);
+
+  /// 3. Particle pusher: advance positions by dt with wall reflection;
+  /// writes pos_out[i] and may flip components of vel_inout[i].
+  void push(std::span<const Vec3> positions, std::span<Vec3> vel_inout,
+            std::span<const std::uint32_t> indices,
+            std::span<Vec3> pos_out) const;
+
+  /// 4. Projection: deposit a compact quartic kernel of radius `filter`
+  /// onto the grid points of each particle's element. Returns grid-point
+  /// updates performed (the kernel's work measure).
+  std::int64_t project(std::span<const Vec3> positions,
+                       std::span<const std::uint32_t> indices, double filter,
+                       ProjectionField& field) const;
+
+  /// 5. create_ghost_particles: pack each listed particle once per rank
+  /// (other than `owner`, the rank holding the particle data) whose grid
+  /// region its filter radius touches. Returns ghosts made. The exclusion
+  /// matches the Dynamic Workload Generator's ghost accounting so measured
+  /// and predicted ghost counts are comparable.
+  std::size_t create_ghost(std::span<const Vec3> positions,
+                           std::span<const std::uint32_t> indices, Rank owner,
+                           const GhostFinder& finder,
+                           std::vector<GhostRecord>& out) const;
+
+  /// 6. Migration: pack the full state of listed particles whose owner
+  /// changed between intervals. Returns movers.
+  std::size_t migrate(std::span<const Vec3> positions,
+                      std::span<const Vec3> velocities,
+                      std::span<const std::uint32_t> indices,
+                      std::span<const Rank> prev_owners,
+                      std::span<const Rank> owners,
+                      std::vector<MigrantRecord>& out) const;
+
+  /// 7. Fluid update: advance a scalar gas field on every grid point of the
+  /// listed elements (the fluid-solver phase; cost = Nel * N^3 per rank, the
+  /// paper's uniformly-scaling element workload). Returns point updates.
+  std::int64_t fluid_update(std::span<const ElementId> elements, double time,
+                            ProjectionField& field) const;
+
+ private:
+  const SpectralMesh* mesh_;
+  const GasModel* gas_;
+  PhysicsParams params_;
+  FieldCache field_cache_;
+  mutable std::vector<Rank> ghost_scratch_;
+};
+
+}  // namespace picp

@@ -1,0 +1,44 @@
+#include "picsim/particle_store.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace picp {
+
+Aabb ParticleStore::bounds() const {
+  Aabb box;
+  for (const Vec3& p : positions_) box.expand(p);
+  return box;
+}
+
+void init_hele_shaw_bed(ParticleStore& store, const Aabb& domain,
+                        const BedParams& params) {
+  PICP_REQUIRE(params.num_particles > 0, "bed needs particles");
+  PICP_REQUIRE(params.bed_height > 0.0, "bed height must be positive");
+  PICP_REQUIRE(params.radius_fraction > 0.0 && params.radius_fraction <= 1.0,
+               "bed radius fraction must be in (0, 1]");
+  const Vec3 extent = domain.extent();
+  const Vec3 center = domain.center();
+  const double radius =
+      params.radius_fraction * 0.5 * std::min(extent.x, extent.y);
+  const double z_lo = domain.lo.z + params.bed_bottom;
+  const double z_hi = z_lo + params.bed_height;
+  PICP_REQUIRE(z_hi <= domain.hi.z, "bed does not fit in the domain");
+
+  store.resize(params.num_particles);
+  Xoshiro256 rng(params.seed);
+  auto positions = store.positions();
+  auto velocities = store.velocities();
+  for (std::size_t i = 0; i < params.num_particles; ++i) {
+    // Uniform in the cylinder: sqrt-radius sampling.
+    const double r = radius * std::sqrt(rng.uniform());
+    const double theta = rng.uniform(0.0, 2.0 * 3.14159265358979323846);
+    positions[i] = Vec3(center.x + r * std::cos(theta),
+                        center.y + r * std::sin(theta),
+                        rng.uniform(z_lo, z_hi));
+    velocities[i] = Vec3();
+  }
+}
+
+}  // namespace picp

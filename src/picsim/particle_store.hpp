@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "geom/vec3.hpp"
+#include "util/rng.hpp"
+
+namespace picp {
+
+/// Structure-of-arrays particle state for the PIC proxy. Positions and
+/// velocities are kept in separate contiguous arrays so the per-kernel loops
+/// stream exactly the fields they touch.
+class ParticleStore {
+ public:
+  ParticleStore() = default;
+
+  std::size_t size() const { return positions_.size(); }
+  bool empty() const { return positions_.empty(); }
+
+  std::span<Vec3> positions() { return positions_; }
+  std::span<const Vec3> positions() const { return positions_; }
+  std::span<Vec3> velocities() { return velocities_; }
+  std::span<const Vec3> velocities() const { return velocities_; }
+
+  const Vec3& position(std::size_t i) const { return positions_[i]; }
+  const Vec3& velocity(std::size_t i) const { return velocities_[i]; }
+
+  void resize(std::size_t n) {
+    positions_.resize(n);
+    velocities_.resize(n);
+  }
+
+  /// Exchange the state with externally-computed next-step buffers (the
+  /// driver double-buffers positions/velocities through the kernels).
+  void swap_in(std::vector<Vec3>& next_positions,
+               std::vector<Vec3>& next_velocities) {
+    positions_.swap(next_positions);
+    velocities_.swap(next_velocities);
+  }
+
+  /// Tight bounding box of all particles (the paper's "particle boundary").
+  Aabb bounds() const;
+
+ private:
+  std::vector<Vec3> positions_;
+  std::vector<Vec3> velocities_;
+};
+
+/// Parameters of the initial Hele-Shaw particle bed: a dense cylindrical
+/// plug of particles at the bottom of the domain (the configuration that
+/// produces the paper's extreme element-mapping load imbalance, Fig 1).
+struct BedParams {
+  std::size_t num_particles = 30000;
+  /// Bed occupies z in [bed_bottom, bed_bottom + bed_height] (absolute).
+  double bed_bottom = 0.06;
+  double bed_height = 0.10;
+  /// Bed radius as a fraction of the smaller lateral half-extent.
+  double radius_fraction = 0.2;
+  std::uint64_t seed = 12345;
+};
+
+/// Fill the store with a uniformly random dense bed inside the domain.
+/// Deterministic for a fixed seed. Velocities start at rest.
+void init_hele_shaw_bed(ParticleStore& store, const Aabb& domain,
+                        const BedParams& params);
+
+}  // namespace picp

@@ -1,0 +1,320 @@
+#include "picsim/sim_driver.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "picsim/collision_grid.hpp"
+#include "picsim/gas_model.hpp"
+#include "trace/trace_writer.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+#include "workload/ghost_finder.hpp"
+
+namespace picp {
+
+namespace {
+
+/// Particle ids grouped by owning rank (counting sort), giving each virtual
+/// rank's particle list for per-rank kernel execution.
+class RankBuckets {
+ public:
+  void build(std::span<const Rank> owners, Rank num_ranks) {
+    offsets_.assign(static_cast<std::size_t>(num_ranks) + 1, 0);
+    for (const Rank r : owners) ++offsets_[static_cast<std::size_t>(r) + 1];
+    for (std::size_t r = 1; r < offsets_.size(); ++r)
+      offsets_[r] += offsets_[r - 1];
+    ids_.resize(owners.size());
+    std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (std::size_t i = 0; i < owners.size(); ++i)
+      ids_[cursor[static_cast<std::size_t>(owners[i])]++] =
+          static_cast<std::uint32_t>(i);
+  }
+
+  std::span<const std::uint32_t> rank_ids(Rank r) const {
+    return {ids_.data() + offsets_[static_cast<std::size_t>(r)],
+            offsets_[static_cast<std::size_t>(r) + 1] -
+                offsets_[static_cast<std::size_t>(r)]};
+  }
+
+ private:
+  std::vector<std::uint32_t> offsets_;
+  std::vector<std::uint32_t> ids_;
+};
+
+/// (rank, particle) ghost pairs grouped by rank.
+class GhostLists {
+ public:
+  void build(std::span<const Vec3> positions, std::span<const Rank> owners,
+             const GhostFinder& finder, Rank num_ranks) {
+    pairs_.clear();
+    std::vector<Rank> scratch;
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      finder.ranks_near(positions[i], owners[i], scratch);
+      for (const Rank r : scratch)
+        pairs_.push_back({r, static_cast<std::uint32_t>(i)});
+    }
+    std::sort(pairs_.begin(), pairs_.end());
+    offsets_.assign(static_cast<std::size_t>(num_ranks) + 1, 0);
+    for (const auto& [r, i] : pairs_)
+      ++offsets_[static_cast<std::size_t>(r) + 1];
+    for (std::size_t r = 1; r < offsets_.size(); ++r)
+      offsets_[r] += offsets_[r - 1];
+    ids_.resize(pairs_.size());
+    for (std::size_t k = 0; k < pairs_.size(); ++k) ids_[k] = pairs_[k].second;
+  }
+
+  std::span<const std::uint32_t> rank_ghosts(Rank r) const {
+    return {ids_.data() + offsets_[static_cast<std::size_t>(r)],
+            offsets_[static_cast<std::size_t>(r) + 1] -
+                offsets_[static_cast<std::size_t>(r)]};
+  }
+
+ private:
+  std::vector<std::pair<Rank, std::uint32_t>> pairs_;
+  std::vector<std::size_t> offsets_;
+  std::vector<std::uint32_t> ids_;
+};
+
+}  // namespace
+
+SimDriver::SimDriver(const SimConfig& config)
+    : config_(config),
+      mesh_(config.domain, config.nelx, config.nely, config.nelz,
+            config.points_per_dim),
+      partition_(rcb_partition(mesh_, config.num_ranks)) {
+  config_.validate();
+}
+
+SimResult SimDriver::run(const std::string& trace_path) {
+  const Stopwatch total_watch;
+  SimResult result;
+
+  GasModel gas(config_.gas, config_.domain);
+  SolverKernels kernels(mesh_, gas, config_.physics);
+  GhostFinder finder(mesh_, partition_, config_.filter_size);
+  const auto mapper = make_mapper(config_.mapper_kind, mesh_, partition_,
+                                  config_.filter_size);
+
+  ParticleStore store;
+  init_hele_shaw_bed(store, config_.domain, config_.bed);
+  const std::size_t np = store.size();
+
+  // Collision grid sized by the collision cutoff (or a nominal cell when
+  // collisions are disabled — then it is never queried).
+  const double cell = config_.physics.collision_radius > 0.0
+                          ? config_.physics.collision_radius
+                          : 0.05 * config_.domain.extent().z;
+  CollisionGrid grid(cell);
+
+  std::unique_ptr<TraceWriter> trace;
+  if (!trace_path.empty())
+    trace = std::make_unique<TraceWriter>(
+        trace_path, np, static_cast<std::uint64_t>(config_.sample_every),
+        config_.domain,
+        config_.trace_float64 ? CoordKind::kFloat64 : CoordKind::kFloat32);
+
+  // Double buffers driven through the kernels.
+  std::vector<Vec3> gas_at_particles(np);
+  std::vector<Vec3> next_velocities(np);
+  std::vector<Vec3> next_positions(np);
+  std::vector<Vec3> vel_scratch;  // measurement-only
+  std::vector<std::uint32_t> all_ids(np);
+  std::iota(all_ids.begin(), all_ids.end(), 0u);
+
+  const std::size_t num_samples =
+      static_cast<std::size_t>(config_.num_samples());
+  result.actual.num_ranks = config_.num_ranks;
+  result.actual.comp_real = CompMatrix(config_.num_ranks, num_samples);
+  result.actual.comp_ghost = CompMatrix(config_.num_ranks, num_samples);
+  result.actual.comm_real = CommMatrix(config_.num_ranks, num_samples);
+  result.actual.comm_ghost = CommMatrix(config_.num_ranks, num_samples);
+
+  WorkloadParams acc_params;
+  acc_params.ghost_radius = config_.filter_size;
+
+  std::vector<Rank> owners;
+  std::vector<Rank> prev_owners;
+  RankBuckets buckets;
+  GhostLists ghosts;
+  ProjectionField proj_field(config_.points_per_dim);
+  ProjectionField fluid_field(config_.points_per_dim);
+  // Per-rank element lists for the fluid-phase kernel (static partition).
+  std::vector<std::vector<ElementId>> rank_elements(
+      static_cast<std::size_t>(config_.num_ranks));
+  if (config_.measure) {
+    const auto& owners_of_elements = partition_.element_owners();
+    for (std::size_t e = 0; e < owners_of_elements.size(); ++e)
+      rank_elements[static_cast<std::size_t>(owners_of_elements[e])]
+          .push_back(static_cast<ElementId>(e));
+    result.actual.elements_per_rank = partition_.elements_per_rank();
+  } else {
+    result.actual.elements_per_rank = partition_.elements_per_rank();
+  }
+  std::vector<GhostRecord> ghost_out;
+  std::vector<MigrantRecord> migrate_out;
+  std::vector<std::uint32_t> project_ids;
+  TimeAccumulator measure_time;
+
+  const bool collide = config_.physics.collision_radius > 0.0;
+  double time = 0.0;
+
+  for (std::int64_t iter = 0; iter < config_.num_iterations; ++iter) {
+    const bool sampling = iter % config_.sample_every == 0;
+    if (collide || sampling) grid.rebuild(store.positions());
+
+    if (sampling) {
+      const auto t = static_cast<std::size_t>(iter / config_.sample_every);
+      if (trace) trace->append(static_cast<std::uint64_t>(iter),
+                               store.positions());
+
+      // The application's own mapping pass (bin trees rebuilt, etc.).
+      mapper->map(store.positions(), owners);
+      result.actual.iterations.push_back(static_cast<std::uint64_t>(iter));
+      result.actual.partitions_per_interval.push_back(
+          mapper->num_partitions());
+      accumulate_interval_workload(mesh_, partition_, store.positions(),
+                                   owners, prev_owners, acc_params, t,
+                                   result.actual);
+
+      const bool measure_now =
+          config_.measure &&
+          (t % static_cast<std::size_t>(config_.measure_every) == 0);
+      if (measure_now) {
+        const ScopedTimer mt(measure_time);
+        buckets.build(owners, config_.num_ranks);
+        ghosts.build(store.positions(), owners, finder, config_.num_ranks);
+        vel_scratch.assign(store.velocities().begin(),
+                           store.velocities().end());
+
+        // Fluid phase: measured once per run (its cost depends only on the
+        // static element partition), covering every rank — including the
+        // particle-idle ones that still carry grid work.
+        if (t == 0) {
+          for (Rank r = 0; r < config_.num_ranks; ++r) {
+            const auto& elements =
+                rank_elements[static_cast<std::size_t>(r)];
+            if (elements.empty()) continue;
+            TimingRecord rec;
+            rec.interval = 0;
+            rec.rank = r;
+            rec.kernel = Kernel::kFluid;
+            rec.np = static_cast<double>(buckets.rank_ids(r).size());
+            rec.filter = config_.filter_size;
+            rec.nel = static_cast<double>(elements.size());
+            rec.seconds = measure_adaptive(
+                [&] { kernels.fluid_update(elements, time, fluid_field); },
+                config_.measure_min_seconds, config_.measure_max_reps);
+            result.timings.add(rec);
+            fluid_field.clear();
+          }
+        }
+
+        for (Rank r = 0; r < config_.num_ranks; ++r) {
+          const auto ids = buckets.rank_ids(r);
+          const auto gids = ghosts.rank_ghosts(r);
+          if (ids.empty() && gids.empty()) continue;
+
+          TimingRecord rec;
+          rec.interval = static_cast<std::uint32_t>(t);
+          rec.rank = r;
+          rec.np = static_cast<double>(ids.size());
+          rec.ngp = static_cast<double>(gids.size());
+          rec.filter = config_.filter_size;
+          rec.nel = static_cast<double>(
+              rank_elements[static_cast<std::size_t>(r)].size());
+
+          const auto measure = [&](auto&& fn) {
+            return measure_adaptive(fn, config_.measure_min_seconds,
+                                    config_.measure_max_reps);
+          };
+
+          if (!ids.empty()) {
+            rec.kernel = Kernel::kInterpolate;
+            rec.seconds = measure([&] {
+              kernels.interpolate(store.positions(), ids, time,
+                                  gas_at_particles);
+            });
+            result.timings.add(rec);
+
+            rec.kernel = Kernel::kEqSolve;
+            rec.seconds = measure([&] {
+              kernels.eq_solve(store.velocities(), gas_at_particles, grid,
+                               ids, next_velocities);
+            });
+            result.timings.add(rec);
+
+            rec.kernel = Kernel::kPush;
+            rec.seconds = measure([&] {
+              kernels.push(store.positions(), vel_scratch, ids,
+                           next_positions);
+            });
+            result.timings.add(rec);
+
+            rec.kernel = Kernel::kCreateGhost;
+            rec.seconds = measure([&] {
+              kernels.create_ghost(store.positions(), ids, r, finder,
+                                   ghost_out);
+            });
+            result.timings.add(rec);
+          }
+
+          // Projection deposits owned + ghost particles onto local grid.
+          project_ids.assign(ids.begin(), ids.end());
+          project_ids.insert(project_ids.end(), gids.begin(), gids.end());
+          if (!project_ids.empty()) {
+            rec.kernel = Kernel::kProject;
+            rec.seconds = measure([&] {
+              kernels.project(store.positions(), project_ids,
+                              config_.filter_size, proj_field);
+            });
+            result.timings.add(rec);
+            proj_field.clear();
+          }
+
+          // Migration: unpack side — particles that arrived on r this
+          // interval (prev owner differs).
+          if (t > 0 && !ids.empty()) {
+            rec.kernel = Kernel::kMigrate;
+            rec.nmove = static_cast<double>([&] {
+              std::size_t movers = 0;
+              for (const std::uint32_t i : ids)
+                if (prev_owners[i] != owners[i]) ++movers;
+              return movers;
+            }());
+            rec.seconds = measure([&] {
+              kernels.migrate(store.positions(), store.velocities(), ids,
+                              prev_owners, owners, migrate_out);
+            });
+            result.timings.add(rec);
+          }
+        }
+      }
+      prev_owners = owners;
+    }
+
+    // --- Physics step (the PIC solver loop, executed globally) -------------
+    kernels.interpolate(store.positions(), all_ids, time, gas_at_particles);
+    kernels.eq_solve(store.velocities(), gas_at_particles, grid, all_ids,
+                     next_velocities);
+    kernels.push(store.positions(), next_velocities, all_ids, next_positions);
+    store.swap_in(next_positions, next_velocities);
+    next_positions.resize(np);
+    next_velocities.resize(np);
+    time += config_.physics.dt;
+  }
+
+  if (trace) {
+    trace->close();
+    result.trace_samples = trace->samples_written();
+  }
+  result.measure_seconds = measure_time.total_seconds();
+  result.wall_seconds = total_watch.seconds();
+  PICP_LOG_INFO << "picsim run: " << np << " particles, "
+                << config_.num_iterations << " iterations, "
+                << result.actual.num_intervals() << " intervals, wall "
+                << result.wall_seconds << " s (measure "
+                << result.measure_seconds << " s)";
+  return result;
+}
+
+}  // namespace picp

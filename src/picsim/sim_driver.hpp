@@ -1,0 +1,54 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "mapping/mapper.hpp"
+#include "mesh/partition.hpp"
+#include "mesh/spectral_mesh.hpp"
+#include "picsim/instrumentation.hpp"
+#include "picsim/sim_config.hpp"
+#include "workload/generator.hpp"
+
+namespace picp {
+
+/// Everything a proxy-application run produces for the prediction framework.
+struct SimResult {
+  /// Instrumented per-(kernel, rank, interval) timings (empty unless
+  /// config.measure) — the stand-in for profiling the real app on the
+  /// target system.
+  KernelTimings timings;
+  /// In-situ per-interval workload, counted by the application itself with
+  /// the same accounting the generator uses — ground truth for validating
+  /// the Dynamic Workload Generator (the paper validated Fig 5 this way).
+  WorkloadResult actual;
+  /// Wall-clock cost of the run, split into physics and instrumentation
+  /// (the §II "running the app is ~3 orders costlier" comparison).
+  double wall_seconds = 0.0;
+  double measure_seconds = 0.0;
+  std::uint64_t trace_samples = 0;
+};
+
+/// The CMT-nek proxy: a multi-phase PIC solver over the spectral-element
+/// mesh whose particles are explosively dispersed by the analytic airblast
+/// gas field. Executes the full PIC solver loop each iteration, writes the
+/// particle trace, and (optionally) measures every kernel on every virtual
+/// rank at sampled intervals.
+class SimDriver {
+ public:
+  explicit SimDriver(const SimConfig& config);
+
+  /// Run the simulation. Writes a trace when `trace_path` is non-empty.
+  SimResult run(const std::string& trace_path = "");
+
+  const SimConfig& config() const { return config_; }
+  const SpectralMesh& mesh() const { return mesh_; }
+  const MeshPartition& partition() const { return partition_; }
+
+ private:
+  SimConfig config_;
+  SpectralMesh mesh_;
+  MeshPartition partition_;
+};
+
+}  // namespace picp

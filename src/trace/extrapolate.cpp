@@ -1,0 +1,78 @@
+#include "trace/extrapolate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "trace/trace_writer.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace picp {
+
+double estimate_mean_spacing(std::span<const Vec3> positions) {
+  PICP_REQUIRE(!positions.empty(), "no particles");
+  Aabb box;
+  for (const Vec3& p : positions) box.expand(p);
+  const double volume = std::max(box.volume(), 1e-300);
+  return std::cbrt(volume / static_cast<double>(positions.size()));
+}
+
+std::uint64_t extrapolate_trace(TraceReader& input,
+                                const std::string& output_path,
+                                const ExtrapolationParams& params) {
+  const std::uint64_t np_in = input.num_particles();
+  PICP_REQUIRE(params.target_particles >= np_in,
+               "target particle count below the input trace's");
+  PICP_REQUIRE(params.offset_scale >= 0.0, "offset scale non-negative");
+
+  input.rewind();
+  TraceSample sample;
+  PICP_REQUIRE(input.read_next(sample), "input trace has no samples");
+
+  // Offsets are sized by the initial cloud's mean spacing so clones fill
+  // the gaps between parents instead of forming visible clusters.
+  const double spacing =
+      params.offset_scale * estimate_mean_spacing(sample.positions);
+
+  const std::uint64_t np_out = params.target_particles;
+  std::vector<Vec3> offsets(np_out);
+  Xoshiro256 rng(params.seed);
+  for (std::uint64_t j = 0; j < np_out; ++j) {
+    if (j < np_in) {
+      offsets[j] = Vec3();  // originals pass through untouched
+    } else {
+      offsets[j] = Vec3(spacing * rng.normal(), spacing * rng.normal(),
+                        spacing * rng.normal());
+    }
+  }
+
+  const Aabb domain = input.header().domain;
+  const auto clamp_into = [&domain](Vec3 p) {
+    p.x = std::clamp(p.x, domain.lo.x, domain.hi.x);
+    p.y = std::clamp(p.y, domain.lo.y, domain.hi.y);
+    p.z = std::clamp(p.z, domain.lo.z, domain.hi.z);
+    return p;
+  };
+
+  TraceWriter writer(output_path, np_out, input.header().sample_stride,
+                     domain, input.header().coord_kind);
+  std::vector<Vec3> out(np_out);
+  std::uint64_t samples = 0;
+  do {
+    for (std::uint64_t j = 0; j < np_out; ++j) {
+      const std::uint64_t parent = j % np_in;
+      out[j] = clamp_into(sample.positions[parent] + offsets[j]);
+    }
+    writer.append(sample.iteration, out);
+    ++samples;
+  } while (input.read_next(sample));
+  writer.close();
+
+  PICP_LOG_INFO << "extrapolated trace " << np_in << " -> " << np_out
+                << " particles over " << samples << " samples ("
+                << output_path << ")";
+  return samples;
+}
+
+}  // namespace picp

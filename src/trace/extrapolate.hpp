@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "trace/trace_reader.hpp"
+
+namespace picp {
+
+/// Trace extrapolation (the paper's §VI future work): synthesize a
+/// representative trace with *more* particles than a cheap low-fidelity run
+/// produced, so large-scale workload studies do not require a large-scale
+/// trace collection.
+///
+/// Scheme: every synthetic particle follows a parent particle from the input
+/// trace with a fixed spatial offset drawn once, at the scale of the local
+/// mean inter-particle spacing. Because the offset is constant in time, the
+/// synthetic cloud preserves the parent cloud's density profile, boundary
+/// dynamics, and migration behavior while scaling the per-processor counts
+/// by the extrapolation factor.
+struct ExtrapolationParams {
+  /// Particle count of the synthetic trace (>= the input trace's count).
+  std::uint64_t target_particles = 0;
+  /// Offset magnitude in multiples of the estimated mean spacing of the
+  /// input cloud at the first sample.
+  double offset_scale = 1.0;
+  std::uint64_t seed = 20210517;
+};
+
+/// Stream `input` (rewound first) and write the extrapolated trace to
+/// `output_path` (same coordinate kind, stride, and domain; positions are
+/// clamped to the domain). Returns the number of samples written.
+std::uint64_t extrapolate_trace(TraceReader& input,
+                                const std::string& output_path,
+                                const ExtrapolationParams& params);
+
+/// Mean inter-particle spacing estimate (cube root of bounding volume per
+/// particle) for one position set; exposed for tests.
+double estimate_mean_spacing(std::span<const Vec3> positions);
+
+}  // namespace picp

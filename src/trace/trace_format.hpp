@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "geom/vec3.hpp"
+
+namespace picp {
+
+/// The particle trace is the framework's primary input: particle positions
+/// sampled every `sample_stride` solver iterations (the paper samples every
+/// 100 iterations). Binary layout (little-endian):
+///
+///   [ magic "PICPTRC1" | u32 version | u32 coord_kind | u64 num_particles
+///     | u64 num_samples | u64 sample_stride | 6 × f64 domain ]
+///   then per sample: [ u64 iteration | num_particles × 3 coords ]
+///
+/// coord_kind selects f32 (compact; default — matches the paper's concern
+/// about hundreds-of-GB traces) or f64 storage.
+enum class CoordKind : std::uint32_t { kFloat32 = 0, kFloat64 = 1 };
+
+struct TraceHeader {
+  static constexpr char kMagic[8] = {'P', 'I', 'C', 'P', 'T', 'R', 'C', '1'};
+  static constexpr std::uint32_t kVersion = 1;
+
+  CoordKind coord_kind = CoordKind::kFloat32;
+  std::uint64_t num_particles = 0;
+  std::uint64_t num_samples = 0;
+  std::uint64_t sample_stride = 1;
+  Aabb domain;
+
+  /// Bytes per particle position record.
+  std::size_t coord_bytes() const {
+    return coord_kind == CoordKind::kFloat32 ? 3 * sizeof(float)
+                                             : 3 * sizeof(double);
+  }
+  /// On-disk size of one sample (iteration stamp + positions).
+  std::size_t sample_bytes() const {
+    return sizeof(std::uint64_t) + num_particles * coord_bytes();
+  }
+};
+
+/// One decoded trace sample: all particle positions at one instant.
+struct TraceSample {
+  std::uint64_t iteration = 0;
+  std::vector<Vec3> positions;
+};
+
+}  // namespace picp

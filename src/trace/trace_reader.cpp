@@ -1,0 +1,82 @@
+#include "trace/trace_reader.hpp"
+
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace picp {
+
+namespace {
+template <typename T>
+void read_pod(std::ifstream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+}
+}  // namespace
+
+TraceReader::TraceReader(const std::string& path)
+    : in_(path, std::ios::binary), path_(path) {
+  PICP_REQUIRE(in_.is_open(), "cannot open trace file: " + path);
+  char magic[8];
+  in_.read(magic, sizeof(magic));
+  PICP_REQUIRE(in_.good() &&
+                   std::memcmp(magic, TraceHeader::kMagic, sizeof(magic)) == 0,
+               "not a picpredict trace file: " + path);
+  std::uint32_t version = 0;
+  std::uint32_t kind = 0;
+  read_pod(in_, version);
+  PICP_REQUIRE(version == TraceHeader::kVersion,
+               "unsupported trace version in " + path);
+  read_pod(in_, kind);
+  PICP_REQUIRE(kind <= 1, "bad coordinate kind in trace " + path);
+  header_.coord_kind = static_cast<CoordKind>(kind);
+  read_pod(in_, header_.num_particles);
+  read_pod(in_, header_.num_samples);
+  read_pod(in_, header_.sample_stride);
+  read_pod(in_, header_.domain.lo.x);
+  read_pod(in_, header_.domain.lo.y);
+  read_pod(in_, header_.domain.lo.z);
+  read_pod(in_, header_.domain.hi.x);
+  read_pod(in_, header_.domain.hi.y);
+  read_pod(in_, header_.domain.hi.z);
+  PICP_REQUIRE(in_.good(), "truncated trace header: " + path);
+  PICP_REQUIRE(header_.num_particles > 0, "trace has no particles: " + path);
+  data_offset_ = in_.tellg();
+}
+
+bool TraceReader::read_next(TraceSample& sample) {
+  if (cursor_ >= header_.num_samples) return false;
+  read_pod(in_, sample.iteration);
+  const std::size_t np = header_.num_particles;
+  sample.positions.resize(np);
+  if (header_.coord_kind == CoordKind::kFloat32) {
+    f32_buffer_.resize(np * 3);
+    in_.read(reinterpret_cast<char*>(f32_buffer_.data()),
+             static_cast<std::streamsize>(np * 3 * sizeof(float)));
+    for (std::size_t i = 0; i < np; ++i)
+      sample.positions[i] = Vec3(f32_buffer_[3 * i + 0], f32_buffer_[3 * i + 1],
+                                 f32_buffer_[3 * i + 2]);
+  } else {
+    in_.read(reinterpret_cast<char*>(sample.positions.data()),
+             static_cast<std::streamsize>(np * sizeof(Vec3)));
+  }
+  PICP_REQUIRE(in_.good(), "truncated trace sample in " + path_);
+  ++cursor_;
+  return true;
+}
+
+void TraceReader::rewind() {
+  in_.clear();
+  in_.seekg(data_offset_);
+  cursor_ = 0;
+}
+
+std::vector<TraceSample> read_full_trace(const std::string& path) {
+  TraceReader reader(path);
+  std::vector<TraceSample> samples;
+  samples.reserve(reader.num_samples());
+  TraceSample sample;
+  while (reader.read_next(sample)) samples.push_back(sample);
+  return samples;
+}
+
+}  // namespace picp

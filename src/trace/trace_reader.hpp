@@ -1,0 +1,43 @@
+#pragma once
+
+#include <fstream>
+#include <string>
+
+#include "trace/trace_format.hpp"
+
+namespace picp {
+
+/// Streaming trace reader: decodes one sample at a time so workload
+/// generation over a trace far larger than memory stays O(num_particles)
+/// in space — the property the paper relies on for hundreds-of-GB traces.
+class TraceReader {
+ public:
+  explicit TraceReader(const std::string& path);
+
+  const TraceHeader& header() const { return header_; }
+  std::uint64_t num_particles() const { return header_.num_particles; }
+  std::uint64_t num_samples() const { return header_.num_samples; }
+
+  /// Decode the next sample into `sample` (its buffer is reused). Returns
+  /// false at end of trace.
+  bool read_next(TraceSample& sample);
+
+  /// Rewind to the first sample.
+  void rewind();
+
+  /// Index of the next sample to be read (0-based).
+  std::uint64_t cursor() const { return cursor_; }
+
+ private:
+  std::ifstream in_;
+  std::string path_;
+  TraceHeader header_;
+  std::streamoff data_offset_ = 0;
+  std::uint64_t cursor_ = 0;
+  std::vector<float> f32_buffer_;
+};
+
+/// Read an entire trace into memory (tests / small runs only).
+std::vector<TraceSample> read_full_trace(const std::string& path);
+
+}  // namespace picp

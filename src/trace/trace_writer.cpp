@@ -1,0 +1,93 @@
+#include "trace/trace_writer.hpp"
+
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace picp {
+
+namespace {
+template <typename T>
+void write_pod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+}  // namespace
+
+TraceWriter::TraceWriter(const std::string& path, std::uint64_t num_particles,
+                         std::uint64_t sample_stride, const Aabb& domain,
+                         CoordKind coord_kind)
+    : out_(path, std::ios::binary), path_(path) {
+  PICP_REQUIRE(out_.is_open(), "cannot open trace file for writing: " + path);
+  PICP_REQUIRE(num_particles > 0, "trace needs at least one particle");
+  PICP_REQUIRE(sample_stride > 0, "sample stride must be positive");
+  header_.coord_kind = coord_kind;
+  header_.num_particles = num_particles;
+  header_.num_samples = 0;
+  header_.sample_stride = sample_stride;
+  header_.domain = domain;
+  write_header();
+}
+
+TraceWriter::~TraceWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructors must not throw; an unpatched header is detected by the
+    // reader as a truncated trace.
+  }
+}
+
+void TraceWriter::write_header() {
+  out_.write(TraceHeader::kMagic, sizeof(TraceHeader::kMagic));
+  write_pod(out_, TraceHeader::kVersion);
+  write_pod(out_, static_cast<std::uint32_t>(header_.coord_kind));
+  write_pod(out_, header_.num_particles);
+  write_pod(out_, samples_);
+  write_pod(out_, header_.sample_stride);
+  write_pod(out_, header_.domain.lo.x);
+  write_pod(out_, header_.domain.lo.y);
+  write_pod(out_, header_.domain.lo.z);
+  write_pod(out_, header_.domain.hi.x);
+  write_pod(out_, header_.domain.hi.y);
+  write_pod(out_, header_.domain.hi.z);
+}
+
+void TraceWriter::append(std::uint64_t iteration,
+                         std::span<const Vec3> positions) {
+  PICP_REQUIRE(!closed_, "append on closed TraceWriter");
+  PICP_REQUIRE(positions.size() == header_.num_particles,
+               "position count does not match trace header");
+  write_pod(out_, iteration);
+  if (header_.coord_kind == CoordKind::kFloat32) {
+    f32_buffer_.resize(positions.size() * 3);
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      f32_buffer_[3 * i + 0] = static_cast<float>(positions[i].x);
+      f32_buffer_[3 * i + 1] = static_cast<float>(positions[i].y);
+      f32_buffer_[3 * i + 2] = static_cast<float>(positions[i].z);
+    }
+    out_.write(reinterpret_cast<const char*>(f32_buffer_.data()),
+               static_cast<std::streamsize>(f32_buffer_.size() * sizeof(float)));
+  } else {
+    out_.write(reinterpret_cast<const char*>(positions.data()),
+               static_cast<std::streamsize>(positions.size() * sizeof(Vec3)));
+  }
+  PICP_ENSURE(out_.good(), "trace write failed (disk full?): " + path_);
+  ++samples_;
+}
+
+void TraceWriter::close() {
+  if (closed_) return;
+  closed_ = true;
+  // Patch the sample count in the header (offset: magic + version + kind +
+  // num_particles).
+  const std::streamoff offset =
+      sizeof(TraceHeader::kMagic) + 2 * sizeof(std::uint32_t) +
+      sizeof(std::uint64_t);
+  out_.seekp(offset);
+  write_pod(out_, samples_);
+  out_.flush();
+  PICP_ENSURE(out_.good(), "trace header patch failed: " + path_);
+  out_.close();
+}
+
+}  // namespace picp

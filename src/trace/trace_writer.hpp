@@ -1,0 +1,43 @@
+#pragma once
+
+#include <fstream>
+#include <span>
+#include <string>
+
+#include "trace/trace_format.hpp"
+
+namespace picp {
+
+/// Appends trace samples to a binary trace file. The sample count in the
+/// header is patched when the writer is closed (or destroyed), so traces can
+/// be produced incrementally by a running simulation.
+class TraceWriter {
+ public:
+  TraceWriter(const std::string& path, std::uint64_t num_particles,
+              std::uint64_t sample_stride, const Aabb& domain,
+              CoordKind coord_kind = CoordKind::kFloat32);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// Write one sample; `positions.size()` must equal `num_particles`.
+  void append(std::uint64_t iteration, std::span<const Vec3> positions);
+
+  std::uint64_t samples_written() const { return samples_; }
+
+  /// Flush and patch the header. Idempotent.
+  void close();
+
+ private:
+  void write_header();
+
+  std::ofstream out_;
+  std::string path_;
+  TraceHeader header_;
+  std::uint64_t samples_ = 0;
+  bool closed_ = false;
+  std::vector<float> f32_buffer_;
+};
+
+}  // namespace picp

@@ -1,0 +1,128 @@
+#include "util/config.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace picp {
+
+namespace {
+// Strip a trailing comment beginning with ';' or '#' (not inside quotes —
+// values in this format are never quoted, so a plain scan suffices).
+std::string strip_comment(const std::string& line) {
+  const std::size_t pos = line.find_first_of(";#");
+  return pos == std::string::npos ? line : line.substr(0, pos);
+}
+}  // namespace
+
+Config Config::from_string(const std::string& text) {
+  Config config;
+  std::istringstream in(text);
+  std::string line;
+  std::string section;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string stripped = trim(strip_comment(line));
+    if (stripped.empty()) continue;
+    if (stripped.front() == '[') {
+      if (stripped.back() != ']')
+        throw Error("config line " + std::to_string(line_no) +
+                    ": unterminated section header");
+      section = trim(stripped.substr(1, stripped.size() - 2));
+      continue;
+    }
+    const std::size_t eq = stripped.find('=');
+    if (eq == std::string::npos)
+      throw Error("config line " + std::to_string(line_no) +
+                  ": expected key = value, got '" + stripped + "'");
+    const std::string key = trim(stripped.substr(0, eq));
+    const std::string value = trim(stripped.substr(eq + 1));
+    if (key.empty())
+      throw Error("config line " + std::to_string(line_no) + ": empty key");
+    const std::string full_key = section.empty() ? key : section + "." + key;
+    config.values_[full_key] = value;
+  }
+  return config;
+}
+
+Config Config::from_file(const std::string& path) {
+  std::ifstream in(path);
+  PICP_REQUIRE(in.is_open(), "cannot open config file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_string(buffer.str());
+}
+
+bool Config::has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::optional<std::string> Config::lookup(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_string(const std::string& key) const {
+  const auto value = lookup(key);
+  if (!value) throw Error("missing config key: " + key);
+  return *value;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  return lookup(key).value_or(fallback);
+}
+
+long long Config::get_int(const std::string& key) const {
+  return parse_int(get_string(key));
+}
+
+long long Config::get_int(const std::string& key, long long fallback) const {
+  const auto value = lookup(key);
+  return value ? parse_int(*value) : fallback;
+}
+
+double Config::get_double(const std::string& key) const {
+  return parse_double(get_string(key));
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  const auto value = lookup(key);
+  return value ? parse_double(*value) : fallback;
+}
+
+bool Config::get_bool(const std::string& key) const {
+  return parse_bool(get_string(key));
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  const auto value = lookup(key);
+  return value ? parse_bool(*value) : fallback;
+}
+
+std::vector<long long> Config::get_int_list(const std::string& key) const {
+  std::vector<long long> out;
+  for (const std::string& field : split(get_string(key), ',')) {
+    const std::string t = trim(field);
+    if (t.empty()) continue;
+    out.push_back(parse_int(t));
+  }
+  return out;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [key, value] : values_) out.push_back(key);
+  return out;
+}
+
+}  // namespace picp

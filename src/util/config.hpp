@@ -1,0 +1,54 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace picp {
+
+/// INI-style configuration, mirroring the paper's "configuration file" input
+/// to the Dynamic Workload Generator (system + application configuration).
+///
+/// Syntax:
+///   [section]
+///   key = value          ; trailing comments with ';' or '#'
+///
+/// Keys are addressed as "section.key"; keys before any section header live
+/// in the "" section and are addressed by bare name.
+class Config {
+ public:
+  Config() = default;
+
+  static Config from_string(const std::string& text);
+  static Config from_file(const std::string& path);
+
+  bool has(const std::string& key) const;
+
+  /// Typed getters. The non-defaulted forms throw picp::Error when the key is
+  /// missing; all forms throw on malformed values.
+  std::string get_string(const std::string& key) const;
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  long long get_int(const std::string& key) const;
+  long long get_int(const std::string& key, long long fallback) const;
+  double get_double(const std::string& key) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Comma-separated list of integers, e.g. "1044, 2088, 4176".
+  std::vector<long long> get_int_list(const std::string& key) const;
+
+  void set(const std::string& key, const std::string& value);
+
+  /// All keys in deterministic (sorted) order; useful for echoing configs.
+  std::vector<std::string> keys() const;
+
+ private:
+  std::optional<std::string> lookup(const std::string& key) const;
+
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace picp

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace picp {
+
+/// Minimal CSV emitter used by benches and examples to dump figure data.
+/// Values are written row-by-row; strings containing separators/quotes are
+/// quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Write to an externally-owned stream (e.g. std::cout).
+  explicit CsvWriter(std::ostream& out);
+  /// Write to a file; throws picp::Error if it cannot be opened.
+  explicit CsvWriter(const std::string& path);
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: format each value with operator<< and write one row.
+  template <typename... Ts>
+  void row(const Ts&... values) {
+    std::vector<std::string> fields;
+    fields.reserve(sizeof...(values));
+    (fields.push_back(format(values)), ...);
+    write_row(fields);
+  }
+
+ private:
+  template <typename T>
+  static std::string format(const T& value) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(value);
+    } else {
+      return to_string_impl(value);
+    }
+  }
+  template <typename T>
+  static std::string to_string_impl(const T& value) {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  }
+
+  static std::string escape(const std::string& field);
+
+  std::ofstream file_;
+  std::ostream* out_;
+};
+
+}  // namespace picp

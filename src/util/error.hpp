@@ -1,0 +1,41 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace picp {
+
+/// Exception type thrown by all picpredict precondition / invariant checks.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* kind, const char* expr,
+                              const char* file, int line,
+                              const std::string& msg) {
+  std::string full = std::string(kind) + " failed: " + expr + " at " + file +
+                     ":" + std::to_string(line);
+  if (!msg.empty()) full += " — " + msg;
+  throw Error(full);
+}
+}  // namespace detail
+
+}  // namespace picp
+
+/// Precondition check on public API arguments; throws picp::Error on failure.
+#define PICP_REQUIRE(expr, msg)                                          \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::picp::detail::fail("precondition", #expr, __FILE__, __LINE__,    \
+                           (msg));                                       \
+  } while (false)
+
+/// Internal invariant check; throws picp::Error on failure.
+#define PICP_ENSURE(expr, msg)                                           \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::picp::detail::fail("invariant", #expr, __FILE__, __LINE__,       \
+                           (msg));                                       \
+  } while (false)

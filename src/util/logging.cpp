@@ -1,0 +1,56 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace picp {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_emit_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+
+double elapsed_seconds() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+LogLevel parse_log_level(const std::string& name) {
+  const std::string lower = to_lower(trim(name));
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  throw Error("unknown log level: " + name);
+}
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message) {
+  if (level < log_level() || level == LogLevel::kOff) return;
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[%9.3f %s] %s\n", elapsed_seconds(), level_tag(level),
+               message.c_str());
+}
+}  // namespace detail
+
+}  // namespace picp

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace picp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped. Thread-safe.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Parse "debug" / "info" / "warn" / "error" / "off" (case-insensitive).
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+/// Stream-style logger: LogLine(LogLevel::kInfo) << "x=" << x;
+/// The message is emitted (with level tag and elapsed wall time) at
+/// destruction, as a single write so concurrent threads do not interleave.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { detail::log_emit(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (level_ >= log_level()) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace picp
+
+#define PICP_LOG_DEBUG ::picp::LogLine(::picp::LogLevel::kDebug)
+#define PICP_LOG_INFO ::picp::LogLine(::picp::LogLevel::kInfo)
+#define PICP_LOG_WARN ::picp::LogLine(::picp::LogLevel::kWarn)
+#define PICP_LOG_ERROR ::picp::LogLine(::picp::LogLevel::kError)

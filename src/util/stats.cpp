@@ -1,0 +1,105 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace picp {
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double ss = 0.0;
+  for (double v : values) ss += (v - m) * (v - m);
+  return std::sqrt(ss / static_cast<double>(values.size()));
+}
+
+double min_value(std::span<const double> values) {
+  PICP_REQUIRE(!values.empty(), "min of empty range");
+  return *std::min_element(values.begin(), values.end());
+}
+
+double max_value(std::span<const double> values) {
+  PICP_REQUIRE(!values.empty(), "max of empty range");
+  return *std::max_element(values.begin(), values.end());
+}
+
+double percentile(std::span<const double> values, double q) {
+  PICP_REQUIRE(!values.empty(), "percentile of empty range");
+  PICP_REQUIRE(q >= 0.0 && q <= 100.0, "percentile out of [0,100]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double mape(std::span<const double> actual, std::span<const double> predicted,
+            double floor) {
+  PICP_REQUIRE(actual.size() == predicted.size(), "size mismatch in mape");
+  double sum = 0.0;
+  std::size_t used = 0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    if (std::abs(actual[i]) < floor) continue;
+    sum += std::abs(actual[i] - predicted[i]) / std::abs(actual[i]);
+    ++used;
+  }
+  return used == 0 ? 0.0 : 100.0 * sum / static_cast<double>(used);
+}
+
+double r_squared(std::span<const double> actual,
+                 std::span<const double> predicted) {
+  PICP_REQUIRE(actual.size() == predicted.size(), "size mismatch in r_squared");
+  if (actual.empty()) return 0.0;
+  const double m = mean(actual);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    ss_res += (actual[i] - predicted[i]) * (actual[i] - predicted[i]);
+    ss_tot += (actual[i] - m) * (actual[i] - m);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+Histogram::Histogram(double lo_, double hi_, std::size_t bins)
+    : lo(lo_), hi(hi_), counts(bins, 0) {
+  PICP_REQUIRE(bins > 0, "histogram needs at least one bin");
+  PICP_REQUIRE(hi_ > lo_, "histogram range must be non-empty");
+}
+
+void Histogram::add(double value) {
+  const double t = (value - lo) / (hi - lo);
+  const auto nbins = static_cast<double>(counts.size());
+  auto idx = static_cast<long long>(t * nbins);
+  idx = std::clamp<long long>(idx, 0, static_cast<long long>(counts.size()) - 1);
+  ++counts[static_cast<std::size_t>(idx)];
+}
+
+std::size_t Histogram::total() const {
+  std::size_t n = 0;
+  for (std::size_t c : counts) n += c;
+  return n;
+}
+
+void RunningStats::add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  sum_ += value;
+  ++count_;
+}
+
+}  // namespace picp

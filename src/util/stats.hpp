@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace picp {
+
+/// Arithmetic mean; 0 for empty input.
+double mean(std::span<const double> values);
+
+/// Population standard deviation; 0 for fewer than two values.
+double stddev(std::span<const double> values);
+
+double min_value(std::span<const double> values);
+double max_value(std::span<const double> values);
+
+/// Linear-interpolated percentile, q in [0, 100]. Input need not be sorted.
+double percentile(std::span<const double> values, double q);
+
+/// Mean Absolute Percentage Error in percent:
+///   100/n * sum |actual - predicted| / |actual|
+/// Pairs with |actual| < floor are skipped (guards division by ~zero); if all
+/// pairs are skipped the result is 0.
+double mape(std::span<const double> actual, std::span<const double> predicted,
+            double floor = 1e-12);
+
+/// Coefficient of determination R^2 of `predicted` against `actual`.
+double r_squared(std::span<const double> actual,
+                 std::span<const double> predicted);
+
+/// Simple fixed-width histogram over [lo, hi); values outside are clamped to
+/// the first/last bin. Used for workload-distribution summaries.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<std::size_t> counts;
+
+  Histogram(double lo_, double hi_, std::size_t bins);
+  void add(double value);
+  std::size_t total() const;
+};
+
+/// Streaming min/max/mean/count accumulator.
+class RunningStats {
+ public:
+  void add(double value);
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace picp

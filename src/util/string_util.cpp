@@ -1,0 +1,76 @@
+#include "util/string_util.hpp"
+
+#include <cctype>
+#include <charconv>
+
+#include "util/error.hpp"
+
+namespace picp {
+
+namespace {
+bool is_space(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+}  // namespace
+
+std::string trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && is_space(text[begin])) ++begin;
+  while (end > begin && is_space(text[end - 1])) --end;
+  return std::string(text.substr(begin, end - begin));
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::vector<std::string> split(std::string_view text, char delim) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      fields.emplace_back(text.substr(start));
+      break;
+    }
+    fields.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return fields;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+long long parse_int(std::string_view text) {
+  const std::string t = trim(text);
+  long long value = 0;
+  const auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), value);
+  if (ec != std::errc() || ptr != t.data() + t.size())
+    throw Error("not an integer: '" + t + "'");
+  return value;
+}
+
+double parse_double(std::string_view text) {
+  const std::string t = trim(text);
+  if (t.empty()) throw Error("not a number: ''");
+  // std::from_chars<double> is available in libstdc++ 11+, but strtod keeps
+  // us portable and handles exponents uniformly.
+  char* end = nullptr;
+  const double value = std::strtod(t.c_str(), &end);
+  if (end != t.c_str() + t.size()) throw Error("not a number: '" + t + "'");
+  return value;
+}
+
+bool parse_bool(std::string_view text) {
+  const std::string t = to_lower(trim(text));
+  if (t == "true" || t == "1" || t == "yes" || t == "on") return true;
+  if (t == "false" || t == "0" || t == "no" || t == "off") return false;
+  throw Error("not a boolean: '" + t + "'");
+}
+
+}  // namespace picp

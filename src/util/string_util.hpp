@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace picp {
+
+/// Remove leading and trailing whitespace.
+std::string trim(std::string_view text);
+
+/// ASCII lower-casing.
+std::string to_lower(std::string_view text);
+
+/// Split on a delimiter character; empty fields are preserved.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Strict parse helpers; throw picp::Error on malformed input (with the
+/// offending text in the message).
+long long parse_int(std::string_view text);
+double parse_double(std::string_view text);
+bool parse_bool(std::string_view text);
+
+}  // namespace picp

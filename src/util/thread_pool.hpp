@@ -1,0 +1,54 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace picp {
+
+/// Fixed-size worker pool used to parallelize embarrassingly-parallel loops
+/// (per-particle mapping, GP fitness evaluation, per-rank kernel models).
+///
+/// The pool is intentionally simple: FIFO task queue, no work stealing. The
+/// heavy loops in picpredict are partitioned into one chunk per worker, so a
+/// deque-per-thread design would buy nothing.
+class ThreadPool {
+ public:
+  /// `threads == 0` selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; tasks must not throw (exceptions terminate).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  /// Run fn(begin, end) over [0, n) split into one contiguous chunk per
+  /// worker, blocking until done. Calls fn inline when n is small or the
+  /// pool has a single worker.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace picp

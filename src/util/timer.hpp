@@ -1,0 +1,63 @@
+#pragma once
+
+#include <chrono>
+
+namespace picp {
+
+/// Monotonic stopwatch for measuring kernel and wall time.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+  double microseconds() const { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates total time and call count for a repeatedly-invoked region.
+class TimeAccumulator {
+ public:
+  void add(double seconds) {
+    total_ += seconds;
+    ++count_;
+  }
+
+  double total_seconds() const { return total_; }
+  std::size_t count() const { return count_; }
+  double mean_seconds() const {
+    return count_ == 0 ? 0.0 : total_ / static_cast<double>(count_);
+  }
+  void reset() {
+    total_ = 0.0;
+    count_ = 0;
+  }
+
+ private:
+  double total_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+/// RAII region timer: adds the elapsed time to an accumulator on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(TimeAccumulator& acc) : acc_(acc) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { acc_.add(watch_.seconds()); }
+
+ private:
+  TimeAccumulator& acc_;
+  Stopwatch watch_;
+};
+
+}  // namespace picp

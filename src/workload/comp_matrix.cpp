@@ -1,0 +1,56 @@
+#include "workload/comp_matrix.hpp"
+
+#include <algorithm>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace picp {
+
+CompMatrix::CompMatrix(Rank num_ranks, std::size_t num_intervals)
+    : num_ranks_(num_ranks),
+      num_intervals_(num_intervals),
+      data_(static_cast<std::size_t>(num_ranks) * num_intervals, 0) {
+  PICP_REQUIRE(num_ranks > 0, "CompMatrix needs at least one rank");
+}
+
+std::int64_t CompMatrix::interval_max(std::size_t t) const {
+  const auto row = interval(t);
+  return *std::max_element(row.begin(), row.end());
+}
+
+std::int64_t CompMatrix::interval_total(std::size_t t) const {
+  std::int64_t total = 0;
+  for (std::int64_t v : interval(t)) total += v;
+  return total;
+}
+
+Rank CompMatrix::interval_active(std::size_t t) const {
+  Rank active = 0;
+  for (std::int64_t v : interval(t))
+    if (v > 0) ++active;
+  return active;
+}
+
+std::int64_t CompMatrix::global_max() const {
+  if (data_.empty()) return 0;
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+void CompMatrix::write_csv(const std::string& path) const {
+  CsvWriter csv(path);
+  std::vector<std::string> row;
+  row.reserve(static_cast<std::size_t>(num_ranks_) + 1);
+  row.push_back("interval");
+  for (Rank r = 0; r < num_ranks_; ++r)
+    row.push_back("rank" + std::to_string(r));
+  csv.write_row(row);
+  for (std::size_t t = 0; t < num_intervals_; ++t) {
+    row.clear();
+    row.push_back(std::to_string(t));
+    for (std::int64_t v : interval(t)) row.push_back(std::to_string(v));
+    csv.write_row(row);
+  }
+}
+
+}  // namespace picp

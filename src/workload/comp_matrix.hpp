@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mesh/partition.hpp"
+
+namespace picp {
+
+/// The paper's Computation matrix P_comp: an R × T array where entry (r, t)
+/// is the number of particles residing on processor r at sampled interval t
+/// (Fig 1a is its heat-map). Stored interval-major so one interval is a
+/// contiguous row. Separate instances track real and ghost particles.
+class CompMatrix {
+ public:
+  CompMatrix() = default;
+  CompMatrix(Rank num_ranks, std::size_t num_intervals);
+
+  Rank num_ranks() const { return num_ranks_; }
+  std::size_t num_intervals() const { return num_intervals_; }
+
+  std::int64_t at(Rank r, std::size_t t) const {
+    return data_[t * static_cast<std::size_t>(num_ranks_) +
+                 static_cast<std::size_t>(r)];
+  }
+  void set(Rank r, std::size_t t, std::int64_t value) {
+    data_[t * static_cast<std::size_t>(num_ranks_) +
+          static_cast<std::size_t>(r)] = value;
+  }
+  void add(Rank r, std::size_t t, std::int64_t delta) {
+    data_[t * static_cast<std::size_t>(num_ranks_) +
+          static_cast<std::size_t>(r)] += delta;
+  }
+
+  /// One interval's per-rank loads as a contiguous row.
+  std::span<const std::int64_t> interval(std::size_t t) const {
+    return {data_.data() + t * static_cast<std::size_t>(num_ranks_),
+            static_cast<std::size_t>(num_ranks_)};
+  }
+  std::span<std::int64_t> interval(std::size_t t) {
+    return {data_.data() + t * static_cast<std::size_t>(num_ranks_),
+            static_cast<std::size_t>(num_ranks_)};
+  }
+
+  /// Largest load in an interval (the critical-path rank, Fig 5).
+  std::int64_t interval_max(std::size_t t) const;
+  /// Total load in an interval (should equal the particle count for the
+  /// real-particle matrix — conservation invariant).
+  std::int64_t interval_total(std::size_t t) const;
+  /// Ranks with non-zero load in an interval.
+  Rank interval_active(std::size_t t) const;
+
+  /// Max over all (r, t) entries.
+  std::int64_t global_max() const;
+
+  /// Write as CSV: rows = intervals, columns = ranks (Fig 1a's raw data).
+  void write_csv(const std::string& path) const;
+
+ private:
+  Rank num_ranks_ = 0;
+  std::size_t num_intervals_ = 0;
+  std::vector<std::int64_t> data_;
+};
+
+}  // namespace picp

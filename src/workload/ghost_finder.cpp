@@ -1,0 +1,37 @@
+#include "workload/ghost_finder.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace picp {
+
+GhostFinder::GhostFinder(const SpectralMesh& mesh,
+                         const MeshPartition& partition, double radius)
+    : mesh_(&mesh),
+      partition_(&partition),
+      radius_(radius),
+      radius2_(radius * radius) {
+  PICP_REQUIRE(radius >= 0.0, "ghost radius must be non-negative");
+}
+
+void GhostFinder::ranks_near(const Vec3& p, Rank exclude,
+                             std::vector<Rank>& out) const {
+  out.clear();
+  if (radius_ == 0.0) return;
+  const GridIndexer& grid = mesh_->indexer();
+  const auto lo = grid.cell_of(Vec3(p.x - radius_, p.y - radius_, p.z - radius_));
+  const auto hi = grid.cell_of(Vec3(p.x + radius_, p.y + radius_, p.z + radius_));
+  for (std::int64_t iz = lo[2]; iz <= hi[2]; ++iz)
+    for (std::int64_t iy = lo[1]; iy <= hi[1]; ++iy)
+      for (std::int64_t ix = lo[0]; ix <= hi[0]; ++ix) {
+        const ElementId e = grid.flat_index(ix, iy, iz);
+        const Rank r = partition_->owner_of(e);
+        if (r == exclude) continue;
+        if (std::find(out.begin(), out.end(), r) != out.end()) continue;
+        if (grid.cell_bounds(ix, iy, iz).distance2(p) < radius2_)
+          out.push_back(r);
+      }
+}
+
+}  // namespace picp

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "geom/vec3.hpp"
+#include "mesh/partition.hpp"
+#include "mesh/spectral_mesh.hpp"
+
+namespace picp {
+
+/// Finds the processors whose grid region a particle's projection filter
+/// touches. A particle is a *ghost* on rank r when its influence radius (the
+/// projection filter size) overlaps grid points owned by r while the
+/// particle itself resides elsewhere (paper §II-A).
+///
+/// Ghosts are always defined against the grid (element) decomposition —
+/// projection deposits onto grid points — regardless of which mapper owns
+/// the particle data, which is what makes the ghost count grow with filter
+/// size for both mapping algorithms (Fig 10b).
+class GhostFinder {
+ public:
+  GhostFinder(const SpectralMesh& mesh, const MeshPartition& partition,
+              double radius);
+
+  double radius() const { return radius_; }
+
+  /// Rank owning the grid element containing p.
+  Rank resident_grid_rank(const Vec3& p) const {
+    return partition_->owner_of(mesh_->element_of(p));
+  }
+
+  /// Fill `out` with the distinct ranks (excluding `exclude`) whose owned
+  /// elements lie within `radius` of p. `out` is cleared first. Typical
+  /// result size is 0-3 ranks, so `out` should be reused across calls.
+  void ranks_near(const Vec3& p, Rank exclude, std::vector<Rank>& out) const;
+
+ private:
+  const SpectralMesh* mesh_;
+  const MeshPartition* partition_;
+  double radius_;
+  double radius2_;
+};
+
+}  // namespace picp

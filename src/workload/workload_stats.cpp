@@ -1,0 +1,109 @@
+#include "workload/workload_stats.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace picp {
+
+UtilizationStats utilization(const CompMatrix& comp) {
+  UtilizationStats stats;
+  stats.num_ranks = comp.num_ranks();
+  if (comp.num_intervals() == 0 || comp.num_ranks() == 0) return stats;
+
+  std::vector<bool> ever(static_cast<std::size_t>(comp.num_ranks()), false);
+  double active_fraction_sum = 0.0;
+  for (std::size_t t = 0; t < comp.num_intervals(); ++t) {
+    const auto row = comp.interval(t);
+    Rank active = 0;
+    for (std::size_t r = 0; r < row.size(); ++r) {
+      if (row[r] > 0) {
+        ever[r] = true;
+        ++active;
+      }
+      stats.peak_load = std::max(stats.peak_load, row[r]);
+    }
+    active_fraction_sum +=
+        static_cast<double>(active) / static_cast<double>(comp.num_ranks());
+  }
+  stats.ever_active = static_cast<Rank>(
+      std::count(ever.begin(), ever.end(), true));
+  stats.ever_active_fraction = static_cast<double>(stats.ever_active) /
+                               static_cast<double>(comp.num_ranks());
+  stats.mean_active_fraction =
+      active_fraction_sum / static_cast<double>(comp.num_intervals());
+  return stats;
+}
+
+std::vector<std::int64_t> peak_per_interval(const CompMatrix& comp) {
+  std::vector<std::int64_t> peaks(comp.num_intervals());
+  for (std::size_t t = 0; t < comp.num_intervals(); ++t)
+    peaks[t] = comp.interval_max(t);
+  return peaks;
+}
+
+std::vector<double> imbalance_per_interval(const CompMatrix& comp) {
+  std::vector<double> out(comp.num_intervals(), 0.0);
+  for (std::size_t t = 0; t < comp.num_intervals(); ++t) {
+    const std::int64_t total = comp.interval_total(t);
+    if (total == 0) continue;
+    const double mean_load = static_cast<double>(total) /
+                             static_cast<double>(comp.num_ranks());
+    out[t] = static_cast<double>(comp.interval_max(t)) / mean_load;
+  }
+  return out;
+}
+
+std::vector<Rank> active_per_interval(const CompMatrix& comp) {
+  std::vector<Rank> out(comp.num_intervals());
+  for (std::size_t t = 0; t < comp.num_intervals(); ++t)
+    out[t] = comp.interval_active(t);
+  return out;
+}
+
+std::string ascii_heatmap(const CompMatrix& comp, std::size_t width,
+                          std::size_t height) {
+  PICP_REQUIRE(width > 0 && height > 0, "heatmap dimensions must be positive");
+  static const char kRamp[] = " .:-=+*#%@";
+  constexpr std::size_t kRampLevels = sizeof(kRamp) - 2;  // max ramp index
+
+  const std::size_t ranks = static_cast<std::size_t>(comp.num_ranks());
+  const std::size_t intervals = comp.num_intervals();
+  if (ranks == 0 || intervals == 0) return "(empty)\n";
+  const std::size_t rows = std::min(height, ranks);
+  const std::size_t cols = std::min(width, intervals);
+
+  // Aggregate each (row, col) cell as the max load in its rank×interval block
+  // so hot ranks stay visible after downsampling.
+  std::vector<std::int64_t> cells(rows * cols, 0);
+  std::int64_t global_max = 0;
+  for (std::size_t t = 0; t < intervals; ++t) {
+    const std::size_t col = t * cols / intervals;
+    const auto row_data = comp.interval(t);
+    for (std::size_t r = 0; r < ranks; ++r) {
+      const std::size_t row = r * rows / ranks;
+      auto& cell = cells[row * cols + col];
+      cell = std::max(cell, row_data[r]);
+      global_max = std::max(global_max, row_data[r]);
+    }
+  }
+  std::string out;
+  out.reserve(rows * (cols + 1));
+  for (std::size_t row = 0; row < rows; ++row) {
+    for (std::size_t col = 0; col < cols; ++col) {
+      const std::int64_t v = cells[row * cols + col];
+      std::size_t level = 0;
+      if (global_max > 0 && v > 0)
+        level = 1 + static_cast<std::size_t>(
+                        v * static_cast<std::int64_t>(kRampLevels - 1) /
+                        global_max);
+      level = std::min(level, kRampLevels);
+      out += kRamp[level];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace picp

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/comp_matrix.hpp"
+
+namespace picp {
+
+/// Load-balance and utilization summaries over a computation matrix —
+/// the quantities behind Figs 1b, 5, 8, and 9.
+struct UtilizationStats {
+  Rank num_ranks = 0;
+  /// Ranks that hold at least one particle at some interval (Fig 1b counts
+  /// these; the paper's "81% idle" is 1 - ever_active_fraction).
+  Rank ever_active = 0;
+  double ever_active_fraction = 0.0;
+  /// Mean over intervals of (active ranks / R) — the paper's Resource
+  /// Utilization ("processors having at least one particle on average
+  /// during the simulation", §II-A / Fig 9).
+  double mean_active_fraction = 0.0;
+  /// Peak particles on any rank at any interval (Fig 8's headline number).
+  std::int64_t peak_load = 0;
+};
+
+UtilizationStats utilization(const CompMatrix& comp);
+
+/// Max load per interval — Fig 5's series ("critical path" rank).
+std::vector<std::int64_t> peak_per_interval(const CompMatrix& comp);
+
+/// Load imbalance per interval: max / mean over all ranks (0 when empty).
+std::vector<double> imbalance_per_interval(const CompMatrix& comp);
+
+/// Active rank count per interval.
+std::vector<Rank> active_per_interval(const CompMatrix& comp);
+
+/// Render a downsampled ASCII heat-map of the matrix (Fig 1a), `width`
+/// columns of intervals by `height` rows of rank groups; cells show relative
+/// load with the ramp " .:-=+*#%@".
+std::string ascii_heatmap(const CompMatrix& comp, std::size_t width = 72,
+                          std::size_t height = 24);
+
+}  // namespace picp

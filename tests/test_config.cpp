@@ -1,0 +1,107 @@
+#include "util/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace picp {
+namespace {
+
+TEST(Config, ParsesSectionsAndKeys) {
+  const auto config = Config::from_string(
+      "top = 1\n"
+      "[system]\n"
+      "num_ranks = 1044\n"
+      "[app]\n"
+      "mapper = bin\n"
+      "filter = 0.023\n");
+  EXPECT_EQ(config.get_int("top"), 1);
+  EXPECT_EQ(config.get_int("system.num_ranks"), 1044);
+  EXPECT_EQ(config.get_string("app.mapper"), "bin");
+  EXPECT_DOUBLE_EQ(config.get_double("app.filter"), 0.023);
+}
+
+TEST(Config, CommentsAndWhitespace) {
+  const auto config = Config::from_string(
+      "; full-line comment\n"
+      "  key =  value  # trailing comment\n"
+      "\n"
+      "other=1;comment\n");
+  EXPECT_EQ(config.get_string("key"), "value");
+  EXPECT_EQ(config.get_int("other"), 1);
+}
+
+TEST(Config, MissingKeyThrowsOrFallsBack) {
+  const auto config = Config::from_string("a = 1\n");
+  EXPECT_THROW(config.get_string("missing"), Error);
+  EXPECT_THROW(config.get_int("missing"), Error);
+  EXPECT_EQ(config.get_int("missing", 7), 7);
+  EXPECT_EQ(config.get_string("missing", "d"), "d");
+  EXPECT_DOUBLE_EQ(config.get_double("missing", 2.5), 2.5);
+  EXPECT_TRUE(config.get_bool("missing", true));
+}
+
+TEST(Config, HasAndSet) {
+  Config config;
+  EXPECT_FALSE(config.has("x"));
+  config.set("x", "3");
+  EXPECT_TRUE(config.has("x"));
+  EXPECT_EQ(config.get_int("x"), 3);
+}
+
+TEST(Config, IntList) {
+  const auto config =
+      Config::from_string("ranks = 1044, 2088, 4176, 8352\n");
+  const auto list = config.get_int_list("ranks");
+  ASSERT_EQ(list.size(), 4u);
+  EXPECT_EQ(list[0], 1044);
+  EXPECT_EQ(list[3], 8352);
+}
+
+TEST(Config, MalformedLinesThrow) {
+  EXPECT_THROW(Config::from_string("[section\nx=1\n"), Error);
+  EXPECT_THROW(Config::from_string("no equals sign\n"), Error);
+  EXPECT_THROW(Config::from_string("= value\n"), Error);
+}
+
+TEST(Config, TypeErrorsThrow) {
+  const auto config = Config::from_string("x = hello\n");
+  EXPECT_THROW(config.get_int("x"), Error);
+  EXPECT_THROW(config.get_double("x"), Error);
+  EXPECT_THROW(config.get_bool("x"), Error);
+}
+
+TEST(Config, LaterValueWins) {
+  const auto config = Config::from_string("a = 1\na = 2\n");
+  EXPECT_EQ(config.get_int("a"), 2);
+}
+
+TEST(Config, KeysAreSorted) {
+  const auto config = Config::from_string("b = 1\na = 2\n[s]\nc = 3\n");
+  const auto keys = config.keys();
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], "a");
+  EXPECT_EQ(keys[1], "b");
+  EXPECT_EQ(keys[2], "s.c");
+}
+
+TEST(Config, FromFileRoundTrip) {
+  const std::string path = testing::TempDir() + "/picp_config_test.ini";
+  {
+    std::ofstream out(path);
+    out << "[run]\niters = 99\n";
+  }
+  const auto config = Config::from_file(path);
+  EXPECT_EQ(config.get_int("run.iters"), 99);
+  std::remove(path.c_str());
+}
+
+TEST(Config, MissingFileThrows) {
+  EXPECT_THROW(Config::from_file("/nonexistent/picp.ini"), Error);
+}
+
+}  // namespace
+}  // namespace picp

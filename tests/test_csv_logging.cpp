@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace picp {
+namespace {
+
+TEST(Csv, WritesRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row("a", "b", "c");
+  csv.row(1, 2.5, "x");
+  EXPECT_EQ(out.str(), "a,b,c\n1,2.5,x\n");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.write_row({"plain", "with,comma", "with\"quote", "with\nnewline"});
+  EXPECT_EQ(out.str(),
+            "plain,\"with,comma\",\"with\"\"quote\",\"with\nnewline\"\n");
+}
+
+TEST(Csv, FileTarget) {
+  const std::string path = testing::TempDir() + "/picp_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.row("x", "y");
+    csv.row(1, 2);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, UnwritablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir/foo.csv"), Error);
+}
+
+TEST(Logging, ParseLevels) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level(" warn "), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_THROW(parse_log_level("verbose"), Error);
+}
+
+TEST(Logging, LevelRoundTrip) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Emitting below the threshold must be a no-op (no crash, no output).
+  PICP_LOG_DEBUG << "hidden " << 42;
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace picp

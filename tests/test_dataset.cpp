@@ -1,0 +1,78 @@
+#include "model/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "util/error.hpp"
+
+namespace picp {
+namespace {
+
+TEST(DatasetTest, AddAndAccess) {
+  Dataset data({"np", "ngp"});
+  data.add(std::array<double, 2>{10.0, 3.0}, 0.5);
+  data.add(std::array<double, 2>{20.0, 6.0}, 1.0);
+  EXPECT_EQ(data.size(), 2u);
+  EXPECT_EQ(data.num_features(), 2u);
+  EXPECT_DOUBLE_EQ(data.row(0)[0], 10.0);
+  EXPECT_DOUBLE_EQ(data.row(1)[1], 6.0);
+  EXPECT_DOUBLE_EQ(data.target(0), 0.5);
+  EXPECT_DOUBLE_EQ(data.targets()[1], 1.0);
+}
+
+TEST(DatasetTest, FeatureCountEnforced) {
+  Dataset data({"x"});
+  EXPECT_THROW(data.add(std::array<double, 2>{1.0, 2.0}, 0.0), Error);
+}
+
+TEST(DatasetTest, FeatureMaxAndTargetMean) {
+  Dataset data({"x"});
+  data.add(std::array<double, 1>{-5.0}, 2.0);
+  data.add(std::array<double, 1>{3.0}, 4.0);
+  EXPECT_DOUBLE_EQ(data.feature_max(0), 5.0);
+  EXPECT_DOUBLE_EQ(data.target_mean(), 3.0);
+  EXPECT_THROW(data.feature_max(1), Error);
+}
+
+TEST(DatasetTest, SplitPartitionsAllRows) {
+  Dataset data({"x"});
+  for (int i = 0; i < 100; ++i)
+    data.add(std::array<double, 1>{static_cast<double>(i)}, i * 2.0);
+  const auto [train, test] = data.split(0.7, 42);
+  EXPECT_EQ(train.size(), 70u);
+  EXPECT_EQ(test.size(), 30u);
+  // Every original target appears exactly once across the two halves.
+  std::vector<double> all;
+  for (std::size_t i = 0; i < train.size(); ++i)
+    all.push_back(train.target(i));
+  for (std::size_t i = 0; i < test.size(); ++i) all.push_back(test.target(i));
+  std::sort(all.begin(), all.end());
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(i)], i * 2.0);
+}
+
+TEST(DatasetTest, SplitDeterministicPerSeed) {
+  Dataset data({"x"});
+  for (int i = 0; i < 50; ++i)
+    data.add(std::array<double, 1>{static_cast<double>(i)}, i * 1.0);
+  const auto [a_train, a_test] = data.split(0.5, 7);
+  const auto [b_train, b_test] = data.split(0.5, 7);
+  ASSERT_EQ(a_train.size(), b_train.size());
+  for (std::size_t i = 0; i < a_train.size(); ++i)
+    EXPECT_DOUBLE_EQ(a_train.target(i), b_train.target(i));
+  const auto [c_train, c_test] = data.split(0.5, 8);
+  bool differs = false;
+  for (std::size_t i = 0; i < a_train.size(); ++i)
+    if (a_train.target(i) != c_train.target(i)) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(DatasetTest, SplitRejectsBadFraction) {
+  Dataset data({"x"});
+  data.add(std::array<double, 1>{1.0}, 1.0);
+  EXPECT_THROW(data.split(0.0, 1), Error);
+  EXPECT_THROW(data.split(1.0, 1), Error);
+}
+
+}  // namespace
+}  // namespace picp

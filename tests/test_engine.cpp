@@ -1,0 +1,94 @@
+#include "bsst/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace picp {
+namespace {
+
+/// Records every event it receives; optionally re-schedules.
+class Recorder final : public Component {
+ public:
+  Recorder(ComponentId id, std::vector<std::pair<SimTime, std::int64_t>>& log)
+      : Component(id, "recorder"), log_(&log) {}
+
+  void handle(Engine& engine, const Event& event) override {
+    log_->push_back({engine.now(), event.a});
+    if (event.kind == 1 && event.a > 0)  // countdown chain
+      engine.schedule(id(), id(), 1.0, 1, event.a - 1);
+  }
+
+ private:
+  std::vector<std::pair<SimTime, std::int64_t>>* log_;
+};
+
+TEST(EngineTest, DispatchesInOrderAndAdvancesClock) {
+  Engine engine;
+  std::vector<std::pair<SimTime, std::int64_t>> log;
+  engine.add_component(std::make_unique<Recorder>(0, log));
+  engine.schedule(-1, 0, 5.0, 0, 1);
+  engine.schedule(-1, 0, 2.0, 0, 2);
+  engine.schedule(-1, 0, 8.0, 0, 3);
+  EXPECT_EQ(engine.run(), 3u);
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_DOUBLE_EQ(log[0].first, 2.0);
+  EXPECT_EQ(log[0].second, 2);
+  EXPECT_DOUBLE_EQ(log[2].first, 8.0);
+  EXPECT_DOUBLE_EQ(engine.now(), 8.0);
+}
+
+TEST(EngineTest, SelfSchedulingChainTerminates) {
+  Engine engine;
+  std::vector<std::pair<SimTime, std::int64_t>> log;
+  engine.add_component(std::make_unique<Recorder>(0, log));
+  engine.schedule(-1, 0, 0.0, 1, 5);  // countdown 5 → 0
+  EXPECT_EQ(engine.run(), 6u);
+  EXPECT_DOUBLE_EQ(engine.now(), 5.0);
+  EXPECT_EQ(log.back().second, 0);
+}
+
+TEST(EngineTest, MaxEventsLimitsDispatch) {
+  Engine engine;
+  std::vector<std::pair<SimTime, std::int64_t>> log;
+  engine.add_component(std::make_unique<Recorder>(0, log));
+  engine.schedule(-1, 0, 0.0, 1, 100);
+  EXPECT_EQ(engine.run(10), 10u);
+  EXPECT_EQ(log.size(), 10u);
+  EXPECT_EQ(engine.run(), 91u);  // remaining chain
+}
+
+TEST(EngineTest, ComponentIdMustMatchOrder) {
+  Engine engine;
+  std::vector<std::pair<SimTime, std::int64_t>> log;
+  EXPECT_THROW(engine.add_component(std::make_unique<Recorder>(3, log)),
+               Error);
+}
+
+TEST(EngineTest, NegativeDelayThrows) {
+  Engine engine;
+  std::vector<std::pair<SimTime, std::int64_t>> log;
+  engine.add_component(std::make_unique<Recorder>(0, log));
+  EXPECT_THROW(engine.schedule(-1, 0, -1.0, 0), Error);
+}
+
+TEST(EngineTest, UnknownDestinationThrows) {
+  Engine engine;
+  EXPECT_THROW(engine.schedule(-1, 0, 1.0, 0), Error);
+}
+
+TEST(EngineTest, EventsProcessedAccumulates) {
+  Engine engine;
+  std::vector<std::pair<SimTime, std::int64_t>> log;
+  engine.add_component(std::make_unique<Recorder>(0, log));
+  engine.schedule(-1, 0, 1.0, 0);
+  engine.run();
+  engine.schedule(-1, 0, 1.0, 0);
+  engine.run();
+  EXPECT_EQ(engine.events_processed(), 2u);
+}
+
+}  // namespace
+}  // namespace picp

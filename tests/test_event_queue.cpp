@@ -1,0 +1,75 @@
+#include "bsst/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace picp {
+namespace {
+
+Event make_event(SimTime time, ComponentId dst = 0) {
+  Event e;
+  e.time = time;
+  e.dst = dst;
+  return e;
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  q.push(make_event(3.0));
+  q.push(make_event(1.0));
+  q.push(make_event(2.0));
+  EXPECT_DOUBLE_EQ(q.pop().time, 1.0);
+  EXPECT_DOUBLE_EQ(q.pop().time, 2.0);
+  EXPECT_DOUBLE_EQ(q.pop().time, 3.0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TiesBreakInScheduleOrder) {
+  EventQueue q;
+  for (ComponentId id = 0; id < 10; ++id) q.push(make_event(5.0, id));
+  for (ComponentId id = 0; id < 10; ++id) EXPECT_EQ(q.pop().dst, id);
+}
+
+TEST(EventQueue, SizeAndPeek) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  q.push(make_event(2.0));
+  q.push(make_event(1.0));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_DOUBLE_EQ(q.peek().time, 1.0);
+  EXPECT_EQ(q.size(), 2u);  // peek does not remove
+}
+
+TEST(EventQueue, PopEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.pop(), Error);
+}
+
+TEST(EventQueue, RandomStressStaysSorted) {
+  EventQueue q;
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 5000; ++i) q.push(make_event(rng.uniform(0, 100)));
+  SimTime prev = -1.0;
+  while (!q.empty()) {
+    const SimTime t = q.pop().time;
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(EventQueue, InterleavedPushPop) {
+  EventQueue q;
+  q.push(make_event(10.0));
+  q.push(make_event(5.0));
+  EXPECT_DOUBLE_EQ(q.pop().time, 5.0);
+  q.push(make_event(1.0));
+  q.push(make_event(20.0));
+  EXPECT_DOUBLE_EQ(q.pop().time, 1.0);
+  EXPECT_DOUBLE_EQ(q.pop().time, 10.0);
+  EXPECT_DOUBLE_EQ(q.pop().time, 20.0);
+}
+
+}  // namespace
+}  // namespace picp

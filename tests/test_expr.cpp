@@ -1,0 +1,102 @@
+#include "model/expr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "util/error.hpp"
+
+namespace picp {
+namespace {
+
+Expr parse(const std::string& tokens) { return Expr::from_tokens(tokens); }
+
+TEST(ExprTest, ConstantsAndVariables) {
+  EXPECT_DOUBLE_EQ(Expr::constant(3.5).evaluate({}), 3.5);
+  const std::array<double, 2> x = {10.0, 20.0};
+  EXPECT_DOUBLE_EQ(Expr::variable(0).evaluate(x), 10.0);
+  EXPECT_DOUBLE_EQ(Expr::variable(1).evaluate(x), 20.0);
+}
+
+TEST(ExprTest, OutOfRangeVariableIsZero) {
+  const std::array<double, 1> x = {10.0};
+  EXPECT_DOUBLE_EQ(Expr::variable(5).evaluate(x), 0.0);
+}
+
+TEST(ExprTest, Arithmetic) {
+  const std::array<double, 2> x = {6.0, 2.0};
+  EXPECT_DOUBLE_EQ(parse("add v0 v1").evaluate(x), 8.0);
+  EXPECT_DOUBLE_EQ(parse("sub v0 v1").evaluate(x), 4.0);
+  EXPECT_DOUBLE_EQ(parse("mul v0 v1").evaluate(x), 12.0);
+  EXPECT_DOUBLE_EQ(parse("div v0 v1").evaluate(x), 3.0);
+  EXPECT_DOUBLE_EQ(parse("sqrt v0 ").evaluate(std::array<double, 1>{16.0}),
+                   4.0);
+  EXPECT_DOUBLE_EQ(parse("sq v1").evaluate(x), 4.0);
+}
+
+TEST(ExprTest, NestedExpression) {
+  // (x0 + 2) * sqrt(x1)
+  const Expr e = parse("mul add v0 c2 sqrt v1");
+  const std::array<double, 2> x = {3.0, 9.0};
+  EXPECT_DOUBLE_EQ(e.evaluate(x), 15.0);
+}
+
+TEST(ExprTest, ProtectedDivisionByZero) {
+  const std::array<double, 2> x = {5.0, 0.0};
+  EXPECT_DOUBLE_EQ(parse("div v0 v1").evaluate(x), 5.0);  // a when |b| tiny
+}
+
+TEST(ExprTest, ProtectedSqrtOfNegative) {
+  EXPECT_DOUBLE_EQ(parse("sqrt c-9").evaluate({}), 3.0);
+}
+
+TEST(ExprTest, SubtreeEnd) {
+  const Expr e = parse("mul add v0 c2 sqrt v1");
+  // nodes: [mul, add, v0, c2, sqrt, v1]
+  EXPECT_EQ(e.subtree_end(0), 6u);
+  EXPECT_EQ(e.subtree_end(1), 4u);  // add v0 c2
+  EXPECT_EQ(e.subtree_end(2), 3u);  // v0
+  EXPECT_EQ(e.subtree_end(4), 6u);  // sqrt v1
+}
+
+TEST(ExprTest, Depth) {
+  EXPECT_EQ(Expr::constant(1.0).depth(), 1);
+  EXPECT_EQ(parse("add v0 v1").depth(), 2);
+  EXPECT_EQ(parse("mul add v0 c2 sqrt v1").depth(), 3);
+  EXPECT_EQ(parse("sqrt sqrt sqrt v0").depth(), 4);
+}
+
+TEST(ExprTest, TokensRoundTrip) {
+  for (const std::string tokens :
+       {"add v0 v1", "mul add v0 c2 sqrt v1", "c3.25", "v7",
+        "div sq v0 add c1 v1"}) {
+    const Expr e = parse(tokens);
+    const Expr back = Expr::from_tokens(e.to_tokens());
+    ASSERT_EQ(e.size(), back.size());
+    const std::array<double, 8> x = {1.5, 2.5, 3, 4, 5, 6, 7, 8.5};
+    EXPECT_DOUBLE_EQ(e.evaluate(x), back.evaluate(x));
+  }
+}
+
+TEST(ExprTest, ToStringUsesFeatureNames) {
+  const Expr e = parse("add v0 mul c2 v1");
+  const std::vector<std::string> names = {"np", "ngp"};
+  const std::string s = e.to_string(names);
+  EXPECT_NE(s.find("np"), std::string::npos);
+  EXPECT_NE(s.find("ngp"), std::string::npos);
+}
+
+TEST(ExprTest, MalformedTokensThrow) {
+  EXPECT_THROW(parse(""), Error);
+  EXPECT_THROW(parse("bogus"), Error);
+  EXPECT_THROW(parse("add v0"), Error);      // missing operand
+  EXPECT_THROW(parse("add v0 v1 v2"), Error);  // trailing junk
+}
+
+TEST(ExprTest, EmptyEvaluationThrows) {
+  const Expr e;
+  EXPECT_THROW(e.evaluate({}), Error);
+}
+
+}  // namespace
+}  // namespace picp

@@ -1,0 +1,167 @@
+#include "trace/extrapolate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "mapping/bin_mapper.hpp"
+#include "trace/trace_writer.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace picp {
+namespace {
+
+std::string write_drifting_trace(std::size_t np, std::size_t samples,
+                                 const std::string& name) {
+  const std::string path = testing::TempDir() + "/" + name;
+  const Aabb domain(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  Xoshiro256 rng(3);
+  std::vector<Vec3> pos(np);
+  for (auto& p : pos)
+    p = Vec3(rng.uniform(0.2, 0.5), rng.uniform(0.2, 0.5),
+             rng.uniform(0.1, 0.3));
+  TraceWriter writer(path, np, 10, domain, CoordKind::kFloat64);
+  for (std::size_t s = 0; s < samples; ++s) {
+    writer.append(s * 10, pos);
+    for (auto& p : pos) {
+      p.x = std::min(p.x + 0.02, 0.95);
+      p.z = std::min(p.z + 0.03, 0.95);
+    }
+  }
+  return path;
+}
+
+TEST(Extrapolate, ProducesRequestedCountAndSamples) {
+  const std::string in = write_drifting_trace(500, 6, "xp_in1.bin");
+  const std::string out = testing::TempDir() + "/xp_out1.bin";
+  TraceReader reader(in);
+  ExtrapolationParams params;
+  params.target_particles = 2000;
+  EXPECT_EQ(extrapolate_trace(reader, out, params), 6u);
+  TraceReader check(out);
+  EXPECT_EQ(check.num_particles(), 2000u);
+  EXPECT_EQ(check.num_samples(), 6u);
+  EXPECT_EQ(check.header().sample_stride, 10u);
+  std::remove(in.c_str());
+  std::remove(out.c_str());
+}
+
+TEST(Extrapolate, OriginalsPassThroughUnchanged) {
+  const std::string in = write_drifting_trace(300, 4, "xp_in2.bin");
+  const std::string out = testing::TempDir() + "/xp_out2.bin";
+  TraceReader reader(in);
+  ExtrapolationParams params;
+  params.target_particles = 900;
+  extrapolate_trace(reader, out, params);
+  const auto original = read_full_trace(in);
+  const auto extrapolated = read_full_trace(out);
+  for (std::size_t s = 0; s < original.size(); ++s)
+    for (std::size_t i = 0; i < 300; ++i)
+      EXPECT_EQ(extrapolated[s].positions[i], original[s].positions[i]);
+  std::remove(in.c_str());
+  std::remove(out.c_str());
+}
+
+TEST(Extrapolate, ClonesFollowParents) {
+  const std::string in = write_drifting_trace(200, 5, "xp_in3.bin");
+  const std::string out = testing::TempDir() + "/xp_out3.bin";
+  TraceReader reader(in);
+  ExtrapolationParams params;
+  params.target_particles = 600;
+  extrapolate_trace(reader, out, params);
+  const auto extrapolated = read_full_trace(out);
+  // A clone's offset from its parent is constant across samples (unless
+  // clamped at the domain boundary, which this trace never reaches).
+  for (const std::size_t j : {200u, 350u, 599u}) {
+    const std::size_t parent = j % 200;
+    const Vec3 offset0 = extrapolated[0].positions[j] -
+                         extrapolated[0].positions[parent];
+    for (std::size_t s = 1; s < extrapolated.size(); ++s) {
+      const Vec3 offset = extrapolated[s].positions[j] -
+                          extrapolated[s].positions[parent];
+      EXPECT_NEAR(offset.x, offset0.x, 1e-12);
+      EXPECT_NEAR(offset.y, offset0.y, 1e-12);
+      EXPECT_NEAR(offset.z, offset0.z, 1e-12);
+    }
+  }
+  std::remove(in.c_str());
+  std::remove(out.c_str());
+}
+
+TEST(Extrapolate, PositionsStayInDomain) {
+  const std::string in = write_drifting_trace(200, 3, "xp_in4.bin");
+  const std::string out = testing::TempDir() + "/xp_out4.bin";
+  TraceReader reader(in);
+  ExtrapolationParams params;
+  params.target_particles = 1000;
+  params.offset_scale = 50.0;  // huge offsets force clamping
+  extrapolate_trace(reader, out, params);
+  TraceReader check(out);
+  const Aabb domain = check.header().domain;
+  TraceSample sample;
+  while (check.read_next(sample))
+    for (const Vec3& p : sample.positions)
+      EXPECT_TRUE(domain.contains_closed(p));
+  std::remove(in.c_str());
+  std::remove(out.c_str());
+}
+
+TEST(Extrapolate, PreservesWorkloadShape) {
+  // The paper's intended use: bin decompositions of the synthetic trace
+  // should look like the original's, with per-bin counts scaled ~3x.
+  const std::string in = write_drifting_trace(2000, 4, "xp_in5.bin");
+  const std::string out = testing::TempDir() + "/xp_out5.bin";
+  TraceReader reader(in);
+  ExtrapolationParams params;
+  params.target_particles = 6000;
+  extrapolate_trace(reader, out, params);
+
+  const auto original = read_full_trace(in);
+  const auto synthetic = read_full_trace(out);
+  // Generous bin budget: the threshold (not the budget) must terminate the
+  // recursion, so per-bin counts track density for both clouds.
+  BinMapper mapper_a(512, 0.06);
+  BinMapper mapper_b(512, 0.06);
+  std::vector<Rank> owners;
+  for (std::size_t s = 0; s < original.size(); ++s) {
+    mapper_a.map(original[s].positions, owners);
+    std::vector<std::int64_t> counts_a(512, 0);
+    for (const Rank r : owners) ++counts_a[static_cast<std::size_t>(r)];
+    mapper_b.map(synthetic[s].positions, owners);
+    std::vector<std::int64_t> counts_b(512, 0);
+    for (const Rank r : owners) ++counts_b[static_cast<std::size_t>(r)];
+    const auto peak_a = *std::max_element(counts_a.begin(), counts_a.end());
+    const auto peak_b = *std::max_element(counts_b.begin(), counts_b.end());
+    EXPECT_NEAR(static_cast<double>(peak_b),
+                3.0 * static_cast<double>(peak_a),
+                1.0 * static_cast<double>(peak_a))
+        << "sample " << s;
+  }
+  std::remove(in.c_str());
+  std::remove(out.c_str());
+}
+
+TEST(Extrapolate, RejectsShrinking) {
+  const std::string in = write_drifting_trace(100, 2, "xp_in6.bin");
+  TraceReader reader(in);
+  ExtrapolationParams params;
+  params.target_particles = 50;
+  EXPECT_THROW(extrapolate_trace(reader, testing::TempDir() + "/x.bin",
+                                 params),
+               Error);
+  std::remove(in.c_str());
+}
+
+TEST(MeanSpacing, CubeRootOfVolumePerParticle) {
+  // 1000 particles spread over a unit cube: spacing ~ 0.1.
+  Xoshiro256 rng(5);
+  std::vector<Vec3> pos(1000);
+  for (auto& p : pos)
+    p = Vec3(rng.uniform(0, 1), rng.uniform(0, 1), rng.uniform(0, 1));
+  EXPECT_NEAR(estimate_mean_spacing(pos), 0.1, 0.01);
+  EXPECT_THROW(estimate_mean_spacing({}), Error);
+}
+
+}  // namespace
+}  // namespace picp

@@ -1,0 +1,172 @@
+// Failure injection: corrupted or truncated on-disk artifacts (traces,
+// timing CSVs, model files) must surface as picp::Error with context —
+// never as silent bad data or crashes. These are the files users hand the
+// framework from other machines, so robust rejection is part of the API.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "model/model_set.hpp"
+#include "picsim/instrumentation.hpp"
+#include "trace/trace_reader.hpp"
+#include "trace/trace_writer.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace picp {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string write_valid_trace(const std::string& name, std::size_t np = 50,
+                              std::size_t samples = 3) {
+  const std::string path = testing::TempDir() + "/" + name;
+  TraceWriter writer(path, np, 10, Aabb(Vec3(0, 0, 0), Vec3(1, 1, 1)),
+                     CoordKind::kFloat64);
+  Xoshiro256 rng(1);
+  std::vector<Vec3> pos(np);
+  for (std::size_t s = 0; s < samples; ++s) {
+    for (auto& p : pos)
+      p = Vec3(rng.uniform(0, 1), rng.uniform(0, 1), rng.uniform(0, 1));
+    writer.append(s * 10, pos);
+  }
+  writer.close();
+  return path;
+}
+
+void truncate_file(const std::string& path, std::uintmax_t keep) {
+  fs::resize_file(path, keep);
+}
+
+TEST(FailureInjection, TraceTruncatedMidSampleThrowsOnRead) {
+  const std::string path = write_valid_trace("fi_trunc.bin");
+  const auto size = fs::file_size(path);
+  truncate_file(path, size - 100);  // chop into the last sample
+  TraceReader reader(path);
+  TraceSample sample;
+  ASSERT_TRUE(reader.read_next(sample));
+  ASSERT_TRUE(reader.read_next(sample));
+  EXPECT_THROW(reader.read_next(sample), Error);
+  std::remove(path.c_str());
+}
+
+TEST(FailureInjection, TraceTruncatedInHeaderThrowsOnOpen) {
+  const std::string path = write_valid_trace("fi_hdr.bin");
+  truncate_file(path, 20);  // inside the header
+  EXPECT_THROW(TraceReader reader(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(FailureInjection, TraceWithCorruptedMagicRejected) {
+  const std::string path = write_valid_trace("fi_magic.bin");
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(0);
+    f.write("NOTATRCE", 8);
+  }
+  EXPECT_THROW(TraceReader reader(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(FailureInjection, TraceWithFutureVersionRejected) {
+  const std::string path = write_valid_trace("fi_ver.bin");
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(8);  // version field follows the magic
+    const std::uint32_t version = 99;
+    f.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  }
+  EXPECT_THROW(TraceReader reader(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(FailureInjection, TimingsCsvWithUnknownKernelRejected) {
+  const std::string path = testing::TempDir() + "/fi_timings.csv";
+  {
+    std::ofstream out(path);
+    out << "interval,rank,kernel,seconds,np,ngp,nmove,filter,nel\n";
+    out << "0,1,warp_drive,1e-6,10,0,0,0.02,4\n";
+  }
+  EXPECT_THROW(KernelTimings::load_csv(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(FailureInjection, TimingsCsvWithMissingColumnsRejected) {
+  const std::string path = testing::TempDir() + "/fi_cols.csv";
+  {
+    std::ofstream out(path);
+    out << "interval,rank,kernel,seconds\n";
+    out << "0,1,push,1e-6\n";
+  }
+  EXPECT_THROW(KernelTimings::load_csv(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(FailureInjection, TimingsCsvWithGarbageNumbersRejected) {
+  const std::string path = testing::TempDir() + "/fi_nums.csv";
+  {
+    std::ofstream out(path);
+    out << "interval,rank,kernel,seconds,np,ngp,nmove,filter,nel\n";
+    out << "0,1,push,not_a_number,10,0,0,0.02,4\n";
+  }
+  EXPECT_THROW(KernelTimings::load_csv(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(FailureInjection, LegacyEightColumnTimingsAccepted) {
+  // Backward compatibility: pre-fluid CSVs lack the nel column.
+  const std::string path = testing::TempDir() + "/fi_legacy.csv";
+  {
+    std::ofstream out(path);
+    out << "interval,rank,kernel,seconds,np,ngp,nmove,filter\n";
+    out << "2,7,push,1.5e-6,10,0,0,0.02\n";
+  }
+  const KernelTimings timings = KernelTimings::load_csv(path);
+  ASSERT_EQ(timings.size(), 1u);
+  EXPECT_DOUBLE_EQ(timings.records()[0].nel, 0.0);
+  EXPECT_EQ(timings.records()[0].rank, 7);
+  std::remove(path.c_str());
+}
+
+TEST(FailureInjection, ModelFileWithBadStructureRejected) {
+  const std::string path = testing::TempDir() + "/fi_models.txt";
+  {
+    std::ofstream out(path);
+    out << "push | np | linear 1e-7 2e-8 3e-8\n";  // arity mismatch (2 coefs)
+  }
+  EXPECT_THROW(ModelSet::load(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(FailureInjection, ModelFileWithMalformedExpressionRejected) {
+  const std::string path = testing::TempDir() + "/fi_expr.txt";
+  {
+    std::ofstream out(path);
+    out << "project | np,ngp,filter | sym 1 0 add v0\n";  // missing operand
+  }
+  EXPECT_THROW(ModelSet::load(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(FailureInjection, ModelFileWithMissingSectionsRejected) {
+  const std::string path = testing::TempDir() + "/fi_sections.txt";
+  {
+    std::ofstream out(path);
+    out << "push np linear 1 2\n";  // no '|' separators
+  }
+  EXPECT_THROW(ModelSet::load(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(FailureInjection, ReaderSurvivesEmptyFile) {
+  const std::string path = testing::TempDir() + "/fi_empty.bin";
+  { std::ofstream out(path, std::ios::binary); }
+  EXPECT_THROW(TraceReader reader(path), Error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace picp

@@ -1,0 +1,96 @@
+#include "core/features.hpp"
+
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace picp {
+namespace {
+
+TEST(KernelFeatures, RegistryShapes) {
+  EXPECT_EQ(kernel_features(Kernel::kInterpolate),
+            (std::vector<std::string>{"np"}));
+  EXPECT_EQ(kernel_features(Kernel::kEqSolve),
+            (std::vector<std::string>{"np"}));
+  EXPECT_EQ(kernel_features(Kernel::kPush),
+            (std::vector<std::string>{"np"}));
+  EXPECT_EQ(kernel_features(Kernel::kProject),
+            (std::vector<std::string>{"np", "ngp", "filter"}));
+  EXPECT_EQ(kernel_features(Kernel::kCreateGhost),
+            (std::vector<std::string>{"np", "ngp", "filter"}));
+  EXPECT_EQ(kernel_features(Kernel::kMigrate),
+            (std::vector<std::string>{"np", "nmove"}));
+  EXPECT_EQ(kernel_features(Kernel::kFluid),
+            (std::vector<std::string>{"nel"}));
+}
+
+TEST(FeaturesFromRecord, PullsRecordedValues) {
+  TimingRecord rec;
+  rec.np = 12;
+  rec.ngp = 5;
+  rec.nmove = 3;
+  rec.filter = 0.07;
+  EXPECT_EQ(features_from_record(Kernel::kPush, rec),
+            (std::vector<double>{12.0}));
+  EXPECT_EQ(features_from_record(Kernel::kProject, rec),
+            (std::vector<double>{12.0, 5.0, 0.07}));
+  EXPECT_EQ(features_from_record(Kernel::kMigrate, rec),
+            (std::vector<double>{12.0, 3.0}));
+  rec.nel = 63;
+  EXPECT_EQ(features_from_record(Kernel::kFluid, rec),
+            (std::vector<double>{63.0}));
+}
+
+TEST(FeaturesFromWorkload, PullsGeneratedValues) {
+  WorkloadResult workload;
+  workload.num_ranks = 3;
+  workload.comp_real = CompMatrix(3, 2);
+  workload.comp_ghost = CompMatrix(3, 2);
+  workload.comm_real = CommMatrix(3, 2);
+  workload.comp_real.set(1, 0, 40);
+  workload.comp_ghost.set(1, 0, 7);
+  workload.comm_real.add(0, 1, 0, 4);
+  workload.comm_real.add(2, 1, 0, 2);
+
+  EXPECT_EQ(features_from_workload(Kernel::kInterpolate, workload, 1, 0, 0.1),
+            (std::vector<double>{40.0}));
+  EXPECT_EQ(features_from_workload(Kernel::kProject, workload, 1, 0, 0.1),
+            (std::vector<double>{40.0, 7.0, 0.1}));
+  // Migration features: owned particles scanned + receive-side arrivals.
+  EXPECT_EQ(features_from_workload(Kernel::kMigrate, workload, 1, 0, 0.1),
+            (std::vector<double>{40.0, 6.0}));
+  // Idle rank: all-zero features.
+  EXPECT_EQ(features_from_workload(Kernel::kProject, workload, 2, 0, 0.1),
+            (std::vector<double>{0.0, 0.0, 0.1}));
+  // Fluid features come from the static element partition.
+  workload.elements_per_rank = {10, 20, 30};
+  EXPECT_EQ(features_from_workload(Kernel::kFluid, workload, 1, 0, 0.1),
+            (std::vector<double>{20.0}));
+}
+
+TEST(FeaturesFromWorkload, FluidWithoutElementCountsThrows) {
+  WorkloadResult workload;
+  workload.num_ranks = 2;
+  workload.comp_real = CompMatrix(2, 1);
+  workload.comp_ghost = CompMatrix(2, 1);
+  workload.comm_real = CommMatrix(2, 1);
+  EXPECT_THROW(features_from_workload(Kernel::kFluid, workload, 0, 0, 0.1),
+               Error);
+}
+
+TEST(FeatureSides, RecordAndWorkloadAgreeOnNames) {
+  // Both sides must produce vectors matching kernel_features order.
+  TimingRecord rec;
+  rec.np = 1;
+  rec.ngp = 2;
+  rec.nmove = 3;
+  rec.filter = 4;
+  for (int k = 0; k < kNumKernels; ++k) {
+    const auto kernel = static_cast<Kernel>(k);
+    EXPECT_EQ(features_from_record(kernel, rec).size(),
+              kernel_features(kernel).size());
+  }
+}
+
+}  // namespace
+}  // namespace picp

@@ -1,0 +1,151 @@
+#include "picsim/gas_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace picp {
+namespace {
+
+Aabb domain() { return Aabb(Vec3(0, 0, 0), Vec3(1, 1, 2)); }
+
+GasParams default_params() {
+  GasParams p;
+  p.center = Vec3(0.5, 0.5, -0.12);
+  return p;
+}
+
+TEST(GasModel, AmplitudeDecaysExponentially) {
+  const GasModel gas(default_params(), domain());
+  const double a0 = gas.amplitude(0.0);
+  EXPECT_DOUBLE_EQ(a0, default_params().gas_speed);
+  EXPECT_NEAR(gas.amplitude(default_params().decay_time), a0 / M_E, 1e-12);
+  EXPECT_GT(gas.amplitude(0.1), gas.amplitude(0.2));
+}
+
+TEST(GasModel, FrontFactorBehindAndAhead) {
+  const GasModel gas(default_params(), domain());
+  const double t = 0.2;
+  const double front = default_params().front_start +
+                       default_params().shock_speed * t;
+  EXPECT_DOUBLE_EQ(gas.front_factor(front - 1.0, t), 1.0);
+  EXPECT_DOUBLE_EQ(gas.front_factor(front + 1.0, t), 0.0);
+  EXPECT_NEAR(gas.front_factor(front, t), 0.5, 1e-12);
+}
+
+TEST(GasModel, FrontFactorMonotoneInDistance) {
+  const GasModel gas(default_params(), domain());
+  double prev = 1.0;
+  for (double d = 0.0; d < 1.0; d += 0.01) {
+    const double f = gas.front_factor(d, 0.2);
+    EXPECT_LE(f, prev + 1e-12);
+    prev = f;
+  }
+}
+
+TEST(GasModel, FrontAdvancesWithTime) {
+  const GasModel gas(default_params(), domain());
+  const double d = 0.8;
+  EXPECT_LE(gas.front_factor(d, 0.1), gas.front_factor(d, 0.5));
+}
+
+TEST(GasModel, VelocityFactorizes) {
+  const GasModel gas(default_params(), domain());
+  const Vec3 p(0.3, 0.7, 0.4);
+  const double t = 0.15;
+  const Vec3 v = gas.velocity(p, t);
+  const Vec3 expected = (gas.amplitude(t) *
+                         gas.front_factor(gas.front_coord(p), t)) *
+                        gas.direction(p);
+  EXPECT_NEAR(v.x, expected.x, 1e-15);
+  EXPECT_NEAR(v.y, expected.y, 1e-15);
+  EXPECT_NEAR(v.z, expected.z, 1e-15);
+}
+
+TEST(GasModel, DirectionPointsAwayFromCenter) {
+  const GasModel gas(default_params(), domain());
+  for (const Vec3 p : {Vec3(0.2, 0.5, 0.1), Vec3(0.8, 0.8, 1.0),
+                       Vec3(0.5, 0.1, 0.3)}) {
+    const Vec3 rel = p - default_params().center;
+    const Vec3 dir = gas.direction(p);
+    EXPECT_GT(dir.dot(rel), 0.0) << "at " << p;
+  }
+}
+
+TEST(GasModel, DirectionAtCenterIsPureLift) {
+  const GasModel gas(default_params(), domain());
+  const Vec3 dir = gas.direction(default_params().center);
+  EXPECT_DOUBLE_EQ(dir.x, 0.0);
+  EXPECT_DOUBLE_EQ(dir.y, 0.0);
+  EXPECT_DOUBLE_EQ(dir.z, default_params().lift);
+}
+
+TEST(GasModel, ExpansionGrowsWithDistance) {
+  // The expansion fan is self-similar: the radial component scales with the
+  // distance from the blast center.
+  GasParams p = default_params();
+  p.jet_amplitude = 0.0;
+  p.lift = 0.0;
+  const GasModel gas(p, domain());
+  const Vec3 near = gas.direction(p.center + Vec3(0.1, 0.0, 0.1));
+  const Vec3 far = gas.direction(p.center + Vec3(0.2, 0.0, 0.2));
+  EXPECT_NEAR(far.norm(), 2.0 * near.norm(), 1e-12);
+}
+
+TEST(GasModel, JetLobesModulateSpeed) {
+  GasParams p = default_params();
+  p.jet_amplitude = 0.5;
+  p.jet_count = 4;
+  const GasModel gas(p, domain());
+  // Same distance from the axis, different azimuth: lobe pattern changes
+  // the magnitude.
+  const double r = 0.2;
+  double min_mag = 1e9, max_mag = 0.0;
+  for (int k = 0; k < 16; ++k) {
+    const double theta = 2.0 * M_PI * k / 16.0;
+    const Vec3 q(p.center.x + r * std::cos(theta),
+                 p.center.y + r * std::sin(theta), 0.5);
+    const double mag = gas.direction(q).norm();
+    min_mag = std::min(min_mag, mag);
+    max_mag = std::max(max_mag, mag);
+  }
+  EXPECT_GT(max_mag, min_mag * 1.2);
+}
+
+TEST(GasModel, ZeroJetAmplitudeIsAxisymmetric) {
+  GasParams p = default_params();
+  p.jet_amplitude = 0.0;
+  const GasModel gas(p, domain());
+  // Without lobes the field is rotationally symmetric about the axis.
+  const double a = gas.direction(p.center + Vec3(0.2, 0.0, 0.4)).norm();
+  const double b = gas.direction(p.center + Vec3(0.0, 0.2, 0.4)).norm();
+  const double c = gas.direction(p.center + Vec3(0.1414213562373095,
+                                                 0.1414213562373095, 0.4))
+                       .norm();
+  EXPECT_NEAR(a, b, 1e-12);
+  EXPECT_NEAR(a, c, 1e-12);
+}
+
+TEST(GasModel, VelocityZeroAheadOfFront) {
+  const GasModel gas(default_params(), domain());
+  // At t=0 the front is at the center; far points see no gas yet.
+  const Vec3 v = gas.velocity(Vec3(0.5, 0.5, 1.9), 0.0);
+  EXPECT_DOUBLE_EQ(v.norm(), 0.0);
+}
+
+TEST(GasModel, RejectsBadParams) {
+  GasParams p = default_params();
+  p.decay_time = 0.0;
+  EXPECT_THROW(GasModel(p, domain()), Error);
+  p = default_params();
+  p.jet_amplitude = 1.5;
+  EXPECT_THROW(GasModel(p, domain()), Error);
+  p = default_params();
+  p.shock_speed = -1.0;
+  EXPECT_THROW(GasModel(p, domain()), Error);
+}
+
+}  // namespace
+}  // namespace picp

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "geom/aabb.hpp"
+#include "geom/grid_indexer.hpp"
+#include "geom/vec3.hpp"
+#include "util/error.hpp"
+
+namespace picp {
+namespace {
+
+TEST(Vec3Test, Arithmetic) {
+  const Vec3 a(1, 2, 3), b(4, 5, 6);
+  EXPECT_EQ(a + b, Vec3(5, 7, 9));
+  EXPECT_EQ(b - a, Vec3(3, 3, 3));
+  EXPECT_EQ(a * 2.0, Vec3(2, 4, 6));
+  EXPECT_EQ(2.0 * a, Vec3(2, 4, 6));
+  EXPECT_DOUBLE_EQ(a.dot(b), 32.0);
+  EXPECT_DOUBLE_EQ(Vec3(3, 4, 0).norm(), 5.0);
+  EXPECT_DOUBLE_EQ(Vec3(3, 4, 0).norm2(), 25.0);
+}
+
+TEST(Vec3Test, IndexAccess) {
+  Vec3 v(1, 2, 3);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[1], 2.0);
+  EXPECT_DOUBLE_EQ(v[2], 3.0);
+  v.set(1, 9.0);
+  EXPECT_DOUBLE_EQ(v.y, 9.0);
+}
+
+TEST(AabbTest, DefaultIsEmpty) {
+  const Aabb box;
+  EXPECT_TRUE(box.empty());
+  EXPECT_FALSE(box.valid());
+}
+
+TEST(AabbTest, ExpandByPoints) {
+  Aabb box;
+  box.expand(Vec3(1, 2, 3));
+  box.expand(Vec3(-1, 5, 0));
+  EXPECT_TRUE(box.valid());
+  EXPECT_EQ(box.lo, Vec3(-1, 2, 0));
+  EXPECT_EQ(box.hi, Vec3(1, 5, 3));
+}
+
+TEST(AabbTest, ContainsHalfOpen) {
+  const Aabb box(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  EXPECT_TRUE(box.contains(Vec3(0, 0, 0)));
+  EXPECT_FALSE(box.contains(Vec3(1, 1, 1)));
+  EXPECT_TRUE(box.contains_closed(Vec3(1, 1, 1)));
+  EXPECT_TRUE(box.contains(Vec3(0.5, 0.5, 0.5)));
+  EXPECT_FALSE(box.contains(Vec3(-0.1, 0.5, 0.5)));
+}
+
+TEST(AabbTest, ExtentCenterVolume) {
+  const Aabb box(Vec3(0, 0, 0), Vec3(2, 4, 8));
+  EXPECT_EQ(box.extent(), Vec3(2, 4, 8));
+  EXPECT_EQ(box.center(), Vec3(1, 2, 4));
+  EXPECT_DOUBLE_EQ(box.volume(), 64.0);
+}
+
+TEST(AabbTest, LongestAxis) {
+  EXPECT_EQ(Aabb(Vec3(0, 0, 0), Vec3(3, 1, 1)).longest_axis(), 0);
+  EXPECT_EQ(Aabb(Vec3(0, 0, 0), Vec3(1, 3, 1)).longest_axis(), 1);
+  EXPECT_EQ(Aabb(Vec3(0, 0, 0), Vec3(1, 1, 3)).longest_axis(), 2);
+  // Ties go to the earlier axis.
+  EXPECT_EQ(Aabb(Vec3(0, 0, 0), Vec3(2, 2, 1)).longest_axis(), 0);
+}
+
+TEST(AabbTest, Overlaps) {
+  const Aabb a(Vec3(0, 0, 0), Vec3(2, 2, 2));
+  EXPECT_TRUE(a.overlaps(Aabb(Vec3(1, 1, 1), Vec3(3, 3, 3))));
+  EXPECT_FALSE(a.overlaps(Aabb(Vec3(3, 0, 0), Vec3(4, 1, 1))));
+  // Touching faces (open overlap) do not count.
+  EXPECT_FALSE(a.overlaps(Aabb(Vec3(2, 0, 0), Vec3(3, 1, 1))));
+}
+
+TEST(AabbTest, Distance2) {
+  const Aabb box(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  EXPECT_DOUBLE_EQ(box.distance2(Vec3(0.5, 0.5, 0.5)), 0.0);
+  EXPECT_DOUBLE_EQ(box.distance2(Vec3(2, 0.5, 0.5)), 1.0);
+  EXPECT_DOUBLE_EQ(box.distance2(Vec3(2, 2, 0.5)), 2.0);
+  EXPECT_DOUBLE_EQ(box.distance2(Vec3(-1, -1, -1)), 3.0);
+}
+
+TEST(AabbTest, Inflated) {
+  const Aabb box(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  const Aabb big = box.inflated(0.5);
+  EXPECT_EQ(big.lo, Vec3(-0.5, -0.5, -0.5));
+  EXPECT_EQ(big.hi, Vec3(1.5, 1.5, 1.5));
+}
+
+TEST(GridIndexerTest, CellLookup) {
+  const GridIndexer grid(Aabb(Vec3(0, 0, 0), Vec3(4, 2, 2)), 4, 2, 2);
+  EXPECT_EQ(grid.cell_count(), 16);
+  const auto c = grid.cell_of(Vec3(2.5, 1.5, 0.5));
+  EXPECT_EQ(c[0], 2);
+  EXPECT_EQ(c[1], 1);
+  EXPECT_EQ(c[2], 0);
+}
+
+TEST(GridIndexerTest, BoundaryClamping) {
+  const GridIndexer grid(Aabb(Vec3(0, 0, 0), Vec3(1, 1, 1)), 2, 2, 2);
+  // Upper boundary and beyond clamp to the last cell.
+  auto c = grid.cell_of(Vec3(1.0, 1.0, 1.0));
+  EXPECT_EQ(c[0], 1);
+  c = grid.cell_of(Vec3(-5.0, 0.5, 2.0));
+  EXPECT_EQ(c[0], 0);
+  EXPECT_EQ(c[2], 1);
+}
+
+TEST(GridIndexerTest, FlatIndexRoundTrip) {
+  const GridIndexer grid(Aabb(Vec3(0, 0, 0), Vec3(1, 1, 1)), 3, 4, 5);
+  for (std::int64_t flat = 0; flat < grid.cell_count(); ++flat) {
+    const auto c = grid.unflatten(flat);
+    EXPECT_EQ(grid.flat_index(c[0], c[1], c[2]), flat);
+  }
+}
+
+TEST(GridIndexerTest, CellBoundsTileDomain) {
+  const GridIndexer grid(Aabb(Vec3(0, 0, 0), Vec3(2, 2, 2)), 2, 2, 2);
+  double volume = 0.0;
+  for (std::int64_t flat = 0; flat < grid.cell_count(); ++flat)
+    volume += grid.cell_bounds(flat).volume();
+  EXPECT_NEAR(volume, 8.0, 1e-12);
+}
+
+TEST(GridIndexerTest, PointInItsCellBounds) {
+  const GridIndexer grid(Aabb(Vec3(0, 0, 0), Vec3(1, 2, 3)), 7, 5, 3);
+  const Vec3 p(0.73, 1.21, 2.9);
+  const auto c = grid.cell_of(p);
+  EXPECT_TRUE(grid.cell_bounds(c[0], c[1], c[2]).contains_closed(p));
+}
+
+TEST(GridIndexerTest, InvalidConstruction) {
+  EXPECT_THROW(GridIndexer(Aabb(Vec3(0, 0, 0), Vec3(1, 1, 1)), 0, 1, 1),
+               Error);
+  EXPECT_THROW(GridIndexer(Aabb(Vec3(1, 1, 1), Vec3(1, 2, 2)), 2, 2, 2),
+               Error);
+}
+
+}  // namespace
+}  // namespace picp

@@ -1,0 +1,83 @@
+#include "geom/hilbert.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace picp {
+namespace {
+
+TEST(Hilbert, RoundTripSmall) {
+  const int bits = 3;
+  for (std::uint32_t x = 0; x < 8; ++x)
+    for (std::uint32_t y = 0; y < 8; ++y)
+      for (std::uint32_t z = 0; z < 8; ++z) {
+        const std::uint64_t h = hilbert_index_3d(x, y, z, bits);
+        std::uint32_t rx = 0, ry = 0, rz = 0;
+        hilbert_coords_3d(h, bits, rx, ry, rz);
+        EXPECT_EQ(rx, x);
+        EXPECT_EQ(ry, y);
+        EXPECT_EQ(rz, z);
+      }
+}
+
+TEST(Hilbert, Bijective) {
+  const int bits = 3;
+  std::set<std::uint64_t> seen;
+  for (std::uint32_t x = 0; x < 8; ++x)
+    for (std::uint32_t y = 0; y < 8; ++y)
+      for (std::uint32_t z = 0; z < 8; ++z)
+        seen.insert(hilbert_index_3d(x, y, z, bits));
+  EXPECT_EQ(seen.size(), 512u);
+  EXPECT_EQ(*seen.rbegin(), 511u);  // indices are exactly [0, 8^3)
+}
+
+TEST(Hilbert, ConsecutiveIndicesAreAdjacentCells) {
+  // The defining Hilbert property: consecutive curve positions differ by
+  // exactly one step along exactly one axis.
+  const int bits = 4;
+  std::uint32_t px = 0, py = 0, pz = 0;
+  hilbert_coords_3d(0, bits, px, py, pz);
+  for (std::uint64_t h = 1; h < (1u << (3 * bits)); ++h) {
+    std::uint32_t x = 0, y = 0, z = 0;
+    hilbert_coords_3d(h, bits, x, y, z);
+    const int manhattan = std::abs(static_cast<int>(x) - static_cast<int>(px)) +
+                          std::abs(static_cast<int>(y) - static_cast<int>(py)) +
+                          std::abs(static_cast<int>(z) - static_cast<int>(pz));
+    ASSERT_EQ(manhattan, 1) << "at h=" << h;
+    px = x;
+    py = y;
+    pz = z;
+  }
+}
+
+TEST(Hilbert, RoundTripRandomLargeBits) {
+  Xoshiro256 rng(99);
+  const int bits = 16;
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = static_cast<std::uint32_t>(rng.uniform_below(1u << bits));
+    const auto y = static_cast<std::uint32_t>(rng.uniform_below(1u << bits));
+    const auto z = static_cast<std::uint32_t>(rng.uniform_below(1u << bits));
+    const std::uint64_t h = hilbert_index_3d(x, y, z, bits);
+    std::uint32_t rx = 0, ry = 0, rz = 0;
+    hilbert_coords_3d(h, bits, rx, ry, rz);
+    ASSERT_EQ(rx, x);
+    ASSERT_EQ(ry, y);
+    ASSERT_EQ(rz, z);
+  }
+}
+
+TEST(Hilbert, RejectsBadArguments) {
+  EXPECT_THROW(hilbert_index_3d(0, 0, 0, 0), Error);
+  EXPECT_THROW(hilbert_index_3d(0, 0, 0, 22), Error);
+  EXPECT_THROW(hilbert_index_3d(8, 0, 0, 3), Error);  // exceeds bit width
+  std::uint32_t x, y, z;
+  EXPECT_THROW(hilbert_coords_3d(0, 0, x, y, z), Error);
+}
+
+}  // namespace
+}  // namespace picp

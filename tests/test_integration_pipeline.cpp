@@ -1,0 +1,119 @@
+// End-to-end integration of the full framework (paper Fig 2): instrumented
+// proxy run → Model Generator → Dynamic Workload Generator → trace-driven
+// system simulation → validation against the instrumented measurements.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "core/trainer.hpp"
+#include "core/validation.hpp"
+#include "picsim/sim_driver.hpp"
+
+namespace picp {
+namespace {
+
+struct EndToEnd {
+  SimConfig cfg;
+  std::string trace_path;
+  SimResult app;
+  ModelSet models;
+  std::unique_ptr<SimDriver> driver;
+
+  EndToEnd() {
+    cfg.nelx = 8;
+    cfg.nely = 8;
+    cfg.nelz = 16;
+    cfg.bed.num_particles = 2000;
+    cfg.num_iterations = 300;
+    cfg.sample_every = 50;
+    cfg.num_ranks = 16;
+    cfg.filter_size = 0.08;
+    cfg.measure = true;
+    cfg.measure_min_seconds = 5e-6;
+    cfg.measure_max_reps = 16;
+    trace_path = testing::TempDir() + "/picp_e2e.bin";
+    driver = std::make_unique<SimDriver>(cfg);
+    app = driver->run(trace_path);
+
+    ModelGenConfig mg;
+    mg.symreg.population = 128;
+    mg.symreg.generations = 25;
+    mg.symreg.threads = 1;
+    models = train_models(app.timings, mg);
+  }
+  ~EndToEnd() { std::remove(trace_path.c_str()); }
+};
+
+TEST(PipelineEndToEnd, FullPredictionRuns) {
+  EndToEnd e;
+  PredictionPipeline pipeline(e.driver->mesh(), e.models);
+  PredictionConfig pc;
+  pc.mapper_kind = "bin";
+  pc.num_ranks = e.cfg.num_ranks;
+  pc.filter_size = e.cfg.filter_size;
+  TraceReader reader(e.trace_path);
+  const PredictionOutcome outcome = pipeline.predict(reader, pc);
+
+  EXPECT_EQ(outcome.workload.num_intervals(), 6u);
+  EXPECT_GT(outcome.sim.total_seconds, 0.0);
+  // Total time includes communication + barriers, so it dominates the pure
+  // compute critical path.
+  EXPECT_GE(outcome.sim.total_seconds,
+            outcome.sim.critical_path_seconds);
+  EXPECT_GT(outcome.sim.events, 0u);
+}
+
+TEST(PipelineEndToEnd, ValidationMapeIsReasonable) {
+  EndToEnd e;
+  PredictionPipeline pipeline(e.driver->mesh(), e.models);
+  PredictionConfig pc;
+  pc.num_ranks = e.cfg.num_ranks;
+  pc.filter_size = e.cfg.filter_size;
+  TraceReader reader(e.trace_path);
+  const WorkloadResult workload = pipeline.generate_workload(reader, pc);
+
+  const Predictor predictor(e.models, e.cfg.filter_size);
+  const ValidationReport report =
+      validate_predictions(e.app.timings, predictor, workload, 1e-6);
+  EXPECT_FALSE(report.kernels.empty());
+  // Tiny workloads on a noisy machine: this guards against gross breakage
+  // (mismatched features, broken replay), not paper-level accuracy.
+  EXPECT_LT(report.average_mape, 80.0);
+  for (const auto& k : report.kernels) EXPECT_GT(k.samples, 0u);
+}
+
+TEST(PipelineEndToEnd, SingleTraceMultipleTargets) {
+  EndToEnd e;
+  PredictionPipeline pipeline(e.driver->mesh(), e.models);
+  TraceReader reader(e.trace_path);
+  double prev_peak = 1e18;
+  for (const Rank ranks : {8, 16, 48}) {
+    PredictionConfig pc;
+    pc.num_ranks = ranks;
+    pc.filter_size = e.cfg.filter_size;
+    const PredictionOutcome outcome = pipeline.predict(reader, pc);
+    EXPECT_EQ(outcome.workload.num_ranks, ranks);
+    EXPECT_GT(outcome.sim.total_seconds, 0.0);
+    // Spreading over more ranks cannot increase the modeled critical path.
+    EXPECT_LE(outcome.sim.critical_path_seconds, prev_peak * 1.05);
+    prev_peak = outcome.sim.critical_path_seconds;
+  }
+}
+
+TEST(PipelineEndToEnd, WorkloadGenerationFarCheaperThanAppRun) {
+  // The §II claim, scaled down: replaying the trace must cost a small
+  // fraction of running the instrumented application.
+  EndToEnd e;
+  PredictionPipeline pipeline(e.driver->mesh(), e.models);
+  PredictionConfig pc;
+  pc.num_ranks = e.cfg.num_ranks;
+  pc.filter_size = e.cfg.filter_size;
+  TraceReader reader(e.trace_path);
+  const PredictionOutcome outcome = pipeline.predict(reader, pc);
+  EXPECT_LT(outcome.workload_gen_seconds, e.app.wall_seconds);
+}
+
+}  // namespace
+}  // namespace picp

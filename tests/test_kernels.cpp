@@ -1,0 +1,249 @@
+#include "picsim/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace picp {
+namespace {
+
+struct KernelWorld {
+  SpectralMesh mesh{Aabb(Vec3(0, 0, 0), Vec3(1, 1, 1)), 4, 4, 4, 5};
+  MeshPartition partition{block_partition(mesh, 4)};
+  GasParams gas_params = [] {
+    GasParams p;
+    p.center = Vec3(0.5, 0.5, -0.2);
+    return p;
+  }();
+  GasModel gas{gas_params, mesh.domain()};
+  PhysicsParams physics;
+  SolverKernels kernels{mesh, gas, physics};
+};
+
+std::vector<std::uint32_t> all_ids(std::size_t n) {
+  std::vector<std::uint32_t> ids(n);
+  std::iota(ids.begin(), ids.end(), 0u);
+  return ids;
+}
+
+TEST(KernelNames, RoundTrip) {
+  for (int k = 0; k < kNumKernels; ++k) {
+    const auto kernel = static_cast<Kernel>(k);
+    EXPECT_EQ(kernel_from_name(kernel_name(kernel)), kernel);
+  }
+  EXPECT_THROW(kernel_from_name("nope"), Error);
+}
+
+TEST(InterpolateKernel, WritesOnlyListedParticles) {
+  KernelWorld w;
+  const std::vector<Vec3> pos = {Vec3(0.2, 0.2, 0.2), Vec3(0.8, 0.8, 0.8)};
+  std::vector<Vec3> gas_out(2, Vec3(99, 99, 99));
+  const std::vector<std::uint32_t> subset = {1};
+  w.kernels.interpolate(pos, subset, 0.5, gas_out);
+  EXPECT_EQ(gas_out[0], Vec3(99, 99, 99));  // untouched
+  EXPECT_NE(gas_out[1], Vec3(99, 99, 99));
+}
+
+TEST(EqSolveKernel, DragPullsTowardGasVelocity) {
+  KernelWorld w;
+  const std::vector<Vec3> pos = {Vec3(0.5, 0.5, 0.5)};
+  const std::vector<Vec3> vel = {Vec3(0, 0, 0)};
+  const std::vector<Vec3> gas = {Vec3(1, 0, 0)};
+  CollisionGrid grid(0.1);
+  grid.rebuild(pos);
+  std::vector<Vec3> out(1);
+  w.kernels.eq_solve(vel, gas, grid, all_ids(1), out);
+  // dv = dt * ((u - v)/tau + g)
+  const double dt = w.physics.dt;
+  EXPECT_NEAR(out[0].x, dt * (1.0 / w.physics.drag_tau), 1e-15);
+  EXPECT_NEAR(out[0].z, dt * w.physics.gravity.z, 1e-15);
+}
+
+TEST(EqSolveKernel, CollisionsRepelOverlappingParticles) {
+  KernelWorld w;
+  PhysicsParams physics;
+  physics.collision_radius = 0.05;
+  physics.collision_stiffness = 100.0;
+  SolverKernels kernels(w.mesh, w.gas, physics);
+  const std::vector<Vec3> pos = {Vec3(0.50, 0.5, 0.5), Vec3(0.52, 0.5, 0.5)};
+  const std::vector<Vec3> vel = {Vec3(), Vec3()};
+  const std::vector<Vec3> gas(2);  // no drag force (vel == gas)
+  CollisionGrid grid(physics.collision_radius);
+  grid.rebuild(pos);
+  std::vector<Vec3> out(2);
+  kernels.eq_solve(vel, gas, grid, all_ids(2), out);
+  EXPECT_LT(out[0].x, 0.0);  // pushed left
+  EXPECT_GT(out[1].x, 0.0);  // pushed right
+  EXPECT_NEAR(out[0].x, -out[1].x, 1e-15);  // Newton's third law
+}
+
+TEST(PushKernel, AdvancesByVelocity) {
+  KernelWorld w;
+  const std::vector<Vec3> pos = {Vec3(0.5, 0.5, 0.5)};
+  std::vector<Vec3> vel = {Vec3(1, 2, -1)};
+  std::vector<Vec3> out(1);
+  w.kernels.push(pos, vel, all_ids(1), out);
+  const double dt = w.physics.dt;
+  EXPECT_NEAR(out[0].x, 0.5 + dt, 1e-15);
+  EXPECT_NEAR(out[0].y, 0.5 + 2 * dt, 1e-15);
+  EXPECT_NEAR(out[0].z, 0.5 - dt, 1e-15);
+}
+
+TEST(PushKernel, ReflectsAtWallsAndStaysInside) {
+  KernelWorld w;
+  const Aabb& domain = w.mesh.domain();
+  // Particle about to cross the upper z wall.
+  const std::vector<Vec3> pos = {Vec3(0.5, 0.5, 0.99999)};
+  std::vector<Vec3> vel = {Vec3(0, 0, 10.0)};
+  std::vector<Vec3> out(1);
+  w.kernels.push(pos, vel, all_ids(1), out);
+  EXPECT_LT(out[0].z, domain.hi.z);
+  EXPECT_GT(out[0].z, domain.lo.z);
+  EXPECT_LT(vel[0].z, 0.0);  // bounced
+  EXPECT_NEAR(vel[0].z, -10.0 * w.physics.wall_restitution, 1e-12);
+}
+
+TEST(PushKernel, HardKickStaysInDomain) {
+  KernelWorld w;
+  Xoshiro256 rng(3);
+  std::vector<Vec3> pos(100);
+  std::vector<Vec3> vel(100);
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    pos[i] = Vec3(rng.uniform(0, 1), rng.uniform(0, 1), rng.uniform(0, 1));
+    vel[i] = Vec3(rng.uniform(-5000, 5000), rng.uniform(-5000, 5000),
+                  rng.uniform(-5000, 5000));
+  }
+  std::vector<Vec3> out(100);
+  w.kernels.push(pos, vel, all_ids(100), out);
+  for (const Vec3& p : out) {
+    EXPECT_TRUE(w.mesh.domain().contains(p)) << p;
+  }
+}
+
+TEST(ProjectKernel, DepositsWithinFilterSupport) {
+  KernelWorld w;
+  ProjectionField field(w.mesh.points_per_dim());
+  const std::vector<Vec3> pos = {Vec3(0.125, 0.125, 0.125)};  // element center
+  const std::int64_t updates =
+      w.kernels.project(pos, all_ids(1), 0.05, field);
+  EXPECT_GT(updates, 0);
+  EXPECT_EQ(field.occupied_elements(), 1u);
+  // All deposited weight is positive and on the particle's element.
+  const auto data = field.element_data(w.mesh.element_of(pos[0]));
+  double total = 0.0;
+  for (const double v : data) {
+    EXPECT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(ProjectKernel, LargerFilterMoreUpdates) {
+  KernelWorld w;
+  Xoshiro256 rng(7);
+  std::vector<Vec3> pos(200);
+  for (auto& p : pos)
+    p = Vec3(rng.uniform(0, 1), rng.uniform(0, 1), rng.uniform(0, 1));
+  std::int64_t prev = 0;
+  for (const double filter : {0.02, 0.05, 0.1, 0.2}) {
+    ProjectionField field(w.mesh.points_per_dim());
+    const std::int64_t updates =
+        w.kernels.project(pos, all_ids(200), filter, field);
+    EXPECT_GE(updates, prev) << "filter=" << filter;
+    prev = updates;
+  }
+}
+
+TEST(ProjectKernel, RejectsNonPositiveFilter) {
+  KernelWorld w;
+  ProjectionField field(w.mesh.points_per_dim());
+  const std::vector<Vec3> pos = {Vec3(0.5, 0.5, 0.5)};
+  EXPECT_THROW(w.kernels.project(pos, all_ids(1), 0.0, field), Error);
+}
+
+TEST(CreateGhostKernel, MatchesGhostFinder) {
+  KernelWorld w;
+  GhostFinder finder(w.mesh, w.partition, 0.1);
+  Xoshiro256 rng(11);
+  std::vector<Vec3> pos(300);
+  for (auto& p : pos)
+    p = Vec3(rng.uniform(0, 1), rng.uniform(0, 1), rng.uniform(0, 1));
+  std::vector<GhostRecord> out;
+  const std::size_t made =
+      w.kernels.create_ghost(pos, all_ids(300), /*owner=*/0, finder, out);
+  EXPECT_EQ(made, out.size());
+  // Cross-check each record against a direct finder query.
+  std::vector<Rank> near;
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    finder.ranks_near(pos[i], 0, near);
+    expected += near.size();
+  }
+  EXPECT_EQ(made, expected);
+  for (const GhostRecord& rec : out) EXPECT_NE(rec.target, 0);
+}
+
+TEST(MigrateKernel, PacksOnlyMoversWithFullState) {
+  KernelWorld w;
+  std::vector<Vec3> pos(5), vel(5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    pos[i] = Vec3(0.1 * static_cast<double>(i), 0.5, 0.5);
+    vel[i] = Vec3(0, 0, static_cast<double>(i));
+  }
+  const std::vector<Rank> prev = {0, 0, 1, 2, 3};
+  const std::vector<Rank> curr = {0, 1, 1, 3, 3};
+  std::vector<MigrantRecord> out;
+  const std::size_t movers =
+      w.kernels.migrate(pos, vel, all_ids(5), prev, curr, out);
+  EXPECT_EQ(movers, 2u);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].particle, 1u);
+  EXPECT_EQ(out[0].position, pos[1]);
+  EXPECT_EQ(out[0].velocity, vel[1]);
+  EXPECT_EQ(out[1].particle, 3u);
+}
+
+TEST(FluidKernel, UpdatesEveryGridPointOfListedElements) {
+  KernelWorld w;
+  ProjectionField field(w.mesh.points_per_dim());
+  const std::vector<ElementId> elements = {0, 5, 9};
+  const std::int64_t updates = w.kernels.fluid_update(elements, 0.5, field);
+  EXPECT_EQ(updates, 3 * w.mesh.points_per_element());
+  EXPECT_EQ(field.occupied_elements(), 3u);
+}
+
+TEST(FluidKernel, RelaxesTowardGasMagnitudeBehindFront) {
+  KernelWorld w;
+  ProjectionField field(w.mesh.points_per_dim());
+  const std::vector<ElementId> elements = {w.mesh.element_of(
+      Vec3(0.5, 0.5, 0.1))};
+  // Late time: front has swept the element, amplitude small but non-zero.
+  for (int step = 0; step < 50; ++step)
+    w.kernels.fluid_update(elements, 0.2, field);
+  const auto data = field.element_data(elements[0]);
+  // After many relaxation steps the field approaches the target: non-zero.
+  double total = 0.0;
+  for (const double v : data) total += v;
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(ProjectionFieldTest, ClearReleasesElements) {
+  ProjectionField field(3);
+  field.element_data(5);
+  field.element_data(9);
+  EXPECT_EQ(field.occupied_elements(), 2u);
+  field.clear();
+  EXPECT_EQ(field.occupied_elements(), 0u);
+}
+
+TEST(ProjectionFieldTest, DataSizedByPointsPerDim) {
+  ProjectionField field(4);
+  EXPECT_EQ(field.element_data(0).size(), 64u);
+  EXPECT_THROW(ProjectionField(1), Error);
+}
+
+}  // namespace
+}  // namespace picp

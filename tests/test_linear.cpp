@@ -1,0 +1,131 @@
+#include "model/linear.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace picp {
+namespace {
+
+TEST(FitLinear, RecoversExactLine) {
+  Dataset data({"x"});
+  for (double x = 0; x < 10; ++x)
+    data.add(std::array<double, 1>{x}, 3.0 * x + 2.0);
+  const LinearModel model = fit_linear(data);
+  EXPECT_NEAR(model.intercept(), 2.0, 1e-9);
+  ASSERT_EQ(model.coefficients().size(), 1u);
+  EXPECT_NEAR(model.coefficients()[0], 3.0, 1e-9);
+  EXPECT_NEAR(model.evaluate(std::array<double, 1>{100.0}), 302.0, 1e-6);
+}
+
+TEST(FitLinear, RecoversMultiFeaturePlane) {
+  Dataset data({"a", "b", "c"});
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.uniform(0, 100);
+    const double b = rng.uniform(0, 10);
+    const double c = rng.uniform(0, 1);
+    data.add(std::array<double, 3>{a, b, c}, 0.5 * a - 2.0 * b + 7.0 * c + 4.0);
+  }
+  const LinearModel model = fit_linear(data);
+  EXPECT_NEAR(model.coefficients()[0], 0.5, 1e-4);
+  EXPECT_NEAR(model.coefficients()[1], -2.0, 1e-4);
+  EXPECT_NEAR(model.coefficients()[2], 7.0, 1e-4);
+  EXPECT_NEAR(model.intercept(), 4.0, 1e-3);
+}
+
+TEST(FitLinear, NoisyDataStillClose) {
+  Dataset data({"x"});
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.uniform(0, 1000);
+    data.add(std::array<double, 1>{x}, 1e-6 * x + 5e-5 + rng.normal() * 1e-6);
+  }
+  const LinearModel model = fit_linear(data);
+  EXPECT_NEAR(model.coefficients()[0], 1e-6, 5e-8);
+  EXPECT_NEAR(model.intercept(), 5e-5, 5e-7);
+}
+
+TEST(FitLinear, ConstantFeatureDoesNotBlowUp) {
+  // Rank-deficient design: ridge damping must keep this solvable.
+  Dataset data({"x", "const"});
+  for (double x = 0; x < 10; ++x)
+    data.add(std::array<double, 2>{x, 1.0}, 2.0 * x + 3.0);
+  const LinearModel model = fit_linear(data);
+  // The prediction must still be exact even if the split between intercept
+  // and constant-feature coefficient is arbitrary.
+  EXPECT_NEAR(model.evaluate(std::array<double, 2>{5.0, 1.0}), 13.0, 1e-6);
+}
+
+TEST(FitLinear, EmptyDatasetThrows) {
+  Dataset data({"x"});
+  EXPECT_THROW(fit_linear(data), Error);
+}
+
+TEST(MonomialExponents, CountsMatchStarsAndBars) {
+  // #monomials of total degree <= d in k vars = C(k + d, d).
+  EXPECT_EQ(monomial_exponents(1, 3).size(), 4u);   // 1, x, x², x³
+  EXPECT_EQ(monomial_exponents(2, 2).size(), 6u);   // C(4,2)
+  EXPECT_EQ(monomial_exponents(3, 3).size(), 20u);  // C(6,3)
+  EXPECT_EQ(monomial_exponents(2, 0).size(), 1u);   // constant only
+}
+
+TEST(MonomialExponents, ConstantTermFirst) {
+  const auto exps = monomial_exponents(2, 2);
+  EXPECT_EQ(exps[0], (std::vector<int>{0, 0}));
+}
+
+TEST(FitPolynomial, RecoversQuadratic) {
+  Dataset data({"x"});
+  for (double x = -5; x <= 5; x += 0.5)
+    data.add(std::array<double, 1>{x}, 2.0 * x * x - 3.0 * x + 1.0);
+  const PolynomialModel model = fit_polynomial(data, 2);
+  for (double x = -4; x <= 4; x += 1.0)
+    EXPECT_NEAR(model.evaluate(std::array<double, 1>{x}),
+                2.0 * x * x - 3.0 * x + 1.0, 1e-7);
+}
+
+TEST(FitPolynomial, RecoversCrossTerm) {
+  Dataset data({"a", "b"});
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const double a = rng.uniform(0, 5);
+    const double b = rng.uniform(0, 5);
+    data.add(std::array<double, 2>{a, b}, 1.5 * a * b + 0.5);
+  }
+  const PolynomialModel model = fit_polynomial(data, 2);
+  EXPECT_NEAR(model.evaluate(std::array<double, 2>{2.0, 3.0}),
+              1.5 * 6.0 + 0.5, 1e-6);
+}
+
+TEST(Models, DescribeAndSerializeNonEmpty) {
+  Dataset data({"np"});
+  for (double x = 0; x < 5; ++x)
+    data.add(std::array<double, 1>{x}, 2.0 * x);
+  const LinearModel lm = fit_linear(data);
+  EXPECT_NE(lm.describe().find("np"), std::string::npos);
+  EXPECT_EQ(lm.serialize().rfind("linear ", 0), 0u);
+  const PolynomialModel pm = fit_polynomial(data, 2);
+  EXPECT_EQ(pm.serialize().rfind("poly ", 0), 0u);
+}
+
+TEST(Models, CloneIsIndependentCopy) {
+  Dataset data({"x"});
+  for (double x = 0; x < 5; ++x)
+    data.add(std::array<double, 1>{x}, 2.0 * x);
+  const LinearModel lm = fit_linear(data);
+  const auto copy = lm.clone();
+  EXPECT_DOUBLE_EQ(copy->evaluate(std::array<double, 1>{3.0}),
+                   lm.evaluate(std::array<double, 1>{3.0}));
+}
+
+TEST(LinearModel, FeatureCountMismatchThrows) {
+  const LinearModel model({1.0}, 0.0, {"x"});
+  EXPECT_THROW(model.evaluate(std::array<double, 2>{1.0, 2.0}), Error);
+}
+
+}  // namespace
+}  // namespace picp

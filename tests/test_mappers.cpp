@@ -1,0 +1,198 @@
+#include "mapping/mapper.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "mapping/bin_mapper.hpp"
+#include "mapping/element_mapper.hpp"
+#include "mapping/hilbert_mapper.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace picp {
+namespace {
+
+struct World {
+  SpectralMesh mesh{Aabb(Vec3(0, 0, 0), Vec3(1, 1, 1)), 8, 8, 8, 3};
+  MeshPartition partition{rcb_partition(mesh, 16)};
+};
+
+std::vector<Vec3> random_cloud(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Vec3> out(n);
+  for (auto& p : out)
+    p = Vec3(rng.uniform(0, 1), rng.uniform(0, 1), rng.uniform(0, 1));
+  return out;
+}
+
+TEST(ElementMapperTest, OwnerMatchesElementPartition) {
+  World w;
+  ElementMapper mapper(w.mesh, w.partition);
+  const auto cloud = random_cloud(500, 1);
+  std::vector<Rank> owners;
+  mapper.map(cloud, owners);
+  ASSERT_EQ(owners.size(), cloud.size());
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    EXPECT_EQ(owners[i], w.partition.owner_of(w.mesh.element_of(cloud[i])));
+    EXPECT_EQ(owners[i], mapper.owner_of_point(cloud[i]));
+  }
+}
+
+TEST(ElementMapperTest, PartitionsEqualsRanks) {
+  World w;
+  ElementMapper mapper(w.mesh, w.partition);
+  EXPECT_EQ(mapper.num_partitions(), 16);
+  EXPECT_EQ(mapper.num_ranks(), 16);
+  EXPECT_EQ(mapper.name(), "element");
+}
+
+TEST(BinMapperTest, OwnersInRange) {
+  World w;
+  BinMapper mapper(16, 0.1);
+  const auto cloud = random_cloud(2000, 2);
+  std::vector<Rank> owners;
+  mapper.map(cloud, owners);
+  for (const Rank r : owners) {
+    EXPECT_GE(r, 0);
+    EXPECT_LT(r, 16);
+  }
+}
+
+TEST(BinMapperTest, BalancesConcentratedCloud) {
+  // Particles concentrated in one corner: element mapping would place all
+  // of them on one or two ranks; bin mapping must spread them.
+  World w;
+  Xoshiro256 rng(3);
+  std::vector<Vec3> cloud(4000);
+  for (auto& p : cloud)
+    p = Vec3(rng.uniform(0, 0.2), rng.uniform(0, 0.2), rng.uniform(0, 0.2));
+
+  ElementMapper em(w.mesh, w.partition);
+  BinMapper bm(16, 1e-4);
+  std::vector<Rank> eo, bo;
+  em.map(cloud, eo);
+  bm.map(cloud, bo);
+
+  const auto peak = [](const std::vector<Rank>& owners, Rank ranks) {
+    std::vector<std::int64_t> counts(static_cast<std::size_t>(ranks), 0);
+    for (const Rank r : owners) ++counts[static_cast<std::size_t>(r)];
+    return *std::max_element(counts.begin(), counts.end());
+  };
+  EXPECT_LT(peak(bo, 16) * 4, peak(eo, 16));
+}
+
+TEST(BinMapperTest, PartitionsReportBinCount) {
+  BinMapper mapper(16, 1e-5);
+  const auto cloud = random_cloud(1000, 4);
+  std::vector<Rank> owners;
+  mapper.map(cloud, owners);
+  EXPECT_EQ(mapper.num_partitions(), 16);  // budget-capped
+  BinMapper relaxed(16, 0.4, BinTree::kUnlimitedBins);
+  relaxed.map(cloud, owners);
+  EXPECT_GE(relaxed.num_partitions(), 8);  // threshold-limited, not 16
+}
+
+TEST(BinMapperTest, OwnerOfPointRequiresMap) {
+  BinMapper mapper(4, 0.1);
+  EXPECT_THROW(mapper.owner_of_point(Vec3(0.5, 0.5, 0.5)), Error);
+  const auto cloud = random_cloud(100, 5);
+  std::vector<Rank> owners;
+  mapper.map(cloud, owners);
+  EXPECT_NO_THROW(mapper.owner_of_point(Vec3(0.5, 0.5, 0.5)));
+}
+
+TEST(BinMapperTest, MappedOwnersMatchOwnerOfPointForInteriorPoints) {
+  BinMapper mapper(8, 0.2);
+  const auto cloud = random_cloud(300, 6);
+  std::vector<Rank> owners;
+  mapper.map(cloud, owners);
+  // owner_of_point walks cut planes; built owners use construction ids.
+  // They agree except for particles exactly on a cut plane (measure zero
+  // for random doubles).
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < cloud.size(); ++i)
+    if (mapper.owner_of_point(cloud[i]) == owners[i]) ++agree;
+  EXPECT_GE(agree, cloud.size() - 2);
+}
+
+TEST(HilbertMapperTest, CountsAreBalanced) {
+  World w;
+  HilbertMapper mapper(w.mesh, 16);
+  const auto cloud = random_cloud(3200, 7);
+  std::vector<Rank> owners;
+  mapper.map(cloud, owners);
+  std::vector<std::int64_t> counts(16, 0);
+  for (const Rank r : owners) ++counts[static_cast<std::size_t>(r)];
+  // Hilbert chunks balance counts up to element granularity: with 3200
+  // particles over 512 elements, chunks stay within ~2x of the mean.
+  EXPECT_LE(*std::max_element(counts.begin(), counts.end()), 2 * 200);
+}
+
+TEST(HilbertMapperTest, SameElementSameRank) {
+  World w;
+  HilbertMapper mapper(w.mesh, 7);
+  const auto cloud = random_cloud(1000, 8);
+  std::vector<Rank> owners;
+  mapper.map(cloud, owners);
+  // Particles in the same element share a Hilbert key, hence a rank.
+  std::map<ElementId, Rank> seen;
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    const ElementId e = w.mesh.element_of(cloud[i]);
+    const auto it = seen.find(e);
+    if (it == seen.end()) {
+      seen[e] = owners[i];
+    } else {
+      EXPECT_EQ(it->second, owners[i]) << "element " << e;
+    }
+  }
+}
+
+TEST(HilbertMapperTest, OwnerOfPointMatchesMap) {
+  World w;
+  HilbertMapper mapper(w.mesh, 5);
+  const auto cloud = random_cloud(400, 9);
+  std::vector<Rank> owners;
+  mapper.map(cloud, owners);
+  for (std::size_t i = 0; i < cloud.size(); ++i)
+    EXPECT_EQ(mapper.owner_of_point(cloud[i]), owners[i]);
+}
+
+TEST(MapperFactory, CreatesAllKinds) {
+  World w;
+  EXPECT_EQ(make_mapper("element", w.mesh, w.partition, 0.1)->name(),
+            "element");
+  EXPECT_EQ(make_mapper("bin", w.mesh, w.partition, 0.1)->name(), "bin");
+  EXPECT_EQ(make_mapper("Bin-Based", w.mesh, w.partition, 0.1)->name(),
+            "bin");
+  EXPECT_EQ(make_mapper("hilbert", w.mesh, w.partition, 0.1)->name(),
+            "hilbert");
+  EXPECT_THROW(make_mapper("magic", w.mesh, w.partition, 0.1), Error);
+}
+
+// All mappers must partition every particle to a valid rank — the property
+// the Dynamic Workload Generator's conservation invariant rests on.
+class MapperPartitionProperty
+    : public testing::TestWithParam<std::string> {};
+
+TEST_P(MapperPartitionProperty, AssignsEveryParticleToValidRank) {
+  World w;
+  const auto mapper = make_mapper(GetParam(), w.mesh, w.partition, 0.05);
+  for (const std::uint64_t seed : {11u, 12u, 13u}) {
+    const auto cloud = random_cloud(1500, seed);
+    std::vector<Rank> owners;
+    mapper->map(cloud, owners);
+    ASSERT_EQ(owners.size(), cloud.size());
+    for (const Rank r : owners) {
+      EXPECT_GE(r, 0);
+      EXPECT_LT(r, 16);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMappers, MapperPartitionProperty,
+                         testing::Values("element", "bin", "hilbert"));
+
+}  // namespace
+}  // namespace picp

@@ -1,0 +1,71 @@
+#include "mesh/spectral_mesh.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace picp {
+namespace {
+
+SpectralMesh make_mesh() {
+  return SpectralMesh(Aabb(Vec3(0, 0, 0), Vec3(4, 2, 2)), 8, 4, 4, 5);
+}
+
+TEST(SpectralMeshTest, Counts) {
+  const SpectralMesh mesh = make_mesh();
+  EXPECT_EQ(mesh.num_elements(), 128);
+  EXPECT_EQ(mesh.points_per_dim(), 5);
+  EXPECT_EQ(mesh.points_per_element(), 125);
+  EXPECT_EQ(mesh.total_grid_points(), 128 * 125);
+}
+
+TEST(SpectralMeshTest, ElementLookup) {
+  const SpectralMesh mesh = make_mesh();
+  // Element size is 0.5 in each dimension.
+  const ElementId e = mesh.element_of(Vec3(0.25, 0.25, 0.25));
+  EXPECT_EQ(e, mesh.element_at(0, 0, 0));
+  const ElementId e2 = mesh.element_of(Vec3(3.9, 1.9, 1.9));
+  EXPECT_EQ(e2, mesh.element_at(7, 3, 3));
+}
+
+TEST(SpectralMeshTest, ElementBoundsContainPoint) {
+  const SpectralMesh mesh = make_mesh();
+  const Vec3 p(1.23, 0.77, 1.91);
+  const ElementId e = mesh.element_of(p);
+  EXPECT_TRUE(mesh.element_bounds(e).contains_closed(p));
+}
+
+TEST(SpectralMeshTest, OutsidePointsClampToBoundaryElements) {
+  const SpectralMesh mesh = make_mesh();
+  EXPECT_EQ(mesh.element_of(Vec3(-1, -1, -1)), mesh.element_at(0, 0, 0));
+  EXPECT_EQ(mesh.element_of(Vec3(10, 10, 10)), mesh.element_at(7, 3, 3));
+}
+
+TEST(SpectralMeshTest, CoordsRoundTrip) {
+  const SpectralMesh mesh = make_mesh();
+  for (ElementId e = 0; e < mesh.num_elements(); ++e) {
+    const auto c = mesh.element_coords(e);
+    EXPECT_EQ(mesh.element_at(c[0], c[1], c[2]), e);
+  }
+}
+
+TEST(SpectralMeshTest, ElementCenterInsideBounds) {
+  const SpectralMesh mesh = make_mesh();
+  for (ElementId e = 0; e < mesh.num_elements(); e += 7) {
+    const Aabb box = mesh.element_bounds(e);
+    EXPECT_TRUE(box.contains(mesh.element_center(e)));
+  }
+}
+
+TEST(SpectralMeshTest, ElementSize) {
+  const SpectralMesh mesh = make_mesh();
+  EXPECT_EQ(mesh.element_size(), Vec3(0.5, 0.5, 0.5));
+}
+
+TEST(SpectralMeshTest, RejectsBadN) {
+  EXPECT_THROW(
+      SpectralMesh(Aabb(Vec3(0, 0, 0), Vec3(1, 1, 1)), 2, 2, 2, 1), Error);
+}
+
+}  // namespace
+}  // namespace picp

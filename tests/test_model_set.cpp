@@ -1,0 +1,116 @@
+#include "model/model_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+
+#include "model/linear.hpp"
+#include "model/symreg.hpp"
+#include "util/error.hpp"
+
+namespace picp {
+namespace {
+
+ModelSet sample_set() {
+  ModelSet set;
+  set.set("interpolate",
+          std::make_unique<LinearModel>(std::vector<double>{2e-8}, 1e-7,
+                                        std::vector<std::string>{"np"}),
+          {"np"});
+  set.set("project",
+          std::make_unique<SymbolicModel>(
+              Expr::from_tokens("mul v0 v2"), 3e-9, 5e-8,
+              std::vector<std::string>{"np", "ngp", "filter"}),
+          {"np", "ngp", "filter"});
+  return set;
+}
+
+TEST(ModelSetTest, PredictEvaluatesModel) {
+  const ModelSet set = sample_set();
+  EXPECT_NEAR(set.predict("interpolate", std::array<double, 1>{100.0}),
+              2e-6 + 1e-7, 1e-15);
+}
+
+TEST(ModelSetTest, NegativePredictionsClampToZero) {
+  ModelSet set;
+  set.set("k",
+          std::make_unique<LinearModel>(std::vector<double>{-1.0}, 0.0,
+                                        std::vector<std::string>{"x"}),
+          {"x"});
+  EXPECT_DOUBLE_EQ(set.predict("k", std::array<double, 1>{5.0}), 0.0);
+}
+
+TEST(ModelSetTest, UnknownKernelThrows) {
+  const ModelSet set = sample_set();
+  EXPECT_THROW(set.predict("nope", std::array<double, 1>{1.0}), Error);
+  EXPECT_THROW(set.features_of("nope"), Error);
+  EXPECT_THROW(set.model_of("nope"), Error);
+}
+
+TEST(ModelSetTest, FeatureCountMismatchThrows) {
+  const ModelSet set = sample_set();
+  EXPECT_THROW(set.predict("interpolate", std::array<double, 2>{1.0, 2.0}),
+               Error);
+}
+
+TEST(ModelSetTest, KernelsAndHas) {
+  const ModelSet set = sample_set();
+  EXPECT_TRUE(set.has("project"));
+  EXPECT_FALSE(set.has("migrate"));
+  const auto kernels = set.kernels();
+  ASSERT_EQ(kernels.size(), 2u);
+  EXPECT_EQ(kernels[0], "interpolate");
+  EXPECT_EQ(kernels[1], "project");
+}
+
+TEST(ModelSetTest, CopyIsDeep) {
+  const ModelSet original = sample_set();
+  ModelSet copy = original;
+  EXPECT_DOUBLE_EQ(copy.predict("interpolate", std::array<double, 1>{10.0}),
+                   original.predict("interpolate", std::array<double, 1>{10.0}));
+  copy.set("interpolate",
+           std::make_unique<LinearModel>(std::vector<double>{0.0}, 9.0,
+                                         std::vector<std::string>{"np"}),
+           {"np"});
+  EXPECT_NE(copy.predict("interpolate", std::array<double, 1>{10.0}),
+            original.predict("interpolate", std::array<double, 1>{10.0}));
+}
+
+TEST(ModelSetTest, SaveLoadRoundTrip) {
+  const ModelSet set = sample_set();
+  const std::string path = testing::TempDir() + "/picp_models.txt";
+  set.save(path);
+  const ModelSet loaded = ModelSet::load(path);
+  EXPECT_EQ(loaded.kernels(), set.kernels());
+  const std::array<double, 3> f = {20.0, 5.0, 0.1};
+  EXPECT_NEAR(loaded.predict("project", f), set.predict("project", f), 1e-18);
+  const std::array<double, 1> g = {33.0};
+  EXPECT_NEAR(loaded.predict("interpolate", g),
+              set.predict("interpolate", g), 1e-18);
+  EXPECT_EQ(loaded.features_of("project"),
+            (std::vector<std::string>{"np", "ngp", "filter"}));
+  std::remove(path.c_str());
+}
+
+TEST(ModelSetTest, ParseModelKinds) {
+  const auto linear =
+      ModelSet::parse_model("linear 0.5 2 3", {"a", "b"});
+  EXPECT_DOUBLE_EQ(linear->evaluate(std::array<double, 2>{1.0, 1.0}), 5.5);
+  const auto sym = ModelSet::parse_model("sym 2 1 mul v0 v0", {"x"});
+  EXPECT_DOUBLE_EQ(sym->evaluate(std::array<double, 1>{3.0}), 19.0);
+  EXPECT_THROW(ModelSet::parse_model("mystery 1 2", {"x"}), Error);
+  EXPECT_THROW(ModelSet::parse_model("linear 0.5 2 3", {"a"}), Error);
+}
+
+TEST(ModelSetTest, LoadMissingFileThrows) {
+  EXPECT_THROW(ModelSet::load("/nonexistent/models.txt"), Error);
+}
+
+TEST(ModelSetTest, NullModelRejected) {
+  ModelSet set;
+  EXPECT_THROW(set.set("k", nullptr, {"x"}), Error);
+}
+
+}  // namespace
+}  // namespace picp

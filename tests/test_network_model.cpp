@@ -1,0 +1,61 @@
+#include "bsst/network_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace picp {
+namespace {
+
+NetworkParams params() {
+  NetworkParams p;
+  p.alpha = 1e-6;
+  p.beta = 1e9;
+  p.bytes_per_particle = 100.0;
+  p.bytes_per_ghost = 50.0;
+  return p;
+}
+
+TEST(NetworkModel, MessageTimeIsAlphaBeta) {
+  const NetworkModel net(params());
+  EXPECT_DOUBLE_EQ(net.message_time(0.0), 1e-6);
+  EXPECT_DOUBLE_EQ(net.message_time(1e6), 1e-6 + 1e-3);
+}
+
+TEST(NetworkModel, ParticleAndGhostMessages) {
+  const NetworkModel net(params());
+  EXPECT_DOUBLE_EQ(net.particle_message_time(10),
+                   net.message_time(1000.0));
+  EXPECT_DOUBLE_EQ(net.ghost_message_time(10), net.message_time(500.0));
+}
+
+TEST(NetworkModel, CollectiveScalesLogarithmically) {
+  const NetworkModel net(params());
+  EXPECT_DOUBLE_EQ(net.collective_time(1), 0.0);
+  EXPECT_DOUBLE_EQ(net.collective_time(2), net.message_time(8.0));
+  EXPECT_DOUBLE_EQ(net.collective_time(1024), 10 * net.message_time(8.0));
+  // Non-power-of-two rounds up.
+  EXPECT_DOUBLE_EQ(net.collective_time(1044), 11 * net.message_time(8.0));
+}
+
+TEST(NetworkModel, MonotoneInRanks) {
+  const NetworkModel net(params());
+  double prev = 0.0;
+  for (std::int64_t r = 1; r < 10000; r *= 3) {
+    const double t = net.collective_time(r);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(NetworkModel, RejectsBadParams) {
+  NetworkParams p = params();
+  p.beta = 0.0;
+  EXPECT_THROW((NetworkModel(p)), Error);
+  p = params();
+  p.alpha = -1.0;
+  EXPECT_THROW((NetworkModel(p)), Error);
+}
+
+}  // namespace
+}  // namespace picp

@@ -1,0 +1,108 @@
+#include "mesh/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace picp {
+namespace {
+
+SpectralMesh make_mesh(std::int64_t nx = 8, std::int64_t ny = 8,
+                       std::int64_t nz = 8) {
+  return SpectralMesh(Aabb(Vec3(0, 0, 0), Vec3(1, 1, 1)), nx, ny, nz, 3);
+}
+
+TEST(RcbPartition, EveryElementOwned) {
+  const SpectralMesh mesh = make_mesh();
+  const MeshPartition part = rcb_partition(mesh, 7);
+  for (const Rank r : part.element_owners()) {
+    EXPECT_GE(r, 0);
+    EXPECT_LT(r, 7);
+  }
+}
+
+TEST(RcbPartition, CountsSumToTotal) {
+  const SpectralMesh mesh = make_mesh();
+  const MeshPartition part = rcb_partition(mesh, 5);
+  std::int64_t total = 0;
+  for (const std::int64_t n : part.elements_per_rank()) total += n;
+  EXPECT_EQ(total, mesh.num_elements());
+}
+
+// Balance must hold for power-of-two and awkward rank counts alike (the
+// paper's processor counts — 1044, 2088, ... — are not powers of two).
+class RcbBalance : public testing::TestWithParam<Rank> {};
+
+TEST_P(RcbBalance, MaxMinSpreadIsTight) {
+  const SpectralMesh mesh = make_mesh();
+  const MeshPartition part = rcb_partition(mesh, GetParam());
+  EXPECT_LE(part.max_elements_per_rank() - part.min_elements_per_rank(), 1)
+      << "ranks=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, RcbBalance,
+                         testing::Values<Rank>(1, 2, 3, 4, 5, 7, 8, 16, 21,
+                                               64, 100, 261, 512));
+
+TEST(RcbPartition, RegionsAreSpatiallyCompact) {
+  const SpectralMesh mesh = make_mesh();
+  const MeshPartition part = rcb_partition(mesh, 8);
+  // With 8 ranks over a cube, RCB yields octants: each rank's bounding box
+  // volume should be ~1/8 of the domain.
+  for (Rank r = 0; r < 8; ++r)
+    EXPECT_NEAR(part.rank_bounds(r).volume(), 1.0 / 8.0, 1e-9);
+}
+
+TEST(RcbPartition, Deterministic) {
+  const SpectralMesh mesh = make_mesh();
+  const MeshPartition a = rcb_partition(mesh, 13);
+  const MeshPartition b = rcb_partition(mesh, 13);
+  EXPECT_EQ(a.element_owners(), b.element_owners());
+}
+
+TEST(RcbPartition, MoreRanksThanElements) {
+  const SpectralMesh mesh = make_mesh(2, 2, 2);  // 8 elements
+  const MeshPartition part = rcb_partition(mesh, 16);
+  EXPECT_EQ(part.max_elements_per_rank(), 1);
+  EXPECT_EQ(part.min_elements_per_rank(), 0);
+}
+
+TEST(RcbPartition, SingleRankOwnsAll) {
+  const SpectralMesh mesh = make_mesh(4, 4, 4);
+  const MeshPartition part = rcb_partition(mesh, 1);
+  EXPECT_EQ(part.elements_per_rank()[0], 64);
+  EXPECT_NEAR(part.rank_bounds(0).volume(), 1.0, 1e-12);
+}
+
+TEST(BlockPartition, BalancedContiguous) {
+  const SpectralMesh mesh = make_mesh();
+  const MeshPartition part = block_partition(mesh, 6);
+  EXPECT_LE(part.max_elements_per_rank() - part.min_elements_per_rank(), 1);
+  // Owners are non-decreasing in element order.
+  Rank prev = 0;
+  for (const Rank r : part.element_owners()) {
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+}
+
+TEST(MeshPartitionTest, RankBoundsCoverOwnedElements) {
+  const SpectralMesh mesh = make_mesh();
+  const MeshPartition part = rcb_partition(mesh, 12);
+  for (ElementId e = 0; e < mesh.num_elements(); ++e) {
+    const Rank r = part.owner_of(e);
+    const Aabb eb = mesh.element_bounds(e);
+    EXPECT_TRUE(part.rank_bounds(r).contains_closed(eb.center()));
+  }
+}
+
+TEST(MeshPartitionTest, RejectsBadArguments) {
+  const SpectralMesh mesh = make_mesh(2, 2, 2);
+  EXPECT_THROW(rcb_partition(mesh, 0), Error);
+  EXPECT_THROW(MeshPartition(2, std::vector<Rank>{0, 1}, mesh), Error);
+  std::vector<Rank> bad(8, 5);
+  EXPECT_THROW(MeshPartition(2, bad, mesh), Error);
+}
+
+}  // namespace
+}  // namespace picp

@@ -1,0 +1,177 @@
+#include "picsim/sim_driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "trace/trace_reader.hpp"
+#include "util/error.hpp"
+
+namespace picp {
+namespace {
+
+SimConfig tiny_config() {
+  SimConfig cfg;
+  cfg.nelx = 8;
+  cfg.nely = 8;
+  cfg.nelz = 16;
+  cfg.bed.num_particles = 500;
+  cfg.num_iterations = 200;
+  cfg.sample_every = 50;
+  cfg.num_ranks = 16;
+  cfg.filter_size = 0.08;
+  cfg.measure = false;
+  return cfg;
+}
+
+TEST(SimDriver, ProducesExpectedSampleCount) {
+  const std::string path = testing::TempDir() + "/picp_sim_trace.bin";
+  SimDriver driver(tiny_config());
+  const SimResult result = driver.run(path);
+  EXPECT_EQ(result.trace_samples, 4u);  // iterations 0, 50, 100, 150
+  EXPECT_EQ(result.actual.num_intervals(), 4u);
+  TraceReader reader(path);
+  EXPECT_EQ(reader.num_samples(), 4u);
+  EXPECT_EQ(reader.num_particles(), 500u);
+  std::remove(path.c_str());
+}
+
+TEST(SimDriver, ActualWorkloadConservesParticles) {
+  SimDriver driver(tiny_config());
+  const SimResult result = driver.run();
+  for (std::size_t t = 0; t < result.actual.num_intervals(); ++t)
+    EXPECT_EQ(result.actual.comp_real.interval_total(t), 500);
+}
+
+TEST(SimDriver, ParticlesMoveDuringRun) {
+  const std::string path = testing::TempDir() + "/picp_sim_move.bin";
+  SimConfig cfg = tiny_config();
+  cfg.num_iterations = 3000;
+  cfg.sample_every = 1500;
+  SimDriver driver(cfg);
+  driver.run(path);
+  const auto samples = read_full_trace(path);
+  ASSERT_EQ(samples.size(), 2u);
+  // The blast must displace the bed's center of mass upward.
+  const auto mean_z = [](const TraceSample& s) {
+    double z = 0.0;
+    for (const Vec3& p : s.positions) z += p.z;
+    return z / static_cast<double>(s.positions.size());
+  };
+  EXPECT_GT(mean_z(samples[1]), mean_z(samples[0]) + 1e-3);
+  std::remove(path.c_str());
+}
+
+TEST(SimDriver, DeterministicForSeed) {
+  const std::string path_a = testing::TempDir() + "/picp_sim_a.bin";
+  const std::string path_b = testing::TempDir() + "/picp_sim_b.bin";
+  SimDriver(tiny_config()).run(path_a);
+  SimDriver(tiny_config()).run(path_b);
+  const auto a = read_full_trace(path_a);
+  const auto b = read_full_trace(path_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t s = 0; s < a.size(); ++s)
+    for (std::size_t i = 0; i < a[s].positions.size(); ++i)
+      EXPECT_EQ(a[s].positions[i], b[s].positions[i]) << s << ":" << i;
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+TEST(SimDriver, MeasurementProducesRecordsForActiveRanks) {
+  SimConfig cfg = tiny_config();
+  cfg.measure = true;
+  cfg.measure_min_seconds = 1e-6;  // keep the test fast
+  cfg.measure_max_reps = 4;
+  SimDriver driver(cfg);
+  const SimResult result = driver.run();
+  EXPECT_FALSE(result.timings.empty());
+  EXPECT_GT(result.measure_seconds, 0.0);
+  // Every record's np matches the actual computation matrix.
+  for (const TimingRecord& rec : result.timings.records()) {
+    EXPECT_GE(rec.seconds, 0.0);
+    EXPECT_EQ(static_cast<std::int64_t>(rec.np),
+              result.actual.comp_real.at(rec.rank, rec.interval));
+    EXPECT_EQ(rec.filter, cfg.filter_size);
+  }
+  // All kernels appear (fluid is measured once, at the first interval).
+  for (int k = 0; k < kNumKernels; ++k)
+    EXPECT_FALSE(result.timings.for_kernel(static_cast<Kernel>(k)).empty())
+        << kernel_name(static_cast<Kernel>(k));
+  for (const TimingRecord& rec : result.timings.for_kernel(Kernel::kFluid)) {
+    EXPECT_EQ(rec.interval, 0u);
+    EXPECT_GT(rec.nel, 0.0);
+  }
+}
+
+TEST(SimDriver, MeasureEverySkipsIntervals) {
+  SimConfig cfg = tiny_config();
+  cfg.measure = true;
+  cfg.measure_every = 2;
+  cfg.measure_min_seconds = 1e-6;
+  cfg.measure_max_reps = 2;
+  SimDriver driver(cfg);
+  const SimResult result = driver.run();
+  for (const TimingRecord& rec : result.timings.records())
+    EXPECT_EQ(rec.interval % 2, 0u);
+  EXPECT_FALSE(result.timings.for_kernel(Kernel::kFluid).empty());
+}
+
+TEST(SimDriver, CollisionsEnabledStillConserves) {
+  SimConfig cfg = tiny_config();
+  cfg.physics.collision_radius = 0.01;
+  SimDriver driver(cfg);
+  const SimResult result = driver.run();
+  for (std::size_t t = 0; t < result.actual.num_intervals(); ++t)
+    EXPECT_EQ(result.actual.comp_real.interval_total(t), 500);
+}
+
+TEST(SimDriver, ElementMapperRunWorks) {
+  SimConfig cfg = tiny_config();
+  cfg.mapper_kind = "element";
+  SimDriver driver(cfg);
+  const SimResult result = driver.run();
+  // Element mapping leaves partitions at the rank count.
+  for (const std::int64_t p : result.actual.partitions_per_interval)
+    EXPECT_EQ(p, 16);
+}
+
+TEST(SimDriver, BinPartitionsBoundedByRanks) {
+  SimDriver driver(tiny_config());
+  const SimResult result = driver.run();
+  for (const std::int64_t p : result.actual.partitions_per_interval) {
+    EXPECT_GE(p, 1);
+    EXPECT_LE(p, 16);
+  }
+}
+
+TEST(SimConfigTest, ValidateRejectsBadValues) {
+  SimConfig cfg = tiny_config();
+  cfg.sample_every = 0;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = tiny_config();
+  cfg.filter_size = -1.0;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = tiny_config();
+  cfg.num_ranks = 0;
+  EXPECT_THROW(cfg.validate(), Error);
+}
+
+TEST(SimConfigTest, FromConfigAppliesOverrides) {
+  const auto ini = Config::from_string(
+      "[mesh]\nnelx = 4\nnely = 4\nnelz = 8\n"
+      "[bed]\nnum_particles = 123\n"
+      "[run]\nnum_iterations = 10\nsample_every = 5\n"
+      "[mapping]\nmapper = element\nnum_ranks = 3\nfilter_size = 0.07\n"
+      "[measure]\nenabled = false\n");
+  const SimConfig cfg = SimConfig::from_config(ini);
+  EXPECT_EQ(cfg.nelx, 4);
+  EXPECT_EQ(cfg.bed.num_particles, 123u);
+  EXPECT_EQ(cfg.num_iterations, 10);
+  EXPECT_EQ(cfg.mapper_kind, "element");
+  EXPECT_EQ(cfg.num_ranks, 3);
+  EXPECT_DOUBLE_EQ(cfg.filter_size, 0.07);
+  EXPECT_EQ(cfg.num_samples(), 2);
+}
+
+}  // namespace
+}  // namespace picp

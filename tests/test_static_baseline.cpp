@@ -1,0 +1,88 @@
+#include "core/static_baseline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace picp {
+namespace {
+
+TEST(StaticBaseline, UniformDistributionWithRemainder) {
+  StaticBaselineParams params;
+  params.num_ranks = 4;
+  params.num_intervals = 3;
+  params.num_particles = 10;
+  const WorkloadResult w = static_uniform_workload(params);
+  for (std::size_t t = 0; t < 3; ++t) {
+    EXPECT_EQ(w.comp_real.interval_total(t), 10);
+    EXPECT_EQ(w.comp_real.at(0, t), 3);
+    EXPECT_EQ(w.comp_real.at(1, t), 3);
+    EXPECT_EQ(w.comp_real.at(2, t), 2);
+    EXPECT_EQ(w.comp_real.at(3, t), 2);
+    EXPECT_EQ(w.comm_real.interval_volume(t), 0);  // no migration, ever
+  }
+}
+
+TEST(StaticBaseline, GhostFraction) {
+  StaticBaselineParams params;
+  params.num_ranks = 2;
+  params.num_intervals = 1;
+  params.num_particles = 100;
+  params.ghost_fraction = 0.1;
+  const WorkloadResult w = static_uniform_workload(params);
+  EXPECT_EQ(w.comp_ghost.at(0, 0), 5);
+}
+
+TEST(StaticBaseline, Validation) {
+  StaticBaselineParams bad;
+  EXPECT_THROW(static_uniform_workload(bad), Error);
+}
+
+TEST(CompareWorkloads, QuantifiesPeakError) {
+  // Reference: one rank holds everything. Baseline: uniform.
+  StaticBaselineParams params;
+  params.num_ranks = 10;
+  params.num_intervals = 2;
+  params.num_particles = 100;
+  const WorkloadResult baseline = static_uniform_workload(params);
+
+  WorkloadResult reference = static_uniform_workload(params);
+  for (std::size_t t = 0; t < 2; ++t) {
+    for (Rank r = 0; r < 10; ++r) reference.comp_real.set(r, t, 0);
+    reference.comp_real.set(0, t, 100);
+  }
+  reference.comm_real.add(0, 1, 1, 7);
+
+  const WorkloadComparison cmp = compare_workloads(reference, baseline);
+  // Baseline predicts peak 10 vs true 100: 90% error, ratio 10x.
+  EXPECT_NEAR(cmp.peak_load_mape, 90.0, 1e-9);
+  EXPECT_NEAR(cmp.worst_peak_ratio, 10.0, 1e-9);
+  EXPECT_EQ(cmp.missed_migration, 7);
+}
+
+TEST(CompareWorkloads, IdenticalWorkloadsScoreZero) {
+  StaticBaselineParams params;
+  params.num_ranks = 4;
+  params.num_intervals = 2;
+  params.num_particles = 40;
+  const WorkloadResult a = static_uniform_workload(params);
+  const WorkloadResult b = static_uniform_workload(params);
+  const WorkloadComparison cmp = compare_workloads(a, b);
+  EXPECT_DOUBLE_EQ(cmp.peak_load_mape, 0.0);
+  EXPECT_EQ(cmp.missed_migration, 0);
+}
+
+TEST(CompareWorkloads, RankMismatchThrows) {
+  StaticBaselineParams a;
+  a.num_ranks = 2;
+  a.num_intervals = 1;
+  a.num_particles = 10;
+  StaticBaselineParams b = a;
+  b.num_ranks = 3;
+  EXPECT_THROW(compare_workloads(static_uniform_workload(a),
+                                 static_uniform_workload(b)),
+               Error);
+}
+
+}  // namespace
+}  // namespace picp

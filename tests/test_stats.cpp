@@ -1,0 +1,122 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace picp {
+namespace {
+
+TEST(Mean, Basics) {
+  const std::array<double, 4> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::span<const double>{}), 0.0);
+}
+
+TEST(Stddev, KnownValue) {
+  const std::array<double, 4> v = {2.0, 4.0, 4.0, 6.0};
+  EXPECT_NEAR(stddev(v), std::sqrt(2.0), 1e-12);
+  const std::array<double, 1> one = {5.0};
+  EXPECT_DOUBLE_EQ(stddev(one), 0.0);
+}
+
+TEST(MinMax, Basics) {
+  const std::array<double, 3> v = {3.0, -1.0, 2.0};
+  EXPECT_DOUBLE_EQ(min_value(v), -1.0);
+  EXPECT_DOUBLE_EQ(max_value(v), 3.0);
+  EXPECT_THROW(min_value(std::span<const double>{}), Error);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::array<double, 5> v = {10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 12.5), 15.0);
+}
+
+TEST(Percentile, UnsortedInput) {
+  const std::array<double, 3> v = {30.0, 10.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 20.0);
+}
+
+TEST(Percentile, OutOfRangeThrows) {
+  const std::array<double, 1> v = {1.0};
+  EXPECT_THROW(percentile(v, -1), Error);
+  EXPECT_THROW(percentile(v, 101), Error);
+}
+
+TEST(Mape, KnownValue) {
+  const std::array<double, 2> actual = {100.0, 200.0};
+  const std::array<double, 2> predicted = {110.0, 180.0};
+  // (10% + 10%) / 2 = 10%
+  EXPECT_NEAR(mape(actual, predicted), 10.0, 1e-12);
+}
+
+TEST(Mape, SkipsNearZeroActuals) {
+  const std::array<double, 3> actual = {0.0, 100.0, 1e-15};
+  const std::array<double, 3> predicted = {5.0, 90.0, 1.0};
+  EXPECT_NEAR(mape(actual, predicted), 10.0, 1e-12);
+}
+
+TEST(Mape, AllSkippedIsZero) {
+  const std::array<double, 2> actual = {0.0, 0.0};
+  const std::array<double, 2> predicted = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(mape(actual, predicted), 0.0);
+}
+
+TEST(Mape, SizeMismatchThrows) {
+  const std::array<double, 2> a = {1.0, 2.0};
+  const std::array<double, 1> p = {1.0};
+  EXPECT_THROW(mape(a, p), Error);
+}
+
+TEST(RSquared, PerfectFit) {
+  const std::array<double, 3> y = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(r_squared(y, y), 1.0);
+}
+
+TEST(RSquared, MeanPredictorIsZero) {
+  const std::array<double, 4> y = {1.0, 2.0, 3.0, 4.0};
+  const std::array<double, 4> p = {2.5, 2.5, 2.5, 2.5};
+  EXPECT_NEAR(r_squared(y, p), 0.0, 1e-12);
+}
+
+TEST(HistogramTest, CountsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(9.9);   // bin 4
+  h.add(-3.0);  // clamped to bin 0
+  h.add(42.0);  // clamped to bin 4
+  h.add(5.0);   // bin 2
+  EXPECT_EQ(h.counts[0], 2u);
+  EXPECT_EQ(h.counts[2], 1u);
+  EXPECT_EQ(h.counts[4], 2u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(HistogramTest, BadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), Error);
+}
+
+TEST(RunningStatsTest, TracksMinMaxMean) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  s.add(2.0);
+  s.add(-4.0);
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.min(), -4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 1.0);
+}
+
+}  // namespace
+}  // namespace picp

@@ -1,0 +1,103 @@
+#include "util/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace picp {
+namespace {
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t\nhello\r "), "hello");
+  EXPECT_EQ(trim("hello"), "hello");
+}
+
+TEST(Trim, PreservesInnerWhitespace) {
+  EXPECT_EQ(trim("  a b  c "), "a b  c");
+}
+
+TEST(Trim, EmptyAndAllWhitespace) {
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   \t\n"), "");
+}
+
+TEST(ToLower, Basic) {
+  EXPECT_EQ(to_lower("HeLLo"), "hello");
+  EXPECT_EQ(to_lower("ABC123xyz"), "abc123xyz");
+}
+
+TEST(Split, BasicFields) {
+  const auto fields = split("a,b,c", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(Split, PreservesEmptyFields) {
+  const auto fields = split(",a,,b,", ',');
+  ASSERT_EQ(fields.size(), 5u);
+  EXPECT_EQ(fields[0], "");
+  EXPECT_EQ(fields[2], "");
+  EXPECT_EQ(fields[4], "");
+}
+
+TEST(Split, NoDelimiter) {
+  const auto fields = split("abc", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "abc");
+}
+
+TEST(StartsWith, Basic) {
+  EXPECT_TRUE(starts_with("hello world", "hello"));
+  EXPECT_FALSE(starts_with("hello", "hello world"));
+  EXPECT_TRUE(starts_with("abc", ""));
+}
+
+TEST(ParseInt, ValidValues) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int("-7"), -7);
+  EXPECT_EQ(parse_int("  123  "), 123);
+  EXPECT_EQ(parse_int("0"), 0);
+}
+
+TEST(ParseInt, RejectsGarbage) {
+  EXPECT_THROW(parse_int("12x"), Error);
+  EXPECT_THROW(parse_int(""), Error);
+  EXPECT_THROW(parse_int("1.5"), Error);
+  EXPECT_THROW(parse_int("abc"), Error);
+}
+
+TEST(ParseDouble, ValidValues) {
+  EXPECT_DOUBLE_EQ(parse_double("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(parse_double("-2e-3"), -2e-3);
+  EXPECT_DOUBLE_EQ(parse_double(" 0.0 "), 0.0);
+  EXPECT_DOUBLE_EQ(parse_double("1e10"), 1e10);
+}
+
+TEST(ParseDouble, RejectsGarbage) {
+  EXPECT_THROW(parse_double("x"), Error);
+  EXPECT_THROW(parse_double(""), Error);
+  EXPECT_THROW(parse_double("1.5y"), Error);
+}
+
+TEST(ParseBool, Synonyms) {
+  EXPECT_TRUE(parse_bool("true"));
+  EXPECT_TRUE(parse_bool("TRUE"));
+  EXPECT_TRUE(parse_bool("1"));
+  EXPECT_TRUE(parse_bool("yes"));
+  EXPECT_TRUE(parse_bool("on"));
+  EXPECT_FALSE(parse_bool("false"));
+  EXPECT_FALSE(parse_bool("0"));
+  EXPECT_FALSE(parse_bool("no"));
+  EXPECT_FALSE(parse_bool("off"));
+}
+
+TEST(ParseBool, RejectsGarbage) {
+  EXPECT_THROW(parse_bool("maybe"), Error);
+  EXPECT_THROW(parse_bool(""), Error);
+}
+
+}  // namespace
+}  // namespace picp

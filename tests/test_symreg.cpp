@@ -1,0 +1,127 @@
+#include "model/symreg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace picp {
+namespace {
+
+SymRegParams fast_params(std::uint64_t seed = 1) {
+  SymRegParams p;
+  p.population = 128;
+  p.generations = 25;
+  p.threads = 1;
+  p.seed = seed;
+  return p;
+}
+
+double test_mape(const PerfModel& model, const Dataset& data) {
+  std::vector<double> actual(data.size()), predicted(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    actual[i] = data.target(i);
+    predicted[i] = model.evaluate(data.row(i));
+  }
+  return mape(actual, predicted);
+}
+
+TEST(SymReg, RecoversLinearLaw) {
+  Dataset data({"x"});
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 60; ++i) {
+    const double x = rng.uniform(1, 100);
+    data.add(std::array<double, 1>{x}, 3.0 * x + 2.0);
+  }
+  const SymbolicModel model = fit_symbolic(data, fast_params());
+  EXPECT_LT(test_mape(model, data), 1.0);
+}
+
+TEST(SymReg, RecoversProductLaw) {
+  // t = c * a * b — the shape of the projection kernel's cost.
+  Dataset data({"a", "b"});
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 80; ++i) {
+    const double a = rng.uniform(1, 50);
+    const double b = rng.uniform(1, 20);
+    data.add(std::array<double, 2>{a, b}, 1e-6 * a * b);
+  }
+  const SymbolicModel model = fit_symbolic(data, fast_params(3));
+  EXPECT_LT(test_mape(model, data), 5.0);
+}
+
+TEST(SymReg, LinearScalingAbsorbsMagnitude) {
+  // Targets at microsecond scale: the GP sees O(1) shapes thanks to
+  // (scale, offset) refitting.
+  Dataset data({"x"});
+  for (double x = 1; x <= 40; ++x)
+    data.add(std::array<double, 1>{x}, 4.2e-8 * x + 1.1e-7);
+  const SymbolicModel model = fit_symbolic(data, fast_params(4));
+  EXPECT_LT(test_mape(model, data), 1.0);
+}
+
+TEST(SymReg, DeterministicForSeed) {
+  Dataset data({"x"});
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 40; ++i) {
+    const double x = rng.uniform(1, 10);
+    data.add(std::array<double, 1>{x}, x * x);
+  }
+  const SymbolicModel a = fit_symbolic(data, fast_params(7));
+  const SymbolicModel b = fit_symbolic(data, fast_params(7));
+  EXPECT_EQ(a.expr().to_tokens(), b.expr().to_tokens());
+  EXPECT_DOUBLE_EQ(a.scale(), b.scale());
+}
+
+TEST(SymReg, GeneralizesOnHeldOutData) {
+  Dataset all({"np", "ngp"});
+  Xoshiro256 rng(6);
+  for (int i = 0; i < 150; ++i) {
+    const double np = rng.uniform(1, 200);
+    const double ngp = rng.uniform(0, 50);
+    all.add(std::array<double, 2>{np, ngp}, 2e-7 * (np + ngp) + 1e-6);
+  }
+  const auto [train, test] = all.split(0.7, 9);
+  const SymbolicModel model = fit_symbolic(train, fast_params(10));
+  EXPECT_LT(test_mape(model, test), 5.0);
+}
+
+TEST(SymReg, SizeBoundsRespected) {
+  Dataset data({"x"});
+  for (double x = 1; x <= 30; ++x)
+    data.add(std::array<double, 1>{x}, std::sqrt(x) + x);
+  SymRegParams params = fast_params(11);
+  params.max_nodes = 16;
+  params.max_depth = 4;
+  const SymbolicModel model = fit_symbolic(data, params);
+  EXPECT_LE(model.expr().size(), 16u);
+  EXPECT_LE(model.expr().depth(), 4);
+}
+
+TEST(SymReg, DescribeMentionsScale) {
+  Dataset data({"x"});
+  for (double x = 1; x <= 10; ++x)
+    data.add(std::array<double, 1>{x}, 2 * x);
+  const SymbolicModel model = fit_symbolic(data, fast_params(12));
+  EXPECT_NE(model.describe().find("*"), std::string::npos);
+  EXPECT_EQ(model.serialize().rfind("sym ", 0), 0u);
+}
+
+TEST(SymReg, EmptyDatasetThrows) {
+  Dataset data({"x"});
+  EXPECT_THROW(fit_symbolic(data, fast_params()), Error);
+}
+
+TEST(SymReg, TinyPopulationThrows) {
+  Dataset data({"x"});
+  data.add(std::array<double, 1>{1.0}, 1.0);
+  SymRegParams params = fast_params();
+  params.population = 1;
+  EXPECT_THROW(fit_symbolic(data, params), Error);
+}
+
+}  // namespace
+}  // namespace picp

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "trace/trace_reader.hpp"
+#include "trace/trace_writer.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace picp {
+namespace {
+
+std::vector<Vec3> random_positions(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Vec3> out(n);
+  for (auto& p : out)
+    p = Vec3(rng.uniform(0, 1), rng.uniform(0, 1), rng.uniform(0, 2));
+  return out;
+}
+
+class TraceRoundTrip : public testing::TestWithParam<CoordKind> {};
+
+TEST_P(TraceRoundTrip, PreservesSamples) {
+  const std::string path = testing::TempDir() + "/picp_trace_rt.bin";
+  const Aabb domain(Vec3(0, 0, 0), Vec3(1, 1, 2));
+  const std::size_t np = 100;
+  std::vector<std::vector<Vec3>> samples;
+  {
+    TraceWriter writer(path, np, 50, domain, GetParam());
+    for (std::uint64_t s = 0; s < 5; ++s) {
+      samples.push_back(random_positions(np, s + 1));
+      writer.append(s * 50, samples.back());
+    }
+    writer.close();
+    EXPECT_EQ(writer.samples_written(), 5u);
+  }
+  TraceReader reader(path);
+  EXPECT_EQ(reader.num_particles(), np);
+  EXPECT_EQ(reader.num_samples(), 5u);
+  EXPECT_EQ(reader.header().sample_stride, 50u);
+  EXPECT_EQ(reader.header().coord_kind, GetParam());
+
+  const double tol = GetParam() == CoordKind::kFloat64 ? 0.0 : 1e-6;
+  TraceSample sample;
+  std::size_t s = 0;
+  while (reader.read_next(sample)) {
+    EXPECT_EQ(sample.iteration, s * 50);
+    ASSERT_EQ(sample.positions.size(), np);
+    for (std::size_t i = 0; i < np; ++i) {
+      EXPECT_NEAR(sample.positions[i].x, samples[s][i].x, tol);
+      EXPECT_NEAR(sample.positions[i].y, samples[s][i].y, tol);
+      EXPECT_NEAR(sample.positions[i].z, samples[s][i].z, tol);
+    }
+    ++s;
+  }
+  EXPECT_EQ(s, 5u);
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, TraceRoundTrip,
+                         testing::Values(CoordKind::kFloat32,
+                                         CoordKind::kFloat64));
+
+TEST(TraceIo, RewindRestartsAtFirstSample) {
+  const std::string path = testing::TempDir() + "/picp_trace_rw.bin";
+  {
+    TraceWriter writer(path, 10, 1, Aabb(Vec3(0, 0, 0), Vec3(1, 1, 1)));
+    writer.append(0, random_positions(10, 1));
+    writer.append(1, random_positions(10, 2));
+  }
+  TraceReader reader(path);
+  TraceSample a, b;
+  ASSERT_TRUE(reader.read_next(a));
+  ASSERT_TRUE(reader.read_next(b));
+  EXPECT_FALSE(reader.read_next(b));
+  reader.rewind();
+  EXPECT_EQ(reader.cursor(), 0u);
+  TraceSample again;
+  ASSERT_TRUE(reader.read_next(again));
+  EXPECT_EQ(again.iteration, a.iteration);
+  EXPECT_EQ(again.positions.size(), a.positions.size());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, DomainStoredInHeader) {
+  const std::string path = testing::TempDir() + "/picp_trace_dom.bin";
+  const Aabb domain(Vec3(-1, -2, -3), Vec3(4, 5, 6));
+  {
+    TraceWriter writer(path, 3, 7, domain);
+    writer.append(0, random_positions(3, 1));
+  }
+  TraceReader reader(path);
+  EXPECT_EQ(reader.header().domain.lo, domain.lo);
+  EXPECT_EQ(reader.header().domain.hi, domain.hi);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, WrongParticleCountThrows) {
+  const std::string path = testing::TempDir() + "/picp_trace_bad.bin";
+  TraceWriter writer(path, 10, 1, Aabb(Vec3(0, 0, 0), Vec3(1, 1, 1)));
+  EXPECT_THROW(writer.append(0, random_positions(9, 1)), Error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, DestructorPatchesHeader) {
+  const std::string path = testing::TempDir() + "/picp_trace_dtor.bin";
+  {
+    TraceWriter writer(path, 4, 1, Aabb(Vec3(0, 0, 0), Vec3(1, 1, 1)));
+    writer.append(0, random_positions(4, 1));
+    // no explicit close
+  }
+  TraceReader reader(path);
+  EXPECT_EQ(reader.num_samples(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, NotATraceFileThrows) {
+  const std::string path = testing::TempDir() + "/picp_not_trace.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a trace file at all, definitely long enough";
+  }
+  EXPECT_THROW(TraceReader reader(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(TraceReader reader("/nonexistent/trace.bin"), Error);
+}
+
+TEST(TraceIo, ReadFullTraceHelper) {
+  const std::string path = testing::TempDir() + "/picp_trace_full.bin";
+  {
+    TraceWriter writer(path, 5, 2, Aabb(Vec3(0, 0, 0), Vec3(1, 1, 1)),
+                       CoordKind::kFloat64);
+    writer.append(0, random_positions(5, 1));
+    writer.append(2, random_positions(5, 2));
+    writer.append(4, random_positions(5, 3));
+  }
+  const auto samples = read_full_trace(path);
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[2].iteration, 4u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace picp

@@ -1,0 +1,125 @@
+#include "bsst/trace_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bsst/network_model.hpp"
+#include "util/error.hpp"
+
+namespace picp {
+namespace {
+
+TraceSimInput uniform_input(Rank ranks, std::size_t intervals,
+                            double compute) {
+  TraceSimInput input;
+  input.num_ranks = ranks;
+  input.num_intervals = intervals;
+  input.compute_seconds.assign(
+      static_cast<std::size_t>(ranks) * intervals, compute);
+  input.network.alpha = 1e-6;
+  input.network.beta = 1e9;
+  return input;
+}
+
+TEST(TraceSim, UniformComputeNoCommIsComputePlusBarriers) {
+  const auto input = uniform_input(4, 5, 0.01);
+  const SimReport report = run_trace_simulation(input);
+  const NetworkModel net(input.network);
+  const double expected = 5 * (0.01 + net.collective_time(4));
+  EXPECT_NEAR(report.total_seconds, expected, 1e-12);
+  EXPECT_NEAR(report.critical_path_seconds, 0.05, 1e-12);
+  for (const double busy : report.rank_busy_seconds)
+    EXPECT_NEAR(busy, 0.05, 1e-12);
+}
+
+TEST(TraceSim, SlowestRankDominatesEachInterval) {
+  TraceSimInput input = uniform_input(3, 2, 0.0);
+  // Interval 0: rank 1 slow; interval 1: rank 2 slow.
+  input.compute_seconds = {0.001, 0.010, 0.002,   // t=0
+                           0.003, 0.001, 0.020};  // t=1
+  const SimReport report = run_trace_simulation(input);
+  const NetworkModel net(input.network);
+  const double expected = 0.010 + 0.020 + 2 * net.collective_time(3);
+  EXPECT_NEAR(report.total_seconds, expected, 1e-12);
+  EXPECT_NEAR(report.critical_path_seconds, 0.030, 1e-15);
+}
+
+TEST(TraceSim, MessagesDelayReceivers) {
+  TraceSimInput input = uniform_input(2, 1, 0.0);
+  input.compute_seconds = {0.010, 0.001};  // rank 0 slow, rank 1 fast
+  CommMatrix comm(2, 1);
+  comm.add(0, 1, 0, 1000);  // rank 0 sends 1000 particles to rank 1
+  input.comm_real = &comm;
+  const SimReport report = run_trace_simulation(input);
+  const NetworkModel net(input.network);
+  // Rank 1 cannot finish before rank 0's message arrives at
+  // 0.010 + msg_time(1000 * bytes_per_particle).
+  const double msg =
+      net.message_time(1000 * input.network.bytes_per_particle);
+  const double expected = 0.010 + msg + net.collective_time(2);
+  EXPECT_NEAR(report.total_seconds, expected, 1e-12);
+}
+
+TEST(TraceSim, GhostAndRealMessagesToSameDstMerge) {
+  TraceSimInput input = uniform_input(2, 1, 0.001);
+  CommMatrix real(2, 1), ghost(2, 1);
+  real.add(0, 1, 0, 10);
+  ghost.add(0, 1, 0, 20);
+  input.comm_real = &real;
+  input.comm_ghost = &ghost;
+  const SimReport report = run_trace_simulation(input);
+  const NetworkModel net(input.network);
+  const double bytes = 10 * input.network.bytes_per_particle +
+                       20 * input.network.bytes_per_ghost;
+  const double expected =
+      0.001 + net.message_time(bytes) + net.collective_time(2);
+  EXPECT_NEAR(report.total_seconds, expected, 1e-12);
+}
+
+TEST(TraceSim, IntervalEndsAreMonotone) {
+  TraceSimInput input = uniform_input(8, 10, 1e-4);
+  CommMatrix comm(8, 10);
+  for (std::size_t t = 1; t < 10; ++t)
+    comm.add(static_cast<Rank>(t % 8), static_cast<Rank>((t + 3) % 8), t,
+             50);
+  input.comm_real = &comm;
+  const SimReport report = run_trace_simulation(input);
+  for (std::size_t t = 1; t < 10; ++t)
+    EXPECT_GT(report.interval_end[t], report.interval_end[t - 1]);
+  EXPECT_DOUBLE_EQ(report.total_seconds, report.interval_end.back());
+}
+
+TEST(TraceSim, SingleRankNoBarrierCost) {
+  const auto input = uniform_input(1, 3, 0.002);
+  const SimReport report = run_trace_simulation(input);
+  EXPECT_NEAR(report.total_seconds, 0.006, 1e-12);
+}
+
+TEST(TraceSim, EventCountMatchesStructure) {
+  const auto input = uniform_input(4, 2, 0.001);
+  const SimReport report = run_trace_simulation(input);
+  // Per interval per rank: start + compute-done + rank-done = 3 events.
+  EXPECT_EQ(report.events, 4u * 2u * 3u);
+}
+
+TEST(TraceSim, CommBeyondIntervalsIgnored) {
+  TraceSimInput input = uniform_input(2, 2, 0.001);
+  CommMatrix comm(2, 5);  // more intervals than the sim runs
+  comm.add(0, 1, 4, 100);
+  input.comm_real = &comm;
+  EXPECT_NO_THROW(run_trace_simulation(input));
+}
+
+TEST(TraceSim, InputValidation) {
+  TraceSimInput input = uniform_input(2, 2, 0.0);
+  input.compute_seconds.pop_back();
+  EXPECT_THROW(run_trace_simulation(input), Error);
+  TraceSimInput empty;
+  EXPECT_THROW(run_trace_simulation(empty), Error);
+  TraceSimInput bad = uniform_input(2, 1, 0.0);
+  CommMatrix wrong(3, 1);
+  bad.comm_real = &wrong;
+  EXPECT_THROW(run_trace_simulation(bad), Error);
+}
+
+}  // namespace
+}  // namespace picp

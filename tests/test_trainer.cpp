@@ -1,0 +1,146 @@
+#include "core/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace picp {
+namespace {
+
+/// Synthetic instrumented run: every kernel's time follows a known law.
+KernelTimings synthetic_timings(std::size_t rows, std::uint64_t seed) {
+  KernelTimings timings;
+  Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < rows; ++i) {
+    TimingRecord rec;
+    rec.interval = static_cast<std::uint32_t>(i % 10);
+    rec.rank = static_cast<Rank>(i % 16);
+    rec.np = std::floor(rng.uniform(1, 500));
+    rec.ngp = std::floor(rng.uniform(0, 100));
+    rec.nmove = std::floor(rng.uniform(0, 50));
+    rec.filter = 0.05;
+
+    rec.kernel = Kernel::kInterpolate;
+    rec.seconds = 3e-8 * rec.np + 2e-7;
+    timings.add(rec);
+    rec.kernel = Kernel::kEqSolve;
+    rec.seconds = 5e-8 * rec.np + 1e-7;
+    timings.add(rec);
+    rec.kernel = Kernel::kPush;
+    rec.seconds = 1e-8 * rec.np + 5e-8;
+    timings.add(rec);
+    rec.kernel = Kernel::kProject;
+    rec.seconds = 2e-9 * (rec.np + rec.ngp) * 125 + 1e-7;
+    timings.add(rec);
+    rec.kernel = Kernel::kCreateGhost;
+    rec.seconds = 4e-8 * rec.np + 8e-8 * rec.ngp + 1e-7;
+    timings.add(rec);
+    rec.kernel = Kernel::kMigrate;
+    rec.seconds = 2e-8 * rec.nmove + 3e-8;
+    timings.add(rec);
+  }
+  return timings;
+}
+
+ModelGenConfig fast_config() {
+  ModelGenConfig config;
+  config.symreg.population = 96;
+  config.symreg.generations = 20;
+  config.symreg.threads = 1;
+  return config;
+}
+
+TEST(Trainer, FitsAllKernelsPresent) {
+  const KernelTimings timings = synthetic_timings(200, 1);
+  TrainReport report;
+  const ModelSet models = train_models(timings, fast_config(), &report);
+  EXPECT_EQ(models.kernels().size(), 6u);
+  EXPECT_EQ(report.kernels.size(), 6u);
+  for (const auto& fit : report.kernels) {
+    EXPECT_GT(fit.rows, 0u);
+    EXPECT_FALSE(fit.formula.empty());
+  }
+}
+
+TEST(Trainer, LinearKernelsFitTightly) {
+  const KernelTimings timings = synthetic_timings(300, 2);
+  TrainReport report;
+  train_models(timings, fast_config(), &report);
+  for (const auto& fit : report.kernels) {
+    if (fit.kernel == "interpolate" || fit.kernel == "push" ||
+        fit.kernel == "eq_solve") {
+      EXPECT_LT(fit.train_mape, 1.0) << fit.kernel;
+    }
+  }
+}
+
+TEST(Trainer, PredictionsMatchGroundTruthLaw) {
+  const KernelTimings timings = synthetic_timings(300, 3);
+  const ModelSet models = train_models(timings, fast_config());
+  // interpolate(np = 250) should be ~ 3e-8 * 250 + 2e-7.
+  const double predicted =
+      models.predict("interpolate", std::array<double, 1>{250.0});
+  EXPECT_NEAR(predicted, 3e-8 * 250 + 2e-7, 0.1 * (3e-8 * 250));
+}
+
+TEST(Trainer, ForcedPolynomialMethod) {
+  const KernelTimings timings = synthetic_timings(200, 4);
+  ModelGenConfig config = fast_config();
+  config.method = FitMethod::kPolynomial;
+  config.poly_degree = 2;
+  TrainReport report;
+  const ModelSet models = train_models(timings, config, &report);
+  EXPECT_TRUE(models.has("project"));
+  for (const auto& fit : report.kernels)
+    EXPECT_LT(fit.train_mape, 10.0) << fit.kernel;
+}
+
+TEST(Trainer, MinSecondsFiltersNoise) {
+  KernelTimings timings = synthetic_timings(50, 5);
+  // Add junk rows with absurd times below the floor.
+  TimingRecord junk;
+  junk.kernel = Kernel::kPush;
+  junk.np = 1000;
+  junk.seconds = 1e-12;
+  for (int i = 0; i < 20; ++i) timings.add(junk);
+  ModelGenConfig config = fast_config();
+  config.min_seconds = 1e-9;
+  TrainReport report;
+  train_models(timings, config, &report);
+  for (const auto& fit : report.kernels) {
+    if (fit.kernel == "push") {
+      EXPECT_EQ(fit.rows, 50u);
+    }
+  }
+}
+
+TEST(Trainer, MissingKernelsSkipped) {
+  KernelTimings timings;
+  TimingRecord rec;
+  rec.kernel = Kernel::kPush;
+  for (int i = 1; i <= 30; ++i) {
+    rec.np = i * 10;
+    rec.seconds = 1e-8 * rec.np;
+    timings.add(rec);
+  }
+  const ModelSet models = train_models(timings, fast_config());
+  EXPECT_EQ(models.kernels(), (std::vector<std::string>{"push"}));
+}
+
+TEST(Trainer, EmptyTimingsThrow) {
+  EXPECT_THROW(train_models(KernelTimings(), fast_config()), Error);
+}
+
+TEST(Trainer, FitMethodNames) {
+  EXPECT_EQ(fit_method_from_name("linear"), FitMethod::kLinear);
+  EXPECT_EQ(fit_method_from_name("POLY"), FitMethod::kPolynomial);
+  EXPECT_EQ(fit_method_from_name("symreg"), FitMethod::kSymbolic);
+  EXPECT_EQ(fit_method_from_name("auto"), FitMethod::kAuto);
+  EXPECT_THROW(fit_method_from_name("magic"), Error);
+}
+
+}  // namespace
+}  // namespace picp

@@ -1,0 +1,148 @@
+#include "mapping/weighted_mapper.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace picp {
+namespace {
+
+SpectralMesh make_mesh() {
+  return SpectralMesh(Aabb(Vec3(0, 0, 0), Vec3(1, 1, 1)), 8, 8, 8, 3);
+}
+
+std::vector<Vec3> corner_cloud(std::size_t n, std::uint64_t seed) {
+  // Concentrated in one octant — the worst case for unweighted RCB.
+  Xoshiro256 rng(seed);
+  std::vector<Vec3> out(n);
+  for (auto& p : out)
+    p = Vec3(rng.uniform(0.0, 0.25), rng.uniform(0.0, 0.25),
+             rng.uniform(0.0, 0.25));
+  return out;
+}
+
+std::int64_t peak(const std::vector<Rank>& owners, Rank ranks) {
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(ranks), 0);
+  for (const Rank r : owners) ++counts[static_cast<std::size_t>(r)];
+  return *std::max_element(counts.begin(), counts.end());
+}
+
+TEST(WeightedRcb, MatchesUnweightedForUniformWeights) {
+  const SpectralMesh mesh = make_mesh();
+  const std::vector<double> weights(
+      static_cast<std::size_t>(mesh.num_elements()), 1.0);
+  const MeshPartition weighted = weighted_rcb_partition(mesh, 8, weights);
+  EXPECT_LE(weighted.max_elements_per_rank() -
+                weighted.min_elements_per_rank(),
+            1);
+}
+
+TEST(WeightedRcb, ZeroWeightsFallBackToElementCounts) {
+  const SpectralMesh mesh = make_mesh();
+  const std::vector<double> weights(
+      static_cast<std::size_t>(mesh.num_elements()), 0.0);
+  const MeshPartition part = weighted_rcb_partition(mesh, 4, weights);
+  EXPECT_LE(part.max_elements_per_rank() - part.min_elements_per_rank(), 1);
+}
+
+TEST(WeightedRcb, BalancesWeightNotCount) {
+  const SpectralMesh mesh = make_mesh();
+  // One octant carries 100x the weight of the rest.
+  std::vector<double> weights(
+      static_cast<std::size_t>(mesh.num_elements()), 1.0);
+  for (ElementId e = 0; e < mesh.num_elements(); ++e) {
+    const Vec3 c = mesh.element_center(e);
+    if (c.x < 0.5 && c.y < 0.5 && c.z < 0.5)
+      weights[static_cast<std::size_t>(e)] = 100.0;
+  }
+  const MeshPartition part = weighted_rcb_partition(mesh, 8, weights);
+  // Per-rank weight should be near-balanced.
+  std::vector<double> rank_weight(8, 0.0);
+  for (ElementId e = 0; e < mesh.num_elements(); ++e)
+    rank_weight[static_cast<std::size_t>(part.owner_of(e))] +=
+        weights[static_cast<std::size_t>(e)];
+  const double max_w =
+      *std::max_element(rank_weight.begin(), rank_weight.end());
+  const double min_w =
+      *std::min_element(rank_weight.begin(), rank_weight.end());
+  EXPECT_LT(max_w / min_w, 1.6);
+  // The heavy octant's elements are spread over several ranks.
+  std::set<Rank> heavy_owners;
+  for (ElementId e = 0; e < mesh.num_elements(); ++e)
+    if (weights[static_cast<std::size_t>(e)] == 100.0)
+      heavy_owners.insert(part.owner_of(e));
+  EXPECT_GE(heavy_owners.size(), 4u);
+}
+
+TEST(WeightedRcb, RejectsBadArguments) {
+  const SpectralMesh mesh = make_mesh();
+  EXPECT_THROW(weighted_rcb_partition(mesh, 4, std::vector<double>{1.0}),
+               Error);
+  std::vector<double> negative(
+      static_cast<std::size_t>(mesh.num_elements()), -1.0);
+  EXPECT_THROW(weighted_rcb_partition(mesh, 4, negative), Error);
+}
+
+TEST(WeightedMapper, BeatsPlainElementMappingOnConcentratedCloud) {
+  const SpectralMesh mesh = make_mesh();
+  const MeshPartition plain = rcb_partition(mesh, 16);
+  const auto cloud = corner_cloud(4000, 1);
+
+  std::vector<Rank> owners;
+  // Plain element mapping: all particles land on the octant's ranks.
+  for (std::size_t i = 0; i < cloud.size(); ++i)
+    owners.push_back(plain.owner_of(mesh.element_of(cloud[i])));
+  const std::int64_t plain_peak = peak(owners, 16);
+
+  WeightedElementMapper mapper(mesh, 16, /*grid_weight=*/0.5,
+                               /*imbalance_trigger=*/1.5);
+  mapper.map(cloud, owners);
+  EXPECT_GE(mapper.repartition_count(), 1u);
+  EXPECT_LT(peak(owners, 16) * 2, plain_peak);
+}
+
+TEST(WeightedMapper, NoRepartitionWhenBalanced) {
+  const SpectralMesh mesh = make_mesh();
+  Xoshiro256 rng(2);
+  std::vector<Vec3> uniform(4000);
+  for (auto& p : uniform)
+    p = Vec3(rng.uniform(0, 1), rng.uniform(0, 1), rng.uniform(0, 1));
+  WeightedElementMapper mapper(mesh, 8, 1.0, /*imbalance_trigger=*/2.0);
+  std::vector<Rank> owners;
+  mapper.map(uniform, owners);
+  EXPECT_EQ(mapper.repartition_count(), 0u);
+}
+
+TEST(WeightedMapper, PreservesParticleGridLocality) {
+  // Every particle must be owned by the rank owning its element.
+  const SpectralMesh mesh = make_mesh();
+  WeightedElementMapper mapper(mesh, 16);
+  const auto cloud = corner_cloud(2000, 3);
+  std::vector<Rank> owners;
+  mapper.map(cloud, owners);
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    EXPECT_EQ(owners[i],
+              mapper.partition().owner_of(mesh.element_of(cloud[i])));
+    EXPECT_EQ(owners[i], mapper.owner_of_point(cloud[i]));
+  }
+}
+
+TEST(WeightedMapper, FactoryKnowsIt) {
+  const SpectralMesh mesh = make_mesh();
+  const MeshPartition part = rcb_partition(mesh, 8);
+  EXPECT_EQ(make_mapper("weighted", mesh, part, 0.05)->name(), "weighted");
+}
+
+TEST(WeightedMapper, RejectsBadArguments) {
+  const SpectralMesh mesh = make_mesh();
+  EXPECT_THROW(WeightedElementMapper(mesh, 0), Error);
+  EXPECT_THROW(WeightedElementMapper(mesh, 4, -1.0), Error);
+  EXPECT_THROW(WeightedElementMapper(mesh, 4, 1.0, 0.5), Error);
+}
+
+}  // namespace
+}  // namespace picp

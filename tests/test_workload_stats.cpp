@@ -1,0 +1,109 @@
+#include "workload/workload_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace picp {
+namespace {
+
+CompMatrix sample_matrix() {
+  // 4 ranks, 3 intervals.
+  CompMatrix m(4, 3);
+  m.set(0, 0, 10);
+  m.set(1, 0, 0);
+  m.set(2, 0, 5);
+  m.set(3, 0, 0);
+  m.set(0, 1, 8);
+  m.set(1, 1, 2);
+  m.set(2, 1, 5);
+  m.set(0, 2, 6);
+  m.set(2, 2, 9);
+  return m;
+}
+
+TEST(Utilization, CountsEverAndMeanActive) {
+  const UtilizationStats stats = utilization(sample_matrix());
+  EXPECT_EQ(stats.num_ranks, 4);
+  EXPECT_EQ(stats.ever_active, 3);  // rank 3 never has particles
+  EXPECT_DOUBLE_EQ(stats.ever_active_fraction, 0.75);
+  // Active fractions: 2/4, 3/4, 2/4 → mean 7/12.
+  EXPECT_NEAR(stats.mean_active_fraction, 7.0 / 12.0, 1e-12);
+  EXPECT_EQ(stats.peak_load, 10);
+}
+
+TEST(Utilization, EmptyMatrix) {
+  const CompMatrix m(4, 0);
+  const UtilizationStats stats = utilization(m);
+  EXPECT_EQ(stats.ever_active, 0);
+  EXPECT_DOUBLE_EQ(stats.mean_active_fraction, 0.0);
+}
+
+TEST(PeakPerInterval, MatchesIntervalMax) {
+  const auto peaks = peak_per_interval(sample_matrix());
+  ASSERT_EQ(peaks.size(), 3u);
+  EXPECT_EQ(peaks[0], 10);
+  EXPECT_EQ(peaks[1], 8);
+  EXPECT_EQ(peaks[2], 9);
+}
+
+TEST(ImbalancePerInterval, MaxOverMean) {
+  const auto imb = imbalance_per_interval(sample_matrix());
+  ASSERT_EQ(imb.size(), 3u);
+  // Interval 0: total 15, mean 3.75, max 10 → 2.666...
+  EXPECT_NEAR(imb[0], 10.0 / 3.75, 1e-12);
+}
+
+TEST(ImbalancePerInterval, EmptyIntervalIsZero) {
+  CompMatrix m(2, 1);
+  const auto imb = imbalance_per_interval(m);
+  EXPECT_DOUBLE_EQ(imb[0], 0.0);
+}
+
+TEST(ActivePerInterval, Counts) {
+  const auto active = active_per_interval(sample_matrix());
+  ASSERT_EQ(active.size(), 3u);
+  EXPECT_EQ(active[0], 2);
+  EXPECT_EQ(active[1], 3);
+  EXPECT_EQ(active[2], 2);
+}
+
+TEST(AsciiHeatmap, DimensionsAndContent) {
+  const std::string map = ascii_heatmap(sample_matrix(), 3, 4);
+  // 4 rank rows (ranks <= height) x 3 interval columns.
+  std::istringstream in(map);
+  std::string line;
+  int rows = 0;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line.size(), 3u);
+    ++rows;
+  }
+  EXPECT_EQ(rows, 4);
+  // Rank 3 row must be all blanks (never active).
+  EXPECT_NE(map.find("   "), std::string::npos);
+  // The peak cell must use the hottest ramp character.
+  EXPECT_NE(map.find('@'), std::string::npos);
+}
+
+TEST(AsciiHeatmap, DownsamplesLargeMatrices) {
+  CompMatrix m(100, 200);
+  for (std::size_t t = 0; t < 200; ++t)
+    for (Rank r = 0; r < 100; ++r) m.set(r, t, r + static_cast<Rank>(t));
+  const std::string map = ascii_heatmap(m, 10, 5);
+  std::istringstream in(map);
+  std::string line;
+  int rows = 0;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line.size(), 10u);
+    ++rows;
+  }
+  EXPECT_EQ(rows, 5);
+}
+
+TEST(AsciiHeatmap, EmptyMatrix) {
+  const CompMatrix m(2, 0);
+  EXPECT_EQ(ascii_heatmap(m), "(empty)\n");
+}
+
+}  // namespace
+}  // namespace picp

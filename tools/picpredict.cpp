@@ -1,0 +1,238 @@
+// picpredict — command-line front end to the prediction framework.
+//
+//   picpredict simulate <config.ini> --trace <out.trace>
+//                       [--timings <out.csv>]
+//       Run the PIC proxy application described by the config; write its
+//       particle trace and (with [measure] enabled) instrumented timings.
+//
+//   picpredict train <timings.csv> --out <models.txt>
+//                    [--method auto|linear|poly|symreg] [--seed N]
+//       Model Generator: fit per-kernel performance models.
+//
+//   picpredict workload <trace> --ranks <R> [--mapper bin] [--filter F]
+//                       [--out-prefix <path>]
+//       Dynamic Workload Generator: replay the trace for one processor
+//       count; print utilization/peak statistics and optionally dump the
+//       computation matrix as CSV.
+//
+//   picpredict predict <trace> --models <models.txt> --ranks <R1,R2,...>
+//                      [--mapper bin] [--filter F]
+//       Full prediction: workload + models + trace-driven DES; prints one
+//       row per target processor count.
+//
+//   picpredict extrapolate <trace> --out <out.trace> --particles <N>
+//       Synthesize a larger representative trace from a small-scale run.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/trainer.hpp"
+#include "mapping/mapper.hpp"
+#include "picsim/sim_driver.hpp"
+#include "trace/extrapolate.hpp"
+#include "trace/trace_reader.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/string_util.hpp"
+#include "workload/workload_stats.hpp"
+
+namespace {
+
+using namespace picp;
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage:\n"
+               "  picpredict simulate <config.ini> --trace <out> "
+               "[--timings <csv>]\n"
+               "  picpredict train <timings.csv> --out <models.txt> "
+               "[--method auto|linear|poly|symreg] [--seed N]\n"
+               "  picpredict workload <trace> --ranks <R> [--mapper M] "
+               "[--filter F] [--out-prefix P]\n"
+               "  picpredict predict <trace> --models <file> --ranks "
+               "<R1,R2,...> [--mapper M] [--filter F]\n"
+               "  picpredict extrapolate <trace> --out <out> --particles "
+               "<N> [--seed N]\n");
+  std::exit(2);
+}
+
+/// flag → value map from argv[first..); flags must all take one value.
+std::map<std::string, std::string> parse_flags(int argc, char** argv,
+                                               int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0 || i + 1 >= argc)
+      usage(("bad or valueless flag: " + arg).c_str());
+    flags[arg.substr(2)] = argv[++i];
+  }
+  return flags;
+}
+
+std::string require_flag(const std::map<std::string, std::string>& flags,
+                         const std::string& name) {
+  const auto it = flags.find(name);
+  if (it == flags.end()) usage(("missing --" + name).c_str());
+  return it->second;
+}
+
+std::string flag_or(const std::map<std::string, std::string>& flags,
+                    const std::string& name, const std::string& fallback) {
+  const auto it = flags.find(name);
+  return it == flags.end() ? fallback : it->second;
+}
+
+int cmd_simulate(int argc, char** argv) {
+  if (argc < 3) usage("simulate needs a config file");
+  const auto flags = parse_flags(argc, argv, 3);
+  const SimConfig cfg = SimConfig::from_config(Config::from_file(argv[2]));
+  SimDriver driver(cfg);
+  const SimResult result = driver.run(require_flag(flags, "trace"));
+  std::printf("simulated %lld iterations, %llu trace samples, wall %.2f s\n",
+              static_cast<long long>(cfg.num_iterations),
+              static_cast<unsigned long long>(result.trace_samples),
+              result.wall_seconds);
+  if (flags.count("timings") > 0) {
+    if (result.timings.empty())
+      std::fprintf(stderr, "warning: no timings collected — enable "
+                           "[measure] in the config\n");
+    result.timings.save_csv(flags.at("timings"));
+    std::printf("wrote %zu timing records to %s\n", result.timings.size(),
+                flags.at("timings").c_str());
+  }
+  return 0;
+}
+
+int cmd_train(int argc, char** argv) {
+  if (argc < 3) usage("train needs a timings CSV");
+  const auto flags = parse_flags(argc, argv, 3);
+  const KernelTimings timings = KernelTimings::load_csv(argv[2]);
+  ModelGenConfig config;
+  config.method = fit_method_from_name(flag_or(flags, "method", "auto"));
+  config.symreg.seed =
+      static_cast<std::uint64_t>(parse_int(flag_or(flags, "seed", "1")));
+  TrainReport report;
+  const ModelSet models = train_models(timings, config, &report);
+  models.save(require_flag(flags, "out"));
+  std::printf("%-14s %8s %12s  formula\n", "kernel", "rows", "train MAPE");
+  for (const auto& fit : report.kernels)
+    std::printf("%-14s %8zu %11.2f%%  %s\n", fit.kernel.c_str(), fit.rows,
+                fit.train_mape, fit.formula.c_str());
+  return 0;
+}
+
+SpectralMesh mesh_for_trace(const TraceReader& trace,
+                            const std::map<std::string, std::string>& flags) {
+  // Mesh dimensions may be overridden; default to the scaled case study.
+  const auto dim = [&flags](const char* name, long long fallback) {
+    return static_cast<std::int64_t>(
+        parse_int(flag_or(flags, name, std::to_string(fallback))));
+  };
+  return SpectralMesh(trace.header().domain, dim("nelx", 32), dim("nely", 32),
+                      dim("nelz", 64),
+                      static_cast<int>(dim("points-per-dim", 5)));
+}
+
+int cmd_workload(int argc, char** argv) {
+  if (argc < 3) usage("workload needs a trace file");
+  const auto flags = parse_flags(argc, argv, 3);
+  TraceReader trace(argv[2]);
+  const SpectralMesh mesh = mesh_for_trace(trace, flags);
+  const auto ranks =
+      static_cast<Rank>(parse_int(require_flag(flags, "ranks")));
+  const double filter = parse_double(flag_or(flags, "filter", "0.024"));
+  const MeshPartition partition = rcb_partition(mesh, ranks);
+  const auto mapper = make_mapper(flag_or(flags, "mapper", "bin"), mesh,
+                                  partition, filter);
+  WorkloadParams params;
+  params.ghost_radius = filter;
+  WorkloadGenerator generator(mesh, partition, *mapper, params);
+  const WorkloadResult workload = generator.generate(trace);
+
+  const UtilizationStats stats = utilization(workload.comp_real);
+  std::printf("intervals            : %zu\n", workload.num_intervals());
+  std::printf("peak particles/rank  : %lld\n",
+              static_cast<long long>(stats.peak_load));
+  std::printf("resource utilization : %.2f%%\n",
+              100.0 * stats.mean_active_fraction);
+  std::printf("migrated particles   : %lld\n",
+              static_cast<long long>(workload.comm_real.total_volume()));
+  std::printf("ghost transfers      : %lld\n",
+              static_cast<long long>(workload.comm_ghost.total_volume()));
+  std::printf("%s", ascii_heatmap(workload.comp_real).c_str());
+  if (flags.count("out-prefix") > 0) {
+    const std::string prefix = flags.at("out-prefix");
+    workload.comp_real.write_csv(prefix + ".comp_real.csv");
+    workload.comp_ghost.write_csv(prefix + ".comp_ghost.csv");
+    std::printf("matrices written to %s.comp_{real,ghost}.csv\n",
+                prefix.c_str());
+  }
+  return 0;
+}
+
+int cmd_predict(int argc, char** argv) {
+  if (argc < 3) usage("predict needs a trace file");
+  const auto flags = parse_flags(argc, argv, 3);
+  TraceReader trace(argv[2]);
+  const SpectralMesh mesh = mesh_for_trace(trace, flags);
+  const ModelSet models = ModelSet::load(require_flag(flags, "models"));
+  const PredictionPipeline pipeline(mesh, models);
+
+  std::printf("%8s %16s %18s %14s %12s\n", "ranks", "predicted time s",
+              "critical path s", "workload gen s", "DES events");
+  for (const std::string& field :
+       split(require_flag(flags, "ranks"), ',')) {
+    PredictionConfig pc;
+    pc.num_ranks = static_cast<Rank>(parse_int(field));
+    pc.mapper_kind = flag_or(flags, "mapper", "bin");
+    pc.filter_size = parse_double(flag_or(flags, "filter", "0.024"));
+    const PredictionOutcome outcome = pipeline.predict(trace, pc);
+    std::printf("%8d %16.5f %18.5f %14.3f %12llu\n", pc.num_ranks,
+                outcome.sim.total_seconds,
+                outcome.sim.critical_path_seconds,
+                outcome.workload_gen_seconds,
+                static_cast<unsigned long long>(outcome.sim.events));
+  }
+  return 0;
+}
+
+int cmd_extrapolate(int argc, char** argv) {
+  if (argc < 3) usage("extrapolate needs a trace file");
+  const auto flags = parse_flags(argc, argv, 3);
+  TraceReader trace(argv[2]);
+  ExtrapolationParams params;
+  params.target_particles = static_cast<std::uint64_t>(
+      parse_int(require_flag(flags, "particles")));
+  params.seed = static_cast<std::uint64_t>(
+      parse_int(flag_or(flags, "seed", "20210517")));
+  const std::string out = require_flag(flags, "out");
+  const std::uint64_t samples = extrapolate_trace(trace, out, params);
+  std::printf("wrote %llu samples x %llu particles to %s\n",
+              static_cast<unsigned long long>(samples),
+              static_cast<unsigned long long>(params.target_particles),
+              out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "simulate") return cmd_simulate(argc, argv);
+    if (command == "train") return cmd_train(argc, argv);
+    if (command == "workload") return cmd_workload(argc, argv);
+    if (command == "predict") return cmd_predict(argc, argv);
+    if (command == "extrapolate") return cmd_extrapolate(argc, argv);
+    usage(("unknown command: " + command).c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "picpredict: %s\n", e.what());
+    return 1;
+  }
+}
