@@ -9,6 +9,7 @@
 #include "picsim/collision_grid.hpp"
 #include "picsim/kernels.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/ghost_finder.hpp"
 
 namespace {
@@ -109,5 +110,60 @@ void BM_CollisionRebuild(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_CollisionRebuild)->Arg(30000);
+
+// Thread-scaling sweep of the driver's fused physics step (interpolate →
+// eq_solve → push chunked over one pool, exactly as SimDriver::run executes
+// it). Compare items_per_second across thread counts for the speedup; the
+// Arg is the worker count.
+void BM_PhysicsStepThreads(benchmark::State& state) {
+  const std::size_t n = 30000;
+  KernelBench b(n);
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  ThreadPool pool(threads);
+  CollisionGrid grid(0.05);
+  grid.rebuild(b.positions, &pool);
+  std::vector<Vec3> next_vel(n);
+  std::vector<Vec3> next_pos(n);
+  const auto chunk = [&](std::size_t begin, std::size_t end) {
+    const std::span<const std::uint32_t> ids(b.ids.data() + begin,
+                                             end - begin);
+    b.kernels.interpolate(b.positions, ids, 0.5, b.gas_values);
+    b.kernels.eq_solve(b.velocities, b.gas_values, grid, ids, next_vel);
+    b.kernels.push(b.positions, next_vel, ids, next_pos);
+  };
+  for (auto _ : state) {
+    if (threads > 1)
+      pool.parallel_for(n, 256, chunk);
+    else
+      chunk(0, n);
+    benchmark::DoNotOptimize(next_pos.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PhysicsStepThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
+// The parallel counting-sort rebuild on its own.
+void BM_CollisionRebuildThreads(benchmark::State& state) {
+  KernelBench b(30000);
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  ThreadPool pool(threads);
+  CollisionGrid grid(0.01);
+  for (auto _ : state) {
+    grid.rebuild(b.positions, threads > 1 ? &pool : nullptr);
+    benchmark::DoNotOptimize(grid.cell_count());
+  }
+  state.SetItemsProcessed(state.iterations() * 30000);
+}
+BENCHMARK(BM_CollisionRebuildThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
 
 }  // namespace

@@ -38,6 +38,9 @@ SimConfig hele_shaw_config(bool small) {
   cfg.num_ranks = 1044;
   cfg.mapper_kind = "bin";
   cfg.measure = false;
+  // The trace producer threads its solver loop; results are bit-identical
+  // for any thread count, so cached traces stay comparable across hosts.
+  cfg.threads = 0;  // hardware concurrency
   // Compact (f32) trace, as in production PIC runs; the sub-micron rounding
   // is far below any mapping decision scale.
   cfg.trace_float64 = false;

@@ -9,6 +9,8 @@
 
 namespace picp {
 
+class ThreadPool;
+
 /// Uniform cell list for particle-particle collision detection (the
 /// collision force F_c in the CMT-nek particle solver, Eq. 2). The grid is
 /// rebuilt every iteration over the *current particle bounding box* — a
@@ -23,7 +25,12 @@ class CollisionGrid {
   explicit CollisionGrid(double cutoff, std::size_t max_cells = 1u << 21);
 
   /// Rebuild cell lists from current positions (counting sort, O(N)).
-  void rebuild(std::span<const Vec3> positions);
+  /// With a pool, the particle-bounds reduction, cell indexing, and the
+  /// counting sort itself run chunked across workers (per-chunk cell counts
+  /// merged by prefix sum); the resulting cell lists are bit-identical to
+  /// the serial build for any worker count because chunks are contiguous,
+  /// in-order particle ranges.
+  void rebuild(std::span<const Vec3> positions, ThreadPool* pool = nullptr);
 
   /// Visit up to `max_neighbors` particles within `cutoff` of particle i
   /// (excluding i itself), calling visit(j, delta, dist2) for each, where
@@ -72,6 +79,8 @@ class CollisionGrid {
   std::vector<std::uint32_t> cell_start_;  // prefix sums, size cells+1
   std::vector<std::uint32_t> cell_items_;  // particle ids grouped by cell
   std::vector<std::uint32_t> counts_;      // scratch
+  std::vector<std::uint32_t> cell_index_;  // scratch: cell of each particle
+  std::vector<std::uint32_t> chunk_counts_;  // scratch: per-chunk cell counts
 };
 
 }  // namespace picp

@@ -5,31 +5,56 @@
 namespace picp {
 
 FieldCache::FieldCache(const SpectralMesh& mesh, const GasModel& gas)
-    : mesh_(&mesh), gas_(&gas) {}
+    : mesh_(&mesh), gas_(&gas) {
+  // Evaluate the gas field once per corner-lattice point, then gather the
+  // 8 corners of every element from the shared lattice.
+  const std::int64_t nx = mesh.nelx() + 1;
+  const std::int64_t ny = mesh.nely() + 1;
+  const std::int64_t nz = mesh.nelz() + 1;
+  const Aabb& domain = mesh.domain();
+  const Vec3 ext = domain.extent();
+  const Vec3 h(ext.x / static_cast<double>(mesh.nelx()),
+               ext.y / static_cast<double>(mesh.nely()),
+               ext.z / static_cast<double>(mesh.nelz()));
 
-const FieldCache::ElementField& FieldCache::element_field(ElementId e) {
-  const auto it = cache_.find(e);
-  if (it != cache_.end()) return it->second;
-  ElementField field;
-  field.bounds = mesh_->element_bounds(e);
-  const Vec3& lo = field.bounds.lo;
-  const Vec3& hi = field.bounds.hi;
-  int corner = 0;
-  for (int cz = 0; cz <= 1; ++cz)
-    for (int cy = 0; cy <= 1; ++cy)
-      for (int cx = 0; cx <= 1; ++cx) {
-        const Vec3 point(cx ? hi.x : lo.x, cy ? hi.y : lo.y,
-                         cz ? hi.z : lo.z);
-        field.corner_dir[static_cast<std::size_t>(corner)] =
-            gas_->direction(point);
-        field.corner_d[static_cast<std::size_t>(corner)] =
-            gas_->front_coord(point);
-        ++corner;
+  std::vector<Vec3> lattice_dir(
+      static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) *
+      static_cast<std::size_t>(nz));
+  std::vector<double> lattice_d(lattice_dir.size());
+  const auto lattice_index = [nx, ny](std::int64_t ix, std::int64_t iy,
+                                      std::int64_t iz) {
+    return static_cast<std::size_t>((iz * ny + iy) * nx + ix);
+  };
+  for (std::int64_t iz = 0; iz < nz; ++iz)
+    for (std::int64_t iy = 0; iy < ny; ++iy)
+      for (std::int64_t ix = 0; ix < nx; ++ix) {
+        const Vec3 point(domain.lo.x + static_cast<double>(ix) * h.x,
+                         domain.lo.y + static_cast<double>(iy) * h.y,
+                         domain.lo.z + static_cast<double>(iz) * h.z);
+        const std::size_t k = lattice_index(ix, iy, iz);
+        lattice_dir[k] = gas.direction(point);
+        lattice_d[k] = gas.front_coord(point);
       }
-  return cache_.emplace(e, field).first->second;
+
+  fields_.resize(static_cast<std::size_t>(mesh.num_elements()));
+  for (std::size_t e = 0; e < fields_.size(); ++e) {
+    ElementField& field = fields_[e];
+    const auto coords = mesh.element_coords(static_cast<ElementId>(e));
+    field.bounds = mesh.element_bounds(static_cast<ElementId>(e));
+    int corner = 0;
+    for (int cz = 0; cz <= 1; ++cz)
+      for (int cy = 0; cy <= 1; ++cy)
+        for (int cx = 0; cx <= 1; ++cx) {
+          const std::size_t k =
+              lattice_index(coords[0] + cx, coords[1] + cy, coords[2] + cz);
+          field.corner_dir[static_cast<std::size_t>(corner)] = lattice_dir[k];
+          field.corner_d[static_cast<std::size_t>(corner)] = lattice_d[k];
+          ++corner;
+        }
+  }
 }
 
-Vec3 FieldCache::interpolate(const Vec3& p, double t) {
+Vec3 FieldCache::interpolate(const Vec3& p, double t) const {
   const ElementId e = mesh_->element_of(p);
   const ElementField& field = element_field(e);
   const Vec3 ext = field.bounds.extent();

@@ -1,19 +1,27 @@
 #pragma once
 
 #include <array>
-#include <unordered_map>
+#include <vector>
 
 #include "mesh/spectral_mesh.hpp"
 #include "picsim/gas_model.hpp"
 
 namespace picp {
 
-/// Per-element cache of the gas field's time-independent direction vectors
-/// at the 8 element corners. Interpolation gathers corner values and scales
-/// them by the time-dependent blast factor inline, so the expensive
+/// Dense per-element table of the gas field's time-independent direction
+/// vectors at the 8 element corners. Interpolation gathers corner values and
+/// scales them by the time-dependent blast factor inline, so the expensive
 /// direction evaluation happens once per element for the whole run (the
 /// proxy's analogue of the fluid solver handing the particle solver a grid
 /// field).
+///
+/// The table is built eagerly at construction — one contiguous
+/// `std::vector<ElementField>` indexed by ElementId — so `interpolate` is a
+/// pure read: no hash lookup per particle and no mutation, which makes
+/// concurrent interpolation from many threads safe by construction. Corner
+/// evaluations are shared between adjacent elements via the (nelx+1) ×
+/// (nely+1) × (nelz+1) corner lattice, so construction costs one gas-field
+/// evaluation per lattice point instead of eight per element.
 class FieldCache {
  public:
   FieldCache(const SpectralMesh& mesh, const GasModel& gas);
@@ -24,19 +32,21 @@ class FieldCache {
     Aabb bounds;
   };
 
-  /// Corner data for an element, computed on first access.
-  const ElementField& element_field(ElementId e);
+  /// Corner data for an element (precomputed; plain indexed load).
+  const ElementField& element_field(ElementId e) const {
+    return fields_[static_cast<std::size_t>(e)];
+  }
 
   /// Gas velocity at point p and time t by trilinear interpolation of the
   /// cached corner directions (the PIC "Interpolation" kernel's gather).
-  Vec3 interpolate(const Vec3& p, double t);
+  Vec3 interpolate(const Vec3& p, double t) const;
 
-  std::size_t cached_elements() const { return cache_.size(); }
+  std::size_t cached_elements() const { return fields_.size(); }
 
  private:
   const SpectralMesh* mesh_;
   const GasModel* gas_;
-  std::unordered_map<ElementId, ElementField> cache_;
+  std::vector<ElementField> fields_;
 };
 
 }  // namespace picp

@@ -27,20 +27,47 @@ Kernel kernel_from_name(const std::string& name) {
   throw Error("unknown kernel name: " + name);
 }
 
-ProjectionField::ProjectionField(int points_per_dim) : n_(points_per_dim) {
+ProjectionField::ProjectionField(int points_per_dim,
+                                 std::int64_t num_elements_hint)
+    : n_(points_per_dim),
+      block_size_(static_cast<std::size_t>(points_per_dim) *
+                  static_cast<std::size_t>(points_per_dim) *
+                  static_cast<std::size_t>(points_per_dim)) {
   PICP_REQUIRE(points_per_dim >= 2, "projection field needs N >= 2");
+  if (num_elements_hint > 0) {
+    data_.assign(static_cast<std::size_t>(num_elements_hint) * block_size_,
+                 0.0);
+    touched_flag_.assign(static_cast<std::size_t>(num_elements_hint), 0);
+  }
 }
 
 std::span<double> ProjectionField::element_data(ElementId e) {
-  auto& v = data_[e];
-  if (v.empty())
-    v.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_) *
-                 static_cast<std::size_t>(n_),
-             0.0);
-  return v;
+  const auto idx = static_cast<std::size_t>(e);
+  if (idx >= touched_flag_.size()) {
+    // Geometric growth so repeated first touches of increasing ids stay
+    // amortized O(1); new storage arrives zeroed.
+    const std::size_t elements =
+        std::max(idx + 1, 2 * touched_flag_.size());
+    data_.resize(elements * block_size_, 0.0);
+    touched_flag_.resize(elements, 0);
+  }
+  if (!touched_flag_[idx]) {
+    touched_flag_[idx] = 1;
+    touched_.push_back(e);
+  }
+  return {data_.data() + idx * block_size_, block_size_};
 }
 
-void ProjectionField::clear() { data_.clear(); }
+void ProjectionField::clear() {
+  for (const ElementId e : touched_) {
+    const auto idx = static_cast<std::size_t>(e);
+    std::fill_n(data_.begin() +
+                    static_cast<std::ptrdiff_t>(idx * block_size_),
+                block_size_, 0.0);
+    touched_flag_[idx] = 0;
+  }
+  touched_.clear();
+}
 
 SolverKernels::SolverKernels(const SpectralMesh& mesh, const GasModel& gas,
                              const PhysicsParams& params)
@@ -51,7 +78,7 @@ SolverKernels::SolverKernels(const SpectralMesh& mesh, const GasModel& gas,
 
 void SolverKernels::interpolate(std::span<const Vec3> positions,
                                 std::span<const std::uint32_t> indices,
-                                double time, std::span<Vec3> gas_out) {
+                                double time, std::span<Vec3> gas_out) const {
   for (const std::uint32_t i : indices)
     gas_out[i] = field_cache_.interpolate(positions[i], time);
 }
@@ -60,7 +87,7 @@ void SolverKernels::eq_solve(std::span<const Vec3> velocities,
                              std::span<const Vec3> gas,
                              const CollisionGrid& grid,
                              std::span<const std::uint32_t> indices,
-                             std::span<Vec3> vel_out) {
+                             std::span<Vec3> vel_out) const {
   const double inv_tau = 1.0 / params_.drag_tau;
   const bool collide = params_.collision_radius > 0.0;
   for (const std::uint32_t i : indices) {

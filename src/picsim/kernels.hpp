@@ -3,7 +3,6 @@
 #include <cstdint>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "mesh/partition.hpp"
@@ -60,46 +59,68 @@ struct MigrantRecord {
   std::uint32_t particle = 0;
 };
 
-/// Sparse particle→grid deposit field: per occupied element, an N×N×N
-/// accumulation array (the projected particle volume fraction). Only
-/// elements that receive deposits are materialized.
+/// Particle→grid deposit field: per element, an N×N×N accumulation array
+/// (the projected particle volume fraction). Storage is one dense
+/// contiguous array indexed by ElementId — no hash lookup on the deposit
+/// path — plus a touched-element list so `clear()` re-zeroes only the
+/// blocks that actually received deposits instead of deallocating
+/// everything. The backing array grows geometrically on demand (or is
+/// pre-sized via `num_elements_hint`), so steady-state measurement reps
+/// never allocate.
 class ProjectionField {
  public:
-  explicit ProjectionField(int points_per_dim);
+  explicit ProjectionField(int points_per_dim,
+                           std::int64_t num_elements_hint = 0);
 
+  /// Accumulation block of element e, zeroed on first touch since the last
+  /// clear(). Marks e as occupied.
   std::span<double> element_data(ElementId e);
-  std::size_t occupied_elements() const { return data_.size(); }
+
+  std::size_t occupied_elements() const { return touched_.size(); }
+  std::span<const ElementId> touched_elements() const { return touched_; }
+
+  /// Reset every touched block to zero; keeps the backing storage.
   void clear();
+
   int points_per_dim() const { return n_; }
 
  private:
   int n_;
-  std::unordered_map<ElementId, std::vector<double>> data_;
+  std::size_t block_size_;
+  std::vector<double> data_;           // num_elements * N^3, dense
+  std::vector<std::uint8_t> touched_flag_;
+  std::vector<ElementId> touched_;     // occupied since last clear()
 };
 
 /// Stateless-per-call kernel implementations. Every kernel operates on an
 /// arbitrary subset of particle indices, so the same code path serves both
 /// the global physics step and the per-virtual-rank measured execution —
 /// the proxy's substitute for running each kernel on a real MPI rank.
+///
+/// interpolate / eq_solve / push are const and write only to the slots of
+/// the listed particle indices, so disjoint index spans may execute
+/// concurrently on one kernels object (the driver's threaded solver loop
+/// relies on this). create_ghost uses internal scratch and is not safe to
+/// call concurrently on the same object.
 class SolverKernels {
  public:
   SolverKernels(const SpectralMesh& mesh, const GasModel& gas,
                 const PhysicsParams& params);
 
   const PhysicsParams& params() const { return params_; }
-  FieldCache& field_cache() { return field_cache_; }
+  const FieldCache& field_cache() const { return field_cache_; }
 
   /// 1. Interpolation: gas velocity at each listed particle → gas_out[i].
   void interpolate(std::span<const Vec3> positions,
                    std::span<const std::uint32_t> indices, double time,
-                   std::span<Vec3> gas_out);
+                   std::span<Vec3> gas_out) const;
 
   /// 2. Equation solver: drag + gravity + collision forces → vel_out[i].
   /// `grid` must be rebuilt for `positions` when collisions are enabled.
   void eq_solve(std::span<const Vec3> velocities, std::span<const Vec3> gas,
                 const CollisionGrid& grid,
                 std::span<const std::uint32_t> indices,
-                std::span<Vec3> vel_out);
+                std::span<Vec3> vel_out) const;
 
   /// 3. Particle pusher: advance positions by dt with wall reflection;
   /// writes pos_out[i] and may flip components of vel_inout[i].

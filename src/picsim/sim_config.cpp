@@ -59,6 +59,10 @@ SimConfig SimConfig::from_config(const Config& c) {
   s.num_iterations = c.get_int("run.num_iterations", s.num_iterations);
   s.sample_every = c.get_int("run.sample_every", s.sample_every);
   s.trace_float64 = c.get_bool("run.trace_float64", s.trace_float64);
+  const long long threads =
+      c.get_int("run.threads", static_cast<long long>(s.threads));
+  PICP_REQUIRE(threads >= 0, "run.threads must be >= 0 (0 = all cores)");
+  s.threads = static_cast<std::size_t>(threads);
 
   s.mapper_kind = c.get_string("mapping.mapper", s.mapper_kind);
   s.num_ranks =

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -38,6 +39,11 @@ struct SimConfig {
   /// Store trace coordinates in double precision (exact generator-vs-app
   /// validation); f32 matches the paper's compact production traces.
   bool trace_float64 = true;
+  /// Worker threads for the solver loop, collision-grid rebuilds, and the
+  /// measurement-path rank/ghost builds. 1 = fully serial (no pool),
+  /// 0 = hardware concurrency. Every parallel phase writes only disjoint
+  /// per-particle slots, so results are bit-identical for any value.
+  std::size_t threads = 1;
 
   // --- Mapping and prediction ----------------------------------------------
   std::string mapper_kind = "bin";

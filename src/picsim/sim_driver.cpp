@@ -14,20 +14,81 @@ namespace picp {
 
 namespace {
 
+/// Minimum particles before the per-interval builds bother going parallel —
+/// below this the chunk bookkeeping costs more than the loop.
+constexpr std::size_t kMinParallelBuild = 4096;
+/// Minimum particles per chunk in the threaded solver loop.
+constexpr std::size_t kSolverGrain = 256;
+
+struct ChunkPlan {
+  std::size_t chunk = 0;  // particles per chunk
+  std::size_t count = 0;  // number of chunks
+};
+
+ChunkPlan plan_chunks(std::size_t n, std::size_t workers) {
+  ChunkPlan plan;
+  plan.chunk = (n + workers - 1) / workers;
+  plan.count = (n + plan.chunk - 1) / plan.chunk;
+  return plan;
+}
+
 /// Particle ids grouped by owning rank (counting sort), giving each virtual
-/// rank's particle list for per-rank kernel execution.
+/// rank's particle list for per-rank kernel execution. The parallel build
+/// counts per chunk and merges by prefix sum; chunks are contiguous
+/// ascending particle ranges, so the merged fill is bit-identical to the
+/// serial counting sort for any worker count.
 class RankBuckets {
  public:
-  void build(std::span<const Rank> owners, Rank num_ranks) {
-    offsets_.assign(static_cast<std::size_t>(num_ranks) + 1, 0);
-    for (const Rank r : owners) ++offsets_[static_cast<std::size_t>(r) + 1];
-    for (std::size_t r = 1; r < offsets_.size(); ++r)
-      offsets_[r] += offsets_[r - 1];
-    ids_.resize(owners.size());
-    std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
-    for (std::size_t i = 0; i < owners.size(); ++i)
-      ids_[cursor[static_cast<std::size_t>(owners[i])]++] =
-          static_cast<std::uint32_t>(i);
+  void build(std::span<const Rank> owners, Rank num_ranks, ThreadPool* pool) {
+    const std::size_t n = owners.size();
+    const auto ranks = static_cast<std::size_t>(num_ranks);
+    offsets_.assign(ranks + 1, 0);
+    ids_.resize(n);
+    if (pool == nullptr || pool->size() <= 1 || n < kMinParallelBuild) {
+      for (const Rank r : owners) ++offsets_[static_cast<std::size_t>(r) + 1];
+      for (std::size_t r = 1; r < offsets_.size(); ++r)
+        offsets_[r] += offsets_[r - 1];
+      cursor_.assign(offsets_.begin(), offsets_.end() - 1);
+      for (std::size_t i = 0; i < n; ++i)
+        ids_[cursor_[static_cast<std::size_t>(owners[i])]++] =
+            static_cast<std::uint32_t>(i);
+      return;
+    }
+
+    const ChunkPlan plan = plan_chunks(n, pool->size());
+    chunk_counts_.assign(plan.count * ranks, 0);
+    for (std::size_t w = 0; w < plan.count; ++w) {
+      const std::size_t begin = w * plan.chunk;
+      const std::size_t end = std::min(begin + plan.chunk, n);
+      pool->submit([this, owners, ranks, w, begin, end] {
+        std::uint32_t* local = chunk_counts_.data() + w * ranks;
+        for (std::size_t i = begin; i < end; ++i)
+          ++local[static_cast<std::size_t>(owners[i])];
+      });
+    }
+    pool->wait_idle();
+    // Global prefix sums over ranks; each (chunk, rank) count becomes that
+    // chunk's write cursor.
+    for (std::size_t r = 0; r < ranks; ++r) {
+      std::uint32_t cursor = offsets_[r];
+      for (std::size_t w = 0; w < plan.count; ++w) {
+        const std::uint32_t count = chunk_counts_[w * ranks + r];
+        chunk_counts_[w * ranks + r] = cursor;
+        cursor += count;
+      }
+      offsets_[r + 1] = cursor;
+    }
+    for (std::size_t w = 0; w < plan.count; ++w) {
+      const std::size_t begin = w * plan.chunk;
+      const std::size_t end = std::min(begin + plan.chunk, n);
+      pool->submit([this, owners, ranks, w, begin, end] {
+        std::uint32_t* cursor = chunk_counts_.data() + w * ranks;
+        for (std::size_t i = begin; i < end; ++i)
+          ids_[cursor[static_cast<std::size_t>(owners[i])]++] =
+              static_cast<std::uint32_t>(i);
+      });
+    }
+    pool->wait_idle();
   }
 
   std::span<const std::uint32_t> rank_ids(Rank r) const {
@@ -39,28 +100,89 @@ class RankBuckets {
  private:
   std::vector<std::uint32_t> offsets_;
   std::vector<std::uint32_t> ids_;
+  std::vector<std::uint32_t> cursor_;        // scratch
+  std::vector<std::uint32_t> chunk_counts_;  // scratch
 };
 
-/// (rank, particle) ghost pairs grouped by rank.
+/// (rank, particle) ghost pairs grouped by rank. Pairs are generated in
+/// ascending particle order and grouped with a stable counting sort by rank
+/// — O(pairs + R), replacing the former full std::sort while producing the
+/// identical (rank, then particle) order. The parallel build runs the ghost
+/// search per contiguous chunk and merges the per-chunk pair lists with the
+/// same prefix-sum cursors, so output is bit-identical for any worker count.
 class GhostLists {
  public:
   void build(std::span<const Vec3> positions, std::span<const Rank> owners,
-             const GhostFinder& finder, Rank num_ranks) {
-    pairs_.clear();
-    std::vector<Rank> scratch;
-    for (std::size_t i = 0; i < positions.size(); ++i) {
-      finder.ranks_near(positions[i], owners[i], scratch);
-      for (const Rank r : scratch)
-        pairs_.push_back({r, static_cast<std::uint32_t>(i)});
+             const GhostFinder& finder, Rank num_ranks, ThreadPool* pool) {
+    const std::size_t n = positions.size();
+    const auto ranks = static_cast<std::size_t>(num_ranks);
+    offsets_.assign(ranks + 1, 0);
+    if (pool == nullptr || pool->size() <= 1 || n < kMinParallelBuild) {
+      pair_ranks_.clear();
+      pair_ids_.clear();
+      std::vector<Rank> scratch;
+      for (std::size_t i = 0; i < n; ++i) {
+        finder.ranks_near(positions[i], owners[i], scratch);
+        for (const Rank r : scratch) {
+          pair_ranks_.push_back(r);
+          pair_ids_.push_back(static_cast<std::uint32_t>(i));
+        }
+      }
+      for (const Rank r : pair_ranks_)
+        ++offsets_[static_cast<std::size_t>(r) + 1];
+      for (std::size_t r = 1; r < offsets_.size(); ++r)
+        offsets_[r] += offsets_[r - 1];
+      ids_.resize(pair_ids_.size());
+      cursor_.assign(offsets_.begin(), offsets_.end() - 1);
+      for (std::size_t k = 0; k < pair_ids_.size(); ++k)
+        ids_[cursor_[static_cast<std::size_t>(pair_ranks_[k])]++] =
+            pair_ids_[k];
+      return;
     }
-    std::sort(pairs_.begin(), pairs_.end());
-    offsets_.assign(static_cast<std::size_t>(num_ranks) + 1, 0);
-    for (const auto& [r, i] : pairs_)
-      ++offsets_[static_cast<std::size_t>(r) + 1];
-    for (std::size_t r = 1; r < offsets_.size(); ++r)
-      offsets_[r] += offsets_[r - 1];
-    ids_.resize(pairs_.size());
-    for (std::size_t k = 0; k < pairs_.size(); ++k) ids_[k] = pairs_[k].second;
+
+    const ChunkPlan plan = plan_chunks(n, pool->size());
+    locals_.resize(plan.count);
+    for (std::size_t w = 0; w < plan.count; ++w) {
+      const std::size_t begin = w * plan.chunk;
+      const std::size_t end = std::min(begin + plan.chunk, n);
+      pool->submit([this, positions, owners, &finder, ranks, w, begin, end] {
+        Local& local = locals_[w];
+        local.pair_ranks.clear();
+        local.pair_ids.clear();
+        local.counts.assign(ranks, 0);
+        std::vector<Rank> near;
+        for (std::size_t i = begin; i < end; ++i) {
+          finder.ranks_near(positions[i], owners[i], near);
+          for (const Rank r : near) {
+            local.pair_ranks.push_back(r);
+            local.pair_ids.push_back(static_cast<std::uint32_t>(i));
+            ++local.counts[static_cast<std::size_t>(r)];
+          }
+        }
+      });
+    }
+    pool->wait_idle();
+
+    cursor_.resize(plan.count * ranks);
+    for (std::size_t r = 0; r < ranks; ++r) {
+      std::uint32_t cursor = offsets_[r];
+      for (std::size_t w = 0; w < plan.count; ++w) {
+        cursor_[w * ranks + r] = cursor;
+        cursor += locals_[w].counts[r];
+      }
+      offsets_[r + 1] = cursor;
+    }
+    ids_.resize(offsets_[ranks]);
+    for (std::size_t w = 0; w < plan.count; ++w) {
+      pool->submit([this, ranks, w] {
+        const Local& local = locals_[w];
+        std::uint32_t* cursor = cursor_.data() + w * ranks;
+        for (std::size_t k = 0; k < local.pair_ids.size(); ++k)
+          ids_[cursor[static_cast<std::size_t>(local.pair_ranks[k])]++] =
+              local.pair_ids[k];
+      });
+    }
+    pool->wait_idle();
   }
 
   std::span<const std::uint32_t> rank_ghosts(Rank r) const {
@@ -70,9 +192,18 @@ class GhostLists {
   }
 
  private:
-  std::vector<std::pair<Rank, std::uint32_t>> pairs_;
-  std::vector<std::size_t> offsets_;
+  struct Local {
+    std::vector<Rank> pair_ranks;
+    std::vector<std::uint32_t> pair_ids;
+    std::vector<std::uint32_t> counts;
+  };
+
+  std::vector<std::uint32_t> offsets_;
   std::vector<std::uint32_t> ids_;
+  std::vector<Rank> pair_ranks_;      // serial-path pair list
+  std::vector<std::uint32_t> pair_ids_;
+  std::vector<std::uint32_t> cursor_;  // scratch
+  std::vector<Local> locals_;          // parallel-path per-chunk pairs
 };
 
 }  // namespace
@@ -83,11 +214,14 @@ SimDriver::SimDriver(const SimConfig& config)
             config.points_per_dim),
       partition_(rcb_partition(mesh_, config.num_ranks)) {
   config_.validate();
+  if (config_.threads != 1)
+    pool_ = std::make_unique<ThreadPool>(config_.threads);
 }
 
 SimResult SimDriver::run(const std::string& trace_path) {
   const Stopwatch total_watch;
   SimResult result;
+  ThreadPool* const pool = pool_.get();
 
   GasModel gas(config_.gas, config_.domain);
   SolverKernels kernels(mesh_, gas, config_.physics);
@@ -137,7 +271,8 @@ SimResult SimDriver::run(const std::string& trace_path) {
   RankBuckets buckets;
   GhostLists ghosts;
   ProjectionField proj_field(config_.points_per_dim);
-  ProjectionField fluid_field(config_.points_per_dim);
+  ProjectionField fluid_field(config_.points_per_dim,
+                              config_.measure ? mesh_.num_elements() : 0);
   // Per-rank element lists for the fluid-phase kernel (static partition).
   std::vector<std::vector<ElementId>> rank_elements(
       static_cast<std::size_t>(config_.num_ranks));
@@ -160,7 +295,7 @@ SimResult SimDriver::run(const std::string& trace_path) {
 
   for (std::int64_t iter = 0; iter < config_.num_iterations; ++iter) {
     const bool sampling = iter % config_.sample_every == 0;
-    if (collide || sampling) grid.rebuild(store.positions());
+    if (collide || sampling) grid.rebuild(store.positions(), pool);
 
     if (sampling) {
       const auto t = static_cast<std::size_t>(iter / config_.sample_every);
@@ -181,8 +316,9 @@ SimResult SimDriver::run(const std::string& trace_path) {
           (t % static_cast<std::size_t>(config_.measure_every) == 0);
       if (measure_now) {
         const ScopedTimer mt(measure_time);
-        buckets.build(owners, config_.num_ranks);
-        ghosts.build(store.positions(), owners, finder, config_.num_ranks);
+        buckets.build(owners, config_.num_ranks, pool);
+        ghosts.build(store.positions(), owners, finder, config_.num_ranks,
+                     pool);
         vel_scratch.assign(store.velocities().begin(),
                            store.velocities().end());
 
@@ -293,10 +429,23 @@ SimResult SimDriver::run(const std::string& trace_path) {
     }
 
     // --- Physics step (the PIC solver loop, executed globally) -------------
-    kernels.interpolate(store.positions(), all_ids, time, gas_at_particles);
-    kernels.eq_solve(store.velocities(), gas_at_particles, grid, all_ids,
-                     next_velocities);
-    kernels.push(store.positions(), next_velocities, all_ids, next_positions);
+    // interpolate → eq_solve → push fused per chunk: each phase for particle
+    // i reads only shared immutable state (positions, velocities, the
+    // collision grid) plus slot i of the buffers written this step, so one
+    // chunk's particles never observe another chunk's writes and the result
+    // is bit-identical for any thread count.
+    const auto physics_chunk = [&](std::size_t begin, std::size_t end) {
+      const std::span<const std::uint32_t> ids(all_ids.data() + begin,
+                                               end - begin);
+      kernels.interpolate(store.positions(), ids, time, gas_at_particles);
+      kernels.eq_solve(store.velocities(), gas_at_particles, grid, ids,
+                       next_velocities);
+      kernels.push(store.positions(), next_velocities, ids, next_positions);
+    };
+    if (pool != nullptr)
+      pool->parallel_for(np, kSolverGrain, physics_chunk);
+    else
+      physics_chunk(0, np);
     store.swap_in(next_positions, next_velocities);
     next_positions.resize(np);
     next_velocities.resize(np);
@@ -307,13 +456,17 @@ SimResult SimDriver::run(const std::string& trace_path) {
     trace->close();
     result.trace_samples = trace->samples_written();
   }
+  result.final_positions.assign(store.positions().begin(),
+                                store.positions().end());
+  result.final_velocities.assign(store.velocities().begin(),
+                                 store.velocities().end());
   result.measure_seconds = measure_time.total_seconds();
   result.wall_seconds = total_watch.seconds();
   PICP_LOG_INFO << "picsim run: " << np << " particles, "
                 << config_.num_iterations << " iterations, "
-                << result.actual.num_intervals() << " intervals, wall "
-                << result.wall_seconds << " s (measure "
-                << result.measure_seconds << " s)";
+                << result.actual.num_intervals() << " intervals, "
+                << threads() << " threads, wall " << result.wall_seconds
+                << " s (measure " << result.measure_seconds << " s)";
   return result;
 }
 

@@ -2,12 +2,14 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "mapping/mapper.hpp"
 #include "mesh/partition.hpp"
 #include "mesh/spectral_mesh.hpp"
 #include "picsim/instrumentation.hpp"
 #include "picsim/sim_config.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/generator.hpp"
 
 namespace picp {
@@ -22,6 +24,10 @@ struct SimResult {
   /// the same accounting the generator uses — ground truth for validating
   /// the Dynamic Workload Generator (the paper validated Fig 5 this way).
   WorkloadResult actual;
+  /// Particle state after the final iteration, exposed so callers can
+  /// verify bit-exact invariants (e.g. thread-count independence).
+  std::vector<Vec3> final_positions;
+  std::vector<Vec3> final_velocities;
   /// Wall-clock cost of the run, split into physics and instrumentation
   /// (the §II "running the app is ~3 orders costlier" comparison).
   double wall_seconds = 0.0;
@@ -34,6 +40,13 @@ struct SimResult {
 /// gas field. Executes the full PIC solver loop each iteration, writes the
 /// particle trace, and (optionally) measures every kernel on every virtual
 /// rank at sampled intervals.
+///
+/// With `config.threads != 1` the solver loop, collision-grid rebuilds, and
+/// the measurement-path rank/ghost builds run on an internal ThreadPool.
+/// Every parallel phase writes only disjoint per-particle slots and every
+/// merge is performed in deterministic chunk order, so the trace, the
+/// workload accounting, and the final particle state are bit-identical for
+/// any thread count.
 class SimDriver {
  public:
   explicit SimDriver(const SimConfig& config);
@@ -45,10 +58,14 @@ class SimDriver {
   const SpectralMesh& mesh() const { return mesh_; }
   const MeshPartition& partition() const { return partition_; }
 
+  /// Worker threads the driver will use (1 when running serial).
+  std::size_t threads() const { return pool_ ? pool_->size() : 1; }
+
  private:
   SimConfig config_;
   SpectralMesh mesh_;
   MeshPartition partition_;
+  std::unique_ptr<ThreadPool> pool_;  // null when config.threads == 1
 };
 
 }  // namespace picp

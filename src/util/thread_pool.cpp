@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/error.hpp"
 
@@ -34,15 +35,29 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_.wait(lock, [this] { return in_flight_ == 0; });
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return in_flight_ == 0; });
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::parallel_for(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  // Default grain of 2 preserves the historical behavior: ranges smaller
+  // than two items per worker run inline.
+  parallel_for(n, 2, fn);
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
-  const std::size_t chunks = std::min(workers_.size(), n);
-  if (chunks <= 1 || n < 2 * chunks) {
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t chunks = std::min(workers_.size(), n / grain);
+  if (chunks <= 1) {
     fn(0, n);
     return;
   }
@@ -69,9 +84,15 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (error && first_error_ == nullptr) first_error_ = std::move(error);
       --in_flight_;
       if (in_flight_ == 0) idle_.notify_all();
     }

@@ -2,6 +2,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -11,11 +12,18 @@
 namespace picp {
 
 /// Fixed-size worker pool used to parallelize embarrassingly-parallel loops
-/// (per-particle mapping, GP fitness evaluation, per-rank kernel models).
+/// (per-particle mapping, GP fitness evaluation, per-rank kernel models, the
+/// picsim solver loop).
 ///
 /// The pool is intentionally simple: FIFO task queue, no work stealing. The
 /// heavy loops in picpredict are partitioned into one chunk per worker, so a
 /// deque-per-thread design would buy nothing.
+///
+/// Exception safety: a throwing task does not terminate the process. The
+/// first exception thrown by any task in a batch is captured and rethrown
+/// from the next `wait_idle()` (and therefore from `parallel_for`); the
+/// remaining tasks of the batch still run to completion, and the pool stays
+/// usable afterwards.
 class ThreadPool {
  public:
   /// `threads == 0` selects std::thread::hardware_concurrency() (min 1).
@@ -27,16 +35,24 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Enqueue a task; tasks must not throw (exceptions terminate).
+  /// Enqueue a task. If it throws, the exception surfaces at the next
+  /// wait_idle() call.
   void submit(std::function<void()> task);
 
-  /// Block until every submitted task has finished.
+  /// Block until every submitted task has finished, then rethrow the first
+  /// exception any of them raised (clearing it, so the pool is reusable).
   void wait_idle();
 
   /// Run fn(begin, end) over [0, n) split into one contiguous chunk per
   /// worker, blocking until done. Calls fn inline when n is small or the
-  /// pool has a single worker.
+  /// pool has a single worker. Exceptions from fn propagate to the caller.
   void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Grain-size-aware variant: never splits the range into chunks smaller
+  /// than `grain` items, so small index sets stay inline instead of paying
+  /// queue and wake-up latency for sub-microsecond chunks.
+  void parallel_for(std::size_t n, std::size_t grain,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 
  private:
@@ -49,6 +65,7 @@ class ThreadPool {
   std::condition_variable idle_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
+  std::exception_ptr first_error_;
 };
 
 }  // namespace picp

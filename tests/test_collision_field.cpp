@@ -7,6 +7,7 @@
 #include "picsim/field_cache.hpp"
 #include "picsim/particle_store.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace picp {
 namespace {
@@ -76,6 +77,33 @@ TEST(CollisionGrid, SelfExcluded) {
   const int visited = grid.visit_neighbors(
       0, 0.1, 10, [](std::size_t, const Vec3&, double) {});
   EXPECT_EQ(visited, 0);
+}
+
+TEST(CollisionGrid, ParallelRebuildBitIdenticalToSerial) {
+  // Enough particles to cross the parallel-build threshold; odd count so
+  // chunk boundaries don't align with anything.
+  const auto cloud = random_cloud(8191, 3);
+  const double cutoff = 0.03;
+  CollisionGrid serial(cutoff);
+  serial.rebuild(cloud);
+  ThreadPool pool(4);
+  CollisionGrid parallel(cutoff);
+  parallel.rebuild(cloud, &pool);
+  ASSERT_EQ(serial.cell_count(), parallel.cell_count());
+  // The neighbor *sequence* (not just the set) must match: the parallel
+  // counting sort promises the identical stable cell order.
+  for (std::size_t i = 0; i < cloud.size(); i += 97) {
+    std::vector<std::size_t> a, b;
+    serial.visit_neighbors(i, cutoff, 1000,
+                           [&](std::size_t j, const Vec3&, double) {
+                             a.push_back(j);
+                           });
+    parallel.visit_neighbors(i, cutoff, 1000,
+                             [&](std::size_t j, const Vec3&, double) {
+                               b.push_back(j);
+                             });
+    EXPECT_EQ(a, b) << "particle " << i;
+  }
 }
 
 TEST(ParticleStoreTest, BedInitializationDeterministic) {
@@ -162,18 +190,37 @@ TEST(FieldCacheTest, InterpolationCloseToFieldInsideElements) {
   }
 }
 
-TEST(FieldCacheTest, CachesElements) {
+TEST(FieldCacheTest, DenseTableCoversEveryElementAtConstruction) {
   const SpectralMesh mesh(Aabb(Vec3(0, 0, 0), Vec3(1, 1, 1)), 4, 4, 4, 3);
   GasParams params;
   const GasModel gas(params, mesh.domain());
-  FieldCache cache(mesh, gas);
-  EXPECT_EQ(cache.cached_elements(), 0u);
-  cache.interpolate(Vec3(0.1, 0.1, 0.1), 0.0);
-  EXPECT_EQ(cache.cached_elements(), 1u);
-  cache.interpolate(Vec3(0.12, 0.11, 0.13), 0.0);  // same element
-  EXPECT_EQ(cache.cached_elements(), 1u);
-  cache.interpolate(Vec3(0.9, 0.9, 0.9), 0.0);
-  EXPECT_EQ(cache.cached_elements(), 2u);
+  const FieldCache cache(mesh, gas);
+  // Eager dense build: the whole mesh is tabulated up front, so the
+  // interpolation hot path is a const read (safe to share across threads).
+  EXPECT_EQ(cache.cached_elements(),
+            static_cast<std::size_t>(mesh.num_elements()));
+  for (const ElementId e : {ElementId{0}, ElementId{31},
+                            mesh.num_elements() - 1}) {
+    const auto& field = cache.element_field(e);
+    const Aabb expected = mesh.element_bounds(e);
+    EXPECT_EQ(field.bounds.lo, expected.lo);
+    EXPECT_EQ(field.bounds.hi, expected.hi);
+  }
+}
+
+TEST(FieldCacheTest, AdjacentElementsShareCornerValues) {
+  const SpectralMesh mesh(Aabb(Vec3(0, 0, 0), Vec3(1, 1, 1)), 4, 4, 4, 3);
+  GasParams params;
+  params.center = Vec3(0.5, 0.5, -0.2);
+  const GasModel gas(params, mesh.domain());
+  const FieldCache cache(mesh, gas);
+  // Corner 1 (+x) of element (0,0,0) is corner 0 (-x) of element (1,0,0):
+  // both gather from the same lattice point, so the values are bitwise
+  // equal — adjacent elements can never disagree about a shared corner.
+  const auto& left = cache.element_field(mesh.element_at(0, 0, 0));
+  const auto& right = cache.element_field(mesh.element_at(1, 0, 0));
+  EXPECT_EQ(left.corner_dir[1], right.corner_dir[0]);
+  EXPECT_EQ(left.corner_d[1], right.corner_d[0]);
 }
 
 }  // namespace

@@ -245,5 +245,52 @@ TEST(ProjectionFieldTest, DataSizedByPointsPerDim) {
   EXPECT_THROW(ProjectionField(1), Error);
 }
 
+TEST(ProjectionFieldTest, ClearZeroesTouchedBlocksInPlace) {
+  ProjectionField field(3);
+  auto data = field.element_data(2);
+  data[0] = 5.0;
+  data[26] = -1.0;
+  field.clear();
+  EXPECT_EQ(field.occupied_elements(), 0u);
+  for (const double v : field.element_data(2)) EXPECT_EQ(v, 0.0);
+}
+
+TEST(ProjectionFieldTest, TouchedElementsRecordFirstTouchOrder) {
+  ProjectionField field(3);
+  field.element_data(7);
+  field.element_data(2);
+  field.element_data(7);  // repeat touch must not duplicate
+  ASSERT_EQ(field.touched_elements().size(), 2u);
+  EXPECT_EQ(field.touched_elements()[0], 7);
+  EXPECT_EQ(field.touched_elements()[1], 2);
+}
+
+TEST(ProjectionFieldTest, HintPreSizesWithoutMarkingTouched) {
+  ProjectionField field(3, /*num_elements_hint=*/10);
+  EXPECT_EQ(field.occupied_elements(), 0u);
+  auto data = field.element_data(9);
+  EXPECT_EQ(data.size(), 27u);
+  for (const double v : data) EXPECT_EQ(v, 0.0);
+  EXPECT_EQ(field.occupied_elements(), 1u);
+}
+
+TEST(SolverKernelsTest, PhysicsKernelsCallableThroughConstRef) {
+  // The driver shares one kernels object across worker threads; the solver
+  // trio must stay const so that sharing is safe by construction.
+  KernelWorld w;
+  const SolverKernels& kernels = w.kernels;
+  const std::vector<Vec3> pos = {Vec3(0.5, 0.5, 0.5)};
+  const std::vector<Vec3> vel = {Vec3()};
+  std::vector<Vec3> gas_out(1, Vec3(99, 99, 99));
+  std::vector<Vec3> vel_out(1), pos_out(1);
+  std::vector<Vec3> vel_inout = vel;
+  CollisionGrid grid(0.1);
+  grid.rebuild(pos);
+  kernels.interpolate(pos, all_ids(1), 0.5, gas_out);
+  kernels.eq_solve(vel, gas_out, grid, all_ids(1), vel_out);
+  kernels.push(pos, vel_inout, all_ids(1), pos_out);
+  EXPECT_NE(gas_out[0], Vec3(99, 99, 99));
+}
+
 }  // namespace
 }  // namespace picp

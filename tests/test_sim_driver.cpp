@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <iterator>
 
 #include "trace/trace_reader.hpp"
 #include "util/error.hpp"
@@ -75,6 +77,83 @@ TEST(SimDriver, DeterministicForSeed) {
       EXPECT_EQ(a[s].positions[i], b[s].positions[i]) << s << ":" << i;
   std::remove(path_a.c_str());
   std::remove(path_b.c_str());
+}
+
+std::vector<char> file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+TEST(SimDriver, ThreadCountInvariant) {
+  // A scaled-down hele_shaw_small: enough particles to cross the driver's
+  // parallel-build thresholds, collisions on so the threaded grid rebuild
+  // runs every iteration, measurement on so the parallel rank/ghost builds
+  // run too. Every output must be bit-identical across thread counts.
+  SimConfig cfg;
+  cfg.nelx = 8;
+  cfg.nely = 8;
+  cfg.nelz = 16;
+  cfg.bed.num_particles = 6000;
+  cfg.num_iterations = 120;
+  cfg.sample_every = 40;
+  cfg.num_ranks = 16;
+  cfg.filter_size = 0.08;
+  cfg.physics.collision_radius = 0.01;
+  cfg.measure = true;
+  cfg.measure_min_seconds = 1e-6;
+  cfg.measure_max_reps = 2;
+
+  const std::string path_1 = testing::TempDir() + "/picp_sim_t1.bin";
+  const std::string path_4 = testing::TempDir() + "/picp_sim_t4.bin";
+  cfg.threads = 1;
+  SimDriver serial(cfg);
+  ASSERT_EQ(serial.threads(), 1u);
+  const SimResult a = serial.run(path_1);
+  cfg.threads = 4;
+  SimDriver threaded(cfg);
+  ASSERT_EQ(threaded.threads(), 4u);
+  const SimResult b = threaded.run(path_4);
+
+  // Final particle state: bitwise equal positions and velocities.
+  ASSERT_EQ(a.final_positions.size(), b.final_positions.size());
+  for (std::size_t i = 0; i < a.final_positions.size(); ++i) {
+    EXPECT_EQ(a.final_positions[i], b.final_positions[i]) << i;
+    EXPECT_EQ(a.final_velocities[i], b.final_velocities[i]) << i;
+  }
+  // The traces must be byte-for-byte identical files.
+  EXPECT_EQ(file_bytes(path_1), file_bytes(path_4));
+  // In-situ workload accounting agrees interval by interval.
+  ASSERT_EQ(a.actual.num_intervals(), b.actual.num_intervals());
+  for (std::size_t t = 0; t < a.actual.num_intervals(); ++t) {
+    EXPECT_EQ(a.actual.comp_real.interval_total(t),
+              b.actual.comp_real.interval_total(t));
+    EXPECT_EQ(a.actual.comp_ghost.interval_total(t),
+              b.actual.comp_ghost.interval_total(t));
+  }
+  // Measurement visited the same (kernel, rank, interval) workloads.
+  ASSERT_EQ(a.timings.size(), b.timings.size());
+  for (std::size_t k = 0; k < a.timings.size(); ++k) {
+    const TimingRecord& ra = a.timings.records()[k];
+    const TimingRecord& rb = b.timings.records()[k];
+    EXPECT_EQ(ra.rank, rb.rank);
+    EXPECT_EQ(ra.kernel, rb.kernel);
+    EXPECT_EQ(ra.interval, rb.interval);
+    EXPECT_EQ(ra.np, rb.np);
+    EXPECT_EQ(ra.ngp, rb.ngp);
+    EXPECT_EQ(ra.nmove, rb.nmove);
+  }
+  std::remove(path_1.c_str());
+  std::remove(path_4.c_str());
+}
+
+TEST(SimDriver, ThreadsZeroSelectsHardwareConcurrency) {
+  SimConfig cfg = tiny_config();
+  cfg.threads = 0;
+  SimDriver driver(cfg);
+  EXPECT_GE(driver.threads(), 1u);
+  const SimResult result = driver.run();
+  EXPECT_EQ(result.actual.num_intervals(), 4u);
 }
 
 TEST(SimDriver, MeasurementProducesRecordsForActiveRanks) {
@@ -160,13 +239,14 @@ TEST(SimConfigTest, FromConfigAppliesOverrides) {
   const auto ini = Config::from_string(
       "[mesh]\nnelx = 4\nnely = 4\nnelz = 8\n"
       "[bed]\nnum_particles = 123\n"
-      "[run]\nnum_iterations = 10\nsample_every = 5\n"
+      "[run]\nnum_iterations = 10\nsample_every = 5\nthreads = 3\n"
       "[mapping]\nmapper = element\nnum_ranks = 3\nfilter_size = 0.07\n"
       "[measure]\nenabled = false\n");
   const SimConfig cfg = SimConfig::from_config(ini);
   EXPECT_EQ(cfg.nelx, 4);
   EXPECT_EQ(cfg.bed.num_particles, 123u);
   EXPECT_EQ(cfg.num_iterations, 10);
+  EXPECT_EQ(cfg.threads, 3u);
   EXPECT_EQ(cfg.mapper_kind, "element");
   EXPECT_EQ(cfg.num_ranks, 3);
   EXPECT_DOUBLE_EQ(cfg.filter_size, 0.07);

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <numeric>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "util/error.hpp"
@@ -72,6 +75,81 @@ TEST(ThreadPool, WaitIdleOnIdlePoolReturns) {
   ThreadPool pool(2);
   pool.wait_idle();  // must not hang
   SUCCEED();
+}
+
+TEST(ThreadPool, ThrowingTaskPropagatesFromWaitIdle) {
+  ThreadPool pool(2);
+  pool.submit([] { throw Error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), Error);
+}
+
+TEST(ThreadPool, ThrowingTaskPropagatesFromParallelFor) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(10000,
+                        [](std::size_t begin, std::size_t) {
+                          if (begin == 0) throw Error("chunk failed");
+                        }),
+      Error);
+}
+
+TEST(ThreadPool, PoolUsableAfterTaskThrows) {
+  ThreadPool pool(2);
+  pool.submit([] { throw Error("first batch"); });
+  EXPECT_THROW(pool.wait_idle(), Error);
+  // The error must not poison later batches.
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) pool.submit([&counter] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, RemainingTasksRunAfterOneThrows) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&counter, i] {
+      if (i == 3) throw Error("one bad task");
+      ++counter;
+    });
+  EXPECT_THROW(pool.wait_idle(), Error);
+  EXPECT_EQ(counter.load(), 99);
+}
+
+TEST(ThreadPool, GrainKeepsSmallRangesInline) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  const auto tid = std::this_thread::get_id();
+  std::atomic<bool> same_thread{true};
+  pool.parallel_for(100, /*grain=*/200,
+                    [&](std::size_t begin, std::size_t end) {
+                      ++calls;
+                      if (std::this_thread::get_id() != tid)
+                        same_thread = false;
+                      EXPECT_EQ(begin, 0u);
+                      EXPECT_EQ(end, 100u);
+                    });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_TRUE(same_thread.load());
+}
+
+TEST(ThreadPool, GrainBoundsChunkCount) {
+  ThreadPool pool(8);
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_for(1000, /*grain=*/400,
+                    [&](std::size_t begin, std::size_t end) {
+                      std::lock_guard<std::mutex> lock(mu);
+                      chunks.emplace_back(begin, end);
+                    });
+  // 1000 / 400 = 2 chunks at most, each at least the grain size.
+  EXPECT_LE(chunks.size(), 2u);
+  std::size_t covered = 0;
+  for (const auto& [begin, end] : chunks) {
+    EXPECT_GE(end - begin, 400u);
+    covered += end - begin;
+  }
+  EXPECT_EQ(covered, 1000u);
 }
 
 }  // namespace
