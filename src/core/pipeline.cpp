@@ -2,6 +2,7 @@
 
 #include "mapping/mapper.hpp"
 #include "mesh/partition.hpp"
+#include "trace/trace_format.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
 
@@ -23,7 +24,18 @@ WorkloadResult PredictionPipeline::generate_workload(
   params.max_intervals = config.max_intervals;
   params.interval_stride = config.interval_stride;
   WorkloadGenerator generator(*mesh_, partition, *mapper, params);
-  return generator.generate(trace);
+  try {
+    return generator.generate(trace);
+  } catch (const TraceCorruptError& e) {
+    // Keep the type (callers dispatch on it) but say which stage died — a
+    // multi-hour prediction failing deep in workload generation should name
+    // the corrupt trace, not just a byte offset. The first what() line is
+    // the detail; the ctor re-attaches the salvage hint.
+    const std::string what = e.what();
+    throw TraceCorruptError(e.input_path(),
+                            "workload generation aborted: " +
+                                what.substr(0, what.find('\n')));
+  }
 }
 
 PredictionOutcome PredictionPipeline::predict(

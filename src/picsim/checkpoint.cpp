@@ -1,0 +1,151 @@
+#include "picsim/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/atomic_file.hpp"
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+
+namespace picp {
+
+namespace {
+
+template <typename T>
+void append_pod(std::vector<char>& out, const T& value) {
+  const auto* bytes = reinterpret_cast<const char*>(&value);
+  out.insert(out.end(), bytes, bytes + sizeof(T));
+}
+
+template <typename T>
+T take_pod(const char*& cursor) {
+  T value;
+  std::memcpy(&value, cursor, sizeof(T));
+  cursor += sizeof(T);
+  return value;
+}
+
+}  // namespace
+
+void SimCheckpoint::save(const std::string& path) const {
+  PICP_REQUIRE(positions.size() == velocities.size(),
+               "checkpoint particle arrays disagree");
+  std::vector<char> out;
+  out.reserve(sizeof(kMagic) + 64 + positions.size() * 2 * sizeof(Vec3));
+  out.insert(out.end(), kMagic, kMagic + sizeof(kMagic));
+  append_pod(out, kVersion);
+  append_pod(out, std::uint32_t{0});  // reserved / alignment
+  append_pod(out, config_fingerprint);
+  append_pod(out, rng_seed);
+  append_pod(out, next_iteration);
+  append_pod(out, sim_time);
+  append_pod(out, trace_samples);
+  append_pod(out, trace_bytes);
+  append_pod(out, static_cast<std::uint64_t>(positions.size()));
+  const auto* pos = reinterpret_cast<const char*>(positions.data());
+  out.insert(out.end(), pos, pos + positions.size() * sizeof(Vec3));
+  const auto* vel = reinterpret_cast<const char*>(velocities.data());
+  out.insert(out.end(), vel, vel + velocities.size() * sizeof(Vec3));
+  append_pod(out, crc32c(out.data(), out.size()));
+  atomic_write_file(path, out.data(), out.size());
+}
+
+SimCheckpoint SimCheckpoint::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PICP_REQUIRE(in.is_open(), "cannot open checkpoint: " + path);
+  std::vector<char> raw{std::istreambuf_iterator<char>(in),
+                        std::istreambuf_iterator<char>()};
+  constexpr std::size_t kFixedBytes =
+      sizeof(kMagic) + 2 * sizeof(std::uint32_t) + 7 * sizeof(std::uint64_t) +
+      sizeof(std::uint32_t);
+  if (raw.size() < kFixedBytes)
+    throw CorruptInputError(path, "checkpoint shorter than its fixed fields",
+                            "delete it and restart without --resume");
+  const std::uint32_t stored =
+      [&] {
+        std::uint32_t v;
+        std::memcpy(&v, raw.data() + raw.size() - sizeof(v), sizeof(v));
+        return v;
+      }();
+  if (stored != crc32c(raw.data(), raw.size() - sizeof(std::uint32_t)))
+    throw CorruptInputError(path, "checkpoint checksum mismatch",
+                            "delete it and restart without --resume");
+  const char* cursor = raw.data();
+  if (std::memcmp(cursor, kMagic, sizeof(kMagic)) != 0)
+    throw CorruptInputError(path, "not a picpredict checkpoint");
+  cursor += sizeof(kMagic);
+  SimCheckpoint ckpt;
+  const auto version = take_pod<std::uint32_t>(cursor);
+  if (version != kVersion)
+    throw CorruptInputError(
+        path, "unsupported checkpoint version " + std::to_string(version));
+  take_pod<std::uint32_t>(cursor);  // reserved
+  ckpt.config_fingerprint = take_pod<std::uint64_t>(cursor);
+  ckpt.rng_seed = take_pod<std::uint64_t>(cursor);
+  ckpt.next_iteration = take_pod<std::int64_t>(cursor);
+  ckpt.sim_time = take_pod<double>(cursor);
+  ckpt.trace_samples = take_pod<std::uint64_t>(cursor);
+  ckpt.trace_bytes = take_pod<std::uint64_t>(cursor);
+  const auto np = take_pod<std::uint64_t>(cursor);
+  const std::uint64_t payload = raw.size() - kFixedBytes;
+  if (np != payload / (2 * sizeof(Vec3)) ||
+      np * 2 * sizeof(Vec3) != payload)
+    throw CorruptInputError(
+        path, "checkpoint particle count (" + std::to_string(np) +
+                  ") disagrees with its payload size");
+  ckpt.positions.resize(static_cast<std::size_t>(np));
+  std::memcpy(ckpt.positions.data(), cursor, np * sizeof(Vec3));
+  cursor += np * sizeof(Vec3);
+  ckpt.velocities.resize(static_cast<std::size_t>(np));
+  std::memcpy(ckpt.velocities.data(), cursor, np * sizeof(Vec3));
+  return ckpt;
+}
+
+std::uint64_t sim_config_fingerprint(const SimConfig& config) {
+  Crc32c crc;
+  const auto add_d = [&crc](double v) { crc.update_pod(v); };
+  const auto add_i = [&crc](std::int64_t v) { crc.update_pod(v); };
+  add_d(config.domain.lo.x);
+  add_d(config.domain.lo.y);
+  add_d(config.domain.lo.z);
+  add_d(config.domain.hi.x);
+  add_d(config.domain.hi.y);
+  add_d(config.domain.hi.z);
+  add_i(config.nelx);
+  add_i(config.nely);
+  add_i(config.nelz);
+  add_i(config.points_per_dim);
+  add_i(static_cast<std::int64_t>(config.bed.num_particles));
+  add_d(config.bed.bed_bottom);
+  add_d(config.bed.bed_height);
+  add_d(config.bed.radius_fraction);
+  add_i(static_cast<std::int64_t>(config.bed.seed));
+  add_d(config.gas.center.x);
+  add_d(config.gas.center.y);
+  add_d(config.gas.center.z);
+  add_d(config.gas.shock_speed);
+  add_d(config.gas.gas_speed);
+  add_d(config.gas.decay_time);
+  add_d(config.gas.front_width);
+  add_d(config.gas.front_start);
+  add_d(config.gas.lift);
+  add_d(config.gas.expansion_rate);
+  add_d(config.gas.expansion_ref);
+  add_d(config.gas.jet_amplitude);
+  add_i(config.gas.jet_count);
+  add_d(config.physics.dt);
+  add_d(config.physics.drag_tau);
+  add_d(config.physics.gravity.x);
+  add_d(config.physics.gravity.y);
+  add_d(config.physics.gravity.z);
+  add_d(config.physics.collision_radius);
+  add_d(config.physics.collision_stiffness);
+  add_i(config.physics.max_collision_neighbors);
+  add_d(config.physics.wall_restitution);
+  add_i(config.num_iterations);
+  add_i(config.sample_every);
+  add_i(config.trace_float64 ? 1 : 0);
+  return crc.value();
+}
+
+}  // namespace picp

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/vec3.hpp"
+#include "picsim/sim_config.hpp"
+
+namespace picp {
+
+/// Everything needed to restart an interrupted proxy-application run and
+/// produce a trace byte-identical to an uninterrupted one: the exact f64
+/// particle state, the accumulated simulation clock (re-deriving it as
+/// iteration * dt would break bit-identity — it is summed incrementally),
+/// and how far the partial trace `.part` file had been fsynced.
+///
+/// Checkpoints are written atomically (temp + fsync + rename) and sealed
+/// with a CRC32C, so `<trace>.ckpt` is always either the previous complete
+/// checkpoint or the new one — never torn.
+struct SimCheckpoint {
+  static constexpr char kMagic[8] = {'P', 'I', 'C', 'P', 'C', 'K', 'P', '1'};
+  static constexpr std::uint32_t kVersion = 1;
+
+  /// Fingerprint of every config field that shapes the trajectory — resume
+  /// under a different configuration is refused instead of silently
+  /// producing a mismatched trace.
+  std::uint64_t config_fingerprint = 0;
+  /// Seed of the RNG stream that initialized the particle bed (the solver
+  /// loop itself draws no random numbers; stored so future stochastic
+  /// physics has a slot and mismatched seeds are caught today).
+  std::uint64_t rng_seed = 0;
+  /// First iteration the resumed run executes.
+  std::int64_t next_iteration = 0;
+  /// Accumulated simulation clock at that iteration.
+  double sim_time = 0.0;
+  /// Samples fully written and fsynced to the trace `.part` file.
+  std::uint64_t trace_samples = 0;
+  /// Byte offset in the `.part` file just after those samples.
+  std::uint64_t trace_bytes = 0;
+  std::vector<Vec3> positions;
+  std::vector<Vec3> velocities;
+
+  /// Atomically write to `path` (CRC-sealed; temp + fsync + rename).
+  void save(const std::string& path) const;
+
+  /// Load and verify; throws picp::CorruptInputError on damage or
+  /// picp::Error if the file cannot be opened.
+  static SimCheckpoint load(const std::string& path);
+};
+
+/// CRC fingerprint over the SimConfig fields that determine the particle
+/// trajectory and trace layout (mesh, bed, gas, physics, iteration/sampling
+/// plan, coordinate kind). Fields that provably do not affect the trace —
+/// threads (bit-identical by design), mapping choices, measurement knobs —
+/// are excluded so e.g. resuming with a different thread count stays legal.
+std::uint64_t sim_config_fingerprint(const SimConfig& config);
+
+}  // namespace picp

@@ -63,6 +63,7 @@ SimConfig SimConfig::from_config(const Config& c) {
       c.get_int("run.threads", static_cast<long long>(s.threads));
   PICP_REQUIRE(threads >= 0, "run.threads must be >= 0 (0 = all cores)");
   s.threads = static_cast<std::size_t>(threads);
+  s.checkpoint_every = c.get_int("run.checkpoint_every", s.checkpoint_every);
 
   s.mapper_kind = c.get_string("mapping.mapper", s.mapper_kind);
   s.num_ranks =
@@ -90,6 +91,7 @@ void SimConfig::validate() const {
   PICP_REQUIRE(num_ranks > 0, "num_ranks positive");
   PICP_REQUIRE(filter_size > 0.0, "filter_size positive");
   PICP_REQUIRE(measure_every > 0, "measure_every positive");
+  PICP_REQUIRE(checkpoint_every >= 0, "checkpoint_every non-negative");
   PICP_REQUIRE(bed.num_particles > 0, "need particles");
 }
 

@@ -44,6 +44,12 @@ struct SimConfig {
   /// 0 = hardware concurrency. Every parallel phase writes only disjoint
   /// per-particle slots, so results are bit-identical for any value.
   std::size_t threads = 1;
+  /// Write a crash-recovery checkpoint (`<trace>.ckpt`) every N iterations
+  /// when a trace is being written; 0 disables. `simulate --resume`
+  /// continues from the last checkpoint and provably reproduces the
+  /// uninterrupted trace byte for byte (see DESIGN.md, "Trace format v2 &
+  /// crash safety").
+  std::int64_t checkpoint_every = 0;
 
   // --- Mapping and prediction ----------------------------------------------
   std::string mapper_kind = "bin";

@@ -1,11 +1,14 @@
 #include "picsim/sim_driver.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <numeric>
 
+#include "picsim/checkpoint.hpp"
 #include "picsim/collision_grid.hpp"
 #include "picsim/gas_model.hpp"
 #include "trace/trace_writer.hpp"
+#include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
 #include "workload/ghost_finder.hpp"
@@ -218,7 +221,8 @@ SimDriver::SimDriver(const SimConfig& config)
     pool_ = std::make_unique<ThreadPool>(config_.threads);
 }
 
-SimResult SimDriver::run(const std::string& trace_path) {
+SimResult SimDriver::run(const std::string& trace_path,
+                         const RunOptions& options) {
   const Stopwatch total_watch;
   SimResult result;
   ThreadPool* const pool = pool_.get();
@@ -240,12 +244,49 @@ SimResult SimDriver::run(const std::string& trace_path) {
                           : 0.05 * config_.domain.extent().z;
   CollisionGrid grid(cell);
 
+  // Crash-safety state: where this run starts (non-zero after --resume), the
+  // simulated time carried across the restart (stored in the checkpoint as
+  // the accumulated double so the resumed trajectory is bit-identical), and
+  // the checkpoint path derived from the trace path.
+  std::int64_t start_iter = 0;
+  double time = 0.0;
+  const std::uint64_t fingerprint = sim_config_fingerprint(config_);
+  const std::string ckpt_path =
+      trace_path.empty() ? std::string() : trace_path + ".ckpt";
+
   std::unique_ptr<TraceWriter> trace;
-  if (!trace_path.empty())
+  if (options.resume) {
+    PICP_REQUIRE(!trace_path.empty(), "--resume requires a trace path");
+    SimCheckpoint ckpt = SimCheckpoint::load(ckpt_path);
+    if (ckpt.config_fingerprint != fingerprint)
+      throw CorruptInputError(
+          ckpt_path,
+          "checkpoint was written by a different simulation configuration",
+          "re-run with the original config, or delete the checkpoint and "
+          "restart without --resume");
+    PICP_REQUIRE(ckpt.positions.size() == np,
+                 "checkpoint particle count disagrees with the bed");
+    PICP_REQUIRE(ckpt.next_iteration > 0 &&
+                     ckpt.next_iteration < config_.num_iterations,
+                 "checkpoint iteration outside this run's range");
+    std::copy(ckpt.positions.begin(), ckpt.positions.end(),
+              store.positions().begin());
+    std::copy(ckpt.velocities.begin(), ckpt.velocities.end(),
+              store.velocities().begin());
+    start_iter = ckpt.next_iteration;
+    time = ckpt.sim_time;
+    trace = TraceWriter::resume(trace_path, ckpt.trace_samples,
+                                ckpt.trace_bytes);
+    PICP_LOG_INFO << "picsim resume: continuing " << trace_path
+                  << " at iteration " << start_iter << " ("
+                  << ckpt.trace_samples << " samples already on disk)";
+  } else if (!trace_path.empty()) {
     trace = std::make_unique<TraceWriter>(
         trace_path, np, static_cast<std::uint64_t>(config_.sample_every),
         config_.domain,
         config_.trace_float64 ? CoordKind::kFloat64 : CoordKind::kFloat32);
+  }
+  result.start_iteration = start_iter;
 
   // Double buffers driven through the kernels.
   std::vector<Vec3> gas_at_particles(np);
@@ -291,9 +332,9 @@ SimResult SimDriver::run(const std::string& trace_path) {
   TimeAccumulator measure_time;
 
   const bool collide = config_.physics.collision_radius > 0.0;
-  double time = 0.0;
 
-  for (std::int64_t iter = 0; iter < config_.num_iterations; ++iter) {
+  for (std::int64_t iter = start_iter; iter < config_.num_iterations;
+       ++iter) {
     const bool sampling = iter % config_.sample_every == 0;
     if (collide || sampling) grid.rebuild(store.positions(), pool);
 
@@ -450,11 +491,44 @@ SimResult SimDriver::run(const std::string& trace_path) {
     next_positions.resize(np);
     next_velocities.resize(np);
     time += config_.physics.dt;
+
+    // --- Crash safety ------------------------------------------------------
+    const std::int64_t done = iter + 1;
+    const bool final_iter = done >= config_.num_iterations;
+    if (trace && config_.checkpoint_every > 0 && !final_iter &&
+        done % config_.checkpoint_every == 0) {
+      trace->sync();  // trace bytes must be durable before the ckpt says so
+      SimCheckpoint ckpt;
+      ckpt.config_fingerprint = fingerprint;
+      ckpt.rng_seed = config_.bed.seed;
+      ckpt.next_iteration = done;
+      ckpt.sim_time = time;
+      ckpt.trace_samples = trace->samples_written();
+      ckpt.trace_bytes = trace->bytes_written();
+      ckpt.positions.assign(store.positions().begin(),
+                            store.positions().end());
+      ckpt.velocities.assign(store.velocities().begin(),
+                             store.velocities().end());
+      ckpt.save(ckpt_path);
+    }
+    if (options.abort_after_iterations >= 0 && !final_iter &&
+        done >= options.abort_after_iterations) {
+      result.aborted = true;
+      break;
+    }
   }
 
   if (trace) {
-    trace->close();
-    result.trace_samples = trace->samples_written();
+    if (result.aborted) {
+      // Crash drill: leave the unsealed `.part` and the last checkpoint on
+      // disk exactly as a kill would; never publish the final trace.
+      trace->abandon();
+      result.trace_samples = trace->samples_written();
+    } else {
+      trace->close();
+      result.trace_samples = trace->samples_written();
+      if (!ckpt_path.empty()) std::remove(ckpt_path.c_str());
+    }
   }
   result.final_positions.assign(store.positions().begin(),
                                 store.positions().end());

@@ -33,6 +33,24 @@ struct SimResult {
   double wall_seconds = 0.0;
   double measure_seconds = 0.0;
   std::uint64_t trace_samples = 0;
+  /// First iteration this run executed (non-zero after --resume).
+  std::int64_t start_iteration = 0;
+  /// True when the run stopped early via RunOptions::abort_after_iterations
+  /// (crash simulation) — the trace was left unsealed.
+  bool aborted = false;
+};
+
+/// Per-run options orthogonal to the SimConfig.
+struct RunOptions {
+  /// Continue from `<trace>.ckpt` instead of starting at iteration zero.
+  /// The checkpointed configuration fingerprint must match; the resumed
+  /// run's trace is byte-identical to an uninterrupted run's.
+  bool resume = false;
+  /// Testing / crash-drill hook: stop after this many iterations have
+  /// completed, leaving the unsealed trace `.part` and the last checkpoint
+  /// on disk exactly as a crash would (no footer, no final seal). Negative
+  /// = run to completion.
+  std::int64_t abort_after_iterations = -1;
 };
 
 /// The CMT-nek proxy: a multi-phase PIC solver over the spectral-element
@@ -52,7 +70,11 @@ class SimDriver {
   explicit SimDriver(const SimConfig& config);
 
   /// Run the simulation. Writes a trace when `trace_path` is non-empty.
-  SimResult run(const std::string& trace_path = "");
+  /// With `config.checkpoint_every > 0` the run periodically fsyncs the
+  /// partial trace and atomically writes `<trace_path>.ckpt`;
+  /// `options.resume` picks the run back up from that checkpoint.
+  SimResult run(const std::string& trace_path = "",
+                const RunOptions& options = {});
 
   const SimConfig& config() const { return config_; }
   const SpectralMesh& mesh() const { return mesh_; }

@@ -8,66 +8,247 @@ namespace picp {
 
 namespace {
 template <typename T>
-void read_pod(std::ifstream& in, T& value) {
-  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+T pod_at(const char* bytes) {
+  T value;
+  std::memcpy(&value, bytes, sizeof(T));
+  return value;
 }
 }  // namespace
 
-TraceReader::TraceReader(const std::string& path)
-    : in_(path, std::ios::binary), path_(path) {
+TraceReader::TraceReader(const std::string& path, TraceReadMode mode)
+    : in_(path, std::ios::binary), path_(path), mode_(mode) {
   PICP_REQUIRE(in_.is_open(), "cannot open trace file: " + path);
-  char magic[8];
-  in_.read(magic, sizeof(magic));
-  PICP_REQUIRE(in_.good() &&
-                   std::memcmp(magic, TraceHeader::kMagic, sizeof(magic)) == 0,
-               "not a picpredict trace file: " + path);
-  std::uint32_t version = 0;
-  std::uint32_t kind = 0;
-  read_pod(in_, version);
-  PICP_REQUIRE(version == TraceHeader::kVersion,
-               "unsupported trace version in " + path);
-  read_pod(in_, kind);
-  PICP_REQUIRE(kind <= 1, "bad coordinate kind in trace " + path);
-  header_.coord_kind = static_cast<CoordKind>(kind);
-  read_pod(in_, header_.num_particles);
-  read_pod(in_, header_.num_samples);
-  read_pod(in_, header_.sample_stride);
-  read_pod(in_, header_.domain.lo.x);
-  read_pod(in_, header_.domain.lo.y);
-  read_pod(in_, header_.domain.lo.z);
-  read_pod(in_, header_.domain.hi.x);
-  read_pod(in_, header_.domain.hi.y);
-  read_pod(in_, header_.domain.hi.z);
-  PICP_REQUIRE(in_.good(), "truncated trace header: " + path);
-  PICP_REQUIRE(header_.num_particles > 0, "trace has no particles: " + path);
-  data_offset_ = in_.tellg();
+  in_.seekg(0, std::ios::end);
+  const auto file_bytes = static_cast<std::uint64_t>(in_.tellg());
+  in_.seekg(0);
+  header_ = decode_trace_header(in_, path_, file_bytes,
+                                mode_ == TraceReadMode::kStrict);
+  data_offset_ = static_cast<std::uint64_t>(in_.tellg());
+  report_.version = header_.version;
+  report_.file_bytes = file_bytes;
+  if (mode_ == TraceReadMode::kStrict)
+    open_strict(file_bytes);
+  else
+    prescan_salvage(file_bytes);
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(data_offset_));
+}
+
+bool TraceReader::read_footer_at(std::uint64_t pos, std::uint64_t& num_samples,
+                                 std::uint32_t& digest) {
+  char raw[TraceHeader::kFooterBytes];
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(pos));
+  in_.read(raw, sizeof(raw));
+  if (!in_.good()) return false;
+  if (pod_at<std::uint64_t>(raw) != TraceHeader::kFooterMagic) return false;
+  const auto stored_crc = pod_at<std::uint32_t>(raw + 20);
+  if (stored_crc != crc32c(raw, 20)) return false;
+  num_samples = pod_at<std::uint64_t>(raw + 8);
+  digest = pod_at<std::uint32_t>(raw + 16);
+  return true;
+}
+
+void TraceReader::open_strict(std::uint64_t file_bytes) {
+  const std::uint64_t frame = header_.frame_bytes();
+  if (header_.version >= 2) {
+    const std::uint64_t expected = data_offset_ +
+                                   header_.num_samples * frame +
+                                   TraceHeader::kFooterBytes;
+    if (file_bytes != expected)
+      throw TraceCorruptError(
+          path_, "unsealed or truncated trace: header claims " +
+                     std::to_string(header_.num_samples) + " samples (" +
+                     std::to_string(expected) + " bytes) but the file holds " +
+                     std::to_string(file_bytes) + " bytes");
+    std::uint64_t footer_samples = 0;
+    if (!read_footer_at(file_bytes - TraceHeader::kFooterBytes,
+                        footer_samples, footer_digest_))
+      throw TraceCorruptError(path_, "missing or corrupt sealed footer");
+    if (footer_samples != header_.num_samples)
+      throw TraceCorruptError(
+          path_, "footer sample count (" + std::to_string(footer_samples) +
+                     ") disagrees with the header (" +
+                     std::to_string(header_.num_samples) + ")");
+    sealed_ = true;
+  } else if (file_bytes < data_offset_ + header_.num_samples * frame) {
+    throw TraceCorruptError(path_, "trace shorter than its header claims");
+  }
+  effective_samples_ = header_.num_samples;
+  report_.sealed = header_.version < 2 || sealed_;
+  report_.digest_ok = report_.sealed;
+  report_.claimed_samples = header_.num_samples;
+  report_.valid_samples = header_.num_samples;
+  report_.valid_bytes = data_offset_ + header_.num_samples * frame;
+}
+
+void TraceReader::prescan_salvage(std::uint64_t file_bytes) {
+  const std::uint64_t frame = header_.frame_bytes();
+  report_.claimed_samples = header_.num_samples;
+
+  if (header_.version < 2) {
+    // v1 has no framing: every fully-present sample is recoverable. This
+    // also rescues crash files whose header count was never patched.
+    const std::uint64_t data = file_bytes - data_offset_;
+    report_.valid_samples = data / frame;
+    report_.valid_bytes = data_offset_ + report_.valid_samples * frame;
+    report_.sealed = data % frame == 0 &&
+                     report_.valid_samples == header_.num_samples;
+    report_.digest_ok = report_.sealed;
+    if (!report_.sealed)
+      report_.detail =
+          "v1 trace: header claims " + std::to_string(header_.num_samples) +
+          " samples, file holds " + std::to_string(report_.valid_samples) +
+          " complete samples (" + std::to_string(data % frame) +
+          " trailing bytes)";
+    effective_samples_ = report_.valid_samples;
+    return;
+  }
+
+  std::vector<char> raw(static_cast<std::size_t>(frame));
+  std::uint64_t pos = data_offset_;
+  Crc32c digest;
+  std::uint64_t valid = 0;
+  std::uint64_t footer_samples = 0;
+  std::uint32_t footer_digest = 0;
+  bool found_footer = false;
+  while (true) {
+    const std::uint64_t remaining = file_bytes - pos;
+    if (remaining == TraceHeader::kFooterBytes &&
+        read_footer_at(pos, footer_samples, footer_digest)) {
+      found_footer = true;
+      break;
+    }
+    if (remaining == 0) {
+      report_.detail = "unsealed trace (no footer); ends on a frame boundary";
+      break;
+    }
+    if (remaining < frame) {
+      report_.detail = "unsealed trace with a partial trailing frame (" +
+                       std::to_string(remaining) + " bytes)";
+      break;
+    }
+    in_.clear();
+    in_.seekg(static_cast<std::streamoff>(pos));
+    in_.read(raw.data(), static_cast<std::streamsize>(frame));
+    if (!in_.good()) {
+      report_.detail = "read failed at byte " + std::to_string(pos);
+      break;
+    }
+    if (pod_at<std::uint32_t>(raw.data()) != TraceHeader::kFrameMagic) {
+      report_.detail = "bad frame magic at byte " + std::to_string(pos) +
+                       " (sample " + std::to_string(valid) + ")";
+      break;
+    }
+    const auto stored =
+        pod_at<std::uint32_t>(raw.data() + frame - sizeof(std::uint32_t));
+    if (stored != crc32c(raw.data(), static_cast<std::size_t>(
+                                         frame - sizeof(std::uint32_t)))) {
+      report_.detail = "frame checksum mismatch at byte " +
+                       std::to_string(pos) + " (sample " +
+                       std::to_string(valid) + ")";
+      break;
+    }
+    digest.update_pod(stored);
+    ++valid;
+    pos += frame;
+  }
+
+  report_.valid_samples = valid;
+  report_.valid_bytes = data_offset_ + valid * frame;
+  report_.sealed = found_footer;
+  if (found_footer) {
+    report_.claimed_samples = footer_samples;
+    sealed_ = true;
+    footer_digest_ = footer_digest;
+    report_.digest_ok = digest.value() == footer_digest &&
+                        footer_samples == valid &&
+                        header_.num_samples == footer_samples;
+    if (!report_.digest_ok)
+      report_.detail = digest.value() != footer_digest
+                           ? "whole-file digest mismatch"
+                           : "footer/header sample counts disagree with the "
+                             "frames present";
+  }
+  effective_samples_ = valid;
 }
 
 bool TraceReader::read_next(TraceSample& sample) {
-  if (cursor_ >= header_.num_samples) return false;
-  read_pod(in_, sample.iteration);
-  const std::size_t np = header_.num_particles;
+  if (cursor_ >= effective_samples_) return false;
+  const std::size_t np = static_cast<std::size_t>(header_.num_particles);
   sample.positions.resize(np);
+
+  if (header_.version >= 2) {
+    const auto frame = static_cast<std::size_t>(header_.frame_bytes());
+    frame_buffer_.resize(frame);
+    in_.read(frame_buffer_.data(), static_cast<std::streamsize>(frame));
+    if (!in_.good())
+      throw TraceCorruptError(path_, "truncated trace sample " +
+                                         std::to_string(cursor_));
+    if (pod_at<std::uint32_t>(frame_buffer_.data()) != TraceHeader::kFrameMagic)
+      throw TraceCorruptError(path_, "bad frame magic at sample " +
+                                         std::to_string(cursor_));
+    const auto stored = pod_at<std::uint32_t>(frame_buffer_.data() + frame -
+                                              sizeof(std::uint32_t));
+    if (stored !=
+        crc32c(frame_buffer_.data(), frame - sizeof(std::uint32_t)))
+      throw TraceCorruptError(path_, "frame checksum mismatch at sample " +
+                                         std::to_string(cursor_));
+    last_frame_crc_ = stored;
+    running_digest_.update_pod(stored);
+    const char* payload = frame_buffer_.data() + sizeof(std::uint32_t);
+    sample.iteration = pod_at<std::uint64_t>(payload);
+    payload += sizeof(std::uint64_t);
+    if (header_.coord_kind == CoordKind::kFloat32) {
+      for (std::size_t i = 0; i < np; ++i) {
+        const auto* c = payload + i * 3 * sizeof(float);
+        sample.positions[i] = Vec3(pod_at<float>(c),
+                                   pod_at<float>(c + sizeof(float)),
+                                   pod_at<float>(c + 2 * sizeof(float)));
+      }
+    } else {
+      std::memcpy(sample.positions.data(), payload, np * sizeof(Vec3));
+    }
+    ++cursor_;
+    // End of a sequential strict read: the frame CRCs must reproduce the
+    // sealed footer's whole-file digest (catches e.g. reordered frames
+    // whose individual checksums are clean).
+    if (mode_ == TraceReadMode::kStrict && sealed_ && sequential_ &&
+        cursor_ == effective_samples_ &&
+        running_digest_.value() != footer_digest_)
+      throw TraceCorruptError(path_, "whole-file digest mismatch");
+    return true;
+  }
+
+  in_.read(reinterpret_cast<char*>(&sample.iteration),
+           sizeof(sample.iteration));
   if (header_.coord_kind == CoordKind::kFloat32) {
-    f32_buffer_.resize(np * 3);
-    in_.read(reinterpret_cast<char*>(f32_buffer_.data()),
+    frame_buffer_.resize(np * 3 * sizeof(float));
+    in_.read(frame_buffer_.data(),
              static_cast<std::streamsize>(np * 3 * sizeof(float)));
-    for (std::size_t i = 0; i < np; ++i)
-      sample.positions[i] = Vec3(f32_buffer_[3 * i + 0], f32_buffer_[3 * i + 1],
-                                 f32_buffer_[3 * i + 2]);
+    for (std::size_t i = 0; i < np; ++i) {
+      const char* c = frame_buffer_.data() + i * 3 * sizeof(float);
+      sample.positions[i] =
+          Vec3(pod_at<float>(c), pod_at<float>(c + sizeof(float)),
+               pod_at<float>(c + 2 * sizeof(float)));
+    }
   } else {
     in_.read(reinterpret_cast<char*>(sample.positions.data()),
              static_cast<std::streamsize>(np * sizeof(Vec3)));
   }
-  PICP_REQUIRE(in_.good(), "truncated trace sample in " + path_);
+  if (!in_.good())
+    throw TraceCorruptError(path_,
+                            "truncated trace sample " + std::to_string(cursor_));
   ++cursor_;
   return true;
 }
 
 void TraceReader::rewind() {
   in_.clear();
-  in_.seekg(data_offset_);
+  in_.seekg(static_cast<std::streamoff>(data_offset_));
   cursor_ = 0;
+  running_digest_.reset();
+  sequential_ = true;
 }
 
 std::vector<TraceSample> read_full_trace(const std::string& path) {

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+
+#include "trace/trace_format.hpp"
+
+namespace picp {
+
+/// Full integrity scan of a trace file (v1 or v2, sealed or the `.part` an
+/// interrupted run left behind): walks every frame, verifies checksums and
+/// the sealed footer/digest, and reports exactly how many samples are
+/// recoverable and what was lost. Never throws for damaged sample data —
+/// only when the header itself is unreadable (nothing is recoverable then).
+SalvageReport scan_trace(const std::string& path);
+
+/// Recover the longest valid sample prefix of `input_path` into a fresh,
+/// sealed v2 trace at `output_path` (written atomically — the output only
+/// appears complete). Returns the scan report of the input; the number of
+/// samples in the repaired file is `report.valid_samples`.
+SalvageReport repair_trace(const std::string& input_path,
+                           const std::string& output_path);
+
+/// One-line human summary of a scan ("sealed v2 trace, 40/40 samples, ok").
+std::string describe(const SalvageReport& report);
+
+}  // namespace picp

@@ -2,54 +2,124 @@
 
 #include <cstring>
 
+#include "trace/trace_reader.hpp"
 #include "util/error.hpp"
+#include "util/logging.hpp"
 
 namespace picp {
 
 namespace {
-template <typename T>
-void write_pod(std::ofstream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+
+AtomicFileOptions part_file_options() {
+  AtomicFileOptions options;
+  options.suffix = ".part";
+  // An interrupted run's partial trace is the whole point of salvage /
+  // resume — never delete it on abnormal teardown.
+  options.keep_on_abort = true;
+  return options;
 }
+
+template <typename T>
+void append_pod(std::vector<char>& out, const T& value) {
+  const auto* bytes = reinterpret_cast<const char*>(&value);
+  out.insert(out.end(), bytes, bytes + sizeof(T));
+}
+
 }  // namespace
 
 TraceWriter::TraceWriter(const std::string& path, std::uint64_t num_particles,
                          std::uint64_t sample_stride, const Aabb& domain,
-                         CoordKind coord_kind)
-    : out_(path, std::ios::binary), path_(path) {
-  PICP_REQUIRE(out_.is_open(), "cannot open trace file for writing: " + path);
+                         CoordKind coord_kind, std::uint32_t version)
+    : path_(path) {
   PICP_REQUIRE(num_particles > 0, "trace needs at least one particle");
   PICP_REQUIRE(sample_stride > 0, "sample stride must be positive");
+  PICP_REQUIRE(version == 1 || version == 2,
+               "unsupported trace format version " + std::to_string(version));
+  header_.version = version;
   header_.coord_kind = coord_kind;
   header_.num_particles = num_particles;
   header_.num_samples = 0;
   header_.sample_stride = sample_stride;
   header_.domain = domain;
+  file_ = std::make_unique<AtomicFile>(path, part_file_options());
   write_header();
+}
+
+TraceWriter::TraceWriter(ResumeTag, const std::string& path,
+                         const TraceHeader& header, std::uint64_t samples,
+                         std::uint64_t bytes, const Crc32c& digest)
+    : path_(path),
+      header_(header),
+      samples_(samples),
+      digest_(digest) {
+  file_ = AtomicFile::reopen(path, bytes, part_file_options());
+}
+
+std::unique_ptr<TraceWriter> TraceWriter::resume(
+    const std::string& path, std::uint64_t expected_samples,
+    std::uint64_t expected_bytes) {
+  const std::string part = path + ".part";
+  TraceReader scan(part, TraceReadMode::kSalvage);
+  if (scan.header().version < 2)
+    throw TraceCorruptError(part, "resume requires a v2 trace");
+  const SalvageReport& report = scan.salvage_report();
+  if (report.valid_samples < expected_samples)
+    throw TraceCorruptError(
+        part, "checkpoint expects " + std::to_string(expected_samples) +
+                  " trace samples but only " +
+                  std::to_string(report.valid_samples) +
+                  " verify clean (" + report.detail + ")");
+  // Replay the verified prefix to restore the running whole-file digest —
+  // the sealed footer must be byte-identical to an uninterrupted run's.
+  Crc32c digest;
+  TraceSample sample;
+  for (std::uint64_t s = 0; s < expected_samples; ++s) {
+    PICP_ENSURE(scan.read_next(sample), "salvage scan shorter than reported");
+    digest.update_pod(scan.last_frame_crc());
+  }
+  const std::uint64_t bytes = scan.byte_offset();
+  if (expected_bytes != 0 && bytes != expected_bytes)
+    throw TraceCorruptError(
+        part, "checkpoint records a trace offset of " +
+                  std::to_string(expected_bytes) + " bytes but " +
+                  std::to_string(expected_samples) + " frames end at " +
+                  std::to_string(bytes));
+  TraceHeader header = scan.header();
+  header.num_samples = 0;  // still unsealed
+  return std::unique_ptr<TraceWriter>(new TraceWriter(
+      ResumeTag{}, path, header, expected_samples, bytes, digest));
 }
 
 TraceWriter::~TraceWriter() {
   try {
     close();
+  } catch (const std::exception& e) {
+    // Destructors must not throw; the unsealed `.part` is detected by the
+    // reader / salvage scan. Losing the error silently cost users entire
+    // traces — always say what happened and where.
+    PICP_LOG_WARN << "TraceWriter: failed to seal trace " << path_
+                  << " during destruction (partial data kept at "
+                  << partial_path() << "): " << e.what();
   } catch (...) {
-    // Destructors must not throw; an unpatched header is detected by the
-    // reader as a truncated trace.
+    PICP_LOG_WARN << "TraceWriter: failed to seal trace " << path_
+                  << " during destruction (partial data kept at "
+                  << partial_path() << "): unknown error";
   }
 }
 
+std::string TraceWriter::partial_path() const {
+  return file_ ? file_->temp_path() : path_ + ".part";
+}
+
+std::uint64_t TraceWriter::bytes_written() const {
+  return file_ ? file_->offset() : 0;
+}
+
 void TraceWriter::write_header() {
-  out_.write(TraceHeader::kMagic, sizeof(TraceHeader::kMagic));
-  write_pod(out_, TraceHeader::kVersion);
-  write_pod(out_, static_cast<std::uint32_t>(header_.coord_kind));
-  write_pod(out_, header_.num_particles);
-  write_pod(out_, samples_);
-  write_pod(out_, header_.sample_stride);
-  write_pod(out_, header_.domain.lo.x);
-  write_pod(out_, header_.domain.lo.y);
-  write_pod(out_, header_.domain.lo.z);
-  write_pod(out_, header_.domain.hi.x);
-  write_pod(out_, header_.domain.hi.y);
-  write_pod(out_, header_.domain.hi.z);
+  const std::vector<char> bytes = encode_trace_header(header_);
+  file_->write(bytes.data(), bytes.size());
+  PICP_ENSURE(file_->offset() == header_.header_bytes(),
+              "trace header write failed: " + path_);
 }
 
 void TraceWriter::append(std::uint64_t iteration,
@@ -57,7 +127,9 @@ void TraceWriter::append(std::uint64_t iteration,
   PICP_REQUIRE(!closed_, "append on closed TraceWriter");
   PICP_REQUIRE(positions.size() == header_.num_particles,
                "position count does not match trace header");
-  write_pod(out_, iteration);
+  frame_buffer_.clear();
+  if (header_.version >= 2) append_pod(frame_buffer_, TraceHeader::kFrameMagic);
+  append_pod(frame_buffer_, iteration);
   if (header_.coord_kind == CoordKind::kFloat32) {
     f32_buffer_.resize(positions.size() * 3);
     for (std::size_t i = 0; i < positions.size(); ++i) {
@@ -65,29 +137,49 @@ void TraceWriter::append(std::uint64_t iteration,
       f32_buffer_[3 * i + 1] = static_cast<float>(positions[i].y);
       f32_buffer_[3 * i + 2] = static_cast<float>(positions[i].z);
     }
-    out_.write(reinterpret_cast<const char*>(f32_buffer_.data()),
-               static_cast<std::streamsize>(f32_buffer_.size() * sizeof(float)));
+    const auto* raw = reinterpret_cast<const char*>(f32_buffer_.data());
+    frame_buffer_.insert(frame_buffer_.end(), raw,
+                         raw + f32_buffer_.size() * sizeof(float));
   } else {
-    out_.write(reinterpret_cast<const char*>(positions.data()),
-               static_cast<std::streamsize>(positions.size() * sizeof(Vec3)));
+    const auto* raw = reinterpret_cast<const char*>(positions.data());
+    frame_buffer_.insert(frame_buffer_.end(), raw,
+                         raw + positions.size() * sizeof(Vec3));
   }
-  PICP_ENSURE(out_.good(), "trace write failed (disk full?): " + path_);
+  if (header_.version >= 2) {
+    const std::uint32_t crc = crc32c(frame_buffer_.data(),
+                                     frame_buffer_.size());
+    append_pod(frame_buffer_, crc);
+    digest_.update_pod(crc);
+  }
+  file_->write(frame_buffer_.data(), frame_buffer_.size());
   ++samples_;
+}
+
+void TraceWriter::sync() {
+  PICP_REQUIRE(!closed_, "sync on closed TraceWriter");
+  file_->sync();
 }
 
 void TraceWriter::close() {
   if (closed_) return;
   closed_ = true;
-  // Patch the sample count in the header (offset: magic + version + kind +
-  // num_particles).
-  const std::streamoff offset =
-      sizeof(TraceHeader::kMagic) + 2 * sizeof(std::uint32_t) +
-      sizeof(std::uint64_t);
-  out_.seekp(offset);
-  write_pod(out_, samples_);
-  out_.flush();
-  PICP_ENSURE(out_.good(), "trace header patch failed: " + path_);
-  out_.close();
+  if (header_.version >= 2) {
+    const std::vector<char> footer =
+        encode_trace_footer(samples_, digest_.value());
+    file_->write(footer.data(), footer.size());
+  }
+  // Patch the whole header in place with the final sample count (v2 headers
+  // carry a CRC over their bytes, so the full block is rewritten).
+  header_.num_samples = samples_;
+  const std::vector<char> header_bytes = encode_trace_header(header_);
+  file_->write_at(0, header_bytes.data(), header_bytes.size());
+  file_->commit();
+}
+
+void TraceWriter::abandon() {
+  if (closed_) return;
+  closed_ = true;
+  file_->abort();
 }
 
 }  // namespace picp

@@ -1,43 +1,86 @@
 #pragma once
 
-#include <fstream>
+#include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "trace/trace_format.hpp"
+#include "util/atomic_file.hpp"
+#include "util/crc32.hpp"
 
 namespace picp {
 
-/// Appends trace samples to a binary trace file. The sample count in the
-/// header is patched when the writer is closed (or destroyed), so traces can
-/// be produced incrementally by a running simulation.
+/// Appends trace samples to a binary trace file, crash-safely: all frames
+/// stream into `<path>.part`; `close()` seals the footer, patches the
+/// header, fsyncs, and atomically renames the result over `<path>`. A crash
+/// at any point therefore leaves either the previous complete trace or a
+/// salvageable `.part` — never a half-written file under the final name.
+///
+/// v2 (default) wraps every sample in a CRC32C-checked frame and seals a
+/// footer with the sample count and a whole-file digest; `version = 1`
+/// writes the legacy unchecksummed layout for compatibility tests.
 class TraceWriter {
  public:
   TraceWriter(const std::string& path, std::uint64_t num_particles,
               std::uint64_t sample_stride, const Aabb& domain,
-              CoordKind coord_kind = CoordKind::kFloat32);
+              CoordKind coord_kind = CoordKind::kFloat32,
+              std::uint32_t version = TraceHeader::kVersionLatest);
   ~TraceWriter();
 
   TraceWriter(const TraceWriter&) = delete;
   TraceWriter& operator=(const TraceWriter&) = delete;
 
+  /// Continue appending to the `.part` file a crashed run left behind
+  /// (v2 only). Verifies the first `expected_samples` frames checksum
+  /// clean, truncates any partial tail written after the checkpoint, and
+  /// restores the running whole-file digest so the sealed footer is
+  /// byte-identical to an uninterrupted run's. When `expected_bytes` is
+  /// non-zero the verified prefix must end exactly there.
+  static std::unique_ptr<TraceWriter> resume(const std::string& path,
+                                             std::uint64_t expected_samples,
+                                             std::uint64_t expected_bytes = 0);
+
   /// Write one sample; `positions.size()` must equal `num_particles`.
   void append(std::uint64_t iteration, std::span<const Vec3> positions);
 
   std::uint64_t samples_written() const { return samples_; }
+  /// Bytes of header + complete frames currently in the `.part` file —
+  /// what a checkpoint records as the resume offset.
+  std::uint64_t bytes_written() const;
 
-  /// Flush and patch the header. Idempotent.
+  /// Flush the `.part` file to stable storage (checkpoint support): every
+  /// frame appended so far survives a crash after sync() returns.
+  void sync();
+
+  /// Seal (v2: footer + digest), patch the header, fsync, and atomically
+  /// publish the file under its final name. Idempotent.
   void close();
 
+  /// Testing / crash-simulation: stop writing but keep the unsealed
+  /// `.part` on disk and never publish the final file — the on-disk state
+  /// a power loss would leave.
+  void abandon();
+
+  /// Where frames are being staged until close() publishes them.
+  std::string partial_path() const;
+
  private:
+  struct ResumeTag {};
+  TraceWriter(ResumeTag, const std::string& path, const TraceHeader& header,
+              std::uint64_t samples, std::uint64_t bytes,
+              const Crc32c& digest);
+
   void write_header();
 
-  std::ofstream out_;
   std::string path_;
   TraceHeader header_;
+  std::unique_ptr<AtomicFile> file_;
   std::uint64_t samples_ = 0;
+  Crc32c digest_;  // running CRC over the sequence of frame CRCs (v2)
   bool closed_ = false;
   std::vector<float> f32_buffer_;
+  std::vector<char> frame_buffer_;
 };
 
 }  // namespace picp

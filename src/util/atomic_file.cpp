@@ -1,0 +1,159 @@
+#include "util/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace picp {
+
+namespace {
+
+std::string errno_text() { return std::strerror(errno); }
+
+bool transient(int err) { return err == EINTR || err == EAGAIN; }
+
+int open_retry(const char* path, int flags, mode_t mode, int max_retries) {
+  int retries = 0;
+  while (true) {
+    const int fd = ::open(path, flags, mode);
+    if (fd >= 0) return fd;
+    if (!transient(errno) || retries++ >= max_retries) return -1;
+  }
+}
+
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+AtomicFile::AtomicFile(std::string final_path, AtomicFileOptions options)
+    : final_path_(std::move(final_path)),
+      temp_path_(final_path_ + options.suffix),
+      options_(std::move(options)) {
+  PICP_REQUIRE(!final_path_.empty(), "AtomicFile needs a path");
+  fd_ = open_retry(temp_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644,
+                   options_.max_retries);
+  PICP_ENSURE(fd_ >= 0,
+              "cannot create temp file " + temp_path_ + ": " + errno_text());
+}
+
+AtomicFile::AtomicFile(ReopenTag, std::string final_path,
+                       std::uint64_t keep_bytes, AtomicFileOptions options)
+    : final_path_(std::move(final_path)),
+      temp_path_(final_path_ + options.suffix),
+      options_(std::move(options)) {
+  fd_ = open_retry(temp_path_.c_str(), O_WRONLY, 0644, options_.max_retries);
+  PICP_ENSURE(fd_ >= 0,
+              "cannot reopen temp file " + temp_path_ + ": " + errno_text());
+  if (::ftruncate(fd_, static_cast<off_t>(keep_bytes)) != 0) {
+    const std::string err = errno_text();
+    ::close(fd_);
+    fd_ = -1;
+    PICP_ENSURE(false, "cannot truncate " + temp_path_ + ": " + err);
+  }
+  if (::lseek(fd_, static_cast<off_t>(keep_bytes), SEEK_SET) < 0) {
+    const std::string err = errno_text();
+    ::close(fd_);
+    fd_ = -1;
+    PICP_ENSURE(false, "cannot seek " + temp_path_ + ": " + err);
+  }
+  offset_ = keep_bytes;
+}
+
+std::unique_ptr<AtomicFile> AtomicFile::reopen(std::string final_path,
+                                               std::uint64_t keep_bytes,
+                                               AtomicFileOptions options) {
+  return std::unique_ptr<AtomicFile>(new AtomicFile(
+      ReopenTag{}, std::move(final_path), keep_bytes, std::move(options)));
+}
+
+AtomicFile::~AtomicFile() {
+  if (!committed_) abort();
+}
+
+void AtomicFile::write_fully(int fd, std::uint64_t offset, const void* data,
+                             std::size_t size) {
+  const auto* bytes = static_cast<const char*>(data);
+  int retries = 0;
+  while (size > 0) {
+    const ssize_t n = ::pwrite(fd, bytes, size, static_cast<off_t>(offset));
+    if (n > 0) {
+      bytes += n;
+      offset += static_cast<std::uint64_t>(n);
+      size -= static_cast<std::size_t>(n);
+      retries = 0;
+      continue;
+    }
+    const bool retryable = n < 0 && transient(errno);
+    PICP_ENSURE(retryable && retries++ < options_.max_retries,
+                "write to " + temp_path_ + " failed after " +
+                    std::to_string(retries) + " retries: " + errno_text());
+  }
+}
+
+void AtomicFile::write(const void* data, std::size_t size) {
+  PICP_REQUIRE(fd_ >= 0 && !committed_, "write on closed AtomicFile");
+  write_fully(fd_, offset_, data, size);
+  offset_ += size;
+}
+
+void AtomicFile::write_at(std::uint64_t offset, const void* data,
+                          std::size_t size) {
+  PICP_REQUIRE(fd_ >= 0 && !committed_, "write_at on closed AtomicFile");
+  write_fully(fd_, offset, data, size);
+}
+
+void AtomicFile::sync() {
+  PICP_REQUIRE(fd_ >= 0 && !committed_, "sync on closed AtomicFile");
+  PICP_ENSURE(::fdatasync(fd_) == 0,
+              "fdatasync " + temp_path_ + " failed: " + errno_text());
+}
+
+void AtomicFile::commit() {
+  PICP_REQUIRE(fd_ >= 0 && !committed_, "commit on closed AtomicFile");
+  sync();
+  const int close_rc = ::close(fd_);
+  fd_ = -1;
+  PICP_ENSURE(close_rc == 0,
+              "close " + temp_path_ + " failed: " + errno_text());
+  PICP_ENSURE(::rename(temp_path_.c_str(), final_path_.c_str()) == 0,
+              "rename " + temp_path_ + " -> " + final_path_ +
+                  " failed: " + errno_text());
+  committed_ = true;
+  // Make the rename itself durable: fsync the containing directory.
+  const std::string dir = parent_dir(final_path_);
+  const int dir_fd =
+      open_retry(dir.c_str(), O_RDONLY | O_DIRECTORY, 0, options_.max_retries);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+}
+
+void AtomicFile::abort() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!committed_ && !options_.keep_on_abort)
+    ::unlink(temp_path_.c_str());
+}
+
+void atomic_write_file(const std::string& path, const void* data,
+                       std::size_t size) {
+  AtomicFile file(path);
+  file.write(data, size);
+  file.commit();
+}
+
+}  // namespace picp

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace picp {
+
+struct AtomicFileOptions {
+  /// Temp-file name is `<final_path><suffix>`.
+  std::string suffix = ".tmp";
+  /// Keep the temp file on abort/destruction instead of unlinking it —
+  /// used by writers whose partial output is salvageable (trace `.part`
+  /// files that a crashed run leaves behind for `--resume`).
+  bool keep_on_abort = false;
+  /// Consecutive transient-error (EINTR/EAGAIN) retries per write before
+  /// giving up. Progress resets the counter.
+  int max_retries = 8;
+};
+
+/// Crash-safe file writer: all bytes go to a temp file next to the target;
+/// `commit()` fsyncs, renames the temp over the final path, and fsyncs the
+/// parent directory. A crash at any point leaves either the previous file
+/// intact or (with `keep_on_abort`) a clearly-named partial — never a
+/// half-written file under the final name. Writes retry transient POSIX
+/// errors a bounded number of times, then throw picp::Error.
+class AtomicFile {
+ public:
+  explicit AtomicFile(std::string final_path, AtomicFileOptions options = {});
+
+  /// Reopen an existing temp file (e.g. a trace `.part` left by a crashed
+  /// run) for appending: truncates it to `keep_bytes` — discarding any
+  /// partial tail — and positions the cursor at the end.
+  static std::unique_ptr<AtomicFile> reopen(std::string final_path,
+                                            std::uint64_t keep_bytes,
+                                            AtomicFileOptions options = {});
+
+  ~AtomicFile();
+  AtomicFile(const AtomicFile&) = delete;
+  AtomicFile& operator=(const AtomicFile&) = delete;
+
+  /// Append at the cursor (bounded transient-error retry).
+  void write(const void* data, std::size_t size);
+
+  /// Overwrite at an absolute offset without moving the cursor (header
+  /// patches).
+  void write_at(std::uint64_t offset, const void* data, std::size_t size);
+
+  /// Current append cursor (== bytes written so far for pure appends).
+  std::uint64_t offset() const { return offset_; }
+
+  /// Flush the temp file's data to stable storage (fdatasync).
+  void sync();
+
+  /// Seal: sync, close, rename temp → final, fsync the parent directory.
+  /// After commit the writer is closed; further writes throw.
+  void commit();
+
+  /// Close without publishing. Unlinks the temp unless `keep_on_abort`.
+  void abort() noexcept;
+
+  bool committed() const { return committed_; }
+  const std::string& final_path() const { return final_path_; }
+  const std::string& temp_path() const { return temp_path_; }
+
+ private:
+  struct ReopenTag {};
+  AtomicFile(ReopenTag, std::string final_path, std::uint64_t keep_bytes,
+             AtomicFileOptions options);
+
+  void write_fully(int fd, std::uint64_t offset, const void* data,
+                   std::size_t size);
+
+  std::string final_path_;
+  std::string temp_path_;
+  AtomicFileOptions options_;
+  int fd_ = -1;
+  std::uint64_t offset_ = 0;
+  bool committed_ = false;
+};
+
+/// Write a whole small file atomically (temp + fsync + rename) — the
+/// one-call path for checkpoints and other must-not-be-torn artifacts.
+void atomic_write_file(const std::string& path, const void* data,
+                       std::size_t size);
+
+}  // namespace picp

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace picp {
+
+namespace detail {
+/// Reflected CRC32C (Castagnoli) polynomial — the variant with hardware
+/// support on modern CPUs and strong burst-error detection, used by iSCSI,
+/// ext4, and most storage formats.
+constexpr std::uint32_t kCrc32cPoly = 0x82F63B78u;
+
+constexpr std::array<std::uint32_t, 256> make_crc32c_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit)
+      crc = (crc & 1u) != 0 ? (crc >> 1) ^ kCrc32cPoly : crc >> 1;
+    table[i] = crc;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32cTable =
+    make_crc32c_table();
+}  // namespace detail
+
+/// Incremental CRC32C accumulator for streamed data (trace frames, file
+/// digests). `value()` may be called at any point; `update` continues the
+/// same running checksum.
+class Crc32c {
+ public:
+  void update(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    std::uint32_t crc = state_;
+    for (std::size_t i = 0; i < size; ++i)
+      crc = detail::kCrc32cTable[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+    state_ = crc;
+  }
+
+  /// Checksum a trivially-copyable value by its object representation.
+  template <typename T>
+  void update_pod(const T& value) {
+    update(&value, sizeof(T));
+  }
+
+  std::uint32_t value() const { return ~state_; }
+  void reset() { state_ = 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot CRC32C of a buffer. crc32c("123456789") == 0xE3069283.
+inline std::uint32_t crc32c(const void* data, std::size_t size) {
+  Crc32c crc;
+  crc.update(data, size);
+  return crc.value();
+}
+
+}  // namespace picp

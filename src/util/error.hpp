@@ -11,6 +11,34 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// A user-supplied on-disk artifact (trace, checkpoint, CSV, model file)
+/// failed integrity or plausibility checks. Carries the offending path and
+/// an optional remedy hint so front ends can tell the user what to run
+/// next instead of just echoing a parse failure.
+class CorruptInputError : public Error {
+ public:
+  CorruptInputError(std::string path, const std::string& detail,
+                    std::string hint = "")
+      : Error(compose(path, detail, hint)),
+        path_(std::move(path)),
+        hint_(std::move(hint)) {}
+
+  const std::string& input_path() const { return path_; }
+  const std::string& hint() const { return hint_; }
+
+ private:
+  static std::string compose(const std::string& path,
+                             const std::string& detail,
+                             const std::string& hint) {
+    std::string full = "corrupt input " + path + ": " + detail;
+    if (!hint.empty()) full += "\n  hint: " + hint;
+    return full;
+  }
+
+  std::string path_;
+  std::string hint_;
+};
+
 namespace detail {
 [[noreturn]] inline void fail(const char* kind, const char* expr,
                               const char* file, int line,

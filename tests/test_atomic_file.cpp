@@ -1,0 +1,151 @@
+#include "util/atomic_file.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace picp {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string tmp_path(const std::string& name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const auto& p : cleanup_) std::remove(p.c_str());
+  }
+  std::string track(const std::string& path) {
+    cleanup_.push_back(path);
+    cleanup_.push_back(path + ".tmp");
+    cleanup_.push_back(path + ".part");
+    return path;
+  }
+  std::vector<std::string> cleanup_;
+};
+
+TEST_F(AtomicFileTest, CommitPublishesAndRemovesTemp) {
+  const std::string path = track(tmp_path("picp_atomic_commit.bin"));
+  AtomicFile file(path);
+  file.write("hello ", 6);
+  file.write("world", 5);
+  EXPECT_EQ(file.offset(), 11u);
+  EXPECT_FALSE(fs::exists(path));  // nothing visible before commit
+  EXPECT_TRUE(fs::exists(file.temp_path()));
+  file.commit();
+  EXPECT_TRUE(file.committed());
+  EXPECT_FALSE(fs::exists(file.temp_path()));
+  EXPECT_EQ(read_file(path), "hello world");
+}
+
+TEST_F(AtomicFileTest, DestructionWithoutCommitRemovesTemp) {
+  const std::string path = track(tmp_path("picp_atomic_abort.bin"));
+  {
+    AtomicFile file(path);
+    file.write("doomed", 6);
+  }
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+TEST_F(AtomicFileTest, KeepOnAbortLeavesSalvageablePartial) {
+  const std::string path = track(tmp_path("picp_atomic_keep.bin"));
+  AtomicFileOptions options;
+  options.suffix = ".part";
+  options.keep_on_abort = true;
+  {
+    AtomicFile file(path, options);
+    file.write("partial", 7);
+    file.abort();
+  }
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_EQ(read_file(path + ".part"), "partial");
+}
+
+TEST_F(AtomicFileTest, OldContentSurvivesUntilCommit) {
+  const std::string path = track(tmp_path("picp_atomic_replace.bin"));
+  {
+    AtomicFile file(path);
+    file.write("old", 3);
+    file.commit();
+  }
+  {
+    AtomicFile file(path);
+    file.write("new!", 4);
+    EXPECT_EQ(read_file(path), "old");  // reader still sees the old file
+    file.commit();
+  }
+  EXPECT_EQ(read_file(path), "new!");
+}
+
+TEST_F(AtomicFileTest, WriteAtPatchesWithoutMovingCursor) {
+  const std::string path = track(tmp_path("picp_atomic_patch.bin"));
+  AtomicFile file(path);
+  file.write("XXXX-body", 9);
+  file.write_at(0, "HEAD", 4);
+  EXPECT_EQ(file.offset(), 9u);  // cursor untouched by the patch
+  file.commit();
+  EXPECT_EQ(read_file(path), "HEAD-body");
+}
+
+TEST_F(AtomicFileTest, ReopenTruncatesPartialTailAndAppends) {
+  const std::string path = track(tmp_path("picp_atomic_reopen.bin"));
+  AtomicFileOptions options;
+  options.suffix = ".part";
+  options.keep_on_abort = true;
+  {
+    AtomicFile file(path, options);
+    file.write("0123456789TORNTAIL", 18);
+    file.abort();  // crash leaves 18 bytes, only 10 known-good
+  }
+  auto file = AtomicFile::reopen(path, 10, options);
+  EXPECT_EQ(file->offset(), 10u);
+  file->write("resumed", 7);
+  file->commit();
+  EXPECT_EQ(read_file(path), "0123456789resumed");
+}
+
+TEST_F(AtomicFileTest, ReopenMissingTempThrows) {
+  const std::string path = track(tmp_path("picp_atomic_noreopen.bin"));
+  AtomicFileOptions options;
+  options.suffix = ".part";
+  EXPECT_THROW(AtomicFile::reopen(path, 0, options), Error);
+}
+
+TEST_F(AtomicFileTest, WriteAfterCommitThrows) {
+  const std::string path = track(tmp_path("picp_atomic_closed.bin"));
+  AtomicFile file(path);
+  file.write("x", 1);
+  file.commit();
+  EXPECT_THROW(file.write("y", 1), Error);
+}
+
+TEST_F(AtomicFileTest, AtomicWriteFileRoundTrip) {
+  const std::string path = track(tmp_path("picp_atomic_whole.bin"));
+  const std::string payload = "whole-file payload\n";
+  atomic_write_file(path, payload.data(), payload.size());
+  EXPECT_EQ(read_file(path), payload);
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  // Overwrite goes through the same temp+rename dance.
+  atomic_write_file(path, "2", 1);
+  EXPECT_EQ(read_file(path), "2");
+}
+
+}  // namespace
+}  // namespace picp

@@ -1,0 +1,69 @@
+#include "util/crc32.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace picp {
+namespace {
+
+TEST(Crc32c, KnownAnswerVector) {
+  // The canonical CRC32C check value (RFC 3720 / Castagnoli).
+  const char* data = "123456789";
+  EXPECT_EQ(crc32c(data, 9), 0xE3069283u);
+}
+
+TEST(Crc32c, EmptyInputIsZero) {
+  EXPECT_EQ(crc32c("", 0), 0u);
+  Crc32c crc;
+  EXPECT_EQ(crc.value(), 0u);
+}
+
+TEST(Crc32c, IncrementalMatchesOneShot) {
+  const std::string data =
+      "the quick brown fox jumps over the lazy dog 0123456789";
+  const std::uint32_t whole = crc32c(data.data(), data.size());
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    Crc32c crc;
+    crc.update(data.data(), split);
+    crc.update(data.data() + split, data.size() - split);
+    EXPECT_EQ(crc.value(), whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32c, UpdatePodMatchesRawBytes) {
+  const std::uint64_t v = 0x0123456789ABCDEFull;
+  Crc32c a;
+  a.update_pod(v);
+  Crc32c b;
+  b.update(&v, sizeof(v));
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(Crc32c, ResetRestartsTheStream) {
+  Crc32c crc;
+  crc.update("garbage", 7);
+  crc.reset();
+  crc.update("123456789", 9);
+  EXPECT_EQ(crc.value(), 0xE3069283u);
+}
+
+TEST(Crc32c, DetectsSingleBitFlips) {
+  unsigned char buf[32];
+  for (std::size_t i = 0; i < sizeof(buf); ++i)
+    buf[i] = static_cast<unsigned char>(i * 37 + 11);
+  const std::uint32_t clean = crc32c(buf, sizeof(buf));
+  for (std::size_t byte = 0; byte < sizeof(buf); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      buf[byte] = static_cast<unsigned char>(buf[byte] ^ (1u << bit));
+      EXPECT_NE(crc32c(buf, sizeof(buf)), clean)
+          << "flip at byte " << byte << " bit " << bit;
+      buf[byte] = static_cast<unsigned char>(buf[byte] ^ (1u << bit));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace picp

@@ -10,8 +10,10 @@
 #include <fstream>
 
 #include "model/model_set.hpp"
+#include "picsim/checkpoint.hpp"
 #include "picsim/instrumentation.hpp"
 #include "trace/trace_reader.hpp"
+#include "trace/trace_salvage.hpp"
 #include "trace/trace_writer.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -41,15 +43,21 @@ void truncate_file(const std::string& path, std::uintmax_t keep) {
   fs::resize_file(path, keep);
 }
 
-TEST(FailureInjection, TraceTruncatedMidSampleThrowsOnRead) {
+TEST(FailureInjection, TraceTruncatedMidSampleRejectedStrictSalvageable) {
   const std::string path = write_valid_trace("fi_trunc.bin");
   const auto size = fs::file_size(path);
-  truncate_file(path, size - 100);  // chop into the last sample
-  TraceReader reader(path);
+  truncate_file(path, size - 100);  // chop into the last sample + footer
+  // Strict open rejects up front — the header's claims no longer fit the
+  // file, so we never hand back partial data as if it were complete.
+  EXPECT_THROW(TraceReader reader(path), TraceCorruptError);
+  // Salvage mode recovers every complete sample instead.
+  TraceReader salvage(path, TraceReadMode::kSalvage);
+  EXPECT_EQ(salvage.num_samples(), 2u);
+  EXPECT_FALSE(salvage.salvage_report().intact());
   TraceSample sample;
-  ASSERT_TRUE(reader.read_next(sample));
-  ASSERT_TRUE(reader.read_next(sample));
-  EXPECT_THROW(reader.read_next(sample), Error);
+  ASSERT_TRUE(salvage.read_next(sample));
+  ASSERT_TRUE(salvage.read_next(sample));
+  EXPECT_FALSE(salvage.read_next(sample));
   std::remove(path.c_str());
 }
 
@@ -165,6 +173,187 @@ TEST(FailureInjection, ReaderSurvivesEmptyFile) {
   const std::string path = testing::TempDir() + "/fi_empty.bin";
   { std::ofstream out(path, std::ios::binary); }
   EXPECT_THROW(TraceReader reader(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(FailureInjection, HeaderClaimingAbsurdSampleCountRejectedCheaply) {
+  // A flipped num_samples field must produce a typed error at open, not a
+  // multi-terabyte allocation attempt (satellite: header plausibility).
+  const std::string path = write_valid_trace("fi_absurd.bin");
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(8 + 4 + 4 + 8);  // magic, version, coord_kind, num_particles
+    const std::uint64_t claimed = 1ull << 50;
+    f.write(reinterpret_cast<const char*>(&claimed), sizeof(claimed));
+  }
+  EXPECT_THROW(TraceReader reader(path), TraceCorruptError);
+  std::remove(path.c_str());
+}
+
+TEST(FailureInjection, HeaderClaimingOverflowingParticleCountRejected) {
+  const std::string path = write_valid_trace("fi_overflow.bin");
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(8 + 4 + 4);  // num_particles field
+    const std::uint64_t np = ~0ull / 2;  // payload_bytes would overflow
+    f.write(reinterpret_cast<const char*>(&np), sizeof(np));
+  }
+  EXPECT_THROW(TraceReader reader(path), TraceCorruptError);
+  std::remove(path.c_str());
+}
+
+// --- Deterministic corruption sweeps ---------------------------------------
+// Small geometry so the sweeps stay exhaustive: np = 4 doubles, 3 samples.
+//   header 92 bytes; frame = 4 (magic) + 8 (iter) + 4*24 (payload) + 4 (crc)
+//   = 112; frame boundaries at 92, 204, 316, 428; footer ends at 452.
+constexpr std::size_t kSweepNp = 4;
+constexpr std::size_t kSweepSamples = 3;
+constexpr std::uintmax_t kSweepHeader = 92;
+constexpr std::uintmax_t kSweepFrame = 112;
+constexpr std::uintmax_t kSweepTotal =
+    kSweepHeader + kSweepSamples * kSweepFrame + 24;
+
+TEST(FailureInjection, TruncationSweepSalvagesEveryCompletePrefix) {
+  const std::string path =
+      write_valid_trace("fi_sweep_trunc.bin", kSweepNp, kSweepSamples);
+  ASSERT_EQ(fs::file_size(path), kSweepTotal);
+
+  std::vector<std::uintmax_t> cuts;
+  for (std::uintmax_t b = 0; b <= kSweepSamples; ++b) {
+    const std::uintmax_t boundary = kSweepHeader + b * kSweepFrame;
+    for (std::intmax_t d = -3; d <= 3; ++d) {
+      const auto cut = static_cast<std::intmax_t>(boundary) + d;
+      if (cut >= 0 && cut < static_cast<std::intmax_t>(kSweepTotal))
+        cuts.push_back(static_cast<std::uintmax_t>(cut));
+    }
+  }
+  cuts.push_back(kSweepTotal - 1);  // lost last footer byte
+
+  for (const std::uintmax_t cut : cuts) {
+    const std::string damaged = testing::TempDir() + "/fi_sweep_cut.bin";
+    fs::copy_file(path, damaged, fs::copy_options::overwrite_existing);
+    truncate_file(damaged, cut);
+
+    if (cut < kSweepHeader) {
+      // No header → nothing recoverable, typed error even in salvage mode.
+      EXPECT_THROW(TraceReader(damaged, TraceReadMode::kSalvage), Error)
+          << "cut at " << cut;
+    } else {
+      const std::uintmax_t expected = (cut - kSweepHeader) / kSweepFrame;
+      const SalvageReport report = scan_trace(damaged);
+      EXPECT_FALSE(report.intact()) << "cut at " << cut;
+      EXPECT_EQ(report.valid_samples,
+                std::min<std::uintmax_t>(expected, kSweepSamples))
+          << "cut at " << cut;
+      // Strict mode never silently serves a truncated file.
+      EXPECT_THROW(TraceReader reader(damaged), TraceCorruptError)
+          << "cut at " << cut;
+    }
+    std::remove(damaged.c_str());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FailureInjection, BitFlipSweepEveryByteIsDetected) {
+  // Flip one bit in every byte of a sealed v2 trace: the strict read path
+  // must throw a typed error (never crash, never return doctored data),
+  // and the salvage scanner must survive and mark the file not-intact.
+  const std::string path =
+      write_valid_trace("fi_sweep_flip.bin", kSweepNp, kSweepSamples);
+  std::string clean;
+  {
+    std::ifstream in(path, std::ios::binary);
+    clean.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_EQ(clean.size(), kSweepTotal);
+
+  const std::string damaged = testing::TempDir() + "/fi_sweep_bit.bin";
+  for (std::size_t byte = 0; byte < clean.size(); ++byte) {
+    std::string mutated = clean;
+    mutated[byte] = static_cast<char>(mutated[byte] ^ 0x10);
+    {
+      std::ofstream out(damaged, std::ios::binary | std::ios::trunc);
+      out.write(mutated.data(),
+                static_cast<std::streamsize>(mutated.size()));
+    }
+
+    // Strict full read must fail somewhere — open or read_next.
+    EXPECT_THROW(
+        {
+          TraceReader reader(damaged);
+          TraceSample sample;
+          while (reader.read_next(sample)) {
+          }
+        },
+        Error)
+        << "flip at byte " << byte;
+
+    // Salvage scan never crashes and never calls a damaged file intact.
+    // A flip inside the header itself (magic, version, ...) may make the
+    // file unreadable — then the scan throws a typed error instead.
+    try {
+      const SalvageReport report = scan_trace(damaged);
+      EXPECT_FALSE(report.intact()) << "flip at byte " << byte;
+      EXPECT_LE(report.valid_samples, kSweepSamples);
+    } catch (const Error&) {
+      EXPECT_LT(byte, kSweepHeader) << "non-header flip killed the scan";
+    }
+  }
+  std::remove(damaged.c_str());
+  std::remove(path.c_str());
+}
+
+TEST(FailureInjection, RepairRecoversPrefixIntoSealedTrace) {
+  const std::string path =
+      write_valid_trace("fi_repair.bin", kSweepNp, kSweepSamples);
+  // Corrupt the middle frame's payload: samples 0 intact, 1 damaged.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(kSweepHeader + kSweepFrame + 40));
+    f.put('\x7f');
+  }
+  const std::string fixed = testing::TempDir() + "/fi_repair_fixed.bin";
+  const SalvageReport report = repair_trace(path, fixed);
+  EXPECT_EQ(report.valid_samples, 1u);
+
+  // The repaired file is a fully sealed v2 trace readable in strict mode.
+  EXPECT_TRUE(scan_trace(fixed).intact());
+  TraceReader reader(fixed);
+  EXPECT_EQ(reader.num_samples(), 1u);
+  TraceSample sample;
+  ASSERT_TRUE(reader.read_next(sample));
+  EXPECT_EQ(sample.iteration, 0u);
+  std::remove(path.c_str());
+  std::remove(fixed.c_str());
+}
+
+TEST(FailureInjection, CheckpointBitFlipRejectedWithHint) {
+  const std::string path = testing::TempDir() + "/fi_ckpt.bin";
+  SimCheckpoint ckpt;
+  ckpt.config_fingerprint = 0x1234;
+  ckpt.next_iteration = 40;
+  ckpt.sim_time = 0.25;
+  ckpt.positions.assign(16, Vec3(1, 2, 3));
+  ckpt.velocities.assign(16, Vec3(4, 5, 6));
+  ckpt.save(path);
+  {
+    const SimCheckpoint loaded = SimCheckpoint::load(path);
+    EXPECT_EQ(loaded.next_iteration, 40);
+    EXPECT_EQ(loaded.positions.size(), 16u);
+  }
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(60);
+    f.put('\x01');
+  }
+  try {
+    SimCheckpoint::load(path);
+    FAIL() << "corrupt checkpoint accepted";
+  } catch (const CorruptInputError& e) {
+    EXPECT_FALSE(e.hint().empty());
+    EXPECT_EQ(e.input_path(), path);
+  }
   std::remove(path.c_str());
 }
 

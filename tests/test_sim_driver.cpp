@@ -6,7 +6,9 @@
 #include <fstream>
 #include <iterator>
 
+#include "picsim/checkpoint.hpp"
 #include "trace/trace_reader.hpp"
+#include "trace/trace_salvage.hpp"
 #include "util/error.hpp"
 
 namespace picp {
@@ -221,6 +223,113 @@ TEST(SimDriver, BinPartitionsBoundedByRanks) {
     EXPECT_GE(p, 1);
     EXPECT_LE(p, 16);
   }
+}
+
+TEST(SimDriver, CheckpointResumeProducesBitIdenticalTrace) {
+  // Kill-resilience drill: run A straight through; run B is "killed" after
+  // 110 iterations (last checkpoint at 90) and resumed. The resumed trace
+  // must match A byte for byte, including the sealed footer digest.
+  SimConfig cfg = tiny_config();
+  cfg.checkpoint_every = 30;
+
+  const std::string full_path = testing::TempDir() + "/picp_ck_full.bin";
+  SimDriver(cfg).run(full_path);
+
+  const std::string path = testing::TempDir() + "/picp_ck_resume.bin";
+  RunOptions crash;
+  crash.abort_after_iterations = 110;
+  const SimResult killed = SimDriver(cfg).run(path, crash);
+  EXPECT_TRUE(killed.aborted);
+  // The crash left the unsealed partial plus a checkpoint at iteration 90
+  // with samples 0, 50 (iteration 100's sample is in the .part but after
+  // the checkpointed offset — resume truncates it away and rewrites it).
+  EXPECT_FALSE(std::ifstream(path).is_open());
+  const SimCheckpoint ckpt = SimCheckpoint::load(path + ".ckpt");
+  EXPECT_EQ(ckpt.next_iteration, 90);
+  EXPECT_EQ(ckpt.trace_samples, 2u);
+  const SalvageReport partial = scan_trace(path + ".part");
+  EXPECT_EQ(partial.valid_samples, 3u);  // samples 0, 50, 100 all complete
+  EXPECT_FALSE(partial.sealed);
+
+  RunOptions resume;
+  resume.resume = true;
+  const SimResult resumed = SimDriver(cfg).run(path, resume);
+  EXPECT_EQ(resumed.start_iteration, 90);
+  EXPECT_FALSE(resumed.aborted);
+  EXPECT_EQ(resumed.trace_samples, 4u);
+
+  EXPECT_EQ(file_bytes(path), file_bytes(full_path));
+  EXPECT_TRUE(scan_trace(path).intact());
+  // Success removes the checkpoint; the .part was renamed over the final.
+  EXPECT_FALSE(std::ifstream(path + ".ckpt").is_open());
+  EXPECT_FALSE(std::ifstream(path + ".part").is_open());
+  std::remove(full_path.c_str());
+  std::remove(path.c_str());
+}
+
+TEST(SimDriver, ResumeWithDifferentThreadCountStillBitIdentical) {
+  SimConfig cfg = tiny_config();
+  cfg.checkpoint_every = 50;
+
+  const std::string full_path = testing::TempDir() + "/picp_ck_tfull.bin";
+  SimDriver(cfg).run(full_path);
+
+  const std::string path = testing::TempDir() + "/picp_ck_tmix.bin";
+  RunOptions crash;
+  crash.abort_after_iterations = 100;
+  SimDriver(cfg).run(path, crash);
+  // Threads are excluded from the config fingerprint (outputs are
+  // bit-identical by design), so resuming threaded is legal.
+  cfg.threads = 4;
+  RunOptions resume;
+  resume.resume = true;
+  const SimResult resumed = SimDriver(cfg).run(path, resume);
+  EXPECT_EQ(resumed.start_iteration, 100);
+  EXPECT_EQ(file_bytes(path), file_bytes(full_path));
+  std::remove(full_path.c_str());
+  std::remove(path.c_str());
+}
+
+TEST(SimDriver, ResumeRejectsConfigMismatch) {
+  SimConfig cfg = tiny_config();
+  cfg.checkpoint_every = 50;
+  const std::string path = testing::TempDir() + "/picp_ck_bad.bin";
+  RunOptions crash;
+  crash.abort_after_iterations = 100;
+  SimDriver(cfg).run(path, crash);
+
+  SimConfig other = cfg;
+  other.physics.dt *= 2.0;  // trajectory-shaping change
+  RunOptions resume;
+  resume.resume = true;
+  EXPECT_THROW(SimDriver(other).run(path, resume), CorruptInputError);
+  std::remove((path + ".part").c_str());
+  std::remove((path + ".ckpt").c_str());
+}
+
+TEST(SimDriver, ResumeWithoutCheckpointThrows) {
+  SimConfig cfg = tiny_config();
+  RunOptions resume;
+  resume.resume = true;
+  EXPECT_THROW(
+      SimDriver(cfg).run(testing::TempDir() + "/picp_ck_none.bin", resume),
+      Error);
+}
+
+TEST(SimDriver, ConfigFingerprintIgnoresNonTrajectoryKnobs) {
+  const SimConfig base = tiny_config();
+  SimConfig changed = base;
+  changed.threads = 8;
+  changed.measure = true;
+  changed.mapper_kind = "element";
+  changed.num_ranks = 4;
+  EXPECT_EQ(sim_config_fingerprint(base), sim_config_fingerprint(changed));
+  changed = base;
+  changed.bed.seed += 1;
+  EXPECT_NE(sim_config_fingerprint(base), sim_config_fingerprint(changed));
+  changed = base;
+  changed.sample_every = 25;
+  EXPECT_NE(sim_config_fingerprint(base), sim_config_fingerprint(changed));
 }
 
 TEST(SimConfigTest, ValidateRejectsBadValues) {

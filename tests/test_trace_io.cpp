@@ -129,6 +129,67 @@ TEST(TraceIo, MissingFileThrows) {
   EXPECT_THROW(TraceReader reader("/nonexistent/trace.bin"), Error);
 }
 
+TEST(TraceIo, V2IsTheDefaultAndLeavesNoPartial) {
+  const std::string path = testing::TempDir() + "/picp_trace_v2.bin";
+  {
+    TraceWriter writer(path, 8, 1, Aabb(Vec3(0, 0, 0), Vec3(1, 1, 1)));
+    writer.append(0, random_positions(8, 1));
+    // While the writer is open, only the staging `.part` exists — the
+    // final name never holds a torn file.
+    EXPECT_FALSE(std::ifstream(path, std::ios::binary).is_open());
+    EXPECT_TRUE(
+        std::ifstream(writer.partial_path(), std::ios::binary).is_open());
+    writer.close();
+  }
+  EXPECT_FALSE(
+      std::ifstream(path + ".part", std::ios::binary).is_open());
+  TraceReader reader(path);
+  EXPECT_EQ(reader.header().version, 2u);
+  EXPECT_EQ(reader.num_samples(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, V1WriterRoundTripsForLegacyCompat) {
+  const std::string path = testing::TempDir() + "/picp_trace_v1.bin";
+  const auto positions = random_positions(6, 3);
+  {
+    TraceWriter writer(path, 6, 4, Aabb(Vec3(0, 0, 0), Vec3(1, 1, 1)),
+                       CoordKind::kFloat64, 1);
+    writer.append(8, positions);
+    writer.close();
+  }
+  TraceReader reader(path);
+  EXPECT_EQ(reader.header().version, 1u);
+  EXPECT_EQ(reader.num_samples(), 1u);
+  TraceSample sample;
+  ASSERT_TRUE(reader.read_next(sample));
+  EXPECT_EQ(sample.iteration, 8u);
+  ASSERT_EQ(sample.positions.size(), 6u);
+  EXPECT_EQ(sample.positions[5].z, positions[5].z);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, OverwriteKeepsOldTraceUntilSealed) {
+  const std::string path = testing::TempDir() + "/picp_trace_ow.bin";
+  {
+    TraceWriter writer(path, 2, 1, Aabb(Vec3(0, 0, 0), Vec3(1, 1, 1)));
+    writer.append(0, random_positions(2, 1));
+    writer.close();
+  }
+  {
+    TraceWriter writer(path, 2, 1, Aabb(Vec3(0, 0, 0), Vec3(1, 1, 1)));
+    writer.append(0, random_positions(2, 2));
+    writer.append(1, random_positions(2, 3));
+    // The previous sealed trace is still what readers see mid-write.
+    TraceReader old_reader(path);
+    EXPECT_EQ(old_reader.num_samples(), 1u);
+    writer.close();
+  }
+  TraceReader reader(path);
+  EXPECT_EQ(reader.num_samples(), 2u);
+  std::remove(path.c_str());
+}
+
 TEST(TraceIo, ReadFullTraceHelper) {
   const std::string path = testing::TempDir() + "/picp_trace_full.bin";
   {

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Run the full test suite under AddressSanitizer + UBSan in a dedicated
+# build tree. Use after touching I/O, framing, or checksum code — the
+# corruption-sweep tests exercise every byte-level parse path, and this is
+# the CI job that proves none of them read out of bounds or hit UB.
+#
+#   tools/check_sanitize.sh [sanitizer] [build-dir]
+#
+#   sanitizer  PICP_SANITIZE value (default: address,undefined)
+#   build-dir  out-of-source build directory (default: build-asan)
+set -eu
+
+SANITIZE="${1:-address,undefined}"
+BUILD_DIR="${2:-build-asan}"
+SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake -B "$BUILD_DIR" -S "$SRC_DIR" -DPICP_SANITIZE="$SANITIZE"
+cmake --build "$BUILD_DIR" -j
+# halt_on_error keeps a UB report from being drowned out by later tests.
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
+echo "sanitizer suite (${SANITIZE}) passed"

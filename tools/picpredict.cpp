@@ -1,9 +1,20 @@
 // picpredict — command-line front end to the prediction framework.
 //
 //   picpredict simulate <config.ini> --trace <out.trace>
-//                       [--timings <out.csv>]
+//                       [--timings <out.csv>] [--resume]
 //       Run the PIC proxy application described by the config; write its
 //       particle trace and (with [measure] enabled) instrumented timings.
+//       With [run] checkpoint_every set, an interrupted run leaves
+//       <out.trace>.part + <out.trace>.ckpt; --resume continues from the
+//       checkpoint and produces a byte-identical trace.
+//
+//   picpredict trace verify <file.trace>
+//       Walk every integrity check (header CRC, per-frame CRCs, sealed
+//       footer, whole-file digest); exit 0 iff the trace is intact.
+//
+//   picpredict trace repair <file.trace> --out <fixed.trace>
+//       Salvage: recover the longest valid sample prefix from a damaged or
+//       unsealed trace into a freshly sealed v2 file.
 //
 //   picpredict train <timings.csv> --out <models.txt>
 //                    [--method auto|linear|poly|symreg] [--seed N]
@@ -26,6 +37,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -35,6 +47,7 @@
 #include "picsim/sim_driver.hpp"
 #include "trace/extrapolate.hpp"
 #include "trace/trace_reader.hpp"
+#include "trace/trace_salvage.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/string_util.hpp"
@@ -49,7 +62,9 @@ using namespace picp;
   std::fprintf(stderr,
                "usage:\n"
                "  picpredict simulate <config.ini> --trace <out> "
-               "[--timings <csv>]\n"
+               "[--timings <csv>] [--resume]\n"
+               "  picpredict trace verify <file>\n"
+               "  picpredict trace repair <file> --out <fixed>\n"
                "  picpredict train <timings.csv> --out <models.txt> "
                "[--method auto|linear|poly|symreg] [--seed N]\n"
                "  picpredict workload <trace> --ranks <R> [--mapper M] "
@@ -61,15 +76,23 @@ using namespace picp;
   std::exit(2);
 }
 
-/// flag → value map from argv[first..); flags must all take one value.
-std::map<std::string, std::string> parse_flags(int argc, char** argv,
-                                               int first) {
+/// flag → value map from argv[first..). Flags take one value except the
+/// names in `boolean`, which take none and map to "1".
+std::map<std::string, std::string> parse_flags(
+    int argc, char** argv, int first,
+    const std::set<std::string>& boolean = {}) {
   std::map<std::string, std::string> flags;
   for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0 || i + 1 >= argc)
-      usage(("bad or valueless flag: " + arg).c_str());
-    flags[arg.substr(2)] = argv[++i];
+    if (arg.rfind("--", 0) != 0)
+      usage(("bad flag: " + arg).c_str());
+    const std::string name = arg.substr(2);
+    if (boolean.count(name) > 0) {
+      flags[name] = "1";
+      continue;
+    }
+    if (i + 1 >= argc) usage(("flag needs a value: " + arg).c_str());
+    flags[name] = argv[++i];
   }
   return flags;
 }
@@ -89,12 +112,17 @@ std::string flag_or(const std::map<std::string, std::string>& flags,
 
 int cmd_simulate(int argc, char** argv) {
   if (argc < 3) usage("simulate needs a config file");
-  const auto flags = parse_flags(argc, argv, 3);
+  const auto flags = parse_flags(argc, argv, 3, {"resume"});
   const SimConfig cfg = SimConfig::from_config(Config::from_file(argv[2]));
   SimDriver driver(cfg);
-  const SimResult result = driver.run(require_flag(flags, "trace"));
-  std::printf("simulated %lld iterations, %llu trace samples, wall %.2f s\n",
-              static_cast<long long>(cfg.num_iterations),
+  RunOptions options;
+  options.resume = flags.count("resume") > 0;
+  const SimResult result = driver.run(require_flag(flags, "trace"), options);
+  std::printf("simulated %lld iterations%s, %llu trace samples, "
+              "wall %.2f s\n",
+              static_cast<long long>(cfg.num_iterations -
+                                     result.start_iteration),
+              result.start_iteration > 0 ? " (resumed)" : "",
               static_cast<unsigned long long>(result.trace_samples),
               result.wall_seconds);
   if (flags.count("timings") > 0) {
@@ -106,6 +134,35 @@ int cmd_simulate(int argc, char** argv) {
                 flags.at("timings").c_str());
   }
   return 0;
+}
+
+int cmd_trace(int argc, char** argv) {
+  if (argc < 4) usage("trace needs a subcommand and a trace file");
+  const std::string sub = argv[2];
+  const std::string path = argv[3];
+  if (sub == "verify") {
+    if (argc > 4) usage("trace verify takes no flags");
+    const SalvageReport report = scan_trace(path);
+    std::printf("%s: %s\n", path.c_str(), describe(report).c_str());
+    if (report.intact()) return 0;
+    std::printf("recoverable: %llu samples (%llu bytes) — run `picpredict "
+                "trace repair %s --out <fixed.trace>`\n",
+                static_cast<unsigned long long>(report.valid_samples),
+                static_cast<unsigned long long>(report.valid_bytes),
+                path.c_str());
+    return 1;
+  }
+  if (sub == "repair") {
+    const auto flags = parse_flags(argc, argv, 4);
+    const std::string out = require_flag(flags, "out");
+    const SalvageReport report = repair_trace(path, out);
+    std::printf("%s: %s\n", path.c_str(), describe(report).c_str());
+    std::printf("recovered %llu samples into %s\n",
+                static_cast<unsigned long long>(report.valid_samples),
+                out.c_str());
+    return report.valid_samples > 0 ? 0 : 1;
+  }
+  usage(("unknown trace subcommand: " + sub).c_str());
 }
 
 int cmd_train(int argc, char** argv) {
@@ -226,6 +283,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     if (command == "simulate") return cmd_simulate(argc, argv);
+    if (command == "trace") return cmd_trace(argc, argv);
     if (command == "train") return cmd_train(argc, argv);
     if (command == "workload") return cmd_workload(argc, argv);
     if (command == "predict") return cmd_predict(argc, argv);
