@@ -10,7 +10,7 @@
 #include <cstdio>
 #include <iostream>
 
-#include "mapping/bin_mapper.hpp"
+#include "core/claims.hpp"
 #include "picsim/kernels.hpp"
 #include "picsim/instrumentation.hpp"
 #include "study.hpp"
@@ -56,19 +56,8 @@ int main(int argc, char** argv) {
   bool time_monotone_up = true;
   for (const double filter : filters) {
     // (a) relaxed bin count over the whole trace (strided for speed).
-    BinMapper relaxed(1, filter, BinTree::kUnlimitedBins);
-    std::int64_t max_bins = 0;
-    {
-      TraceReader reader(trace_path);
-      TraceSample s;
-      std::vector<Rank> owners;
-      std::size_t index = 0;
-      while (reader.read_next(s)) {
-        if (index++ % 4 != 0) continue;
-        relaxed.map(s.positions, owners);
-        max_bins = std::max(max_bins, relaxed.num_partitions());
-      }
-    }
+    const std::int64_t max_bins =
+        claims::relaxed_bin_growth(trace_path, filter, 4).max_bins;
 
     // (b) measured create_ghost_particles execution time.
     const GhostFinder finder(mesh, partition, filter);

@@ -8,11 +8,9 @@
 #include <cstdio>
 #include <iostream>
 
-#include "mapping/mapper.hpp"
+#include "core/claims.hpp"
 #include "study.hpp"
-#include "trace/trace_reader.hpp"
 #include "util/csv.hpp"
-#include "workload/generator.hpp"
 #include "workload/workload_stats.hpp"
 
 using namespace picp;
@@ -28,15 +26,8 @@ int main(int argc, char** argv) {
 
   // --- Fig 1a: computation matrix for 4096 ranks, element mapping --------
   const Rank heatmap_ranks = 4096;
-  const MeshPartition partition = rcb_partition(mesh, heatmap_ranks);
-  const auto mapper =
-      make_mapper("element", mesh, partition, cfg.filter_size);
-  WorkloadParams params;
-  params.compute_ghosts = false;
-  params.compute_comm = false;
-  WorkloadGenerator generator(mesh, partition, *mapper, params);
-  TraceReader trace(trace_path);
-  const WorkloadResult workload = generator.generate(trace);
+  const WorkloadResult workload = claims::mapping_workload(
+      mesh, trace_path, heatmap_ranks, "element", cfg.filter_size);
 
   const std::string csv_path = options.data_dir + "/fig1a_heatmap.csv";
   workload.comp_real.write_csv(csv_path);
@@ -55,18 +46,15 @@ int main(int argc, char** argv) {
   double idle_sum = 0.0;
   int idle_count = 0;
   for (const Rank ranks : {1024, 2048, 4096, 8192}) {
-    const MeshPartition part = rcb_partition(mesh, ranks);
-    const auto m = make_mapper("element", mesh, part, cfg.filter_size);
-    WorkloadGenerator gen(mesh, part, *m, params);
-    TraceReader reader(trace_path);
-    const WorkloadResult result = gen.generate(reader);
-    const UtilizationStats stats = utilization(result.comp_real);
-    const double idle_pct = 100.0 * (1.0 - stats.ever_active_fraction);
-    idle_sum += idle_pct;
+    const WorkloadResult result = claims::mapping_workload(
+        mesh, trace_path, ranks, "element", cfg.filter_size);
+    const claims::UtilizationClaim util =
+        claims::utilization_claim(result.comp_real);
+    idle_sum += util.idle_pct;
     ++idle_count;
-    csv.row(ranks, stats.ever_active,
-            100.0 * stats.ever_active_fraction,
-            100.0 * stats.mean_active_fraction, idle_pct);
+    csv.row(ranks, util.stats.ever_active,
+            100.0 * util.stats.ever_active_fraction,
+            util.resource_utilization_pct, util.idle_pct);
   }
   std::printf("# average idle fraction: %.1f%% (paper: ~81%%)\n",
               idle_sum / idle_count);

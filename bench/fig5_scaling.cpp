@@ -10,12 +10,11 @@
 #include <iostream>
 #include <map>
 
-#include "mapping/mapper.hpp"
+#include "core/claims.hpp"
 #include "study.hpp"
 #include "trace/trace_reader.hpp"
 #include "util/csv.hpp"
 #include "workload/generator.hpp"
-#include "workload/workload_stats.hpp"
 
 using namespace picp;
 
@@ -28,19 +27,13 @@ int main(int argc, char** argv) {
   const SpectralMesh mesh(cfg.domain, cfg.nelx, cfg.nely, cfg.nelz,
                           cfg.points_per_dim);
 
-  std::map<Rank, std::vector<std::int64_t>> peaks;
+  const std::map<Rank, std::vector<std::int64_t>> peaks = claims::peak_series(
+      mesh, trace_path, bench::paper_rank_counts(), "bin", cfg.filter_size);
   std::vector<std::uint64_t> iterations;
-  for (const Rank ranks : bench::paper_rank_counts()) {
-    const MeshPartition partition = rcb_partition(mesh, ranks);
-    const auto mapper = make_mapper("bin", mesh, partition, cfg.filter_size);
-    WorkloadParams params;
-    params.compute_ghosts = false;
-    params.compute_comm = false;
-    WorkloadGenerator generator(mesh, partition, *mapper, params);
+  {
     TraceReader trace(trace_path);
-    const WorkloadResult workload = generator.generate(trace);
-    peaks[ranks] = peak_per_interval(workload.comp_real);
-    if (iterations.empty()) iterations = workload.iterations;
+    TraceSample sample;
+    while (trace.read_next(sample)) iterations.push_back(sample.iteration);
   }
 
   std::printf("# Fig 5: max particles per processor vs iteration, "
@@ -60,28 +53,17 @@ int main(int argc, char** argv) {
   }
 
   // Shape summary: where do the configurations separate?
-  const auto& base = peaks.at(1044);
-  std::size_t split_at = iterations.size();
-  for (std::size_t t = 0; t < iterations.size(); ++t) {
-    if (peaks.at(2088)[t] < base[t]) {
-      split_at = t;
-      break;
-    }
-  }
-  std::size_t identical_above = 0;
-  for (std::size_t t = 0; t < iterations.size(); ++t)
-    if (peaks.at(2088)[t] == peaks.at(4176)[t] &&
-        peaks.at(4176)[t] == peaks.at(8352)[t])
-      ++identical_above;
-  if (split_at < iterations.size())
+  const claims::ScalingSplit split = claims::scaling_split(peaks, 1044);
+  if (split.split_index < split.num_intervals)
     std::printf("# configurations >1044 dip below 1044 from iteration %llu "
                 "(paper: after iteration 7800)\n",
-                static_cast<unsigned long long>(iterations[split_at]));
+                static_cast<unsigned long long>(
+                    iterations[split.split_index]));
   else
     std::printf("# configurations never separated (bin count stayed below "
                 "1044)\n");
   std::printf("# 2088/4176/8352 identical on %zu of %zu intervals "
               "(paper: identical throughout — bins never exceed 2088)\n",
-              identical_above, iterations.size());
+              split.identical_above, split.num_intervals);
   return 0;
 }

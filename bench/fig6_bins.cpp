@@ -5,13 +5,11 @@
 // bin-based workload distribution — the paper's "optimal processor count"
 // (1104 for their case study).
 
-#include <algorithm>
 #include <cstdio>
 #include <iostream>
 
-#include "mapping/bin_mapper.hpp"
+#include "core/claims.hpp"
 #include "study.hpp"
-#include "trace/trace_reader.hpp"
 #include "util/csv.hpp"
 
 using namespace picp;
@@ -22,39 +20,25 @@ int main(int argc, char** argv) {
   const std::string trace_path =
       bench::ensure_trace(options, cfg, "hele_shaw");
 
-  BinMapper relaxed(1, cfg.filter_size, BinTree::kUnlimitedBins);
-  TraceReader trace(trace_path);
-
   std::printf("# Fig 6: particle bins generated during the run "
               "(processor-count cap relaxed), threshold bin size = %g\n",
               cfg.filter_size);
+  const claims::BinGrowth growth =
+      claims::relaxed_bin_growth(trace_path, cfg.filter_size);
+
   CsvWriter csv(std::cout);
   csv.row("iteration", "bins", "boundary_volume");
+  for (std::size_t t = 0; t < growth.iterations.size(); ++t)
+    csv.row(growth.iterations[t], growth.bins[t], growth.volumes[t]);
 
-  TraceSample sample;
-  std::vector<Rank> owners;
-  std::int64_t max_bins = 0;
-  std::int64_t first_bins = 0;
-  double prev_volume = 0.0;
-  bool volume_monotone = true;
-  while (trace.read_next(sample)) {
-    relaxed.map(sample.positions, owners);
-    const std::int64_t bins = relaxed.num_partitions();
-    const double volume = relaxed.tree().root_bounds().volume();
-    csv.row(sample.iteration, bins, volume);
-    if (trace.cursor() == 1) first_bins = bins;
-    max_bins = std::max(max_bins, bins);
-    if (volume + 1e-12 < prev_volume) volume_monotone = false;
-    prev_volume = volume;
-  }
   std::printf("# bins grew from %lld to a maximum of %lld as the particle "
               "boundary expanded%s\n",
-              static_cast<long long>(first_bins),
-              static_cast<long long>(max_bins),
-              volume_monotone ? " (boundary volume monotone)" : "");
+              static_cast<long long>(growth.first_bins),
+              static_cast<long long>(growth.max_bins),
+              growth.volume_monotone ? " (boundary volume monotone)" : "");
   std::printf("# => optimal processor count for this problem: %lld "
               "(paper: 1104); larger counts cannot improve bin-based "
               "distribution\n",
-              static_cast<long long>(max_bins));
+              static_cast<long long>(growth.max_bins));
   return 0;
 }

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "core/claims.hpp"
 #include "core/pipeline.hpp"
 #include "core/trainer.hpp"
 #include "core/validation.hpp"
@@ -56,11 +57,7 @@ int main(int argc, char** argv) {
   csv.row("ranks", "kernel", "samples", "mape_pct", "aggregate_mape_pct",
           "peak_err_pct");
 
-  double grand_mape = 0.0;
-  double grand_agg = 0.0;
-  std::size_t grand_agg_n = 0;
-  double grand_peak = 0.0;
-  std::size_t grand_n = 0;
+  claims::MapeSummary summary;
   for (std::size_t i = 0; i < ranks.size(); ++i) {
     PredictionConfig pc;
     pc.mapper_kind = base.mapper_kind;
@@ -72,15 +69,10 @@ int main(int argc, char** argv) {
     const KernelTimings measured = KernelTimings::load_csv(timing_paths[i]);
     const ValidationReport report =
         validate_predictions(measured, predictor, workload, 1e-6);
-    for (const KernelAccuracy& k : report.kernels) {
+    for (const KernelAccuracy& k : report.kernels)
       csv.row(ranks[i], k.kernel, k.samples, k.mape, k.aggregate_mape,
               k.peak_error);
-      grand_mape += k.mape * static_cast<double>(k.samples);
-      grand_agg += k.aggregate_mape;
-      ++grand_agg_n;
-      grand_peak = std::max(grand_peak, k.mape);
-      grand_n += k.samples;
-    }
+    summary.add(report);
 
     // End-to-end system-level prediction (trace-driven DES).
     TraceReader trace2(trace_path);
@@ -95,7 +87,7 @@ int main(int argc, char** argv) {
               "configurations: %.2f%%, aggregate (per-interval) MAPE: "
               "%.2f%% (paper: 8.42%%), worst per-kernel MAPE: %.2f%% "
               "(paper peak: 17.7%%)\n",
-              grand_mape / static_cast<double>(grand_n),
-              grand_agg / static_cast<double>(grand_agg_n), grand_peak);
+              summary.record_mape(), summary.aggregate_mape(),
+              summary.peak_kernel_mape());
   return 0;
 }

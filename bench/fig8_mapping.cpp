@@ -7,11 +7,9 @@
 #include <iostream>
 #include <map>
 
-#include "mapping/mapper.hpp"
+#include "core/claims.hpp"
 #include "study.hpp"
-#include "trace/trace_reader.hpp"
 #include "util/csv.hpp"
-#include "workload/generator.hpp"
 #include "workload/workload_stats.hpp"
 
 using namespace picp;
@@ -32,15 +30,9 @@ int main(int argc, char** argv) {
 
   std::map<Rank, std::map<std::string, std::int64_t>> global_peaks;
   for (const Rank ranks : bench::paper_rank_counts()) {
-    const MeshPartition partition = rcb_partition(mesh, ranks);
     for (const std::string kind : {"bin", "element"}) {
-      const auto mapper = make_mapper(kind, mesh, partition, cfg.filter_size);
-      WorkloadParams params;
-      params.compute_ghosts = false;
-      params.compute_comm = false;
-      WorkloadGenerator generator(mesh, partition, *mapper, params);
-      TraceReader trace(trace_path);
-      const WorkloadResult workload = generator.generate(trace);
+      const WorkloadResult workload = claims::mapping_workload(
+          mesh, trace_path, ranks, kind, cfg.filter_size);
       const auto peaks = peak_per_interval(workload.comp_real);
       double mean_peak = 0.0;
       for (const std::int64_t p : peaks)
@@ -53,8 +45,7 @@ int main(int argc, char** argv) {
   }
   for (const auto& [ranks, by_kind] : global_peaks) {
     const double ratio =
-        static_cast<double>(by_kind.at("element")) /
-        static_cast<double>(std::max<std::int64_t>(1, by_kind.at("bin")));
+        claims::peak_ratio(by_kind.at("element"), by_kind.at("bin"));
     std::printf("# R=%d: element/bin peak-workload ratio %.0fx "
                 "(paper: ~two orders of magnitude)\n",
                 ranks, ratio);

@@ -6,12 +6,9 @@
 #include <cstdio>
 #include <iostream>
 
-#include "mapping/mapper.hpp"
+#include "core/claims.hpp"
 #include "study.hpp"
-#include "trace/trace_reader.hpp"
 #include "util/csv.hpp"
-#include "workload/generator.hpp"
-#include "workload/workload_stats.hpp"
 
 using namespace picp;
 
@@ -30,23 +27,18 @@ int main(int argc, char** argv) {
           "ever_active_ranks", "ever_active_pct");
 
   for (const Rank ranks : bench::paper_rank_counts()) {
-    const MeshPartition partition = rcb_partition(mesh, ranks);
     for (const std::string kind : {"bin", "element"}) {
-      const auto mapper = make_mapper(kind, mesh, partition, cfg.filter_size);
-      WorkloadParams params;
-      params.compute_ghosts = false;
-      params.compute_comm = false;
-      WorkloadGenerator generator(mesh, partition, *mapper, params);
-      TraceReader trace(trace_path);
-      const WorkloadResult workload = generator.generate(trace);
-      const UtilizationStats stats = utilization(workload.comp_real);
+      const WorkloadResult workload = claims::mapping_workload(
+          mesh, trace_path, ranks, kind, cfg.filter_size);
+      const claims::UtilizationClaim util =
+          claims::utilization_claim(workload.comp_real);
       csv.row(ranks, kind,
-              stats.mean_active_fraction * static_cast<double>(ranks),
-              100.0 * stats.mean_active_fraction, stats.ever_active,
-              100.0 * stats.ever_active_fraction);
+              util.stats.mean_active_fraction * static_cast<double>(ranks),
+              util.resource_utilization_pct, util.stats.ever_active,
+              100.0 * util.stats.ever_active_fraction);
       if (ranks == 1044)
         std::printf("# R=1044 %s: RU %.2f%% (paper: %s)\n", kind.c_str(),
-                    100.0 * stats.mean_active_fraction,
+                    util.resource_utilization_pct,
                     kind == "bin" ? "56.13%" : "0.68%");
     }
   }

@@ -6,12 +6,9 @@
 #include <cstdio>
 #include <iostream>
 
-#include "mapping/mapper.hpp"
+#include "core/claims.hpp"
 #include "study.hpp"
-#include "trace/trace_reader.hpp"
 #include "util/csv.hpp"
-#include "util/timer.hpp"
-#include "workload/generator.hpp"
 
 using namespace picp;
 
@@ -33,19 +30,8 @@ int main(int argc, char** argv) {
 
   for (const Rank ranks : bench::paper_rank_counts()) {
     for (const bool ghosts : {false, true}) {
-      const MeshPartition partition = rcb_partition(mesh, ranks);
-      const auto mapper = make_mapper("bin", mesh, partition,
-                                      cfg.filter_size);
-      WorkloadParams params;
-      params.ghost_radius = cfg.filter_size;
-      params.compute_ghosts = ghosts;
-      params.compute_comm = ghosts;
-      WorkloadGenerator generator(mesh, partition, *mapper, params);
-      TraceReader trace(trace_path);
-      const Stopwatch watch;
-      const WorkloadResult workload = generator.generate(trace);
-      const double gen_seconds = watch.seconds();
-      (void)workload;
+      const double gen_seconds = claims::time_workload_generation(
+          mesh, trace_path, ranks, "bin", cfg.filter_size, ghosts);
       csv.row(ranks, "bin", ghosts ? "yes" : "no", gen_seconds, app_seconds,
               app_seconds / gen_seconds);
     }

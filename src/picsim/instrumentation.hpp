@@ -56,13 +56,19 @@ class KernelTimings {
 /// single-shot timing would be clock-noise dominated; the min-of-windows
 /// estimator additionally rejects OS preemption spikes, the dominant error
 /// source for sub-millisecond measurements on a shared machine.
-template <typename F>
+///
+/// `Clock` must be stateless-constructible with a `seconds()` member
+/// measuring elapsed time since construction (Stopwatch's shape). Tests
+/// inject a fake clock to pin down the repetition policy deterministically —
+/// wall-clock assertions on this loop are inherently flaky under sanitizers
+/// and loaded CI machines.
+template <typename Clock = Stopwatch, typename F>
 double measure_adaptive(F&& fn, double min_seconds = 25e-6,
                         int max_reps = 128, int windows = 3) {
   fn();  // warm-up: caches and lazily-built tables are realistic steady state
   double best = std::numeric_limits<double>::infinity();
   for (int w = 0; w < windows; ++w) {
-    Stopwatch watch;
+    Clock watch;
     int reps = 0;
     do {
       fn();

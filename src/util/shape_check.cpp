@@ -1,0 +1,173 @@
+#include "util/shape_check.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace picp::shape {
+
+namespace {
+
+std::string fmt(double v) {
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+}  // namespace
+
+std::string preview(std::span<const double> values, std::size_t max_items) {
+  std::ostringstream out;
+  out << "[";
+  if (values.size() <= max_items) {
+    for (std::size_t i = 0; i < values.size(); ++i)
+      out << (i == 0 ? "" : ", ") << values[i];
+  } else {
+    const std::size_t head = max_items - max_items / 2;
+    const std::size_t tail = max_items - head;
+    for (std::size_t i = 0; i < head; ++i)
+      out << (i == 0 ? "" : ", ") << values[i];
+    out << ", ...";
+    for (std::size_t i = values.size() - tail; i < values.size(); ++i)
+      out << ", " << values[i];
+  }
+  out << "] (n=" << values.size() << ")";
+  return out.str();
+}
+
+ShapeResult monotone_increasing(std::span<const double> values,
+                                double rel_slack) {
+  ShapeResult result;
+  double running_max = values.empty() ? 0.0 : values.front();
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    const double allowed = running_max - rel_slack * std::abs(running_max);
+    if (values[i] < allowed) {
+      result.pass = false;
+      result.detail = "claimed monotone increasing (rel slack " +
+                      fmt(rel_slack) + ") but value[" + std::to_string(i) +
+                      "] = " + fmt(values[i]) + " drops below running max " +
+                      fmt(running_max) + "; measured " + preview(values);
+      return result;
+    }
+    running_max = std::max(running_max, values[i]);
+  }
+  result.pass = true;
+  result.detail = "monotone increasing (rel slack " + fmt(rel_slack) +
+                  "): measured " + preview(values);
+  return result;
+}
+
+ShapeResult monotone_decreasing(std::span<const double> values,
+                                double rel_slack) {
+  ShapeResult result;
+  double running_min = values.empty() ? 0.0 : values.front();
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    const double allowed = running_min + rel_slack * std::abs(running_min);
+    if (values[i] > allowed) {
+      result.pass = false;
+      result.detail = "claimed monotone decreasing (rel slack " +
+                      fmt(rel_slack) + ") but value[" + std::to_string(i) +
+                      "] = " + fmt(values[i]) + " rises above running min " +
+                      fmt(running_min) + "; measured " + preview(values);
+      return result;
+    }
+    running_min = std::min(running_min, values[i]);
+  }
+  result.pass = true;
+  result.detail = "monotone decreasing (rel slack " + fmt(rel_slack) +
+                  "): measured " + preview(values);
+  return result;
+}
+
+std::size_t plateau_prefix_length(std::span<const double> values,
+                                  double rel_tol) {
+  if (values.empty()) return 0;
+  const double base = values.front();
+  const double band = rel_tol * std::abs(base);
+  std::size_t length = 1;
+  while (length < values.size() &&
+         std::abs(values[length] - base) <= band)
+    ++length;
+  return length;
+}
+
+ShapeResult plateau_prefix(std::span<const double> values, double rel_tol,
+                           std::size_t min_length) {
+  const std::size_t length = plateau_prefix_length(values, rel_tol);
+  ShapeResult result;
+  result.pass = length >= min_length;
+  result.detail = "claimed a plateau of >= " + std::to_string(min_length) +
+                  " leading intervals (rel tol " + fmt(rel_tol) +
+                  "); measured plateau length " + std::to_string(length) +
+                  " in " + preview(values);
+  return result;
+}
+
+double orders_of_magnitude(double large, double small) {
+  if (large <= 0.0 || small <= 0.0) return 0.0;
+  return std::log10(large / small);
+}
+
+ShapeResult order_separation(double large, double small, double min_orders) {
+  const double orders = orders_of_magnitude(large, small);
+  ShapeResult result;
+  result.pass = orders >= min_orders;
+  result.detail = "claimed >= " + fmt(min_orders) +
+                  " orders of magnitude separation; measured " + fmt(large) +
+                  " vs " + fmt(small) + " = " + fmt(orders) + " orders";
+  return result;
+}
+
+ShapeResult below_threshold(double value, double limit,
+                            const std::string& what) {
+  ShapeResult result;
+  result.pass = value <= limit;
+  result.detail = what + ": claimed <= " + fmt(limit) + ", measured " +
+                  fmt(value);
+  return result;
+}
+
+ShapeResult above_threshold(double value, double limit,
+                            const std::string& what) {
+  ShapeResult result;
+  result.pass = value >= limit;
+  result.detail = what + ": claimed >= " + fmt(limit) + ", measured " +
+                  fmt(value);
+  return result;
+}
+
+ShapeResult within_factor(double value, double reference, double max_factor,
+                          const std::string& what) {
+  ShapeResult result;
+  const bool positive = value > 0.0 && reference > 0.0 && max_factor >= 1.0;
+  result.pass = positive && value <= reference * max_factor &&
+                value >= reference / max_factor;
+  result.detail = what + ": claimed within " + fmt(max_factor) +
+                  "x of " + fmt(reference) + ", measured " + fmt(value);
+  return result;
+}
+
+ShapeResult span_ratio_at_least(std::span<const double> values,
+                                double min_ratio, const std::string& what) {
+  ShapeResult result;
+  if (values.size() < 2 || values.front() <= 0.0) {
+    result.pass = false;
+    result.detail = what + ": claimed last/first >= " + fmt(min_ratio) +
+                    " but series unusable: " + preview(values);
+    return result;
+  }
+  const double ratio = values.back() / values.front();
+  result.pass = ratio >= min_ratio;
+  result.detail = what + ": claimed last/first >= " + fmt(min_ratio) +
+                  ", measured " + fmt(ratio) + " from " + preview(values);
+  return result;
+}
+
+std::vector<double> to_doubles(std::span<const std::int64_t> values) {
+  std::vector<double> out(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    out[i] = static_cast<double>(values[i]);
+  return out;
+}
+
+}  // namespace picp::shape

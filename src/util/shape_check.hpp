@@ -1,0 +1,78 @@
+#pragma once
+
+// Shape-assertion toolkit for the paper-claims conformance suite: every
+// figure in the evaluation makes a *shape* claim (a plateau, a monotone
+// trend, an order-of-magnitude separation, an error ceiling) rather than an
+// absolute-value claim. These checks turn such claims into assertions that
+// fail loudly with the measured shape next to the claimed one, so a claims
+// test's failure message reads like a regression report, not a bare
+// boolean. Shared by tests/ (the `claims` ctest tier) and bench/ (the
+// figure-reproduction summaries).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace picp::shape {
+
+/// Outcome of one shape check. `detail` always describes the measured
+/// series/value against the claimed shape, whether the check passed or not.
+struct ShapeResult {
+  bool pass = false;
+  std::string detail;
+};
+
+/// Non-decreasing within a relative slack: each value may undershoot the
+/// running maximum by at most `rel_slack * |running max|` (0 = strict).
+ShapeResult monotone_increasing(std::span<const double> values,
+                                double rel_slack = 0.0);
+
+/// Non-increasing within a relative slack (mirror of monotone_increasing).
+ShapeResult monotone_decreasing(std::span<const double> values,
+                                double rel_slack = 0.0);
+
+/// Length of the longest prefix whose values all stay within
+/// `rel_tol * |first|` of the first value (the Fig 5 "early plateau").
+std::size_t plateau_prefix_length(std::span<const double> values,
+                                  double rel_tol);
+
+/// The first `min_length` values form a plateau at the series' initial
+/// level (within `rel_tol` relative tolerance).
+ShapeResult plateau_prefix(std::span<const double> values, double rel_tol,
+                           std::size_t min_length);
+
+/// log10(large / small); 0 when either side is <= 0.
+double orders_of_magnitude(double large, double small);
+
+/// `large` exceeds `small` by at least `min_orders` decimal orders of
+/// magnitude (Fig 8's "two orders of magnitude lower peak workload").
+ShapeResult order_separation(double large, double small, double min_orders);
+
+/// value <= limit, labelled (MAPE gates, utilization ceilings).
+ShapeResult below_threshold(double value, double limit,
+                            const std::string& what);
+
+/// value >= limit, labelled.
+ShapeResult above_threshold(double value, double limit,
+                            const std::string& what);
+
+/// value within [reference / max_factor, reference * max_factor] — the
+/// generous-bounds form used for wall-clock comparisons that must survive
+/// sanitizers and loaded CI machines.
+ShapeResult within_factor(double value, double reference, double max_factor,
+                          const std::string& what);
+
+/// last / first >= min_ratio — "grows by at least X over the sweep"
+/// (Fig 10b's superlinear create_ghost cost, Fig 6's bin growth).
+ShapeResult span_ratio_at_least(std::span<const double> values,
+                                double min_ratio, const std::string& what);
+
+/// Convenience conversion for integer series (peaks, bin counts).
+std::vector<double> to_doubles(std::span<const std::int64_t> values);
+
+/// Render a short preview of a series for failure messages
+/// ("[12, 18, 18, ... , 44] (n=30)").
+std::string preview(std::span<const double> values, std::size_t max_items = 8);
+
+}  // namespace picp::shape

@@ -1,0 +1,100 @@
+#include "support/fixture_cache.hpp"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace picp::testing {
+
+namespace fs = std::filesystem;
+
+fs::path fixture_root() {
+  if (const char* env = std::getenv("PICP_FIXTURE_DIR");
+      env != nullptr && *env != '\0')
+    return fs::path(env);
+  return fs::current_path() / "picp_fixtures";
+}
+
+FixtureCache::FixtureCache(fs::path root) : root_(std::move(root)) {
+  fs::create_directories(root_);
+}
+
+namespace {
+
+std::string hex16(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+// One byte appended per event; O_APPEND keeps concurrent bumps atomic, and
+// the count is simply the sidecar's size, so it survives across processes.
+void bump_counter(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return;
+  [[maybe_unused]] const ssize_t n = ::write(fd, "1", 1);
+  ::close(fd);
+}
+
+std::uint64_t read_counter(const std::string& path) {
+  std::error_code ec;
+  const std::uintmax_t size = fs::file_size(path, ec);
+  return ec ? 0 : static_cast<std::uint64_t>(size);
+}
+
+class ScopedFlock {
+ public:
+  explicit ScopedFlock(const std::string& path)
+      : fd_(::open(path.c_str(), O_RDWR | O_CREAT, 0644)) {
+    PICP_REQUIRE(fd_ >= 0, "cannot open fixture lock file " + path);
+    PICP_REQUIRE(::flock(fd_, LOCK_EX) == 0,
+                 "cannot lock fixture lock file " + path);
+  }
+  ~ScopedFlock() {
+    ::flock(fd_, LOCK_UN);
+    ::close(fd_);
+  }
+  ScopedFlock(const ScopedFlock&) = delete;
+  ScopedFlock& operator=(const ScopedFlock&) = delete;
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+std::string FixtureCache::ensure(
+    const std::string& key, std::uint64_t fingerprint, const std::string& ext,
+    const std::function<void(const std::string&)>& generate) {
+  const std::string artifact =
+      (root_ / (key + "-" + hex16(fingerprint) + ext)).string();
+  // Exclusive even on the hit path: a concurrent generator holds the lock
+  // until its artifact is published, so we never observe a missing file that
+  // another process is about to create.
+  const ScopedFlock lock(artifact + ".lock");
+  if (fs::exists(artifact)) {
+    bump_counter(artifact + ".hits");
+    return artifact;
+  }
+  generate(artifact);
+  PICP_REQUIRE(fs::exists(artifact),
+               "fixture generator did not produce " + artifact);
+  bump_counter(artifact + ".gen");
+  return artifact;
+}
+
+std::uint64_t FixtureCache::hits(const std::string& artifact_path) {
+  return read_counter(artifact_path + ".hits");
+}
+
+std::uint64_t FixtureCache::generations(const std::string& artifact_path) {
+  return read_counter(artifact_path + ".gen");
+}
+
+}  // namespace picp::testing

@@ -1,0 +1,50 @@
+#pragma once
+
+// Content-addressed fixture cache shared by the test binaries: expensive
+// deterministic artifacts (traces, instrumented timings, trained models) are
+// generated once per build directory and reused by every subsequent test
+// process. Artifacts are addressed by a caller-supplied key plus a config
+// fingerprint, so a config change produces a new artifact instead of a stale
+// hit. Generation is serialized across processes with an advisory flock;
+// publication must be atomic (TraceWriter and util::atomic_write_file are),
+// so a crashed generator never leaves a half-written artifact behind.
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <string>
+
+namespace picp::testing {
+
+/// Cache root: $PICP_FIXTURE_DIR when set (the claims ctest tier points it
+/// at <build>/picp_fixtures), else ./picp_fixtures under the working
+/// directory.
+std::filesystem::path fixture_root();
+
+class FixtureCache {
+ public:
+  explicit FixtureCache(std::filesystem::path root = fixture_root());
+
+  /// Return the path of the artifact for (key, fingerprint), generating it
+  /// first if absent. The artifact lives at
+  /// `<root>/<key>-<fingerprint as 16 hex digits><ext>`; `generate` is
+  /// called with that exact path under an exclusive lock and must create
+  /// the file (atomically, if crash safety matters). Every call bumps a
+  /// persistent `.hits` (reused) or `.gen` (generated) sidecar counter next
+  /// to the artifact.
+  std::string ensure(const std::string& key, std::uint64_t fingerprint,
+                     const std::string& ext,
+                     const std::function<void(const std::string&)>& generate);
+
+  /// Times `ensure` returned this artifact without regenerating it.
+  static std::uint64_t hits(const std::string& artifact_path);
+  /// Times this artifact was generated.
+  static std::uint64_t generations(const std::string& artifact_path);
+
+  const std::filesystem::path& root() const { return root_; }
+
+ private:
+  std::filesystem::path root_;
+};
+
+}  // namespace picp::testing

@@ -1,0 +1,14 @@
+#pragma once
+
+// GTest glue for the shape-assertion toolkit: a failing shape check prints
+// its full measured-vs-claimed detail string.
+
+#include <gtest/gtest.h>
+
+#include "util/shape_check.hpp"
+
+#define EXPECT_SHAPE(expr)                                \
+  do {                                                    \
+    const ::picp::shape::ShapeResult shape_r_ = (expr);   \
+    EXPECT_TRUE(shape_r_.pass) << shape_r_.detail;        \
+  } while (0)

@@ -1,0 +1,227 @@
+// Differential and property harnesses backing the claims tier:
+//   - streaming (TraceReader) and in-memory (span) workload generation
+//     produce identical matrices, across randomized simulation seeds;
+//   - the picsim trace producer is byte-identical for 1 and N threads,
+//     across randomized seeds (the PR 1 invariant, now a property test);
+//   - the bin mapper respects its structural invariants (completeness,
+//     conservation, bin-size threshold, bin budget) over randomized particle
+//     clouds.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "mapping/bin_mapper.hpp"
+#include "mapping/mapper.hpp"
+#include "picsim/sim_driver.hpp"
+#include "support/claims_fixture.hpp"
+#include "trace/trace_reader.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+
+namespace picp::testing {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Small, fast config for the differential runs; the seed randomizes the
+// initial particle bed.
+SimConfig differential_config(std::uint64_t seed) {
+  SimConfig cfg;
+  cfg.nelx = 8;
+  cfg.nely = 8;
+  cfg.nelz = 16;
+  cfg.points_per_dim = 4;
+  cfg.bed.num_particles = 1200;
+  cfg.bed.seed = seed;
+  cfg.num_iterations = 200;
+  cfg.sample_every = 25;
+  cfg.num_ranks = 16;
+  cfg.filter_size = 0.08;
+  cfg.trace_float64 = false;
+  return cfg;
+}
+
+std::string scratch_path(const std::string& name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+std::vector<char> file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void expect_same_comp(const CompMatrix& a, const CompMatrix& b,
+                      const char* what, std::uint64_t seed) {
+  ASSERT_EQ(a.num_ranks(), b.num_ranks()) << what << " seed " << seed;
+  ASSERT_EQ(a.num_intervals(), b.num_intervals()) << what << " seed " << seed;
+  for (std::size_t t = 0; t < a.num_intervals(); ++t) {
+    const auto ia = a.interval(t);
+    const auto ib = b.interval(t);
+    for (std::size_t r = 0; r < ia.size(); ++r)
+      ASSERT_EQ(ia[r], ib[r]) << what << " differs at interval " << t
+                              << ", rank " << r << " (seed " << seed << ")";
+  }
+}
+
+TEST(ClaimsDifferential, StreamingMatchesInMemoryWorkload) {
+  for (const std::uint64_t seed : {11u, 22u, 33u}) {
+    const SimConfig cfg = differential_config(seed);
+    const std::string trace_path =
+        scratch_path("claims_diff_stream_" + std::to_string(seed) +
+                     ".trace");
+    SimDriver driver(cfg);
+    driver.run(trace_path);
+
+    const SpectralMesh mesh(cfg.domain, cfg.nelx, cfg.nely, cfg.nelz,
+                            cfg.points_per_dim);
+    const MeshPartition partition = rcb_partition(mesh, cfg.num_ranks);
+    const auto mapper =
+        make_mapper("bin", mesh, partition, cfg.filter_size);
+    WorkloadParams params;
+    params.ghost_radius = cfg.filter_size;
+    params.compute_ghosts = true;
+    params.compute_comm = true;
+    WorkloadGenerator generator(mesh, partition, *mapper, params);
+
+    TraceReader trace(trace_path);
+    const WorkloadResult streamed = generator.generate(trace);
+    const std::vector<TraceSample> samples = read_full_trace(trace_path);
+    const WorkloadResult in_memory = generator.generate(samples);
+
+    ASSERT_EQ(streamed.iterations, in_memory.iterations) << "seed " << seed;
+    expect_same_comp(streamed.comp_real, in_memory.comp_real, "comp_real",
+                     seed);
+    expect_same_comp(streamed.comp_ghost, in_memory.comp_ghost, "comp_ghost",
+                     seed);
+    ASSERT_EQ(streamed.partitions_per_interval,
+              in_memory.partitions_per_interval)
+        << "seed " << seed;
+    ASSERT_EQ(streamed.comm_real.num_intervals(),
+              in_memory.comm_real.num_intervals());
+    for (std::size_t t = 0; t < streamed.comm_real.num_intervals(); ++t) {
+      ASSERT_EQ(streamed.comm_real.interval_volume(t),
+                in_memory.comm_real.interval_volume(t))
+          << "comm_real volume differs at interval " << t << " (seed "
+          << seed << ")";
+      ASSERT_EQ(streamed.comm_ghost.interval_volume(t),
+                in_memory.comm_ghost.interval_volume(t))
+          << "comm_ghost volume differs at interval " << t << " (seed "
+          << seed << ")";
+    }
+    std::remove(trace_path.c_str());
+  }
+}
+
+TEST(ClaimsDifferential, ThreadCountLeavesTracesByteIdentical) {
+  for (const std::uint64_t seed : {5u, 17u, 29u}) {
+    SimConfig cfg = differential_config(seed);
+
+    cfg.threads = 1;
+    const std::string single_path =
+        scratch_path("claims_diff_t1_" + std::to_string(seed) + ".trace");
+    SimDriver single(cfg);
+    single.run(single_path);
+
+    cfg.threads = 4;
+    const std::string multi_path =
+        scratch_path("claims_diff_t4_" + std::to_string(seed) + ".trace");
+    SimDriver multi(cfg);
+    multi.run(multi_path);
+
+    const std::vector<char> single_bytes = file_bytes(single_path);
+    const std::vector<char> multi_bytes = file_bytes(multi_path);
+    ASSERT_FALSE(single_bytes.empty()) << "seed " << seed;
+    ASSERT_EQ(single_bytes, multi_bytes)
+        << "1-thread and 4-thread traces differ for seed " << seed;
+    std::remove(single_path.c_str());
+    std::remove(multi_path.c_str());
+  }
+}
+
+TEST(ClaimsProperty, BinMapperInvariantsOverRandomClouds) {
+  Xoshiro256 rng(20260806);
+  for (int trial = 0; trial < 24; ++trial) {
+    const std::size_t np = 64 + rng.uniform_below(1500);
+    const double extent = 0.5 + rng.uniform(0.0, 2.0);
+    std::vector<Vec3> positions(np);
+    for (Vec3& p : positions)
+      p = {rng.uniform(0.0, extent), rng.uniform(0.0, extent),
+           rng.uniform(0.0, 2.0 * extent)};
+
+    const Rank num_ranks = static_cast<Rank>(2 + rng.uniform_below(62));
+    const double threshold = 0.05 + rng.uniform(0.0, 0.3);
+
+    // Capped build: the bin budget (the processor count) is respected.
+    BinMapper capped(num_ranks, threshold);
+    std::vector<Rank> owners;
+    capped.map(positions, owners);
+
+    ASSERT_EQ(owners.size(), np);
+    for (const Rank owner : owners) {
+      ASSERT_GE(owner, 0) << "trial " << trial;
+      ASSERT_LT(owner, num_ranks) << "trial " << trial;
+    }
+    ASSERT_LE(capped.tree().num_bins(), num_ranks)
+        << "bin budget exceeded in trial " << trial;
+
+    // Completeness + conservation: every particle lands in exactly one bin.
+    std::int64_t binned = 0;
+    for (std::int32_t b = 0; b < capped.tree().num_bins(); ++b)
+      binned += capped.tree().bin_count(b);
+    ASSERT_EQ(binned, static_cast<std::int64_t>(np)) << "trial " << trial;
+    for (std::size_t i = 0; i < np; ++i) {
+      const std::int32_t bin = capped.tree().bin_of_built(i);
+      ASSERT_GE(bin, 0);
+      ASSERT_LT(bin, capped.tree().num_bins());
+      ASSERT_EQ(owners[i], capped.rank_of_bin(bin)) << "trial " << trial;
+    }
+
+    // Relaxed build: without a budget, every multi-particle bin's longest
+    // extent has reached the threshold bin size.
+    BinMapper relaxed(1, threshold, BinTree::kUnlimitedBins);
+    relaxed.map(positions, owners);
+    for (std::int32_t b = 0; b < relaxed.tree().num_bins(); ++b) {
+      if (relaxed.tree().bin_count(b) <= 1) continue;
+      const Aabb& bounds = relaxed.tree().bin_bounds(b);
+      const Vec3 size = {bounds.hi.x - bounds.lo.x, bounds.hi.y - bounds.lo.y,
+                         bounds.hi.z - bounds.lo.z};
+      const double longest = std::max({size.x, size.y, size.z});
+      ASSERT_LE(longest, threshold + 1e-12)
+          << "bin " << b << " not subdivided to the threshold in trial "
+          << trial;
+    }
+  }
+}
+
+TEST(ClaimsProperty, PartitionIsCompleteAndDisjoint) {
+  Xoshiro256 rng(977);
+  const SpectralMesh mesh = claims_mesh();
+  for (int trial = 0; trial < 8; ++trial) {
+    const Rank num_ranks = static_cast<Rank>(2 + rng.uniform_below(510));
+    const MeshPartition partition = rcb_partition(mesh, num_ranks);
+
+    // Every element is owned by exactly one valid rank (the owners vector
+    // is the disjoint cover), and the per-rank tallies agree with it.
+    const std::vector<Rank>& owners = partition.element_owners();
+    std::vector<std::int64_t> counted(static_cast<std::size_t>(num_ranks),
+                                      0);
+    for (const Rank owner : owners) {
+      ASSERT_GE(owner, 0) << "R=" << num_ranks;
+      ASSERT_LT(owner, num_ranks) << "R=" << num_ranks;
+      ++counted[static_cast<std::size_t>(owner)];
+    }
+    ASSERT_EQ(counted, partition.elements_per_rank()) << "R=" << num_ranks;
+    std::int64_t total = 0;
+    for (const std::int64_t c : counted) total += c;
+    ASSERT_EQ(total, static_cast<std::int64_t>(owners.size()));
+  }
+}
+
+}  // namespace
+}  // namespace picp::testing

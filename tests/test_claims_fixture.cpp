@@ -1,0 +1,62 @@
+// Claims tier bootstrap and fixture-cache conformance. The
+// `ClaimsFixtureBootstrap.Generate` test doubles as the ctest
+// FIXTURES_SETUP step: it materializes every shared artifact, so the rest
+// of the tier (possibly running as separate processes) starts on cache
+// hits.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "support/claims_fixture.hpp"
+#include "support/fixture_cache.hpp"
+#include "trace/trace_reader.hpp"
+
+namespace picp::testing {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(ClaimsFixtureBootstrap, Generate) {
+  const ClaimsFixture& fixture = claims_fixture();
+  EXPECT_TRUE(fs::exists(fixture.trace_path));
+  EXPECT_TRUE(fs::exists(fixture.timings_base));
+  EXPECT_TRUE(fs::exists(fixture.timings_mid));
+  EXPECT_TRUE(fs::exists(fixture.timings_top));
+  EXPECT_TRUE(fs::exists(fixture.models_path));
+  EXPECT_GT(fixture.app_seconds, 0.0);
+
+  TraceReader trace(fixture.trace_path);
+  const SimConfig cfg = claims_config();
+  EXPECT_EQ(static_cast<std::int64_t>(trace.num_samples()),
+            cfg.num_samples());
+}
+
+// Acceptance criterion: fixture generation runs once per build directory —
+// a second ensure of the same artifact is a recorded cache hit and must not
+// invoke the generator again.
+TEST(ClaimsFixtureCache, SecondEnsureIsARecordedHit) {
+  const ClaimsFixture& fixture = claims_fixture();
+  const std::uint64_t generations_before =
+      FixtureCache::generations(fixture.trace_path);
+  const std::uint64_t hits_before = FixtureCache::hits(fixture.trace_path);
+  ASSERT_GE(generations_before, 1u)
+      << "trace artifact exists but was never recorded as generated";
+
+  bool generator_ran = false;
+  FixtureCache cache;
+  const std::string again =
+      cache.ensure("claims-trace", claims_trace_fingerprint(), ".trace",
+                   [&generator_ran](const std::string&) {
+                     generator_ran = true;
+                   });
+  EXPECT_EQ(again, fixture.trace_path);
+  EXPECT_FALSE(generator_ran)
+      << "cached claims trace was regenerated instead of reused";
+  EXPECT_EQ(FixtureCache::generations(fixture.trace_path),
+            generations_before);
+  EXPECT_EQ(FixtureCache::hits(fixture.trace_path), hits_before + 1);
+}
+
+}  // namespace
+}  // namespace picp::testing

@@ -1,0 +1,94 @@
+// Claims: the paper's motivation experiments.
+//   Fig 1a — element-based mapping concentrates the particle workload on a
+//            handful of processors with large idle regions.
+//   Fig 1b — most processors never hold a particle, across configurations
+//            (paper: ~81% idle on average at production scale).
+//   §II    — generating the particle workload from the trace is far
+//            cheaper than running the application.
+// Thresholds are calibrated for the miniature fixture; the paper-scale
+// values appear in the DESIGN.md per-experiment index.
+
+#include <gtest/gtest.h>
+
+#include "core/claims.hpp"
+#include "support/claims_fixture.hpp"
+#include "support/shape_gtest.hpp"
+
+namespace picp::testing {
+namespace {
+
+TEST(ClaimsFig1a, ElementMappingConcentratesParticles) {
+  const ClaimsFixture& fixture = claims_fixture();
+  const SimConfig cfg = claims_config();
+  const SpectralMesh mesh = claims_mesh();
+  const Rank ranks = claims_rank_counts()[2];
+
+  const WorkloadResult workload = claims::mapping_workload(
+      mesh, fixture.trace_path, ranks, "element", cfg.filter_size);
+  const claims::UtilizationClaim util =
+      claims::utilization_claim(workload.comp_real);
+
+  // A handful of hot processors...
+  EXPECT_SHAPE(shape::above_threshold(
+      static_cast<double>(workload.comp_real.global_max()),
+      0.1 * static_cast<double>(cfg.bed.num_particles),
+      "Fig 1a peak rank load (particles)"));
+  // ...and large idle regions.
+  EXPECT_SHAPE(shape::below_threshold(
+      100.0 * util.stats.ever_active_fraction, 25.0,
+      "Fig 1a ever-active processors (%)"));
+}
+
+TEST(ClaimsFig1b, MostProcessorsIdleUnderElementMapping) {
+  const ClaimsFixture& fixture = claims_fixture();
+  const SimConfig cfg = claims_config();
+  const SpectralMesh mesh = claims_mesh();
+
+  std::vector<double> idle_pct;
+  for (const Rank ranks : claims_rank_counts()) {
+    const WorkloadResult workload = claims::mapping_workload(
+        mesh, fixture.trace_path, ranks, "element", cfg.filter_size);
+    idle_pct.push_back(
+        claims::utilization_claim(workload.comp_real).idle_pct);
+  }
+  double average = 0.0;
+  for (const double v : idle_pct) average += v;
+  average /= static_cast<double>(idle_pct.size());
+
+  // Paper: ~81% idle on average; the fixture bed fills an even smaller
+  // fraction of its mesh.
+  EXPECT_SHAPE(shape::above_threshold(average, 70.0,
+                                      "Fig 1b average idle processors (%)"));
+  // More processors cannot reduce idleness under element mapping.
+  EXPECT_SHAPE(shape::monotone_increasing(idle_pct, 0.05));
+}
+
+TEST(ClaimsGenCost, WorkloadGenerationFarCheaperThanAppRun) {
+  const ClaimsFixture& fixture = claims_fixture();
+  const SimConfig cfg = claims_config();
+  const SpectralMesh mesh = claims_mesh();
+  const Rank ranks = claims_rank_counts()[1];
+
+  const double gen_seconds = claims::time_workload_generation(
+      mesh, fixture.trace_path, ranks, "bin", cfg.filter_size,
+      /*with_ghosts=*/false);
+
+  // Paper: <2 min of generation vs ~24 h of application time. At fixture
+  // scale the application proxy runs ~13x longer than generation; gate at
+  // 3x so a uniformly loaded machine cannot flip the verdict while a
+  // genuinely regressed generator still fails.
+  EXPECT_SHAPE(shape::above_threshold(fixture.app_seconds / gen_seconds, 3.0,
+                                      "§II app-run / workload-gen speedup"));
+
+  // With ghosts and communication on, generation must still not exceed the
+  // application proxy itself.
+  const double gen_ghost_seconds = claims::time_workload_generation(
+      mesh, fixture.trace_path, ranks, "bin", cfg.filter_size,
+      /*with_ghosts=*/true);
+  EXPECT_SHAPE(shape::below_threshold(
+      gen_ghost_seconds, fixture.app_seconds,
+      "§II workload gen incl. ghosts (s) vs app run (s)"));
+}
+
+}  // namespace
+}  // namespace picp::testing

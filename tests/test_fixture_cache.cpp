@@ -1,0 +1,137 @@
+#include "support/fixture_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/atomic_file.hpp"
+
+namespace picp::testing {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FixtureCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("picp_fixture_cache_test_" +
+             std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  fs::path root_;
+};
+
+void write_payload(const std::string& path, const std::string& payload) {
+  atomic_write_file(path, payload.data(), payload.size());
+}
+
+TEST_F(FixtureCacheTest, GeneratesOnceThenReuses) {
+  FixtureCache cache(root_);
+  int calls = 0;
+  const auto generate = [&calls](const std::string& path) {
+    ++calls;
+    write_payload(path, "payload");
+  };
+
+  const std::string first = cache.ensure("trace", 0xabcdu, ".bin", generate);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(fs::exists(first));
+  EXPECT_EQ(FixtureCache::generations(first), 1u);
+  EXPECT_EQ(FixtureCache::hits(first), 0u);
+
+  const std::string second = cache.ensure("trace", 0xabcdu, ".bin", generate);
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(calls, 1) << "cached artifact must not be regenerated";
+  EXPECT_EQ(FixtureCache::generations(first), 1u);
+  EXPECT_EQ(FixtureCache::hits(first), 1u);
+}
+
+TEST_F(FixtureCacheTest, FingerprintAddressesContent) {
+  FixtureCache cache(root_);
+  const auto generate_a = [](const std::string& path) {
+    write_payload(path, "A");
+  };
+  const auto generate_b = [](const std::string& path) {
+    write_payload(path, "B");
+  };
+  const std::string a = cache.ensure("trace", 1, ".bin", generate_a);
+  const std::string b = cache.ensure("trace", 2, ".bin", generate_b);
+  EXPECT_NE(a, b) << "different fingerprints must not collide";
+
+  std::ifstream in(b);
+  std::string payload;
+  in >> payload;
+  EXPECT_EQ(payload, "B");
+  EXPECT_NE(a.find("0000000000000001"), std::string::npos) << a;
+}
+
+TEST_F(FixtureCacheTest, SeparateCacheInstancesShareArtifacts) {
+  int calls = 0;
+  const auto generate = [&calls](const std::string& path) {
+    ++calls;
+    write_payload(path, "shared");
+  };
+  const std::string first =
+      FixtureCache(root_).ensure("model", 7, ".txt", generate);
+  const std::string second =
+      FixtureCache(root_).ensure("model", 7, ".txt", generate);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(FixtureCache::hits(first), 1u);
+}
+
+TEST_F(FixtureCacheTest, FailedGeneratorDoesNotPoisonCache) {
+  FixtureCache cache(root_);
+  EXPECT_THROW(cache.ensure("trace", 3, ".bin",
+                            [](const std::string&) {
+                              // produces nothing
+                            }),
+               std::runtime_error);
+  // A later, working generator still runs.
+  const std::string path = cache.ensure(
+      "trace", 3, ".bin",
+      [](const std::string& p) { write_payload(p, "ok"); });
+  EXPECT_TRUE(fs::exists(path));
+  EXPECT_EQ(FixtureCache::generations(path), 1u);
+}
+
+TEST_F(FixtureCacheTest, ConcurrentEnsureGeneratesExactlyOnce) {
+  std::atomic<int> calls{0};
+  const auto worker = [&] {
+    FixtureCache cache(root_);
+    cache.ensure("trace", 9, ".bin", [&calls](const std::string& path) {
+      ++calls;
+      write_payload(path, "once");
+    });
+  };
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(FixtureRoot, HonorsEnvironmentOverride) {
+  const char* previous = std::getenv("PICP_FIXTURE_DIR");
+  const std::string saved = previous != nullptr ? previous : "";
+  ::setenv("PICP_FIXTURE_DIR", "/tmp/picp_fixture_env_test", 1);
+  EXPECT_EQ(fixture_root(), fs::path("/tmp/picp_fixture_env_test"));
+  if (previous != nullptr)
+    ::setenv("PICP_FIXTURE_DIR", saved.c_str(), 1);
+  else
+    ::unsetenv("PICP_FIXTURE_DIR");
+}
+
+}  // namespace
+}  // namespace picp::testing

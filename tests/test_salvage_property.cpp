@@ -1,0 +1,174 @@
+// Property/fuzz pass on the trace salvage path: for randomized corruptions
+// (byte flips, truncations, garbage tails, and combinations) of a sealed v2
+// trace, the scanner and the salvage reader must
+//   - never crash (any failure is a typed picp::Error),
+//   - never report more samples than the file ever held,
+//   - return a valid prefix: every salvaged sample byte-equals the original,
+//   - repair into a sealed, strict-readable trace holding exactly that
+//     prefix.
+// Mutations are drawn from a fixed-seed Xoshiro256, so every run replays
+// the same 64 corruption cases.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/trace_reader.hpp"
+#include "trace/trace_salvage.hpp"
+#include "trace/trace_writer.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace picp {
+namespace {
+
+constexpr std::size_t kNp = 6;
+constexpr std::size_t kSamples = 5;
+
+std::string write_clean_trace(const std::string& path) {
+  TraceWriter writer(path, kNp, 10, Aabb(Vec3(0, 0, 0), Vec3(1, 1, 1)),
+                     CoordKind::kFloat64);
+  Xoshiro256 rng(42);
+  std::vector<Vec3> pos(kNp);
+  for (std::size_t s = 0; s < kSamples; ++s) {
+    for (auto& p : pos)
+      p = Vec3(rng.uniform(0, 1), rng.uniform(0, 1), rng.uniform(0, 1));
+    writer.append(s * 10, pos);
+  }
+  writer.close();
+  return path;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+void expect_same_sample(const TraceSample& got, const TraceSample& want,
+                        std::size_t index, int trial) {
+  ASSERT_EQ(got.iteration, want.iteration)
+      << "sample " << index << ", trial " << trial;
+  ASSERT_EQ(got.positions.size(), want.positions.size())
+      << "sample " << index << ", trial " << trial;
+  for (std::size_t p = 0; p < got.positions.size(); ++p) {
+    ASSERT_EQ(got.positions[p].x, want.positions[p].x) << "trial " << trial;
+    ASSERT_EQ(got.positions[p].y, want.positions[p].y) << "trial " << trial;
+    ASSERT_EQ(got.positions[p].z, want.positions[p].z) << "trial " << trial;
+  }
+}
+
+TEST(SalvageProperty, RandomCorruptionSweepNeverCrashesAndKeepsValidPrefix) {
+  const std::string clean_path =
+      write_clean_trace(testing::TempDir() + "/salvage_prop_clean.bin");
+  const std::string clean = slurp(clean_path);
+  const std::vector<TraceSample> original = read_full_trace(clean_path);
+  ASSERT_EQ(original.size(), kSamples);
+
+  const std::string damaged_path =
+      testing::TempDir() + "/salvage_prop_damaged.bin";
+  const std::string repaired_path =
+      testing::TempDir() + "/salvage_prop_repaired.bin";
+
+  Xoshiro256 rng(20260806);
+  for (int trial = 0; trial < 64; ++trial) {
+    std::string mutated = clean;
+
+    // Compose one to three corruption actions per trial.
+    const std::size_t actions = 1 + rng.uniform_below(3);
+    for (std::size_t a = 0; a < actions; ++a) {
+      switch (rng.uniform_below(3)) {
+        case 0: {  // flip 1..8 random bytes with non-zero masks
+          const std::size_t flips = 1 + rng.uniform_below(8);
+          for (std::size_t f = 0; f < flips && !mutated.empty(); ++f) {
+            const std::size_t pos = rng.uniform_below(mutated.size());
+            const char mask =
+                static_cast<char>(1 + rng.uniform_below(255));
+            mutated[pos] = static_cast<char>(mutated[pos] ^ mask);
+          }
+          break;
+        }
+        case 1: {  // truncate anywhere, including inside the header
+          if (!mutated.empty())
+            mutated.resize(rng.uniform_below(mutated.size()));
+          break;
+        }
+        case 2: {  // append a garbage tail (an interrupted rewrite)
+          const std::size_t tail = 1 + rng.uniform_below(200);
+          for (std::size_t t = 0; t < tail; ++t)
+            mutated.push_back(
+                static_cast<char>(rng.uniform_below(256)));
+          break;
+        }
+      }
+    }
+    spit(damaged_path, mutated);
+
+    // The scan either reports (bounded) recoverable samples or throws a
+    // typed Error for an unreadable header. Anything else — a crash, an
+    // untyped exception — fails the test harness itself.
+    std::uint64_t recoverable = 0;
+    bool scan_ok = false;
+    try {
+      const SalvageReport report = scan_trace(damaged_path);
+      recoverable = report.valid_samples;
+      scan_ok = true;
+      EXPECT_LE(report.valid_samples, kSamples) << "trial " << trial;
+      EXPECT_LE(report.valid_bytes, report.file_bytes) << "trial " << trial;
+    } catch (const Error&) {
+      // Unreadable header: nothing recoverable, and that is a valid answer.
+    }
+
+    // The salvage reader agrees with the scan and serves only the valid
+    // prefix, byte-identical to the original samples.
+    try {
+      TraceReader reader(damaged_path, TraceReadMode::kSalvage);
+      ASSERT_TRUE(scan_ok) << "reader opened what the scanner rejected, "
+                           << "trial " << trial;
+      EXPECT_EQ(reader.num_samples(), recoverable) << "trial " << trial;
+      TraceSample sample;
+      std::size_t read = 0;
+      while (reader.read_next(sample)) {
+        ASSERT_LT(read, original.size()) << "trial " << trial;
+        expect_same_sample(sample, original[read], read, trial);
+        ++read;
+      }
+      EXPECT_EQ(read, recoverable) << "trial " << trial;
+    } catch (const Error&) {
+      EXPECT_FALSE(scan_ok)
+          << "salvage open threw although the scan succeeded, trial "
+          << trial;
+    }
+
+    // Repair round-trip: a recoverable prefix becomes a sealed v2 trace
+    // that strict mode accepts and that holds exactly the prefix.
+    if (scan_ok && recoverable > 0) {
+      const SalvageReport report = repair_trace(damaged_path, repaired_path);
+      EXPECT_EQ(report.valid_samples, recoverable) << "trial " << trial;
+      EXPECT_TRUE(scan_trace(repaired_path).intact()) << "trial " << trial;
+      TraceReader reader(repaired_path);  // strict mode
+      EXPECT_EQ(reader.num_samples(), recoverable) << "trial " << trial;
+      TraceSample sample;
+      std::size_t read = 0;
+      while (reader.read_next(sample)) {
+        expect_same_sample(sample, original[read], read, trial);
+        ++read;
+      }
+      EXPECT_EQ(read, recoverable) << "trial " << trial;
+      std::remove(repaired_path.c_str());
+    }
+    std::remove(damaged_path.c_str());
+  }
+  std::remove(clean_path.c_str());
+}
+
+}  // namespace
+}  // namespace picp

@@ -1,0 +1,111 @@
+#include "util/shape_check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace picp::shape {
+namespace {
+
+TEST(ShapeCheck, MonotoneIncreasingStrict) {
+  const std::vector<double> up = {1.0, 2.0, 2.0, 5.0};
+  EXPECT_TRUE(monotone_increasing(up).pass);
+  const std::vector<double> down = {1.0, 2.0, 1.5, 5.0};
+  const ShapeResult r = monotone_increasing(down);
+  EXPECT_FALSE(r.pass);
+  EXPECT_NE(r.detail.find("value[2]"), std::string::npos) << r.detail;
+  EXPECT_NE(r.detail.find("1.5"), std::string::npos) << r.detail;
+}
+
+TEST(ShapeCheck, MonotoneIncreasingSlackToleratesNoise) {
+  // 5% dip below the running max is forgiven at 10% slack, not at 1%.
+  const std::vector<double> noisy = {10.0, 20.0, 19.0, 30.0};
+  EXPECT_TRUE(monotone_increasing(noisy, 0.10).pass);
+  EXPECT_FALSE(monotone_increasing(noisy, 0.01).pass);
+}
+
+TEST(ShapeCheck, MonotoneDecreasingStrictAndSlack) {
+  const std::vector<double> down = {100.0, 40.0, 40.0, 7.0};
+  EXPECT_TRUE(monotone_decreasing(down).pass);
+  const std::vector<double> bump = {100.0, 40.0, 42.0, 7.0};
+  EXPECT_FALSE(monotone_decreasing(bump).pass);
+  EXPECT_TRUE(monotone_decreasing(bump, 0.10).pass);
+}
+
+TEST(ShapeCheck, MonotoneTrivialCases) {
+  EXPECT_TRUE(monotone_increasing({}).pass);
+  const std::vector<double> one = {3.0};
+  EXPECT_TRUE(monotone_increasing(one).pass);
+  EXPECT_TRUE(monotone_decreasing(one).pass);
+}
+
+TEST(ShapeCheck, PlateauPrefixLength) {
+  const std::vector<double> series = {100.0, 101.0, 99.0, 100.0, 80.0, 70.0};
+  EXPECT_EQ(plateau_prefix_length(series, 0.05), 4u);
+  EXPECT_EQ(plateau_prefix_length(series, 0.0), 1u);
+  EXPECT_EQ(plateau_prefix_length({}, 0.05), 0u);
+  // Everything within tolerance -> whole series is the plateau.
+  EXPECT_EQ(plateau_prefix_length(series, 1.0), series.size());
+}
+
+TEST(ShapeCheck, PlateauPrefixGate) {
+  const std::vector<double> series = {100.0, 100.0, 100.0, 50.0};
+  EXPECT_TRUE(plateau_prefix(series, 0.01, 3).pass);
+  const ShapeResult r = plateau_prefix(series, 0.01, 4);
+  EXPECT_FALSE(r.pass);
+  EXPECT_NE(r.detail.find("plateau length 3"), std::string::npos) << r.detail;
+}
+
+TEST(ShapeCheck, OrderSeparation) {
+  EXPECT_NEAR(orders_of_magnitude(1000.0, 10.0), 2.0, 1e-12);
+  EXPECT_EQ(orders_of_magnitude(10.0, 0.0), 0.0);
+  EXPECT_TRUE(order_separation(5000.0, 40.0, 2.0).pass);
+  const ShapeResult r = order_separation(500.0, 40.0, 2.0);
+  EXPECT_FALSE(r.pass);
+  EXPECT_NE(r.detail.find("orders"), std::string::npos) << r.detail;
+}
+
+TEST(ShapeCheck, Thresholds) {
+  EXPECT_TRUE(below_threshold(8.42, 20.0, "avg MAPE %").pass);
+  EXPECT_FALSE(below_threshold(25.0, 20.0, "avg MAPE %").pass);
+  EXPECT_TRUE(above_threshold(56.13, 20.0, "bin RU %").pass);
+  const ShapeResult r = above_threshold(0.68, 20.0, "bin RU %");
+  EXPECT_FALSE(r.pass);
+  EXPECT_NE(r.detail.find("bin RU %"), std::string::npos) << r.detail;
+  EXPECT_NE(r.detail.find("0.68"), std::string::npos) << r.detail;
+}
+
+TEST(ShapeCheck, WithinFactor) {
+  EXPECT_TRUE(within_factor(9.0, 10.0, 2.0, "wall s").pass);
+  EXPECT_TRUE(within_factor(19.0, 10.0, 2.0, "wall s").pass);
+  EXPECT_FALSE(within_factor(25.0, 10.0, 2.0, "wall s").pass);
+  EXPECT_FALSE(within_factor(4.0, 10.0, 2.0, "wall s").pass);
+  // Degenerate inputs never pass silently.
+  EXPECT_FALSE(within_factor(-1.0, 10.0, 2.0, "wall s").pass);
+  EXPECT_FALSE(within_factor(1.0, 10.0, 0.5, "wall s").pass);
+}
+
+TEST(ShapeCheck, SpanRatio) {
+  const std::vector<double> growing = {2.0, 5.0, 11.0};
+  EXPECT_TRUE(span_ratio_at_least(growing, 5.0, "ghosts").pass);
+  EXPECT_FALSE(span_ratio_at_least(growing, 6.0, "ghosts").pass);
+  EXPECT_FALSE(span_ratio_at_least({}, 1.0, "ghosts").pass);
+  const std::vector<double> zero_start = {0.0, 5.0};
+  EXPECT_FALSE(span_ratio_at_least(zero_start, 1.0, "ghosts").pass);
+}
+
+TEST(ShapeCheck, ToDoublesAndPreview) {
+  const std::vector<std::int64_t> ints = {1, 2, 3};
+  const std::vector<double> doubles = to_doubles(ints);
+  ASSERT_EQ(doubles.size(), 3u);
+  EXPECT_EQ(doubles[2], 3.0);
+
+  std::vector<double> series(20);
+  for (std::size_t i = 0; i < series.size(); ++i)
+    series[i] = static_cast<double>(i);
+  const std::string p = preview(series, 6);
+  EXPECT_NE(p.find("..."), std::string::npos) << p;
+  EXPECT_NE(p.find("(n=20)"), std::string::npos) << p;
+  EXPECT_NE(p.find("19"), std::string::npos) << p;
+}
+
+}  // namespace
+}  // namespace picp::shape

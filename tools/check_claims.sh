@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# Paper-claims conformance gate: build, run the fast tier, then the claims
+# tier (DESIGN.md per-experiment index — every figure/table row asserted as
+# a shape claim on the cached calibrated fixture). Optionally finishes with
+# the sanitizer suite for a full pre-merge check.
+#
+#   tools/check_claims.sh [build-dir] [--sanitize]
+#
+#   build-dir    out-of-source build directory (default: build)
+#   --sanitize   also run tools/check_sanitize.sh afterwards
+#
+# Claims fixtures are generated once per build directory (into
+# <build-dir>/picp_fixtures, content-addressed by config fingerprint);
+# re-runs are cache hits and finish in seconds.
+set -eu
+
+BUILD_DIR="build"
+RUN_SANITIZE=0
+for arg in "$@"; do
+  case "$arg" in
+    --sanitize) RUN_SANITIZE=1 ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake -B "$BUILD_DIR" -S "$SRC_DIR"
+cmake --build "$BUILD_DIR" -j
+JOBS="$(nproc 2>/dev/null || echo 4)"
+echo "== fast tier (ctest -LE claims) =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" -LE claims
+echo "== claims tier (ctest -L claims) =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L claims
+if [ "$RUN_SANITIZE" -eq 1 ]; then
+  "$SRC_DIR/tools/check_sanitize.sh"
+fi
+echo "claims conformance suite passed"
