@@ -1,5 +1,6 @@
 #include "bsst/engine.hpp"
 
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace picp {
@@ -29,6 +30,7 @@ void Engine::schedule(ComponentId src, ComponentId dst, SimTime delay,
 }
 
 std::uint64_t Engine::run(std::uint64_t max_events) {
+  const telemetry::ScopedSpan span("des.run", "bsst");
   std::uint64_t processed = 0;
   while (!queue_.empty() && processed < max_events) {
     const Event event = queue_.pop();
@@ -38,6 +40,13 @@ std::uint64_t Engine::run(std::uint64_t max_events) {
     ++processed;
   }
   events_processed_ += processed;
+  if (telemetry::enabled()) {
+    auto& reg = telemetry::registry();
+    reg.counter("des.events").add(processed);
+    // Virtual (simulated) clock vs the wall clock the engine burns to
+    // advance it — the DES speedup knob the paper's §VI leans on.
+    reg.gauge("des.virtual_seconds").set(now_);
+  }
   return processed;
 }
 

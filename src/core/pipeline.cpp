@@ -2,6 +2,7 @@
 
 #include "mapping/mapper.hpp"
 #include "mesh/partition.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/trace_format.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
@@ -43,15 +44,28 @@ PredictionOutcome PredictionPipeline::predict(
   PredictionOutcome outcome;
 
   Stopwatch watch;
-  outcome.workload = generate_workload(trace, config);
+  {
+    const telemetry::ScopedSpan span("predict.workload_gen", "predict");
+    outcome.workload = generate_workload(trace, config);
+  }
   outcome.workload_gen_seconds = watch.seconds();
 
   const Predictor predictor(models_, config.filter_size);
   watch.reset();
-  outcome.sim =
-      run_trace_simulation(predictor.sim_input(outcome.workload,
-                                               config.network));
+  {
+    const telemetry::ScopedSpan span("predict.des", "predict");
+    outcome.sim =
+        run_trace_simulation(predictor.sim_input(outcome.workload,
+                                                 config.network));
+  }
   outcome.sim_seconds = watch.seconds();
+
+  if (telemetry::enabled()) {
+    auto& reg = telemetry::registry();
+    reg.counter("predict.runs").add();
+    reg.counter("predict.intervals").add(outcome.workload.num_intervals());
+    reg.gauge("predict.app_seconds").set(outcome.sim.total_seconds);
+  }
 
   PICP_LOG_INFO << "prediction " << config.mapper_kind << " R="
                 << config.num_ranks << ": app time "

@@ -1,12 +1,59 @@
 #include "picsim/instrumentation.hpp"
 
+#include <array>
 #include <fstream>
 
+#include "telemetry/telemetry.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/string_util.hpp"
 
 namespace picp {
+
+namespace {
+
+/// Registry handles for one kernel's aggregate metrics. Resolved once per
+/// process (registry entries are never deleted) so the publish path in
+/// KernelTimings::add is three lock-free updates.
+struct KernelMetrics {
+  telemetry::Counter* measurements = nullptr;
+  telemetry::Counter* measured_ns = nullptr;
+  telemetry::Histogram* seconds = nullptr;
+};
+
+KernelMetrics& metrics_for(Kernel k) {
+  static std::array<KernelMetrics, kNumKernels> cache = [] {
+    // Kernel measurements span ~1 µs (sparse ranks) to ~10 ms (dense
+    // projection on large filters); decade buckets cover that range.
+    const std::array<double, 5> bounds{1e-6, 1e-5, 1e-4, 1e-3, 1e-2};
+    std::array<KernelMetrics, kNumKernels> handles;
+    auto& reg = telemetry::registry();
+    for (int i = 0; i < kNumKernels; ++i) {
+      const std::string base =
+          std::string("picsim.kernel.") + kernel_name(static_cast<Kernel>(i));
+      handles[static_cast<std::size_t>(i)] = KernelMetrics{
+          &reg.counter(base + ".measurements"),
+          &reg.counter(base + ".measured_ns"),
+          &reg.histogram(base + ".seconds", bounds)};
+    }
+    return handles;
+  }();
+  return cache[static_cast<std::size_t>(k)];
+}
+
+}  // namespace
+
+void KernelTimings::add(const TimingRecord& record) {
+  records_.push_back(record);
+  if (telemetry::enabled()) {
+    KernelMetrics& m = metrics_for(record.kernel);
+    m.measurements->add();
+    m.measured_ns->add(record.seconds <= 0.0
+                           ? 0
+                           : static_cast<std::uint64_t>(record.seconds * 1e9));
+    m.seconds->observe(record.seconds);
+  }
+}
 
 std::vector<TimingRecord> KernelTimings::for_kernel(Kernel k) const {
   std::vector<TimingRecord> out;

@@ -32,9 +32,15 @@ struct TimingRecord {
 /// Container for instrumented measurements of a proxy-application run — the
 /// stand-in for profiling CMT-nek on Quartz. Serializable to CSV so bench
 /// binaries can cache expensive instrumented runs.
+///
+/// Per-kernel aggregates (how many measurements, total measured seconds,
+/// the seconds distribution) live in the telemetry registry as
+/// `picsim.kernel.<name>.*`, fed by `add()` — not in parallel accumulator
+/// fields here. Consumers wanting aggregates snapshot the registry;
+/// `records()` remains the exact per-measurement ground truth.
 class KernelTimings {
  public:
-  void add(const TimingRecord& record) { records_.push_back(record); }
+  void add(const TimingRecord& record);
   std::span<const TimingRecord> records() const { return records_; }
   std::size_t size() const { return records_.size(); }
   bool empty() const { return records_.empty(); }

@@ -7,6 +7,7 @@
 #include "picsim/checkpoint.hpp"
 #include "picsim/collision_grid.hpp"
 #include "picsim/gas_model.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/trace_writer.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -226,6 +227,7 @@ SimResult SimDriver::run(const std::string& trace_path,
   const Stopwatch total_watch;
   SimResult result;
   ThreadPool* const pool = pool_.get();
+  const telemetry::ScopedSpan run_span("picsim.run");
 
   GasModel gas(config_.gas, config_.domain);
   SolverKernels kernels(mesh_, gas, config_.physics);
@@ -335,31 +337,55 @@ SimResult SimDriver::run(const std::string& trace_path,
 
   for (std::int64_t iter = start_iter; iter < config_.num_iterations;
        ++iter) {
+    if (telemetry::enabled()) {
+      static telemetry::Counter& iters =
+          telemetry::registry().counter("picsim.iterations");
+      iters.add();
+    }
     const bool sampling = iter % config_.sample_every == 0;
-    if (collide || sampling) grid.rebuild(store.positions(), pool);
+    if (collide || sampling) {
+      const telemetry::ScopedSpan span("picsim.grid_rebuild", "picsim");
+      grid.rebuild(store.positions(), pool);
+    }
 
     if (sampling) {
       const auto t = static_cast<std::size_t>(iter / config_.sample_every);
-      if (trace) trace->append(static_cast<std::uint64_t>(iter),
-                               store.positions());
+      if (trace) {
+        const telemetry::ScopedSpan span("picsim.trace_append", "picsim");
+        trace->append(static_cast<std::uint64_t>(iter), store.positions());
+      }
 
       // The application's own mapping pass (bin trees rebuilt, etc.).
-      mapper->map(store.positions(), owners);
+      {
+        const telemetry::ScopedSpan span("picsim.mapping", "picsim");
+        mapper->map(store.positions(), owners);
+      }
       result.actual.iterations.push_back(static_cast<std::uint64_t>(iter));
       result.actual.partitions_per_interval.push_back(
           mapper->num_partitions());
-      accumulate_interval_workload(mesh_, partition_, store.positions(),
-                                   owners, prev_owners, acc_params, t,
-                                   result.actual);
+      {
+        const telemetry::ScopedSpan span("picsim.workload_accounting",
+                                         "picsim");
+        accumulate_interval_workload(mesh_, partition_, store.positions(),
+                                     owners, prev_owners, acc_params, t,
+                                     result.actual);
+      }
 
       const bool measure_now =
           config_.measure &&
           (t % static_cast<std::size_t>(config_.measure_every) == 0);
       if (measure_now) {
+        const telemetry::ScopedSpan measure_span("picsim.measure", "picsim");
         const ScopedTimer mt(measure_time);
-        buckets.build(owners, config_.num_ranks, pool);
-        ghosts.build(store.positions(), owners, finder, config_.num_ranks,
-                     pool);
+        {
+          const telemetry::ScopedSpan span("picsim.rank_buckets", "picsim");
+          buckets.build(owners, config_.num_ranks, pool);
+        }
+        {
+          const telemetry::ScopedSpan span("picsim.ghost", "picsim");
+          ghosts.build(store.positions(), owners, finder, config_.num_ranks,
+                       pool);
+        }
         vel_scratch.assign(store.velocities().begin(),
                            store.velocities().end());
 
@@ -439,6 +465,7 @@ SimResult SimDriver::run(const std::string& trace_path,
           project_ids.assign(ids.begin(), ids.end());
           project_ids.insert(project_ids.end(), gids.begin(), gids.end());
           if (!project_ids.empty()) {
+            const telemetry::ScopedSpan span("picsim.project", "picsim");
             rec.kernel = Kernel::kProject;
             rec.seconds = measure([&] {
               kernels.project(store.positions(), project_ids,
@@ -478,10 +505,31 @@ SimResult SimDriver::run(const std::string& trace_path,
     const auto physics_chunk = [&](std::size_t begin, std::size_t end) {
       const std::span<const std::uint32_t> ids(all_ids.data() + begin,
                                                end - begin);
-      kernels.interpolate(store.positions(), ids, time, gas_at_particles);
-      kernels.eq_solve(store.velocities(), gas_at_particles, grid, ids,
-                       next_velocities);
-      kernels.push(store.positions(), next_velocities, ids, next_positions);
+      if (telemetry::enabled()) {
+        // Phase handles are process-stable; fetch them once per process so
+        // the per-chunk cost stays at clock reads + relaxed adds.
+        static telemetry::Phase& ph_interp =
+            telemetry::phase("picsim.interpolate");
+        static telemetry::Phase& ph_eq = telemetry::phase("picsim.eq_solve");
+        static telemetry::Phase& ph_push = telemetry::phase("picsim.push");
+        {
+          const telemetry::ScopedSpan span("picsim.interpolate", ph_interp);
+          kernels.interpolate(store.positions(), ids, time, gas_at_particles);
+        }
+        {
+          const telemetry::ScopedSpan span("picsim.eq_solve", ph_eq);
+          kernels.eq_solve(store.velocities(), gas_at_particles, grid, ids,
+                           next_velocities);
+        }
+        const telemetry::ScopedSpan span("picsim.push", ph_push);
+        kernels.push(store.positions(), next_velocities, ids, next_positions);
+      } else {
+        kernels.interpolate(store.positions(), ids, time, gas_at_particles);
+        kernels.eq_solve(store.velocities(), gas_at_particles, grid, ids,
+                         next_velocities);
+        kernels.push(store.positions(), next_velocities, ids,
+                     next_positions);
+      }
     };
     if (pool != nullptr)
       pool->parallel_for(np, kSolverGrain, physics_chunk);
@@ -497,6 +545,12 @@ SimResult SimDriver::run(const std::string& trace_path,
     const bool final_iter = done >= config_.num_iterations;
     if (trace && config_.checkpoint_every > 0 && !final_iter &&
         done % config_.checkpoint_every == 0) {
+      const telemetry::ScopedSpan span("picsim.checkpoint", "picsim");
+      if (telemetry::enabled()) {
+        static telemetry::Counter& ckpts =
+            telemetry::registry().counter("picsim.checkpoints");
+        ckpts.add();
+      }
       trace->sync();  // trace bytes must be durable before the ckpt says so
       SimCheckpoint ckpt;
       ckpt.config_fingerprint = fingerprint;
@@ -519,6 +573,7 @@ SimResult SimDriver::run(const std::string& trace_path,
   }
 
   if (trace) {
+    const telemetry::ScopedSpan span("picsim.trace_seal", "picsim");
     if (result.aborted) {
       // Crash drill: leave the unsealed `.part` and the last checkpoint on
       // disk exactly as a kill would; never publish the final trace.
@@ -529,6 +584,13 @@ SimResult SimDriver::run(const std::string& trace_path,
       result.trace_samples = trace->samples_written();
       if (!ckpt_path.empty()) std::remove(ckpt_path.c_str());
     }
+  }
+  if (telemetry::enabled()) {
+    telemetry::registry().counter("picsim.trace_samples")
+        .add(result.trace_samples);
+    telemetry::registry().gauge("picsim.particles")
+        .set(static_cast<double>(np));
+    if (pool != nullptr) telemetry::publish_pool_stats(pool->stats());
   }
   result.final_positions.assign(store.positions().begin(),
                                 store.positions().end());

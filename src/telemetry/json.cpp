@@ -1,0 +1,433 @@
+#include "telemetry/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace picp {
+
+namespace {
+
+void require_kind(Json::Kind actual, Json::Kind wanted, const char* what) {
+  if (actual != wanted) throw Error(std::string("JSON value is not ") + what);
+}
+
+/// Shortest round-trip double formatting: try increasing precision until
+/// strtod reads back the identical bits (17 digits always suffices).
+std::string format_double(double value) {
+  if (!std::isfinite(value))
+    throw Error("JSON cannot represent non-finite number");
+  char buf[32];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    std::size_t line = 1, column = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    throw Error("JSON parse error at line " + std::to_string(line) +
+                ", column " + std::to_string(column) + ": " + message);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char next() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (next() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  bool consume_literal(const char* literal) {
+    std::size_t n = 0;
+    while (literal[n] != '\0') ++n;
+    if (text_.compare(pos_, n, literal) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Json parse_value() {
+    skip_whitespace();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) return Json();
+        fail("bad literal");
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json object = Json::object();
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return object;
+    }
+    while (true) {
+      skip_whitespace();
+      const std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      object.set(key, parse_value());
+      skip_whitespace();
+      const char sep = next();
+      if (sep == '}') return object;
+      if (sep != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json array = Json::array();
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return array;
+    }
+    while (true) {
+      array.push_back(parse_value());
+      skip_whitespace();
+      const char sep = next();
+      if (sep == ']') return array;
+      if (sep != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = next();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("raw control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char esc = next();
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': append_codepoint(out, parse_hex4()); break;
+        default: --pos_; fail("bad escape sequence");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = next();
+      value <<= 4;
+      if (c >= '0' && c <= '9')
+        value |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      else {
+        --pos_;
+        fail("bad \\u escape");
+      }
+    }
+    return value;
+  }
+
+  /// UTF-8 encode a BMP codepoint (surrogate pairs are joined first).
+  void append_codepoint(std::string& out, unsigned cp) {
+    if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate: need the pair
+      if (next() != '\\' || next() != 'u') {
+        --pos_;
+        fail("unpaired surrogate in \\u escape");
+      }
+      const unsigned lo = parse_hex4();
+      if (lo < 0xDC00 || lo > 0xDFFF) fail("bad low surrogate");
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+      fail("unpaired low surrogate");
+    }
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' ||
+                 ((c == '+' || c == '-') && pos_ > start &&
+                  (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E'))) {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") fail("bad number");
+    errno = 0;
+    if (integral) {
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (end == token.c_str() + token.size() && errno == 0)
+        return Json(static_cast<std::int64_t>(v));
+      // Fall through to double on overflow.
+    }
+    char* end = nullptr;
+    errno = 0;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || errno == ERANGE)
+      fail("bad number: " + token);
+    return Json(v);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool Json::as_bool() const {
+  require_kind(kind_, Kind::kBool, "a bool");
+  return bool_;
+}
+
+std::int64_t Json::as_int() const {
+  require_kind(kind_, Kind::kInt, "an integer");
+  return int_;
+}
+
+std::uint64_t Json::as_uint() const {
+  require_kind(kind_, Kind::kInt, "an integer");
+  return static_cast<std::uint64_t>(int_);
+}
+
+double Json::as_double() const {
+  if (kind_ == Kind::kInt) return static_cast<double>(int_);
+  require_kind(kind_, Kind::kDouble, "a number");
+  return num_;
+}
+
+const std::string& Json::as_string() const {
+  require_kind(kind_, Kind::kString, "a string");
+  return str_;
+}
+
+void Json::push_back(Json value) {
+  require_kind(kind_, Kind::kArray, "an array");
+  items_.push_back(std::move(value));
+}
+
+std::size_t Json::size() const {
+  if (kind_ == Kind::kArray) return items_.size();
+  if (kind_ == Kind::kObject) return members_.size();
+  throw Error("JSON value has no size");
+}
+
+const Json& Json::at(std::size_t index) const {
+  require_kind(kind_, Kind::kArray, "an array");
+  if (index >= items_.size()) throw Error("JSON array index out of range");
+  return items_[index];
+}
+
+const std::vector<Json>& Json::items() const {
+  require_kind(kind_, Kind::kArray, "an array");
+  return items_;
+}
+
+void Json::set(const std::string& key, Json value) {
+  require_kind(kind_, Kind::kObject, "an object");
+  for (auto& member : members_) {
+    if (member.first == key) {
+      member.second = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+}
+
+bool Json::has(const std::string& key) const {
+  return find(key) != nullptr;
+}
+
+const Json* Json::find(const std::string& key) const {
+  require_kind(kind_, Kind::kObject, "an object");
+  for (const auto& member : members_)
+    if (member.first == key) return &member.second;
+  return nullptr;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const Json* value = find(key);
+  if (value == nullptr) throw Error("JSON object has no key '" + key + "'");
+  return *value;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::members() const {
+  require_kind(kind_, Kind::kObject, "an object");
+  return members_;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline_pad = [&](int levels) {
+    if (indent < 0) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent * levels), ' ');
+  };
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kInt: out += std::to_string(int_); break;
+    case Kind::kDouble: out += format_double(num_); break;
+    case Kind::kString:
+      out.push_back('"');
+      out += json_escape(str_);
+      out.push_back('"');
+      break;
+    case Kind::kArray: {
+      out.push_back('[');
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        newline_pad(depth + 1);
+        items_[i].dump_to(out, indent, depth + 1);
+      }
+      if (!items_.empty()) newline_pad(depth);
+      out.push_back(']');
+      break;
+    }
+    case Kind::kObject: {
+      out.push_back('{');
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        newline_pad(depth + 1);
+        out.push_back('"');
+        out += json_escape(members_[i].first);
+        out += indent < 0 ? "\":" : "\": ";
+        members_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (!members_.empty()) newline_pad(depth);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+Json Json::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace picp

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace picp {
+
+/// Minimal JSON document model for the telemetry layer: run manifests,
+/// Chrome trace-event files, and the `picpredict report` validator all
+/// speak through it. Self-contained on purpose — the container bakes no
+/// JSON library, and the telemetry schema is small enough that a complete
+/// reader/writer costs less than a dependency.
+///
+/// Numbers distinguish integers from doubles so 64-bit metric counters
+/// round-trip exactly (a plain double mantissa cannot hold them). Object
+/// members keep insertion order, which keeps emitted manifests diffable.
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() : kind_(Kind::kNull) {}
+  Json(bool value) : kind_(Kind::kBool), bool_(value) {}
+  Json(std::int64_t value) : kind_(Kind::kInt), int_(value) {}
+  Json(std::uint64_t value)
+      : kind_(Kind::kInt), int_(static_cast<std::int64_t>(value)) {}
+  Json(int value) : kind_(Kind::kInt), int_(value) {}
+  Json(double value) : kind_(Kind::kDouble), num_(value) {}
+  Json(std::string value) : kind_(Kind::kString), str_(std::move(value)) {}
+  Json(const char* value) : kind_(Kind::kString), str_(value) {}
+
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+
+  /// Typed accessors; throw picp::Error on a kind mismatch.
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  std::uint64_t as_uint() const;
+  double as_double() const;  // accepts kInt too
+  const std::string& as_string() const;
+
+  // --- Arrays --------------------------------------------------------------
+  void push_back(Json value);
+  std::size_t size() const;
+  const Json& at(std::size_t index) const;
+  const std::vector<Json>& items() const;
+
+  // --- Objects -------------------------------------------------------------
+  /// Insert or overwrite a member (insertion order preserved).
+  void set(const std::string& key, Json value);
+  bool has(const std::string& key) const;
+  /// Member lookup; throws picp::Error when the key is absent.
+  const Json& at(const std::string& key) const;
+  /// nullptr when absent — the validator's non-throwing probe.
+  const Json* find(const std::string& key) const;
+  const std::vector<std::pair<std::string, Json>>& members() const;
+
+  /// Serialize. indent < 0 emits the compact single-line form; indent >= 0
+  /// pretty-prints with that many spaces per level.
+  std::string dump(int indent = -1) const;
+
+  /// Parse a complete document; trailing non-whitespace is an error.
+  /// Throws picp::Error with a line/column locus on malformed input.
+  static Json parse(const std::string& text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+/// Escape a string for embedding in a JSON document (no surrounding quotes).
+std::string json_escape(const std::string& text);
+
+}  // namespace picp

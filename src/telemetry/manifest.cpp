@@ -1,0 +1,173 @@
+#include "telemetry/manifest.hpp"
+
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+
+#include "util/atomic_file.hpp"
+#include "util/error.hpp"
+
+namespace picp::telemetry {
+
+namespace {
+
+std::string fingerprint_hex(std::uint64_t fingerprint) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%016" PRIx64, fingerprint);
+  return buf;
+}
+
+std::uint64_t parse_fingerprint(const std::string& hex) {
+  PICP_REQUIRE(hex.rfind("0x", 0) == 0 && hex.size() > 2,
+               "manifest config_fingerprint must be a 0x-prefixed hex "
+               "string, got: " + hex);
+  return std::strtoull(hex.c_str() + 2, nullptr, 16);
+}
+
+Json metrics_to_json(const MetricsSnapshot& metrics) {
+  Json counters = Json::object();
+  for (const auto& c : metrics.counters) counters.set(c.name, Json(c.value));
+  Json gauges = Json::object();
+  for (const auto& g : metrics.gauges) gauges.set(g.name, Json(g.value));
+  Json histograms = Json::object();
+  for (const auto& h : metrics.histograms) {
+    Json bounds = Json::array();
+    for (const double b : h.bounds) bounds.push_back(Json(b));
+    Json counts = Json::array();
+    for (const std::uint64_t c : h.counts) counts.push_back(Json(c));
+    Json entry = Json::object();
+    entry.set("bounds", std::move(bounds));
+    entry.set("counts", std::move(counts));
+    entry.set("count", Json(h.count));
+    entry.set("sum", Json(h.sum));
+    histograms.set(h.name, std::move(entry));
+  }
+  Json out = Json::object();
+  out.set("counters", std::move(counters));
+  out.set("gauges", std::move(gauges));
+  out.set("histograms", std::move(histograms));
+  return out;
+}
+
+MetricsSnapshot metrics_from_json(const Json& json) {
+  MetricsSnapshot metrics;
+  for (const auto& [name, value] : json.at("counters").members())
+    metrics.counters.push_back({name, value.as_uint()});
+  for (const auto& [name, value] : json.at("gauges").members())
+    metrics.gauges.push_back({name, value.as_double()});
+  for (const auto& [name, value] : json.at("histograms").members()) {
+    HistogramSnapshot h;
+    h.name = name;
+    for (const Json& b : value.at("bounds").items())
+      h.bounds.push_back(b.as_double());
+    for (const Json& c : value.at("counts").items())
+      h.counts.push_back(c.as_uint());
+    h.count = value.at("count").as_uint();
+    h.sum = value.at("sum").as_double();
+    metrics.histograms.push_back(std::move(h));
+  }
+  return metrics;
+}
+
+}  // namespace
+
+Json manifest_to_json(const RunManifest& m) {
+  Json json = Json::object();
+  json.set("schema", Json("picpredict.telemetry.manifest/v1"));
+  json.set("tool", Json(m.tool));
+  json.set("command", Json(m.command));
+  json.set("git_describe", Json(m.git_describe));
+  json.set("hostname", Json(m.hostname));
+  json.set("created_utc", Json(m.created_utc));
+  json.set("config_fingerprint", Json(fingerprint_hex(m.config_fingerprint)));
+  json.set("threads", Json(m.threads));
+  json.set("wall_seconds", Json(m.wall_seconds));
+  json.set("process_cpu_seconds", Json(m.process_cpu_seconds));
+  Json phases = Json::array();
+  for (const PhaseTotal& phase : m.phases) {
+    Json entry = Json::object();
+    entry.set("name", Json(phase.name));
+    entry.set("wall_seconds", Json(phase.wall_seconds));
+    entry.set("cpu_seconds", Json(phase.cpu_seconds));
+    entry.set("count", Json(phase.count));
+    phases.push_back(std::move(entry));
+  }
+  json.set("phases", std::move(phases));
+  json.set("metrics", metrics_to_json(m.metrics));
+  Json extra = Json::object();
+  for (const auto& [key, value] : m.extra) extra.set(key, Json(value));
+  json.set("extra", std::move(extra));
+  return json;
+}
+
+RunManifest manifest_from_json(const Json& json) {
+  const std::string schema = json.at("schema").as_string();
+  PICP_REQUIRE(schema == "picpredict.telemetry.manifest/v1",
+               "unsupported manifest schema: " + schema);
+  RunManifest m;
+  m.tool = json.at("tool").as_string();
+  m.command = json.at("command").as_string();
+  m.git_describe = json.at("git_describe").as_string();
+  m.hostname = json.at("hostname").as_string();
+  m.created_utc = json.at("created_utc").as_string();
+  m.config_fingerprint =
+      parse_fingerprint(json.at("config_fingerprint").as_string());
+  m.threads = json.at("threads").as_uint();
+  m.wall_seconds = json.at("wall_seconds").as_double();
+  m.process_cpu_seconds = json.at("process_cpu_seconds").as_double();
+  for (const Json& entry : json.at("phases").items()) {
+    PhaseTotal phase;
+    phase.name = entry.at("name").as_string();
+    phase.wall_seconds = entry.at("wall_seconds").as_double();
+    phase.cpu_seconds = entry.at("cpu_seconds").as_double();
+    phase.count = entry.at("count").as_uint();
+    m.phases.push_back(std::move(phase));
+  }
+  m.metrics = metrics_from_json(json.at("metrics"));
+  for (const auto& [key, value] : json.at("extra").members())
+    m.extra.emplace_back(key, value.as_string());
+  return m;
+}
+
+void write_manifest(const RunManifest& manifest, const std::string& path) {
+  const std::string text = manifest_to_json(manifest).dump(2) + "\n";
+  atomic_write_file(path, text.data(), text.size());
+}
+
+RunManifest load_manifest(const std::string& path) {
+  std::ifstream in(path);
+  PICP_REQUIRE(in.is_open(), "cannot open manifest: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return manifest_from_json(Json::parse(text.str()));
+}
+
+std::string build_git_describe() {
+#ifdef PICP_GIT_DESCRIBE
+  return PICP_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+std::string current_hostname() {
+  char buf[256] = {0};
+  if (::gethostname(buf, sizeof(buf) - 1) != 0) return "unknown";
+  return buf;
+}
+
+std::string current_utc_timestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buf;
+}
+
+}  // namespace picp::telemetry

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/json.hpp"
+#include "telemetry/registry.hpp"
+
+namespace picp::telemetry {
+
+/// Aggregate wall/CPU totals of one named phase (a span family rolled up).
+struct PhaseTotal {
+  std::string name;
+  double wall_seconds = 0.0;
+  double cpu_seconds = 0.0;
+  std::uint64_t count = 0;
+};
+
+/// One JSON document per run: what ran, where, and how long each stage
+/// took — the provenance record the paper's methodology implies but ad-hoc
+/// stopwatch locals can never provide. Schema (all keys required):
+///
+///   {
+///     "schema": "picpredict.telemetry.manifest/v1",
+///     "tool": "picpredict", "command": "simulate",
+///     "git_describe": "...", "hostname": "...",
+///     "created_utc": "2026-08-06T12:00:00Z",
+///     "config_fingerprint": "0x1a2b...",      // hex: u64-exact in JSON
+///     "threads": 8,
+///     "wall_seconds": 1.25, "process_cpu_seconds": 8.9,
+///     "phases": [{"name": ..., "wall_seconds": ..., "cpu_seconds": ...,
+///                 "count": ...}, ...],
+///     "metrics": {"counters": {...}, "gauges": {...},
+///                 "histograms": {name: {"bounds": [...], "counts": [...],
+///                                       "count": n, "sum": s}}},
+///     "extra": {...}                          // free-form string pairs
+///   }
+struct RunManifest {
+  std::string tool = "picpredict";
+  std::string command;
+  std::string git_describe = "unknown";
+  std::string hostname;
+  std::string created_utc;
+  std::uint64_t config_fingerprint = 0;
+  std::uint64_t threads = 1;
+  double wall_seconds = 0.0;
+  double process_cpu_seconds = 0.0;
+  std::vector<PhaseTotal> phases;
+  MetricsSnapshot metrics;
+  std::vector<std::pair<std::string, std::string>> extra;
+};
+
+Json manifest_to_json(const RunManifest& manifest);
+RunManifest manifest_from_json(const Json& json);
+
+/// Write atomically (temp + fsync + rename via util::AtomicFile) so a
+/// crashed finalize never leaves a torn manifest under the final name.
+void write_manifest(const RunManifest& manifest, const std::string& path);
+RunManifest load_manifest(const std::string& path);
+
+/// Build-stamped `git describe` (CMake configure time; "unknown" outside a
+/// git checkout) and the current hostname / UTC timestamp — the manifest's
+/// environment fields.
+std::string build_git_describe();
+std::string current_hostname();
+std::string current_utc_timestamp();
+
+}  // namespace picp::telemetry

@@ -1,0 +1,126 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace picp::telemetry {
+
+/// Monotonic 64-bit counter. `add` is a single relaxed fetch_add — safe and
+/// cheap to call from any thread, including the solver hot loop.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written double (thread count, utilization fraction, virtual time).
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations in
+/// (bounds[i-1], bounds[i]]; one implicit overflow bucket holds everything
+/// above the last bound. The hot path is a short linear scan (bucket lists
+/// are small by design) plus one relaxed fetch_add; the running sum uses a
+/// CAS loop, still lock-free.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  std::vector<std::uint64_t> bucket_counts() const;
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  // bounds.size() + 1 (overflow last)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Point-in-time copy of every registered metric, sorted by name.
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Counter value by exact name (0 when absent) — convenience for tests
+  /// and the summary line.
+  std::uint64_t counter_value(const std::string& name) const;
+  /// Gauge value by exact name (0.0 when absent).
+  double gauge_value(const std::string& name) const;
+};
+
+/// Process-wide named-metric registry. Registration (the `counter` /
+/// `gauge` / `histogram` lookups) takes a mutex and should be done once per
+/// call site — the returned references are stable for the life of the
+/// process, so hot paths cache them (typically in a function-local static)
+/// and then increment lock-free. `reset_values` zeroes every metric without
+/// invalidating references, which is what a new telemetry session needs.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// First registration fixes the bucket bounds (must be strictly
+  /// increasing and non-empty); later lookups ignore `upper_bounds`.
+  Histogram& histogram(const std::string& name,
+                       std::span<const double> upper_bounds);
+
+  MetricsSnapshot snapshot() const;
+  void reset_values();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace picp::telemetry

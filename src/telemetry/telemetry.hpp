@@ -1,0 +1,170 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/manifest.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/span_tracer.hpp"
+
+// Compile-time kill switch (-DPICP_TELEMETRY=OFF at configure time): with
+// it off, enabled() folds to false and every instrumentation site compiles
+// down to dead branches the optimizer removes.
+#ifndef PICP_TELEMETRY_ENABLED
+#define PICP_TELEMETRY_ENABLED 1
+#endif
+
+namespace picp {
+struct ThreadPoolStats;  // util/thread_pool.hpp
+}
+
+/// Process-wide telemetry session: one metrics registry + one span tracer
+/// + per-run manifest assembly. All hot-path entry points are guarded by a
+/// single relaxed atomic load (`enabled()`), so a run without telemetry
+/// pays one predictable branch per instrumentation site and allocates
+/// nothing — the INI/CLI kill-switch path is a true no-op.
+namespace picp::telemetry {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}
+
+inline bool enabled() {
+#if PICP_TELEMETRY_ENABLED
+  return detail::g_enabled.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+/// CPU time consumed by the calling thread (seconds); 0 where unsupported.
+double thread_cpu_seconds();
+/// CPU time consumed by the whole process (seconds); 0 where unsupported.
+double process_cpu_seconds();
+
+/// The process-wide instances. Always constructed (registration is legal
+/// with telemetry off — the metrics simply stay zero and unbuffered), so
+/// cached Counter/Phase references never dangle across sessions.
+MetricsRegistry& registry();
+SpanTracer& tracer();
+
+/// Aggregated wall/CPU/count totals of one span family. Lookups take a
+/// mutex; hot call sites fetch the reference once (function-local static)
+/// and then accumulate lock-free.
+class Phase {
+ public:
+  void add(double wall_seconds, double cpu_seconds) {
+    wall_ns_.fetch_add(to_ns(wall_seconds), std::memory_order_relaxed);
+    cpu_ns_.fetch_add(to_ns(cpu_seconds), std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  double wall_seconds() const {
+    return static_cast<double>(wall_ns_.load(std::memory_order_relaxed)) *
+           1e-9;
+  }
+  double cpu_seconds() const {
+    return static_cast<double>(cpu_ns_.load(std::memory_order_relaxed)) *
+           1e-9;
+  }
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  void reset() {
+    wall_ns_.store(0, std::memory_order_relaxed);
+    cpu_ns_.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static std::uint64_t to_ns(double seconds) {
+    return seconds <= 0.0 ? 0 : static_cast<std::uint64_t>(seconds * 1e9);
+  }
+  std::atomic<std::uint64_t> wall_ns_{0};
+  std::atomic<std::uint64_t> cpu_ns_{0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// Stable-for-process-lifetime phase handle by name.
+Phase& phase(const std::string& name);
+/// Every registered phase, sorted by name (zero-count phases included).
+std::vector<PhaseTotal> phase_totals();
+
+/// RAII span: measures wall + thread-CPU time of a scope, feeds the phase
+/// aggregate, and emits a thread-attributed Chrome-trace span. With
+/// telemetry disabled the constructor is one relaxed load and the
+/// destructor one predictable branch; nothing is allocated or clocked.
+/// `name` must be a string literal (it is stored, not copied).
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* name, Phase& phase_handle,
+             const char* category = "picp")
+      : active_(enabled()), name_(name), category_(category),
+        phase_(&phase_handle) {
+    if (active_) start();
+  }
+  explicit ScopedSpan(const char* name, const char* category = "picp")
+      : active_(enabled()), name_(name), category_(category) {
+    if (active_) {
+      phase_ = &phase(name);
+      start();
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() {
+    if (active_) finish();
+  }
+
+ private:
+  void start();
+  void finish();
+
+  bool active_;
+  const char* name_;
+  const char* category_;
+  Phase* phase_ = nullptr;
+  double start_us_ = 0.0;
+  double cpu_start_ = 0.0;
+};
+
+// --- Session lifecycle ------------------------------------------------------
+
+struct SessionOptions {
+  /// Master switch; `false` configures a disabled session (hot paths
+  /// no-op). Also forced off when compiled with PICP_TELEMETRY=OFF.
+  bool enabled = true;
+  /// Output directory for finalize(); empty = collect in memory only
+  /// (tests, library embedders that snapshot programmatically).
+  std::string directory;
+};
+
+/// Start a telemetry session: zero all metric values, drop buffered spans,
+/// create the output directory, and flip the global enable flag. Safe to
+/// call repeatedly; cached Counter/Phase references stay valid.
+void configure(const SessionOptions& options);
+
+/// Identity of the run, stamped into the manifest by finalize().
+void set_run_info(const std::string& command,
+                  std::uint64_t config_fingerprint, std::uint64_t threads);
+/// Free-form manifest "extra" entry (models path, ranks list, ...).
+void add_run_annotation(const std::string& key, const std::string& value);
+
+/// Publish thread-pool observability (tasks executed, queue wait,
+/// per-worker busy fractions) into the registry as `threadpool.*` metrics.
+void publish_pool_stats(const ThreadPoolStats& stats);
+
+/// Assemble the manifest for the current session (no I/O).
+RunManifest build_manifest();
+
+/// One info-level line: total wall/CPU, the hottest phases, and pool
+/// utilization — the "signal without opening the JSON" summary.
+std::string summary_line();
+
+/// End the session: write `<dir>/trace.json` (Chrome trace events) and
+/// `<dir>/manifest.json` (atomically), log the summary line at info level,
+/// and disable collection. No-op when the session is disabled.
+void finalize();
+
+}  // namespace picp::telemetry

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace picp {
@@ -12,6 +13,17 @@ T pod_at(const char* bytes) {
   T value;
   std::memcpy(&value, bytes, sizeof(T));
   return value;
+}
+
+/// Trace-ingest observability: samples and payload bytes delivered to
+/// callers, plus salvage-mode outcomes. Registered once per process.
+void count_sample_read(std::uint64_t frame_bytes) {
+  static telemetry::Counter& samples =
+      telemetry::registry().counter("trace.read_samples");
+  static telemetry::Counter& bytes =
+      telemetry::registry().counter("trace.read_bytes");
+  samples.add();
+  bytes.add(frame_bytes);
 }
 }  // namespace
 
@@ -102,6 +114,12 @@ void TraceReader::prescan_salvage(std::uint64_t file_bytes) {
           " complete samples (" + std::to_string(data % frame) +
           " trailing bytes)";
     effective_samples_ = report_.valid_samples;
+    if (telemetry::enabled()) {
+      auto& reg = telemetry::registry();
+      reg.counter("trace.salvage_scans").add();
+      reg.counter("trace.salvage_samples").add(report_.valid_samples);
+      if (!report_.intact()) reg.counter("trace.salvage_damaged").add();
+    }
     return;
   }
 
@@ -171,6 +189,12 @@ void TraceReader::prescan_salvage(std::uint64_t file_bytes) {
                              "frames present";
   }
   effective_samples_ = valid;
+  if (telemetry::enabled()) {
+    auto& reg = telemetry::registry();
+    reg.counter("trace.salvage_scans").add();
+    reg.counter("trace.salvage_samples").add(report_.valid_samples);
+    if (!report_.intact()) reg.counter("trace.salvage_damaged").add();
+  }
 }
 
 bool TraceReader::read_next(TraceSample& sample) {
@@ -210,6 +234,7 @@ bool TraceReader::read_next(TraceSample& sample) {
       std::memcpy(sample.positions.data(), payload, np * sizeof(Vec3));
     }
     ++cursor_;
+    if (telemetry::enabled()) count_sample_read(frame);
     // End of a sequential strict read: the frame CRCs must reproduce the
     // sealed footer's whole-file digest (catches e.g. reordered frames
     // whose individual checksums are clean).
@@ -240,6 +265,11 @@ bool TraceReader::read_next(TraceSample& sample) {
     throw TraceCorruptError(path_,
                             "truncated trace sample " + std::to_string(cursor_));
   ++cursor_;
+  if (telemetry::enabled()) {
+    const std::size_t coord =
+        header_.coord_kind == CoordKind::kFloat32 ? sizeof(float) : sizeof(double);
+    count_sample_read(sizeof(sample.iteration) + np * 3 * coord);
+  }
   return true;
 }
 

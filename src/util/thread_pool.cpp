@@ -7,12 +7,24 @@
 
 namespace picp {
 
+namespace {
+using SteadyClock = std::chrono::steady_clock;
+
+std::uint64_t elapsed_ns(SteadyClock::time_point from,
+                         SteadyClock::time_point to) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+          .count());
+}
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   std::size_t n = threads;
   if (n == 0) n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  worker_counters_ = std::make_unique<WorkerCounters[]>(n);
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -28,7 +40,7 @@ void ThreadPool::submit(std::function<void()> task) {
   PICP_REQUIRE(task != nullptr, "null task");
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    tasks_.push(std::move(task));
+    tasks_.push(Task{std::move(task), SteadyClock::now()});
     ++in_flight_;
   }
   task_ready_.notify_one();
@@ -71,9 +83,33 @@ void ThreadPool::parallel_for(
   wait_idle();
 }
 
-void ThreadPool::worker_loop() {
+ThreadPoolStats ThreadPool::stats() const {
+  ThreadPoolStats stats;
+  stats.tasks = tasks_done_.load(std::memory_order_relaxed);
+  stats.queue_wait_seconds =
+      static_cast<double>(queue_wait_ns_.load(std::memory_order_relaxed)) *
+      1e-9;
+  stats.max_queue_wait_seconds =
+      static_cast<double>(
+          max_queue_wait_ns_.load(std::memory_order_relaxed)) *
+      1e-9;
+  stats.worker_busy_seconds.resize(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    stats.worker_busy_seconds[i] =
+        static_cast<double>(
+            worker_counters_[i].busy_ns.load(std::memory_order_relaxed)) *
+        1e-9;
+    stats.busy_seconds += stats.worker_busy_seconds[i];
+  }
+  stats.lifetime_seconds =
+      static_cast<double>(elapsed_ns(created_, SteadyClock::now())) * 1e-9;
+  return stats;
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  WorkerCounters& counters = worker_counters_[worker_index];
   while (true) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       task_ready_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
@@ -84,12 +120,24 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    const SteadyClock::time_point started = SteadyClock::now();
+    const std::uint64_t wait_ns = elapsed_ns(task.enqueued, started);
+    queue_wait_ns_.fetch_add(wait_ns, std::memory_order_relaxed);
+    std::uint64_t seen_max =
+        max_queue_wait_ns_.load(std::memory_order_relaxed);
+    while (wait_ns > seen_max &&
+           !max_queue_wait_ns_.compare_exchange_weak(
+               seen_max, wait_ns, std::memory_order_relaxed)) {
+    }
     std::exception_ptr error;
     try {
-      task();
+      task.fn();
     } catch (...) {
       error = std::current_exception();
     }
+    counters.busy_ns.fetch_add(elapsed_ns(started, SteadyClock::now()),
+                               std::memory_order_relaxed);
+    tasks_done_.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (error && first_error_ == nullptr) first_error_ = std::move(error);

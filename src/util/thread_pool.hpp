@@ -1,15 +1,39 @@
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 namespace picp {
+
+/// Point-in-time observability snapshot of a ThreadPool — the raw material
+/// for the telemetry layer's `threadpool.*` metrics (tasks executed, queue
+/// wait, per-worker busy fraction). The pool maintains these with a few
+/// relaxed atomic adds per task; tasks are chunk-granularity, so the cost
+/// is noise even with telemetry disabled.
+struct ThreadPoolStats {
+  /// Tasks fully executed so far.
+  std::uint64_t tasks = 0;
+  /// Total submit-to-dequeue latency summed over executed tasks.
+  double queue_wait_seconds = 0.0;
+  /// Largest single submit-to-dequeue latency seen.
+  double max_queue_wait_seconds = 0.0;
+  /// Total task execution time summed over all workers.
+  double busy_seconds = 0.0;
+  /// Execution time accumulated by each worker (index = worker).
+  std::vector<double> worker_busy_seconds;
+  /// Wall seconds since the pool was constructed.
+  double lifetime_seconds = 0.0;
+};
 
 /// Fixed-size worker pool used to parallelize embarrassingly-parallel loops
 /// (per-particle mapping, GP fitness evaluation, per-rank kernel models, the
@@ -55,17 +79,39 @@ class ThreadPool {
   void parallel_for(std::size_t n, std::size_t grain,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 
+  /// Cumulative execution statistics since construction. Thread-safe;
+  /// callable while tasks are in flight (values are a consistent-enough
+  /// snapshot for reporting, not a barrier).
+  ThreadPoolStats stats() const;
+
  private:
-  void worker_loop();
+  struct Task {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+  /// Cache-line-sized so workers never false-share their busy counters.
+  struct alignas(64) WorkerCounters {
+    std::atomic<std::uint64_t> busy_ns{0};
+  };
+
+  void worker_loop(std::size_t worker_index);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<Task> tasks_;
   std::mutex mutex_;
   std::condition_variable task_ready_;
   std::condition_variable idle_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
   std::exception_ptr first_error_;
+
+  // Observability (relaxed atomics; see ThreadPoolStats).
+  const std::chrono::steady_clock::time_point created_ =
+      std::chrono::steady_clock::now();
+  std::unique_ptr<WorkerCounters[]> worker_counters_;
+  std::atomic<std::uint64_t> tasks_done_{0};
+  std::atomic<std::uint64_t> queue_wait_ns_{0};
+  std::atomic<std::uint64_t> max_queue_wait_ns_{0};
 };
 
 }  // namespace picp

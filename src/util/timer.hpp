@@ -1,19 +1,48 @@
 #pragma once
 
+#include <time.h>
+
 #include <chrono>
 
 namespace picp {
 
-/// Monotonic stopwatch for measuring kernel and wall time.
+namespace detail {
+/// CPU seconds consumed by the calling thread; 0.0 where unsupported.
+inline double thread_cpu_now() {
+#ifdef CLOCK_THREAD_CPUTIME_ID
+  struct timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0.0;
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+#else
+  return 0.0;
+#endif
+}
+}  // namespace detail
+
+/// Monotonic stopwatch for measuring kernel and wall time. Also tracks the
+/// calling thread's CPU time over the same window, so callers can tell
+/// "slow because of work" from "slow because preempted / blocked on I/O".
+/// cpu_seconds() is only meaningful when read from the thread that
+/// constructed (or last reset()) the watch.
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch()
+      : start_(Clock::now()), cpu_start_(detail::thread_cpu_now()) {}
 
-  void reset() { start_ = Clock::now(); }
+  void reset() {
+    start_ = Clock::now();
+    cpu_start_ = detail::thread_cpu_now();
+  }
 
-  /// Elapsed seconds since construction or last reset().
+  /// Elapsed wall seconds since construction or last reset().
   double seconds() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed CPU seconds of the calling thread over the same window.
+  double cpu_seconds() const {
+    return detail::thread_cpu_now() - cpu_start_;
   }
 
   double milliseconds() const { return seconds() * 1e3; }
@@ -22,38 +51,45 @@ class Stopwatch {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+  double cpu_start_;
 };
 
-/// Accumulates total time and call count for a repeatedly-invoked region.
+/// Accumulates total wall + CPU time and call count for a
+/// repeatedly-invoked region.
 class TimeAccumulator {
  public:
-  void add(double seconds) {
-    total_ += seconds;
+  void add(double wall_seconds, double cpu_seconds = 0.0) {
+    total_ += wall_seconds;
+    cpu_total_ += cpu_seconds;
     ++count_;
   }
 
   double total_seconds() const { return total_; }
+  double cpu_total_seconds() const { return cpu_total_; }
   std::size_t count() const { return count_; }
   double mean_seconds() const {
     return count_ == 0 ? 0.0 : total_ / static_cast<double>(count_);
   }
   void reset() {
     total_ = 0.0;
+    cpu_total_ = 0.0;
     count_ = 0;
   }
 
  private:
   double total_ = 0.0;
+  double cpu_total_ = 0.0;
   std::size_t count_ = 0;
 };
 
-/// RAII region timer: adds the elapsed time to an accumulator on destruction.
+/// RAII region timer: adds the elapsed wall and thread-CPU time to an
+/// accumulator on destruction.
 class ScopedTimer {
  public:
   explicit ScopedTimer(TimeAccumulator& acc) : acc_(acc) {}
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;
-  ~ScopedTimer() { acc_.add(watch_.seconds()); }
+  ~ScopedTimer() { acc_.add(watch_.seconds(), watch_.cpu_seconds()); }
 
  private:
   TimeAccumulator& acc_;

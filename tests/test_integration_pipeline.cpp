@@ -33,7 +33,11 @@ struct EndToEnd {
     cfg.measure = true;
     cfg.measure_min_seconds = 5e-6;
     cfg.measure_max_reps = 16;
-    trace_path = testing::TempDir() + "/picp_e2e.bin";
+    // Test-unique name: ctest runs every TEST as its own process, and the
+    // destructor's remove() must not race a sibling's writer.
+    trace_path = testing::TempDir() + "/picp_e2e_" +
+                 testing::UnitTest::GetInstance()->current_test_info()->name() +
+                 ".bin";
     driver = std::make_unique<SimDriver>(cfg);
     app = driver->run(trace_path);
 

@@ -1,0 +1,101 @@
+// Stopwatch / TimeAccumulator / ScopedTimer — wall + thread-CPU timing and
+// the previously untested reset() paths.
+
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace picp {
+namespace {
+
+/// Burn CPU until the thread has consumed at least `seconds` of CPU time.
+/// Returns the work sink so the loop cannot be optimized away.
+volatile double g_sink = 0.0;
+void burn_cpu(double seconds) {
+  const double start = detail::thread_cpu_now();
+  double x = 1.0;
+  while (detail::thread_cpu_now() - start < seconds) {
+    for (int i = 0; i < 1000; ++i) x = x * 1.0000001 + 1e-9;
+  }
+  g_sink = x;
+}
+
+TEST(Stopwatch, MeasuresWallTime) {
+  const Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(watch.seconds(), 0.004);
+  // Separate clock reads, so only the units can be asserted exactly.
+  EXPECT_GE(watch.milliseconds(), 4.0);
+  EXPECT_GE(watch.microseconds(), 4000.0);
+}
+
+TEST(Stopwatch, CpuSecondsTracksWorkNotSleep) {
+  const Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // Sleeping burns wall time but (almost) no CPU time.
+  EXPECT_GE(watch.seconds(), 0.015);
+  EXPECT_LT(watch.cpu_seconds(), watch.seconds());
+
+  const Stopwatch busy;
+  burn_cpu(0.01);
+  EXPECT_GE(busy.cpu_seconds(), 0.009);
+}
+
+TEST(Stopwatch, ResetRestartsBothClocks) {
+  Stopwatch watch;
+  burn_cpu(0.005);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double wall_before = watch.seconds();
+  const double cpu_before = watch.cpu_seconds();
+  EXPECT_GE(wall_before, 0.009);
+  EXPECT_GE(cpu_before, 0.004);
+
+  watch.reset();
+  // Both windows restart: immediately after reset the elapsed times must be
+  // far below what had accumulated.
+  EXPECT_LT(watch.seconds(), wall_before / 2);
+  EXPECT_LT(watch.cpu_seconds(), cpu_before / 2);
+}
+
+TEST(TimeAccumulator, AccumulatesWallAndCpu) {
+  TimeAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean_seconds(), 0.0);
+
+  acc.add(1.0, 0.5);
+  acc.add(3.0, 1.5);
+  acc.add(2.0);  // cpu defaults to 0 — wall-only call sites stay valid
+  EXPECT_EQ(acc.count(), 3u);
+  EXPECT_DOUBLE_EQ(acc.total_seconds(), 6.0);
+  EXPECT_DOUBLE_EQ(acc.cpu_total_seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.mean_seconds(), 2.0);
+}
+
+TEST(TimeAccumulator, ResetClearsEverything) {
+  TimeAccumulator acc;
+  acc.add(4.0, 2.0);
+  acc.reset();
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.total_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.cpu_total_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.mean_seconds(), 0.0);
+}
+
+TEST(ScopedTimer, AddsWallAndCpuOnDestruction) {
+  TimeAccumulator acc;
+  {
+    const ScopedTimer timer(acc);
+    burn_cpu(0.01);
+  }
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_GE(acc.total_seconds(), 0.009);
+  EXPECT_GE(acc.cpu_total_seconds(), 0.009);
+  // CPU time cannot exceed single-thread wall time by more than clock slop.
+  EXPECT_LE(acc.cpu_total_seconds(), acc.total_seconds() + 0.005);
+}
+
+}  // namespace
+}  // namespace picp

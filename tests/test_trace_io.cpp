@@ -22,7 +22,10 @@ std::vector<Vec3> random_positions(std::size_t n, std::uint64_t seed) {
 class TraceRoundTrip : public testing::TestWithParam<CoordKind> {};
 
 TEST_P(TraceRoundTrip, PreservesSamples) {
-  const std::string path = testing::TempDir() + "/picp_trace_rt.bin";
+  // Param-unique name: ctest runs each instantiation as its own process.
+  const std::string path = testing::TempDir() + "/picp_trace_rt_" +
+                           std::to_string(static_cast<int>(GetParam())) +
+                           ".bin";
   const Aabb domain(Vec3(0, 0, 0), Vec3(1, 1, 2));
   const std::size_t np = 100;
   std::vector<std::vector<Vec3>> samples;

@@ -17,6 +17,10 @@ SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
 cmake -B "$BUILD_DIR" -S "$SRC_DIR" -DPICP_SANITIZE="$SANITIZE"
 cmake --build "$BUILD_DIR" -j
 # halt_on_error keeps a UB report from being drowned out by later tests.
+# The claims tier is excluded: its gates assert wall-clock accuracy claims
+# (MAPE against measured kernel timings), and a sanitizer's nonuniform
+# 10-50x slowdown makes those timings meaningless, not merely slow.
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
-  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -LE claims \
+  -j "$(nproc 2>/dev/null || echo 4)"
 echo "sanitizer suite (${SANITIZE}) passed"

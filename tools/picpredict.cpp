@@ -33,18 +33,29 @@
 //
 //   picpredict extrapolate <trace> --out <out.trace> --particles <N>
 //       Synthesize a larger representative trace from a small-scale run.
+//
+//   picpredict report <telemetry-dir> [--top N] [--check]
+//       Pretty-print a run's telemetry: the manifest (identity, phase
+//       totals, pool utilization) and the top-N hottest span families from
+//       the Chrome trace. --check validates both files against the
+//       required-key schemas and exits non-zero on any violation.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/pipeline.hpp"
 #include "core/trainer.hpp"
 #include "mapping/mapper.hpp"
+#include "picsim/checkpoint.hpp"
 #include "picsim/sim_driver.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/extrapolate.hpp"
 #include "trace/trace_reader.hpp"
 #include "trace/trace_salvage.hpp"
@@ -63,6 +74,7 @@ using namespace picp;
                "usage:\n"
                "  picpredict simulate <config.ini> --trace <out> "
                "[--timings <csv>] [--resume]\n"
+               "                      [--telemetry-dir <dir>]\n"
                "  picpredict trace verify <file>\n"
                "  picpredict trace repair <file> --out <fixed>\n"
                "  picpredict train <timings.csv> --out <models.txt> "
@@ -71,8 +83,10 @@ using namespace picp;
                "[--filter F] [--out-prefix P]\n"
                "  picpredict predict <trace> --models <file> --ranks "
                "<R1,R2,...> [--mapper M] [--filter F]\n"
+               "                     [--telemetry-dir <dir>]\n"
                "  picpredict extrapolate <trace> --out <out> --particles "
-               "<N> [--seed N]\n");
+               "<N> [--seed N]\n"
+               "  picpredict report <telemetry-dir> [--top N] [--check]\n");
   std::exit(2);
 }
 
@@ -117,7 +131,23 @@ int cmd_simulate(int argc, char** argv) {
   SimDriver driver(cfg);
   RunOptions options;
   options.resume = flags.count("resume") > 0;
+  bool telemetry_on = false;
+  if (flags.count("telemetry-dir") > 0) {
+    if (!cfg.telemetry) {
+      std::fprintf(stderr, "warning: --telemetry-dir ignored — the config "
+                           "sets run.telemetry = false\n");
+    } else {
+      telemetry::SessionOptions session;
+      session.directory = flags.at("telemetry-dir");
+      telemetry::configure(session);
+      telemetry::set_run_info("simulate", sim_config_fingerprint(cfg),
+                              driver.threads());
+      telemetry::add_run_annotation("config", argv[2]);
+      telemetry_on = true;
+    }
+  }
   const SimResult result = driver.run(require_flag(flags, "trace"), options);
+  if (telemetry_on) telemetry::finalize();
   std::printf("simulated %lld iterations%s, %llu trace samples, "
               "wall %.2f s\n",
               static_cast<long long>(cfg.num_iterations -
@@ -235,6 +265,17 @@ int cmd_workload(int argc, char** argv) {
 int cmd_predict(int argc, char** argv) {
   if (argc < 3) usage("predict needs a trace file");
   const auto flags = parse_flags(argc, argv, 3);
+  const bool telemetry_on = flags.count("telemetry-dir") > 0;
+  if (telemetry_on) {
+    telemetry::SessionOptions session;
+    session.directory = flags.at("telemetry-dir");
+    telemetry::configure(session);
+    telemetry::set_run_info("predict", 0, 1);
+    telemetry::add_run_annotation("trace", argv[2]);
+    telemetry::add_run_annotation("models", require_flag(flags, "models"));
+    telemetry::add_run_annotation("ranks", require_flag(flags, "ranks"));
+    telemetry::add_run_annotation("mapper", flag_or(flags, "mapper", "bin"));
+  }
   TraceReader trace(argv[2]);
   const SpectralMesh mesh = mesh_for_trace(trace, flags);
   const ModelSet models = ModelSet::load(require_flag(flags, "models"));
@@ -254,6 +295,139 @@ int cmd_predict(int argc, char** argv) {
                 outcome.sim.critical_path_seconds,
                 outcome.workload_gen_seconds,
                 static_cast<unsigned long long>(outcome.sim.events));
+  }
+  if (telemetry_on) telemetry::finalize();
+  return 0;
+}
+
+/// One span family rolled up from the Chrome trace: total/max duration and
+/// how many threads emitted it.
+struct SpanAggregate {
+  double total_us = 0.0;
+  double max_us = 0.0;
+  std::uint64_t count = 0;
+  std::set<std::int64_t> tids;
+};
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PICP_REQUIRE(in.is_open(), "cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int cmd_report(int argc, char** argv) {
+  if (argc < 3) usage("report needs a telemetry directory");
+  const auto flags = parse_flags(argc, argv, 3, {"check"});
+  const std::string dir = argv[2];
+  const bool check = flags.count("check") > 0;
+  const auto top_n =
+      static_cast<std::size_t>(parse_int(flag_or(flags, "top", "10")));
+  int violations = 0;
+  const auto violation = [&violations](const std::string& what) {
+    std::fprintf(stderr, "schema violation: %s\n", what.c_str());
+    ++violations;
+  };
+
+  // --- Manifest: load_manifest() enforces the key schema itself ------------
+  const telemetry::RunManifest manifest =
+      telemetry::load_manifest(dir + "/manifest.json");
+  std::printf("run      : %s %s on %s (%s)\n", manifest.tool.c_str(),
+              manifest.command.c_str(), manifest.hostname.c_str(),
+              manifest.created_utc.c_str());
+  std::printf("build    : %s\n", manifest.git_describe.c_str());
+  std::printf("config   : fingerprint 0x%016llx, %llu threads\n",
+              static_cast<unsigned long long>(manifest.config_fingerprint),
+              static_cast<unsigned long long>(manifest.threads));
+  std::printf("totals   : wall %.3f s, process CPU %.3f s\n",
+              manifest.wall_seconds, manifest.process_cpu_seconds);
+  if (!manifest.extra.empty()) {
+    for (const auto& [key, value] : manifest.extra)
+      std::printf("extra    : %s = %s\n", key.c_str(), value.c_str());
+  }
+
+  std::vector<telemetry::PhaseTotal> phases = manifest.phases;
+  std::sort(phases.begin(), phases.end(),
+            [](const telemetry::PhaseTotal& a, const telemetry::PhaseTotal& b) {
+              return a.wall_seconds > b.wall_seconds;
+            });
+  std::printf("\n%-28s %12s %12s %10s\n", "phase", "wall s", "cpu s",
+              "count");
+  for (const auto& p : phases)
+    std::printf("%-28s %12.6f %12.6f %10llu\n", p.name.c_str(),
+                p.wall_seconds, p.cpu_seconds,
+                static_cast<unsigned long long>(p.count));
+
+  const double util =
+      manifest.metrics.gauge_value("threadpool.utilization");
+  const double workers = manifest.metrics.gauge_value("threadpool.workers");
+  if (workers > 0.0)
+    std::printf("\npool     : %.0f workers, %.0f%% busy, %llu tasks\n",
+                workers, 100.0 * util,
+                static_cast<unsigned long long>(
+                    manifest.metrics.counter_value("threadpool.tasks")));
+
+  // --- Chrome trace: validate required keys, roll up span families ---------
+  const Json trace = Json::parse(read_text_file(dir + "/trace.json"));
+  if (!trace.is_object() || !trace.has("traceEvents")) {
+    violation("trace.json: missing top-level traceEvents array");
+  } else {
+    const Json& events = trace.at("traceEvents");
+    if (!events.is_array()) violation("trace.json: traceEvents not an array");
+    std::map<std::string, SpanAggregate> families;
+    std::uint64_t spans = 0;
+    for (std::size_t i = 0; events.is_array() && i < events.size(); ++i) {
+      const Json& e = events.at(i);
+      // Trace-event format required keys: every event carries name/ph/pid/
+      // tid; "X" complete events additionally carry ts + dur.
+      if (!e.is_object() || !e.has("name") || !e.has("ph") ||
+          !e.has("pid") || !e.has("tid")) {
+        violation("trace.json: event " + std::to_string(i) +
+                  " lacks a required key (name/ph/pid/tid)");
+        continue;
+      }
+      const std::string& ph = e.at("ph").as_string();
+      if (ph == "X") {
+        if (!e.has("ts") || !e.has("dur")) {
+          violation("trace.json: complete event " + std::to_string(i) +
+                    " lacks ts/dur");
+          continue;
+        }
+        ++spans;
+        SpanAggregate& agg = families[e.at("name").as_string()];
+        const double dur = e.at("dur").as_double();
+        agg.total_us += dur;
+        agg.max_us = std::max(agg.max_us, dur);
+        ++agg.count;
+        agg.tids.insert(e.at("tid").as_int());
+      }
+    }
+    std::vector<std::pair<std::string, SpanAggregate>> hottest(
+        families.begin(), families.end());
+    std::sort(hottest.begin(), hottest.end(),
+              [](const auto& a, const auto& b) {
+                return a.second.total_us > b.second.total_us;
+              });
+    if (hottest.size() > top_n) hottest.resize(top_n);
+    std::printf("\n%llu spans in trace.json; top %zu span families:\n",
+                static_cast<unsigned long long>(spans), hottest.size());
+    std::printf("%-28s %12s %12s %10s %8s\n", "span", "total ms", "max ms",
+                "count", "threads");
+    for (const auto& [name, agg] : hottest)
+      std::printf("%-28s %12.3f %12.3f %10llu %8zu\n", name.c_str(),
+                  agg.total_us * 1e-3, agg.max_us * 1e-3,
+                  static_cast<unsigned long long>(agg.count),
+                  agg.tids.size());
+  }
+
+  if (check) {
+    if (violations > 0) {
+      std::fprintf(stderr, "report --check: %d schema violation(s)\n",
+                   violations);
+      return 1;
+    }
+    std::printf("\nreport --check: manifest and trace pass the schema\n");
   }
   return 0;
 }
@@ -288,6 +462,7 @@ int main(int argc, char** argv) {
     if (command == "workload") return cmd_workload(argc, argv);
     if (command == "predict") return cmd_predict(argc, argv);
     if (command == "extrapolate") return cmd_extrapolate(argc, argv);
+    if (command == "report") return cmd_report(argc, argv);
     usage(("unknown command: " + command).c_str());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "picpredict: %s\n", e.what());
