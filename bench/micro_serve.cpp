@@ -1,0 +1,190 @@
+// Closed-loop load generator for the prediction daemon: spins up the real
+// HttpServer + PredictionService in-process, then drives it with K
+// persistent keep-alive connections issuing M requests each over a small
+// rotation of configs. Reports latency percentiles, throughput, and the
+// cache hit rate observed on the wire (X-Picp-Cache), separating the
+// cold-cache generation cost from the cached hot path the daemon is built
+// around. Snapshot rows live in results/micro_serve.txt.
+//
+// Usage: micro_serve [--connections K] [--requests M] [--distinct D]
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/trainer.hpp"
+#include "picsim/sim_driver.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace picp {
+namespace {
+
+struct LoadResult {
+  std::vector<double> latencies_us;  // one per completed request
+  std::uint64_t wire_hits = 0;
+  std::uint64_t failures = 0;
+};
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto index = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) / 100.0 + 0.5);
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+/// One client: a persistent connection issuing `requests` POSTs, rotating
+/// the rank count through `distinct` values so the first pass of each
+/// config misses and everything after hits.
+LoadResult run_client(std::uint16_t port, std::size_t requests,
+                      std::size_t distinct, std::size_t seed) {
+  LoadResult result;
+  result.latencies_us.reserve(requests);
+  serve::HttpConnection conn(serve::connect_tcp("127.0.0.1", port));
+  serve::HttpLimits limits;
+  for (std::size_t i = 0; i < requests; ++i) {
+    const int ranks = 16 + 16 * static_cast<int>((seed + i) % distinct);
+    serve::HttpRequest request;
+    request.method = "POST";
+    request.target = "/v1/predict";
+    request.body = "{\"ranks\": [" + std::to_string(ranks) + "]}";
+    const auto start = std::chrono::steady_clock::now();
+    conn.write_request(request, "127.0.0.1");
+    serve::HttpResponse response;
+    if (!conn.read_response(response, limits) || response.status != 200) {
+      ++result.failures;
+      continue;
+    }
+    const auto elapsed = std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    result.latencies_us.push_back(elapsed);
+    const std::string* cache = response.header("x-picp-cache");
+    if (cache != nullptr && *cache == "hit") ++result.wire_hits;
+  }
+  return result;
+}
+
+long long arg_or(int argc, char** argv, const char* name, long long fallback) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return std::atoll(argv[i + 1]);
+  return fallback;
+}
+
+}  // namespace
+}  // namespace picp
+
+int main(int argc, char** argv) {
+  using namespace picp;
+  namespace fs = std::filesystem;
+
+  const auto connections =
+      static_cast<std::size_t>(arg_or(argc, argv, "--connections", 8));
+  const auto requests =
+      static_cast<std::size_t>(arg_or(argc, argv, "--requests", 250));
+  const auto distinct =
+      static_cast<std::size_t>(arg_or(argc, argv, "--distinct", 8));
+
+  // --- fixture: tiny trace + models, like the serving smoke test ----------
+  const std::string work = fs::temp_directory_path() / "picp_micro_serve";
+  fs::create_directories(work);
+  const std::string trace_path = work + "/bench.trace";
+  SimConfig cfg;
+  cfg.nelx = 8;
+  cfg.nely = 8;
+  cfg.nelz = 16;
+  cfg.bed.num_particles = 4000;
+  cfg.num_iterations = 300;
+  cfg.sample_every = 50;
+  cfg.num_ranks = 32;
+  cfg.filter_size = 0.08;
+  cfg.measure = true;
+  cfg.measure_min_seconds = 5e-6;
+  cfg.measure_max_reps = 8;
+  SimDriver driver(cfg);
+  const SimResult app = driver.run(trace_path);
+  ModelGenConfig mg;
+  mg.symreg.population = 64;
+  mg.symreg.generations = 8;
+  mg.symreg.threads = 1;
+  const ModelSet models = train_models(app.timings, mg);
+  const std::string models_path = work + "/bench.models";
+  models.save(models_path);
+
+  telemetry::SessionOptions session;  // in-memory only: bench, no manifest
+  telemetry::configure(session);
+
+  serve::ServiceConfig service_config;
+  service_config.trace_path = trace_path;
+  service_config.models_path = models_path;
+  service_config.nelx = cfg.nelx;
+  service_config.nely = cfg.nely;
+  service_config.nelz = cfg.nelz;
+  serve::PredictionService service(service_config);
+
+  serve::ServerOptions options;
+  // One worker per client: the server's connection-per-task model would
+  // otherwise serialize persistent connections on low-core machines and
+  // the percentiles would measure queueing, not service.
+  options.threads = connections;
+  options.max_connections = connections + 4;
+  serve::HttpServer server(options,
+                           [&](const serve::HttpRequest& request) {
+                             return service.handle(request);
+                           });
+  std::thread server_thread([&] { server.run(); });
+
+  // --- closed loop ---------------------------------------------------------
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<LoadResult> per_client(connections);
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < connections; ++c)
+    clients.emplace_back([&, c] {
+      per_client[c] = run_client(server.port(), requests, distinct, c);
+    });
+  for (auto& t : clients) t.join();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  server.request_shutdown();
+  server_thread.join();
+
+  std::vector<double> latencies;
+  std::uint64_t wire_hits = 0, failures = 0;
+  for (const LoadResult& r : per_client) {
+    latencies.insert(latencies.end(), r.latencies_us.begin(),
+                     r.latencies_us.end());
+    wire_hits += r.wire_hits;
+    failures += r.failures;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double total = static_cast<double>(latencies.size());
+
+  std::printf("# micro_serve: closed-loop load against the prediction "
+              "daemon (in-process server, loopback TCP)\n");
+  std::printf("# %zu connections x %zu requests, %zu distinct configs "
+              "(first pass per config generates, the rest hit the cache)\n",
+              connections, requests, distinct);
+  std::printf("connections,requests,distinct,p50_us,p95_us,p99_us,max_us,"
+              "throughput_rps,cache_hit_pct,failures\n");
+  std::printf("%zu,%zu,%zu,%.1f,%.1f,%.1f,%.1f,%.0f,%.2f,%llu\n",
+              connections, requests, distinct, percentile(latencies, 50),
+              percentile(latencies, 95), percentile(latencies, 99),
+              latencies.empty() ? 0.0 : latencies.back(),
+              total / wall_seconds,
+              total > 0 ? 100.0 * static_cast<double>(wire_hits) / total : 0.0,
+              static_cast<unsigned long long>(failures));
+
+  fs::remove_all(work);
+  return failures == 0 ? 0 : 1;
+}

@@ -39,6 +39,13 @@ WorkloadResult PredictionPipeline::generate_workload(
   }
 }
 
+SimReport PredictionPipeline::simulate_workload(
+    const WorkloadResult& workload, const PredictionConfig& config) const {
+  const Predictor predictor(models_, config.filter_size);
+  const telemetry::ScopedSpan span("predict.des", "predict");
+  return run_trace_simulation(predictor.sim_input(workload, config.network));
+}
+
 PredictionOutcome PredictionPipeline::predict(
     TraceReader& trace, const PredictionConfig& config) const {
   PredictionOutcome outcome;
@@ -50,14 +57,8 @@ PredictionOutcome PredictionPipeline::predict(
   }
   outcome.workload_gen_seconds = watch.seconds();
 
-  const Predictor predictor(models_, config.filter_size);
   watch.reset();
-  {
-    const telemetry::ScopedSpan span("predict.des", "predict");
-    outcome.sim =
-        run_trace_simulation(predictor.sim_input(outcome.workload,
-                                                 config.network));
-  }
+  outcome.sim = simulate_workload(outcome.workload, config);
   outcome.sim_seconds = watch.seconds();
 
   if (telemetry::enabled()) {

@@ -49,7 +49,17 @@ class PredictionPipeline {
   WorkloadResult generate_workload(TraceReader& trace,
                                    const PredictionConfig& config) const;
 
-  /// Full prediction: workload + models + trace-driven DES.
+  /// Models + trace-driven DES over an already-generated workload. Touches
+  /// no trace and shares nothing mutable, so any number of threads may
+  /// simulate concurrently against cached WorkloadResults — the serving
+  /// hot path (`src/serve`), and the second stage of predict().
+  SimReport simulate_workload(const WorkloadResult& workload,
+                              const PredictionConfig& config) const;
+
+  /// Full prediction: workload + models + trace-driven DES. Exactly
+  /// generate_workload() followed by simulate_workload() — the one-shot CLI
+  /// and the caching daemon run the same code, just with different
+  /// workload reuse.
   PredictionOutcome predict(TraceReader& trace,
                             const PredictionConfig& config) const;
 

@@ -1,0 +1,209 @@
+#pragma once
+
+// Content-addressed artifact cache for the prediction service: expensive
+// derived artifacts (per-(R, mapper, filter) workload results, serialized
+// response bodies) are keyed by a config fingerprint and held in a
+// capacity-bounded LRU. Concurrent requests for the same key are
+// single-flighted — the first caller computes while the rest wait on its
+// future — so N identical queries cost one workload-generation run. An
+// optional disk tier (encode/decode hooks + util::AtomicFile) lets evicted
+// entries survive as crash-safe spill files and repopulate the LRU on the
+// next miss. The sibling of tests/support/fixture_cache (same
+// content-addressing idea), but in-memory-first and concurrency-aware.
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+
+#include "util/atomic_file.hpp"
+#include "util/error.hpp"
+
+namespace picp::serve {
+
+/// Monotonic cache statistics (all mutations under the cache mutex; the
+/// service layer republishes them as telemetry counters).
+struct ArtifactCacheStats {
+  std::uint64_t hits = 0;            // served from the in-memory LRU
+  std::uint64_t misses = 0;          // triggered a compute
+  std::uint64_t disk_hits = 0;       // repopulated from the spill tier
+  std::uint64_t evictions = 0;       // LRU entries dropped (capacity)
+  std::uint64_t inflight_waits = 0;  // callers that joined a compute in flight
+};
+
+template <typename V>
+class ArtifactCache {
+ public:
+  /// Spill hooks: encode to/decode from the on-disk byte form. Decode may
+  /// throw (corrupt or truncated spill file) — the cache treats that as a
+  /// plain miss and recomputes.
+  struct SpillHooks {
+    std::function<std::string(const V&)> encode;
+    std::function<V(const std::string&)> decode;
+  };
+
+  /// `capacity` bounds completed in-memory entries (>= 1). `spill_dir`
+  /// empty disables the disk tier.
+  explicit ArtifactCache(std::size_t capacity, std::string spill_dir = "",
+                         SpillHooks hooks = {})
+      : capacity_(capacity == 0 ? 1 : capacity),
+        spill_dir_(std::move(spill_dir)),
+        hooks_(std::move(hooks)) {
+    if (!spill_dir_.empty())
+      std::filesystem::create_directories(spill_dir_);
+  }
+
+  /// The artifact for `key`, computing it via `compute` on a miss. Blocks
+  /// while another thread is computing the same key (single-flight); a
+  /// throwing compute propagates to every waiter and leaves the key
+  /// absent, so the next request retries. `from_cache` (optional) reports
+  /// whether the value was served without running `compute`.
+  std::shared_ptr<const V> get_or_compute(
+      std::uint64_t key, const std::function<V()>& compute,
+      bool* from_cache = nullptr) {
+    std::shared_future<std::shared_ptr<const V>> future;
+    std::shared_ptr<std::promise<std::shared_ptr<const V>>> promise;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (auto it = entries_.find(key); it != entries_.end()) {
+        if (it->second.value != nullptr) {
+          ++stats_.hits;
+          touch(it->second);
+          if (from_cache != nullptr) *from_cache = true;
+          return it->second.value;
+        }
+        ++stats_.inflight_waits;
+        future = it->second.future;
+      } else {
+        promise =
+            std::make_shared<std::promise<std::shared_ptr<const V>>>();
+        Entry entry;
+        entry.future = promise->get_future().share();
+        entries_.emplace(key, std::move(entry));
+        ++stats_.misses;
+      }
+    }
+
+    if (promise == nullptr) {
+      // Someone else is computing; their result (or exception) is ours.
+      auto value = future.get();
+      if (from_cache != nullptr) *from_cache = true;
+      return value;
+    }
+
+    bool from_disk = false;
+    std::shared_ptr<const V> value;
+    try {
+      value = load_spill(key, &from_disk);
+      if (value == nullptr)
+        value = std::make_shared<const V>(compute());
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      entries_.erase(key);
+      promise->set_exception(std::current_exception());
+      throw;
+    }
+    promise->set_value(value);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = entries_.find(key);
+      PICP_ENSURE(it != entries_.end(),
+                  "cache entry vanished while computing");
+      it->second.value = value;
+      lru_.push_front(key);
+      it->second.lru = lru_.begin();
+      if (from_disk) ++stats_.disk_hits;
+      evict_over_capacity();
+    }
+    if (from_cache != nullptr) *from_cache = from_disk;
+    return value;
+  }
+
+  /// Completed entries currently resident in memory.
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lru_.size();
+  }
+
+  ArtifactCacheStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+
+  /// Spill-file path for a key (empty when the disk tier is off) — exposed
+  /// so tests and the service can report where artifacts land.
+  std::string spill_path(std::uint64_t key) const {
+    if (spill_dir_.empty()) return "";
+    char name[32];
+    std::snprintf(name, sizeof name, "%016llx.art",
+                  static_cast<unsigned long long>(key));
+    return spill_dir_ + "/" + name;
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const V> value;  // nullptr while computing
+    std::shared_future<std::shared_ptr<const V>> future;
+    std::list<std::uint64_t>::iterator lru;
+  };
+
+  void touch(Entry& entry) {
+    lru_.splice(lru_.begin(), lru_, entry.lru);
+    entry.lru = lru_.begin();
+  }
+
+  void evict_over_capacity() {
+    while (lru_.size() > capacity_) {
+      const std::uint64_t victim = lru_.back();
+      auto it = entries_.find(victim);
+      PICP_ENSURE(it != entries_.end(), "LRU key missing from entry map");
+      spill(victim, *it->second.value);
+      entries_.erase(it);
+      lru_.pop_back();
+      ++stats_.evictions;
+    }
+  }
+
+  void spill(std::uint64_t key, const V& value) {
+    if (spill_dir_.empty() || !hooks_.encode) return;
+    const std::string encoded = hooks_.encode(value);
+    // AtomicFile publication: a crash mid-spill leaves no torn artifact
+    // under the final name, so decode never sees a half-written file that
+    // was committed.
+    atomic_write_file(spill_path(key), encoded.data(), encoded.size());
+  }
+
+  /// nullptr when absent/disabled; throws only on decode rejecting bytes.
+  std::shared_ptr<const V> load_spill(std::uint64_t key, bool* from_disk) {
+    if (spill_dir_.empty() || !hooks_.decode) return nullptr;
+    std::ifstream in(spill_path(key), std::ios::binary);
+    if (!in.is_open()) return nullptr;
+    std::ostringstream bytes;
+    bytes << in.rdbuf();
+    try {
+      auto value = std::make_shared<const V>(hooks_.decode(bytes.str()));
+      *from_disk = true;
+      return value;
+    } catch (const Error&) {
+      return nullptr;  // corrupt spill file: fall through to compute
+    }
+  }
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::string spill_dir_;
+  SpillHooks hooks_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::list<std::uint64_t> lru_;  // front = most recently used
+  ArtifactCacheStats stats_;
+};
+
+}  // namespace picp::serve

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace picp::serve {
+
+/// Thrown on malformed or oversized wire input. Carries the HTTP status the
+/// peer should see (400 bad request, 408 timeout, 413/431 too large, 501
+/// unimplemented); the server maps it into a structured JSON error body.
+class HttpError : public Error {
+ public:
+  HttpError(int status, const std::string& detail)
+      : Error(detail), status_(status) {}
+  int status() const { return status_; }
+
+ private:
+  int status_;
+};
+
+/// One parsed HTTP/1.1 request. Header names are lower-cased during
+/// parsing, so lookups are case-insensitive by construction.
+struct HttpRequest {
+  std::string method;   // "GET", "POST", ...
+  std::string target;   // origin-form, e.g. "/v1/predict"
+  std::string version;  // "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Header value by lower-case name; nullptr when absent.
+  const std::string* header(const std::string& lower_name) const;
+  /// HTTP/1.1 defaults to keep-alive unless `Connection: close`.
+  bool keep_alive() const;
+};
+
+/// One HTTP response about to be serialized (server side) or just parsed
+/// (client side). Content-Length is emitted automatically from `body`.
+struct HttpResponse {
+  int status = 200;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  const std::string* header(const std::string& lower_name) const;
+  void set_header(const std::string& name, const std::string& value);
+};
+
+/// Canonical reason phrase for a status code ("OK", "Not Found", ...).
+const char* status_reason(int status);
+
+/// Wire limits and timeouts for one connection.
+struct HttpLimits {
+  std::size_t max_header_bytes = 64 * 1024;
+  std::size_t max_body_bytes = 4 * 1024 * 1024;
+  /// Budget for receiving one complete message. <= 0 means no timeout.
+  int io_timeout_ms = 30000;
+};
+
+/// Buffered, blocking HTTP/1.1 framing over one socket (or pipe) fd. Owns
+/// the fd. Used by both the server (read_request/write_response) and the
+/// client (write_request/read_response); neither side speaks chunked
+/// transfer encoding — all bodies are Content-Length framed, which is all
+/// picpredict's own peers ever produce.
+class HttpConnection {
+ public:
+  /// Takes ownership of `fd` (closed on destruction).
+  explicit HttpConnection(int fd);
+  ~HttpConnection();
+  HttpConnection(const HttpConnection&) = delete;
+  HttpConnection& operator=(const HttpConnection&) = delete;
+
+  int fd() const { return fd_; }
+
+  /// Read one full request. Returns false on clean EOF before the first
+  /// byte (peer closed an idle keep-alive connection); throws HttpError on
+  /// malformed input, oversize messages, or timeout.
+  bool read_request(HttpRequest& request, const HttpLimits& limits);
+
+  /// Read one full response; same contract as read_request.
+  bool read_response(HttpResponse& response, const HttpLimits& limits);
+
+  void write_response(const HttpResponse& response);
+  void write_request(const HttpRequest& request,
+                     const std::string& host_header);
+
+  /// Block until the fd is readable (or buffered bytes remain). Returns
+  /// false on timeout. `timeout_ms <= 0` waits forever.
+  bool wait_readable(int timeout_ms);
+
+ private:
+  /// Read the header block up to and including CRLFCRLF. Returns false on
+  /// clean EOF at a message boundary.
+  bool read_head(std::string& head, const HttpLimits& limits);
+  void read_body(std::size_t length, std::string& body,
+                 const HttpLimits& limits);
+  /// One recv into the buffer; returns false on EOF. Throws on timeout.
+  bool fill(int timeout_ms);
+  void write_all(const char* data, std::size_t size);
+
+  int fd_;
+  std::string buffer_;   // bytes received but not yet consumed
+  std::size_t pos_ = 0;  // consume cursor into buffer_
+};
+
+/// Connect to host:port (numeric IPv4 or a resolvable name). Throws
+/// picp::Error with the connect errno on failure.
+int connect_tcp(const std::string& host, std::uint16_t port,
+                int timeout_ms = 10000);
+
+}  // namespace picp::serve

@@ -1,0 +1,244 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "telemetry/json.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace picp::serve {
+
+namespace {
+
+void set_cloexec(int fd) { ::fcntl(fd, F_SETFD, FD_CLOEXEC); }
+
+}  // namespace
+
+HttpServer::HttpServer(const ServerOptions& options, Handler handler)
+    : options_(options), handler_(std::move(handler)) {
+  PICP_REQUIRE(handler_ != nullptr, "HttpServer needs a handler");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  PICP_REQUIRE(listen_fd_ >= 0,
+               std::string("socket: ") + std::strerror(errno));
+  set_cloexec(listen_fd_);
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  PICP_REQUIRE(::inet_pton(AF_INET, options_.host.c_str(),
+                           &addr.sin_addr) == 1,
+               "serve host must be a numeric IPv4 address, got " +
+                   options_.host);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("cannot bind " + options_.host + ":" +
+                std::to_string(options_.port) + " — " + detail);
+  }
+  PICP_REQUIRE(::listen(listen_fd_, options_.listen_backlog) == 0,
+               std::string("listen: ") + std::strerror(errno));
+
+  socklen_t len = sizeof addr;
+  PICP_REQUIRE(::getsockname(listen_fd_,
+                             reinterpret_cast<sockaddr*>(&addr), &len) == 0,
+               std::string("getsockname: ") + std::strerror(errno));
+  port_ = ntohs(addr.sin_port);
+
+  int pipe_fds[2];
+  PICP_REQUIRE(::pipe(pipe_fds) == 0,
+               std::string("pipe: ") + std::strerror(errno));
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  set_cloexec(wake_read_fd_);
+  set_cloexec(wake_write_fd_);
+
+  pool_ = std::make_unique<ThreadPool>(options_.threads);
+}
+
+HttpServer::~HttpServer() {
+  request_shutdown();
+  // Unblock any worker parked in a keep-alive poll, then let the pool join.
+  pool_.reset();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+}
+
+void HttpServer::request_shutdown() {
+  shutdown_.store(true, std::memory_order_relaxed);
+  if (wake_write_fd_ >= 0) {
+    const char byte = 'x';
+    // Async-signal-safe; a full pipe still wakes the poller, so the result
+    // is intentionally ignored.
+    [[maybe_unused]] ssize_t rc = ::write(wake_write_fd_, &byte, 1);
+  }
+}
+
+ServerStats HttpServer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ServerStats s;
+  s.accepted = accepted_;
+  s.rejected_busy = rejected_busy_;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.active_connections = active_connections_;
+  return s;
+}
+
+void HttpServer::publish_gauges() {
+  if (!telemetry::enabled()) return;
+  auto& reg = telemetry::registry();
+  std::lock_guard<std::mutex> lock(mutex_);
+  reg.gauge("serve.active_connections")
+      .set(static_cast<double>(active_connections_));
+}
+
+void HttpServer::reject_busy(int fd) {
+  HttpResponse response;
+  response.status = 503;
+  response.set_header("Retry-After",
+                      std::to_string(options_.retry_after_seconds));
+  response.set_header("Content-Type", "application/json");
+  response.set_header("Connection", "close");
+  response.body =
+      "{\"error\": {\"status\": 503, \"message\": \"server at connection "
+      "capacity; retry after " +
+      std::to_string(options_.retry_after_seconds) + " s\"}}";
+  try {
+    HttpConnection connection(fd);  // owns + closes fd
+    connection.write_response(response);
+  } catch (const Error&) {
+    // Peer vanished before reading the 503 — nothing left to shed.
+  }
+  if (telemetry::enabled())
+    telemetry::registry().counter("serve.rejected_busy").add();
+}
+
+void HttpServer::run() {
+  PICP_LOG_INFO << "serving on " << options_.host << ":" << port_ << " ("
+                << pool_->size() << " workers, max "
+                << options_.max_connections << " connections)";
+  accept_loop();
+
+  // Drain: workers notice shutting_down() at their next poll tick; wait
+  // for every active connection to close, bounded by drain_timeout_ms.
+  std::unique_lock<std::mutex> lock(mutex_);
+  const bool drained = drained_.wait_for(
+      lock, std::chrono::milliseconds(options_.drain_timeout_ms),
+      [this] { return active_connections_ == 0; });
+  const std::size_t leftover = active_connections_;
+  lock.unlock();
+  if (!drained)
+    PICP_LOG_WARN << "drain timeout: abandoning " << leftover
+                  << " connection(s)";
+  PICP_LOG_INFO << "server stopped after " << requests_ << " request(s)";
+}
+
+void HttpServer::accept_loop() {
+  while (!shutting_down()) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_read_fd_, POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      PICP_LOG_WARN << "accept poll: " << std::strerror(errno);
+      break;
+    }
+    if (shutting_down()) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      PICP_LOG_WARN << "accept: " << std::strerror(errno);
+      break;
+    }
+    set_cloexec(fd);
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+    bool shed = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (active_connections_ >= options_.max_connections) {
+        ++rejected_busy_;
+        shed = true;
+      } else {
+        ++accepted_;
+        ++active_connections_;
+      }
+    }
+    if (shed) {
+      reject_busy(fd);
+      continue;
+    }
+    publish_gauges();
+    if (telemetry::enabled())
+      telemetry::registry().counter("serve.accepted").add();
+    pool_->submit([this, fd] {
+      try {
+        serve_connection(fd);
+      } catch (const std::exception& e) {
+        // A connection must never take the pool down; log and move on.
+        PICP_LOG_WARN << "connection error: " << e.what();
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_connections_ == 0) drained_.notify_all();
+    });
+  }
+}
+
+void HttpServer::serve_connection(int fd) {
+  HttpConnection connection(fd);
+  // Keep-alive loop: short poll ticks so a drain request interrupts an
+  // idle connection within ~100 ms instead of a full request timeout.
+  const int tick_ms = 100;
+  for (;;) {
+    int waited = 0;
+    while (!connection.wait_readable(tick_ms)) {
+      if (shutting_down()) return;
+      waited += tick_ms;
+      if (options_.request_timeout_ms > 0 &&
+          waited >= options_.request_timeout_ms)
+        return;  // idle keep-alive expired
+    }
+    if (shutting_down()) return;
+
+    HttpRequest request;
+    HttpResponse response;
+    bool close_after = false;
+    try {
+      if (!connection.read_request(request, options_.limits)) return;
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      response = handler_(request);
+      close_after = !request.keep_alive();
+    } catch (const HttpError& e) {
+      response.status = e.status();
+      response.set_header("Content-Type", "application/json");
+      response.body = "{\"error\": {\"status\": " +
+                      std::to_string(e.status()) + ", \"message\": \"" +
+                      json_escape(e.what()) + "\"}}";
+      close_after = true;  // framing is suspect; do not reuse the socket
+    }
+    if (shutting_down()) close_after = true;
+    response.set_header("Connection", close_after ? "close" : "keep-alive");
+    connection.write_response(response);
+    if (close_after) return;
+  }
+}
+
+}  // namespace picp::serve

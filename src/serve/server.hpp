@@ -1,0 +1,109 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "serve/http.hpp"
+#include "util/thread_pool.hpp"
+
+namespace picp::serve {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = let the kernel pick an ephemeral port; read it back via port().
+  std::uint16_t port = 0;
+  /// Handler worker threads (0 = hardware concurrency).
+  std::size_t threads = 0;
+  /// Connections being processed or awaiting a worker. The accept loop
+  /// sheds load above this: 503 + Retry-After, then close (backpressure).
+  std::size_t max_connections = 64;
+  /// listen(2) backlog — connections the kernel may hold before accept.
+  int listen_backlog = 128;
+  /// Per-message receive budget and keep-alive idle budget.
+  int request_timeout_ms = 30000;
+  /// How long shutdown waits for in-flight connections before giving up.
+  int drain_timeout_ms = 10000;
+  /// Advisory client back-off stamped on 503 responses.
+  int retry_after_seconds = 1;
+  HttpLimits limits;
+};
+
+/// Point-in-time server counters (also published as telemetry metrics).
+struct ServerStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_busy = 0;  // shed with 503 at the accept loop
+  std::uint64_t requests = 0;
+  std::size_t active_connections = 0;
+};
+
+/// Minimal threaded HTTP/1.1 server: one blocking accept loop feeding a
+/// picp::ThreadPool, one task per connection (keep-alive requests are
+/// served back-to-back on the same worker). No TLS, no chunked encoding —
+/// this fronts picpredict's own query clients on a trusted network, not
+/// the open internet.
+///
+/// Lifecycle: construct (binds + listens, so port() is valid immediately),
+/// then run() blocks until request_shutdown() — which is async-signal-safe
+/// and therefore callable straight from a SIGINT/SIGTERM handler. Shutdown
+/// stops accepting, lets in-flight requests drain (bounded by
+/// drain_timeout_ms), then returns from run().
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  /// Binds and listens; throws picp::Error (with errno detail) on failure.
+  HttpServer(const ServerOptions& options, Handler handler);
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Actual bound port (resolves port 0 to the kernel's pick).
+  std::uint16_t port() const { return port_; }
+
+  /// Handler worker count (resolves threads 0 to the pool's pick).
+  std::size_t workers() const { return pool_->size(); }
+
+  /// Accept-and-dispatch until shutdown; returns after the drain.
+  void run();
+
+  /// Async-signal-safe: one write(2) to a self-pipe. The accept loop polls
+  /// the pipe alongside the listen socket, so the wake-up is immediate.
+  void request_shutdown();
+
+  bool shutting_down() const {
+    return shutdown_.load(std::memory_order_relaxed);
+  }
+
+  ServerStats stats() const;
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  /// 503 + Retry-After on a connection we will not service.
+  void reject_busy(int fd);
+  void publish_gauges();
+
+  ServerOptions options_;
+  Handler handler_;
+  std::unique_ptr<ThreadPool> pool_;
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> shutdown_{false};
+
+  mutable std::mutex mutex_;
+  std::condition_variable drained_;
+  std::size_t active_connections_ = 0;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_busy_ = 0;
+  std::atomic<std::uint64_t> requests_{0};
+};
+
+}  // namespace picp::serve

@@ -1,0 +1,454 @@
+#include "serve/service.hpp"
+
+#include <array>
+
+#include "telemetry/manifest.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/crc32.hpp"
+#include "util/logging.hpp"
+#include "util/string_util.hpp"
+#include "util/timer.hpp"
+#include "workload/workload_stats.hpp"
+
+namespace picp::serve {
+
+namespace {
+
+/// Latency histogram bounds (microseconds): 100 µs … 30 s, roughly
+/// log-spaced — cache hits land in the first buckets, cold workload
+/// generations in the last.
+constexpr std::array<double, 10> kLatencyBoundsUs = {
+    1e2, 3e2, 1e3, 3e3, 1e4, 3e4, 1e5, 3e5, 1e6, 3e6};
+
+/// Wrong-type / missing-field JSON problems become 400s, not 500s.
+class BadRequest : public Error {
+ public:
+  using Error::Error;
+};
+
+double number_field(const Json& body, const std::string& key,
+                    double fallback) {
+  const Json* field = body.find(key);
+  if (field == nullptr) return fallback;
+  if (!field->is_number())
+    throw BadRequest("field \"" + key + "\" must be a number");
+  return field->as_double();
+}
+
+std::string json_line(const Json& json) { return json.dump() + "\n"; }
+
+}  // namespace
+
+std::string error_body(int status, const std::string& message) {
+  Json error = Json::object();
+  error.set("status", Json(status));
+  error.set("message", Json(message));
+  Json body = Json::object();
+  body.set("error", std::move(error));
+  return json_line(body);
+}
+
+ServiceConfig ServiceConfig::from_config(const Config& config) {
+  ServiceConfig service;
+  service.trace_path = config.get_string("serve.trace");
+  service.models_path = config.get_string("serve.models", "");
+  service.nelx = config.get_int("mesh.nelx", service.nelx);
+  service.nely = config.get_int("mesh.nely", service.nely);
+  service.nelz = config.get_int("mesh.nelz", service.nelz);
+  service.points_per_dim = static_cast<int>(
+      config.get_int("mesh.points_per_dim", service.points_per_dim));
+  service.default_mapper =
+      config.get_string("serve.mapper", service.default_mapper);
+  service.default_filter =
+      config.get_double("serve.filter", service.default_filter);
+  service.network.alpha = config.get_double("network.alpha",
+                                            service.network.alpha);
+  service.network.beta = config.get_double("network.beta",
+                                           service.network.beta);
+  service.workload_cache_capacity = static_cast<std::size_t>(config.get_int(
+      "serve.workload_cache", static_cast<long long>(
+                                  service.workload_cache_capacity)));
+  service.response_cache_capacity = static_cast<std::size_t>(config.get_int(
+      "serve.response_cache", static_cast<long long>(
+                                  service.response_cache_capacity)));
+  service.cache_dir = config.get_string("serve.cache_dir", "");
+  return service;
+}
+
+PredictionService::PredictionService(const ServiceConfig& config)
+    : config_(config),
+      mesh_([&config] {
+        TraceReader probe(config.trace_path);
+        return SpectralMesh(probe.header().domain, config.nelx, config.nely,
+                            config.nelz, config.points_per_dim);
+      }()),
+      workload_cache_(config.workload_cache_capacity),
+      response_cache_(
+          config.response_cache_capacity, config.cache_dir,
+          {[](const std::string& body) { return body; },
+           [](const std::string& bytes) {
+             // A spilled response must still be the JSON we produced; a
+             // truncated file would otherwise be replayed verbatim.
+             Json::parse(bytes);
+             return bytes;
+           }}) {
+  trace_ = std::make_unique<TraceReader>(config_.trace_path);
+  const TraceHeader& header = trace_->header();
+  Crc32c identity;
+  identity.update_pod(header.num_particles);
+  identity.update_pod(header.num_samples);
+  identity.update_pod(header.sample_stride);
+  identity.update_pod(header.domain.lo);
+  identity.update_pod(header.domain.hi);
+  trace_identity_ = identity.value();
+
+  if (!config_.models_path.empty()) {
+    models_ = ModelSet::load(config_.models_path);
+    models_loaded_ = true;
+  }
+  pipeline_ = std::make_unique<PredictionPipeline>(mesh_, models_);
+  PICP_LOG_INFO << "service ready: trace " << config_.trace_path << " ("
+                << header.num_particles << " particles, "
+                << header.num_samples << " samples), models "
+                << (models_loaded_ ? config_.models_path : "<none>");
+}
+
+std::uint64_t PredictionService::workload_fingerprint(
+    const PredictionConfig& config) const {
+  Crc32c crc;
+  crc.update_pod(trace_identity_);
+  crc.update_pod(config_.nelx);
+  crc.update_pod(config_.nely);
+  crc.update_pod(config_.nelz);
+  crc.update_pod(config_.points_per_dim);
+  crc.update(config.mapper_kind.data(), config.mapper_kind.size());
+  crc.update_pod(config.num_ranks);
+  crc.update_pod(config.filter_size);
+  crc.update_pod(config.max_intervals);
+  crc.update_pod(config.interval_stride);
+  crc.update_pod(config.compute_ghosts ? 1 : 0);
+  crc.update_pod(config.compute_comm ? 1 : 0);
+  return crc.value();
+}
+
+std::uint64_t PredictionService::request_fingerprint(
+    const PredictionConfig& config) const {
+  Crc32c crc;
+  crc.update_pod(workload_fingerprint(config));
+  crc.update(config_.models_path.data(), config_.models_path.size());
+  crc.update_pod(config.network.alpha);
+  crc.update_pod(config.network.beta);
+  crc.update_pod(config.network.bytes_per_particle);
+  crc.update_pod(config.network.bytes_per_ghost);
+  return crc.value();
+}
+
+std::vector<PredictionConfig> PredictionService::parse_request(
+    const std::string& body) const {
+  Json request;
+  try {
+    request = body.empty() ? Json::object() : Json::parse(body);
+  } catch (const Error& e) {
+    throw BadRequest(std::string("malformed JSON body: ") + e.what());
+  }
+  if (!request.is_object())
+    throw BadRequest("request body must be a JSON object");
+
+  PredictionConfig base;
+  base.mapper_kind = config_.default_mapper;
+  base.filter_size = config_.default_filter;
+  base.network = config_.network;
+  if (const Json* mapper = request.find("mapper"); mapper != nullptr) {
+    if (!mapper->is_string())
+      throw BadRequest("field \"mapper\" must be a string");
+    base.mapper_kind = mapper->as_string();
+  }
+  base.filter_size = number_field(request, "filter", base.filter_size);
+  if (base.filter_size <= 0.0)
+    throw BadRequest("field \"filter\" must be positive");
+  const double stride = number_field(request, "interval_stride", 1.0);
+  if (stride < 1.0) throw BadRequest("\"interval_stride\" must be >= 1");
+  base.interval_stride = static_cast<std::size_t>(stride);
+  const double max_intervals = number_field(request, "max_intervals", 0.0);
+  if (max_intervals < 0.0) throw BadRequest("\"max_intervals\" must be >= 0");
+  if (max_intervals > 0.0)
+    base.max_intervals = static_cast<std::size_t>(max_intervals);
+
+  const Json* ranks = request.find("ranks");
+  if (ranks == nullptr) throw BadRequest("missing required field \"ranks\"");
+  std::vector<PredictionConfig> configs;
+  const auto add = [&base, &configs](const Json& value) {
+    if (!value.is_number())
+      throw BadRequest("\"ranks\" entries must be numbers");
+    const double r = value.as_double();
+    if (r < 1.0 || r > 1e7)
+      throw BadRequest("\"ranks\" must be in [1, 1e7], got " +
+                       std::to_string(r));
+    PredictionConfig config = base;
+    config.num_ranks = static_cast<Rank>(r);
+    configs.push_back(std::move(config));
+  };
+  if (ranks->is_array()) {
+    if (ranks->size() == 0) throw BadRequest("\"ranks\" array is empty");
+    if (ranks->size() > 64)
+      throw BadRequest("at most 64 rank counts per request");
+    for (std::size_t i = 0; i < ranks->size(); ++i) add(ranks->at(i));
+  } else {
+    add(*ranks);
+  }
+  return configs;
+}
+
+std::shared_ptr<const WorkloadResult> PredictionService::workload_for(
+    const PredictionConfig& config) {
+  bool from_cache = false;
+  auto workload = workload_cache_.get_or_compute(
+      workload_fingerprint(config),
+      [this, &config] {
+        // The span exists only on actual generation — its absence on a
+        // repeat query is the observable proof of a cache hit.
+        const telemetry::ScopedSpan span("serve.workload_gen", "serve");
+        if (telemetry::enabled())
+          telemetry::registry().counter("serve.workload.generations").add();
+        std::lock_guard<std::mutex> lock(trace_mutex_);
+        return pipeline_->generate_workload(*trace_, config);
+      },
+      &from_cache);
+  if (telemetry::enabled())
+    telemetry::registry()
+        .counter(from_cache ? "serve.cache.workload.hits"
+                            : "serve.cache.workload.misses")
+        .add();
+  return workload;
+}
+
+Json PredictionService::handle_healthz() {
+  const double uptime =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started_)
+          .count();
+  Json body = Json::object();
+  body.set("status", Json("ok"));
+  body.set("uptime_seconds", Json(uptime));
+  body.set("trace", Json(config_.trace_path));
+  body.set("models_loaded", Json(models_loaded_));
+  return body;
+}
+
+Json PredictionService::handle_metricsz() {
+  publish_cache_counters();
+  Json body = Json::object();
+  body.set("metrics",
+           telemetry::metrics_to_json(telemetry::registry().snapshot()));
+  return body;
+}
+
+Json PredictionService::handle_models() {
+  Json kernels = Json::array();
+  for (const std::string& kernel : models_.kernels()) {
+    Json entry = Json::object();
+    entry.set("kernel", Json(kernel));
+    Json features = Json::array();
+    for (const std::string& feature : models_.features_of(kernel))
+      features.push_back(Json(feature));
+    entry.set("features", std::move(features));
+    entry.set("formula", Json(models_.model_of(kernel).describe()));
+    kernels.push_back(std::move(entry));
+  }
+  Json body = Json::object();
+  body.set("models_path", Json(config_.models_path));
+  body.set("kernels", std::move(kernels));
+  return body;
+}
+
+std::string PredictionService::handle_predict(const std::string& body,
+                                              bool* from_cache) {
+  if (!models_loaded_)
+    throw BadRequest(
+        "no models loaded (start the daemon with serve.models set) — "
+        "/v1/workload is still available");
+  const std::vector<PredictionConfig> configs = parse_request(body);
+
+  // The response key covers every config in the batch, so a reordered
+  // ranks list is a different artifact (its JSON differs too).
+  Crc32c key;
+  for (const PredictionConfig& config : configs)
+    key.update_pod(request_fingerprint(config));
+  auto rendered = response_cache_.get_or_compute(
+      key.value(),
+      [this, &configs] {
+        Json results = Json::array();
+        for (const PredictionConfig& config : configs) {
+          const auto workload = workload_for(config);
+          const SimReport sim =
+              pipeline_->simulate_workload(*workload, config);
+          Json row = Json::object();
+          row.set("ranks", Json(static_cast<std::int64_t>(config.num_ranks)));
+          row.set("mapper", Json(config.mapper_kind));
+          row.set("filter", Json(config.filter_size));
+          row.set("predicted_seconds", Json(sim.total_seconds));
+          row.set("critical_path_seconds", Json(sim.critical_path_seconds));
+          row.set("des_events", Json(sim.events));
+          row.set("intervals",
+                  Json(static_cast<std::uint64_t>(workload->num_intervals())));
+          results.push_back(std::move(row));
+        }
+        Json reply = Json::object();
+        reply.set("results", std::move(results));
+        return json_line(reply);
+      },
+      from_cache);
+  if (telemetry::enabled())
+    telemetry::registry()
+        .counter(*from_cache ? "serve.cache.response.hits"
+                             : "serve.cache.response.misses")
+        .add();
+  return *rendered;
+}
+
+std::string PredictionService::handle_workload(const std::string& body,
+                                               bool* from_cache) {
+  const std::vector<PredictionConfig> configs = parse_request(body);
+
+  Crc32c key;
+  key.update_pod(std::uint64_t{0x574b4c44});  // namespace: "WKLD" responses
+  for (const PredictionConfig& config : configs)
+    key.update_pod(workload_fingerprint(config));
+  auto rendered = response_cache_.get_or_compute(
+      key.value(),
+      [this, &configs] {
+        Json results = Json::array();
+        for (const PredictionConfig& config : configs) {
+          const auto workload = workload_for(config);
+          const UtilizationStats stats = utilization(workload->comp_real);
+          Json row = Json::object();
+          row.set("ranks", Json(static_cast<std::int64_t>(config.num_ranks)));
+          row.set("mapper", Json(config.mapper_kind));
+          row.set("filter", Json(config.filter_size));
+          row.set("intervals",
+                  Json(static_cast<std::uint64_t>(workload->num_intervals())));
+          row.set("peak_particles_per_rank", Json(stats.peak_load));
+          row.set("mean_active_fraction", Json(stats.mean_active_fraction));
+          row.set("ever_active_ranks",
+                  Json(static_cast<std::int64_t>(stats.ever_active)));
+          row.set("migrated_particles",
+                  Json(workload->comm_real.total_volume()));
+          row.set("ghost_transfers",
+                  Json(workload->comm_ghost.total_volume()));
+          results.push_back(std::move(row));
+        }
+        Json reply = Json::object();
+        reply.set("results", std::move(results));
+        return json_line(reply);
+      },
+      from_cache);
+  if (telemetry::enabled())
+    telemetry::registry()
+        .counter(*from_cache ? "serve.cache.response.hits"
+                             : "serve.cache.response.misses")
+        .add();
+  return *rendered;
+}
+
+void PredictionService::publish_cache_counters() {
+  if (!telemetry::enabled()) return;
+  auto& reg = telemetry::registry();
+  const ArtifactCacheStats workload = workload_cache_.stats();
+  const ArtifactCacheStats response = response_cache_.stats();
+  reg.gauge("serve.cache.workload.resident")
+      .set(static_cast<double>(workload_cache_.size()));
+  reg.gauge("serve.cache.workload.inflight_waits")
+      .set(static_cast<double>(workload.inflight_waits));
+  reg.gauge("serve.cache.workload.evictions")
+      .set(static_cast<double>(workload.evictions));
+  reg.gauge("serve.cache.response.resident")
+      .set(static_cast<double>(response_cache_.size()));
+  reg.gauge("serve.cache.response.inflight_waits")
+      .set(static_cast<double>(response.inflight_waits));
+  reg.gauge("serve.cache.response.evictions")
+      .set(static_cast<double>(response.evictions));
+  reg.gauge("serve.cache.response.disk_hits")
+      .set(static_cast<double>(response.disk_hits));
+}
+
+HttpResponse PredictionService::handle(const HttpRequest& request) {
+  Stopwatch watch;
+  HttpResponse response;
+  try {
+    response = handle_routed(request);
+  } catch (const BadRequest& e) {
+    response.status = 400;
+    response.body = error_body(400, e.what());
+  } catch (const std::exception& e) {
+    PICP_LOG_WARN << "request " << request.method << " " << request.target
+                  << " failed: " << e.what();
+    response.status = 500;
+    response.body = error_body(500, e.what());
+  }
+  response.set_header("Content-Type", "application/json");
+
+  if (telemetry::enabled()) {
+    auto& reg = telemetry::registry();
+    reg.counter("serve.requests").add();
+    const char* klass = response.status >= 500   ? "serve.responses.5xx"
+                        : response.status >= 400 ? "serve.responses.4xx"
+                                                 : "serve.responses.2xx";
+    reg.counter(klass).add();
+    // One histogram per endpoint family (bounded name set: the route map).
+    std::string endpoint = request.target;
+    for (char& c : endpoint)
+      if (c == '/') c = '_';
+    reg.histogram("serve.latency_us" + endpoint, kLatencyBoundsUs)
+        .observe(watch.seconds() * 1e6);
+  }
+  return response;
+}
+
+HttpResponse PredictionService::handle_routed(const HttpRequest& request) {
+  HttpResponse response;
+  const std::string& path = request.target;
+  const bool is_get = request.method == "GET";
+  const bool is_post = request.method == "POST";
+
+  if (path == "/healthz" || path == "/metricsz" || path == "/v1/models") {
+    if (!is_get) {
+      response.status = 405;
+      response.set_header("Allow", "GET");
+      response.body = error_body(405, "use GET for " + path);
+      return response;
+    }
+    const telemetry::ScopedSpan span("serve.introspect", "serve");
+    if (path == "/healthz") response.body = json_line(handle_healthz());
+    else if (path == "/metricsz") response.body = json_line(handle_metricsz());
+    else response.body = json_line(handle_models());
+    return response;
+  }
+
+  if (path == "/v1/predict" || path == "/v1/workload") {
+    if (!is_post) {
+      response.status = 405;
+      response.set_header("Allow", "POST");
+      response.body = error_body(405, "use POST for " + path);
+      return response;
+    }
+    bool from_cache = false;
+    if (path == "/v1/predict") {
+      const telemetry::ScopedSpan span("serve.predict", "serve");
+      response.body = handle_predict(request.body, &from_cache);
+    } else {
+      const telemetry::ScopedSpan span("serve.workload", "serve");
+      response.body = handle_workload(request.body, &from_cache);
+    }
+    response.set_header("X-Picp-Cache", from_cache ? "hit" : "miss");
+    return response;
+  }
+
+  response.status = 404;
+  response.body = error_body(
+      404, "no such endpoint: " + path +
+               " (have /healthz /metricsz /v1/models /v1/workload "
+               "/v1/predict)");
+  return response;
+}
+
+}  // namespace picp::serve

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "serve/artifact_cache.hpp"
+#include "serve/http.hpp"
+#include "telemetry/json.hpp"
+#include "trace/trace_reader.hpp"
+#include "util/config.hpp"
+
+namespace picp::serve {
+
+/// Everything `picpredict serve` loads once per process: the trace, the
+/// trained models, the mesh, and the cache/backpressure knobs. Parsed from
+/// the `[serve]` / `[mesh]` sections of an INI config (see
+/// ServiceConfig::from_config for the key list).
+struct ServiceConfig {
+  std::string trace_path;
+  std::string models_path;  // empty: /v1/predict disabled (workload-only)
+  std::int64_t nelx = 32, nely = 32, nelz = 64;
+  int points_per_dim = 5;
+
+  /// Request defaults (overridable per query).
+  std::string default_mapper = "bin";
+  double default_filter = 0.024;
+  NetworkParams network;
+
+  /// Completed WorkloadResults kept in memory (the heavy artifacts).
+  std::size_t workload_cache_capacity = 16;
+  /// Rendered response bodies kept in memory (small, byte-stable).
+  std::size_t response_cache_capacity = 256;
+  /// Disk spill tier for evicted response bodies; empty = off.
+  std::string cache_dir;
+
+  static ServiceConfig from_config(const Config& config);
+};
+
+/// The prediction service behind the daemon's HTTP endpoints:
+///
+///   GET  /healthz      — liveness + uptime
+///   GET  /metricsz     — full telemetry metric snapshot as JSON
+///   GET  /v1/models    — kernels, features, and formulas of the ModelSet
+///   POST /v1/workload  — workload statistics for one (R, mapper, filter)
+///   POST /v1/predict   — full prediction for one or more processor counts
+///
+/// The hot path is content-addressed: each query config is fingerprinted
+/// (CRC of trace identity + mesh + request parameters) and resolved
+/// through two single-flight LRU caches — WorkloadResults (expensive to
+/// generate, shared across /v1/predict and /v1/workload) and rendered
+/// response bodies (guarantees byte-identical replies for identical
+/// queries). The trace is opened once per process; generation streams it
+/// under a mutex, so concurrent distinct configs serialize on the reader
+/// while cached configs never touch it.
+class PredictionService {
+ public:
+  explicit PredictionService(const ServiceConfig& config);
+
+  /// The HttpServer handler: routes, parses, caches, replies. Never
+  /// throws — internal errors become structured 500s.
+  HttpResponse handle(const HttpRequest& request);
+
+  /// Fingerprint of one normalized prediction request — exposed so tests
+  /// can assert cache keying (same config → same key, any field change →
+  /// new key).
+  std::uint64_t request_fingerprint(const PredictionConfig& config) const;
+
+  const ServiceConfig& config() const { return config_; }
+  bool models_loaded() const { return models_loaded_; }
+
+ private:
+  HttpResponse handle_routed(const HttpRequest& request);
+  Json handle_healthz();
+  Json handle_metricsz();
+  Json handle_models();
+  std::string handle_predict(const std::string& body, bool* from_cache);
+  std::string handle_workload(const std::string& body, bool* from_cache);
+
+  /// Parse + validate the request body into per-rank-count configs.
+  std::vector<PredictionConfig> parse_request(const std::string& body) const;
+  std::shared_ptr<const WorkloadResult> workload_for(
+      const PredictionConfig& config);
+  std::uint64_t workload_fingerprint(const PredictionConfig& config) const;
+  void publish_cache_counters();
+
+  ServiceConfig config_;
+  SpectralMesh mesh_;
+  ModelSet models_;
+  bool models_loaded_ = false;
+  std::unique_ptr<PredictionPipeline> pipeline_;
+
+  /// One streaming reader for the process; generation holds the lock.
+  std::unique_ptr<TraceReader> trace_;
+  std::mutex trace_mutex_;
+  std::uint64_t trace_identity_ = 0;  // folded into every fingerprint
+
+  ArtifactCache<WorkloadResult> workload_cache_;
+  ArtifactCache<std::string> response_cache_;
+  std::chrono::steady_clock::time_point started_ =
+      std::chrono::steady_clock::now();
+};
+
+/// JSON body for a structured error reply.
+std::string error_body(int status, const std::string& message);
+
+}  // namespace picp::serve

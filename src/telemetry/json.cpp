@@ -30,6 +30,11 @@ std::string format_double(double value) {
 
 class Parser {
  public:
+  /// Deepest container nesting accepted. Real documents nest a handful of
+  /// levels; without a cap, recursive descent lets an adversarial body of
+  /// repeated '[' characters overflow the stack before hitting end-of-input.
+  static constexpr int kMaxDepth = 256;
+
   explicit Parser(const std::string& text) : text_(text) {}
 
   Json parse_document() {
@@ -107,7 +112,16 @@ class Parser {
     }
   }
 
+  struct DepthGuard {
+    explicit DepthGuard(Parser& parser) : parser_(parser) {
+      if (++parser_.depth_ > kMaxDepth) parser_.fail("nesting too deep");
+    }
+    ~DepthGuard() { --parser_.depth_; }
+    Parser& parser_;
+  };
+
   Json parse_object() {
+    DepthGuard guard(*this);
     expect('{');
     Json object = Json::object();
     skip_whitespace();
@@ -132,6 +146,7 @@ class Parser {
   }
 
   Json parse_array() {
+    DepthGuard guard(*this);
     expect('[');
     Json array = Json::array();
     skip_whitespace();
@@ -247,6 +262,10 @@ class Parser {
     }
     const std::string token = text_.substr(start, pos_ - start);
     if (token.empty() || token == "-") fail("bad number");
+    const std::size_t digit0 = token[0] == '-' ? 1 : 0;
+    if (token.size() > digit0 + 1 && token[digit0] == '0' &&
+        token[digit0 + 1] >= '0' && token[digit0 + 1] <= '9')
+      fail("leading zero in number");
     errno = 0;
     if (integral) {
       char* end = nullptr;
@@ -265,6 +284,7 @@ class Parser {
 
   const std::string& text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -78,6 +78,8 @@ class Json {
 
   /// Parse a complete document; trailing non-whitespace is an error.
   /// Throws picp::Error with a line/column locus on malformed input.
+  /// Container nesting deeper than 256 levels is rejected (the serving
+  /// layer feeds untrusted bodies through here).
   static Json parse(const std::string& text);
 
  private:

@@ -29,6 +29,8 @@ std::uint64_t parse_fingerprint(const std::string& hex) {
   return std::strtoull(hex.c_str() + 2, nullptr, 16);
 }
 
+}  // namespace
+
 Json metrics_to_json(const MetricsSnapshot& metrics) {
   Json counters = Json::object();
   for (const auto& c : metrics.counters) counters.set(c.name, Json(c.value));
@@ -73,8 +75,6 @@ MetricsSnapshot metrics_from_json(const Json& json) {
   }
   return metrics;
 }
-
-}  // namespace
 
 Json manifest_to_json(const RunManifest& m) {
   Json json = Json::object();

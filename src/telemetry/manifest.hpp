@@ -55,6 +55,11 @@ struct RunManifest {
 Json manifest_to_json(const RunManifest& manifest);
 RunManifest manifest_from_json(const Json& json);
 
+/// The manifest's "metrics" sub-document on its own — shared with the
+/// serving layer's /metricsz endpoint so scrapes and manifests agree.
+Json metrics_to_json(const MetricsSnapshot& metrics);
+MetricsSnapshot metrics_from_json(const Json& json);
+
 /// Write atomically (temp + fsync + rename via util::AtomicFile) so a
 /// crashed finalize never leaves a torn manifest under the final name.
 void write_manifest(const RunManifest& manifest, const std::string& path);

@@ -1,0 +1,216 @@
+// Unit tests for the serving layer's content-addressed artifact cache:
+// LRU bounds, single-flight deduplication under real concurrency, exception
+// propagation to waiters, and the crash-safe disk spill tier.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/artifact_cache.hpp"
+#include "util/error.hpp"
+
+namespace picp::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/picp_artifact_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+TEST(ArtifactCache, MissComputesThenHitServesWithoutRecomputing) {
+  ArtifactCache<int> cache(4);
+  int computes = 0;
+  bool from_cache = true;
+  auto first = cache.get_or_compute(7, [&] { ++computes; return 41; },
+                                    &from_cache);
+  EXPECT_EQ(*first, 41);
+  EXPECT_FALSE(from_cache);
+  auto second = cache.get_or_compute(7, [&] { ++computes; return -1; },
+                                     &from_cache);
+  EXPECT_EQ(*second, 41);
+  EXPECT_TRUE(from_cache);
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(ArtifactCache, LruEvictsLeastRecentlyTouchedKey) {
+  ArtifactCache<int> cache(2);
+  int computes = 0;
+  const auto fill = [&](std::uint64_t key) {
+    return *cache.get_or_compute(key, [&] { ++computes; return int(key); });
+  };
+  fill(1);
+  fill(2);
+  fill(1);  // touch 1 so 2 becomes the LRU victim
+  fill(3);  // evicts 2
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  computes = 0;
+  fill(1);
+  fill(3);
+  EXPECT_EQ(computes, 0) << "survivors must still be resident";
+  fill(2);
+  EXPECT_EQ(computes, 1) << "the evicted key must recompute";
+}
+
+TEST(ArtifactCache, HundredConcurrentIdenticalRequestsComputeOnce) {
+  // The serving acceptance criterion in miniature: N concurrent identical
+  // queries → exactly one compute, everyone gets the same artifact.
+  ArtifactCache<std::string> cache(4);
+  std::atomic<int> computes{0};
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<const std::string>> results(100);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    threads.emplace_back([&, i] {
+      {
+        std::unique_lock<std::mutex> lock(gate_mutex);
+        gate_cv.wait(lock, [&] { return gate_open; });
+      }
+      results[i] = cache.get_or_compute(99, [&] {
+        ++computes;
+        // Stay in flight long enough that the stragglers must join.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        return std::string("expensive artifact");
+      });
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(computes.load(), 1);
+  for (const auto& r : results) {
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(*r, "expensive artifact");
+    // Single-flight shares one object, not 100 copies.
+    EXPECT_EQ(r.get(), results[0].get());
+  }
+  const ArtifactCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits + stats.inflight_waits, 99u);
+}
+
+TEST(ArtifactCache, ThrowingComputeReachesWaitersAndNextCallRetries) {
+  ArtifactCache<int> cache(4);
+  std::atomic<int> attempts{0};
+
+  std::atomic<int> waiter_errors{0};
+  std::thread loser([&] {
+    // Give the main thread time to become the in-flight computer.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    try {
+      cache.get_or_compute(5, [&] { ++attempts; return 0; });
+    } catch (const Error&) {
+      ++waiter_errors;
+    }
+  });
+
+  EXPECT_THROW(cache.get_or_compute(5,
+                                    [&]() -> int {
+                                      ++attempts;
+                                      std::this_thread::sleep_for(
+                                          std::chrono::milliseconds(80));
+                                      throw Error("artifact build failed");
+                                    }),
+               Error);
+  loser.join();
+  // The waiter either joined the failing flight (got the exception) or
+  // arrived after the erase and retried successfully — both are legal;
+  // what is illegal is a poisoned key.
+  auto value = cache.get_or_compute(5, [&] { ++attempts; return 17; });
+  EXPECT_EQ(*value, 17);
+  EXPECT_GE(attempts.load(), 2);
+}
+
+TEST(ArtifactCache, EvictedEntriesSpillToDiskAndRepopulate) {
+  const std::string dir = temp_dir("spill");
+  ArtifactCache<std::string>::SpillHooks hooks;
+  hooks.encode = [](const std::string& v) { return v; };
+  hooks.decode = [](const std::string& bytes) { return bytes; };
+  ArtifactCache<std::string> cache(1, dir, hooks);
+
+  cache.get_or_compute(1, [] { return std::string("one"); });
+  cache.get_or_compute(2, [] { return std::string("two"); });  // evicts 1
+  EXPECT_TRUE(fs::exists(cache.spill_path(1))) << cache.spill_path(1);
+
+  int computes = 0;
+  bool from_cache = false;
+  auto revived = cache.get_or_compute(
+      1, [&] { ++computes; return std::string("recomputed"); }, &from_cache);
+  EXPECT_EQ(*revived, "one") << "disk tier should have served the artifact";
+  EXPECT_EQ(computes, 0);
+  EXPECT_TRUE(from_cache);
+  EXPECT_EQ(cache.stats().disk_hits, 1u);
+  fs::remove_all(dir);
+}
+
+TEST(ArtifactCache, CorruptSpillFileFallsBackToCompute) {
+  const std::string dir = temp_dir("corrupt");
+  ArtifactCache<std::string>::SpillHooks hooks;
+  hooks.encode = [](const std::string& v) { return v; };
+  hooks.decode = [](const std::string& bytes) -> std::string {
+    if (bytes.rfind("ok:", 0) != 0) throw Error("corrupt spill artifact");
+    return bytes.substr(3);
+  };
+  ArtifactCache<std::string> cache(1, dir, hooks);
+
+  // Plant garbage where key 9's spill would live.
+  fs::create_directories(dir);
+  std::ofstream(cache.spill_path(9), std::ios::binary) << "\x00garbage";
+
+  int computes = 0;
+  bool from_cache = true;
+  auto value = cache.get_or_compute(
+      9, [&] { ++computes; return std::string("fresh"); }, &from_cache);
+  EXPECT_EQ(*value, "fresh");
+  EXPECT_EQ(computes, 1);
+  EXPECT_FALSE(from_cache);
+  EXPECT_EQ(cache.stats().disk_hits, 0u);
+  fs::remove_all(dir);
+}
+
+TEST(ArtifactCache, DistinctKeysNeverSingleFlightTogether) {
+  ArtifactCache<int> cache(16);
+  std::atomic<int> computes{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i)
+    threads.emplace_back([&, i] {
+      cache.get_or_compute(static_cast<std::uint64_t>(i),
+                           [&] { ++computes; return i; });
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(computes.load(), 8);
+  EXPECT_EQ(cache.stats().misses, 8u);
+  EXPECT_EQ(cache.stats().inflight_waits, 0u);
+}
+
+TEST(ArtifactCache, ZeroCapacityIsClampedToOne) {
+  ArtifactCache<int> cache(0);
+  cache.get_or_compute(1, [] { return 1; });
+  EXPECT_EQ(cache.size(), 1u);
+  bool from_cache = false;
+  cache.get_or_compute(1, [] { return -1; }, &from_cache);
+  EXPECT_TRUE(from_cache);
+}
+
+}  // namespace
+}  // namespace picp::serve

@@ -1,0 +1,180 @@
+// Exit-code contract of picpredict's error paths (doc comment in
+// tools/picpredict.cpp): 0 success, 1 runtime failure, 2 usage error.
+// Scripts and the serving smoke tests branch on these codes, so every
+// failure must land in the right class with a one-line diagnostic — never
+// exit 0 with an error on stdout, never a bare usage dump for a missing
+// file. Drives the real binary via PICP_PICPREDICT_BINARY.
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trace/trace_writer.hpp"
+#include "util/rng.hpp"
+
+namespace picp {
+namespace {
+
+struct CliResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+CliResult run_cli(const std::string& args) {
+  const std::string cmd =
+      std::string("'") + PICP_PICPREDICT_BINARY + "' " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << "popen failed for: " << cmd;
+  CliResult result;
+  if (pipe == nullptr) return result;
+  std::array<char, 512> buf;
+  while (std::fgets(buf.data(), static_cast<int>(buf.size()), pipe) !=
+         nullptr)
+    result.output += buf.data();
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string write_trace(const std::string& name) {
+  const std::string path = testing::TempDir() + "/" + name;
+  TraceWriter writer(path, 40, 10, Aabb(Vec3(0, 0, 0), Vec3(1, 1, 1)),
+                     CoordKind::kFloat64);
+  Xoshiro256 rng(11);
+  std::vector<Vec3> pos(40);
+  for (std::size_t s = 0; s < 3; ++s) {
+    for (auto& p : pos)
+      p = Vec3(rng.uniform(0, 1), rng.uniform(0, 1), rng.uniform(0, 1));
+    writer.append(s * 10, pos);
+  }
+  writer.close();
+  return path;
+}
+
+// --- exit 2: the user asked for something malformed -------------------------
+
+TEST(CliErrors, UnknownCommandExits2) {
+  const CliResult result = run_cli("transmogrify");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("unknown command: transmogrify"),
+            std::string::npos)
+      << result.output;
+}
+
+TEST(CliErrors, MissingRequiredFlagExits2AndNamesIt) {
+  const std::string path = write_trace("cli_err_noranks.bin");
+  const CliResult result = run_cli("workload '" + path + "'");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("missing --ranks"), std::string::npos)
+      << result.output;
+  std::remove(path.c_str());
+}
+
+TEST(CliErrors, NonNumericIntegerFlagExits2AndNamesTheFlag) {
+  const std::string path = write_trace("cli_err_badranks.bin");
+  const CliResult result = run_cli("workload '" + path + "' --ranks banana");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("--ranks"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("banana"), std::string::npos)
+      << result.output;
+  std::remove(path.c_str());
+}
+
+TEST(CliErrors, NonNumericDoubleFlagExits2AndNamesTheFlag) {
+  const std::string path = write_trace("cli_err_badfilter.bin");
+  const CliResult result =
+      run_cli("workload '" + path + "' --ranks 4 --filter tiny");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("--filter"), std::string::npos)
+      << result.output;
+  std::remove(path.c_str());
+}
+
+TEST(CliErrors, ServeWithoutConfigExits2) {
+  const CliResult result = run_cli("serve");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("--config"), std::string::npos)
+      << result.output;
+}
+
+TEST(CliErrors, QueryWithoutPortExits2) {
+  const CliResult result = run_cli("query /healthz");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("missing --port"), std::string::npos)
+      << result.output;
+}
+
+// --- exit 1: the request was well-formed but the world disagreed ------------
+
+TEST(CliErrors, MissingTraceFileExits1WithErrnoContext) {
+  const CliResult result = run_cli(
+      "workload '" + testing::TempDir() + "/no_such.trace' --ranks 4");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("picpredict:"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("cannot read trace file"), std::string::npos)
+      << result.output;
+  // The errno translation is the actionable part of the diagnostic.
+  EXPECT_NE(result.output.find("No such file"), std::string::npos)
+      << result.output;
+  // A runtime failure is not a usage error; no usage wall.
+  EXPECT_EQ(result.output.find("usage:"), std::string::npos)
+      << result.output;
+}
+
+TEST(CliErrors, DirectoryAsInputExits1NotARegularFile) {
+  const CliResult result =
+      run_cli("workload '" + testing::TempDir() + "' --ranks 4");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("not a regular file"), std::string::npos)
+      << result.output;
+}
+
+TEST(CliErrors, MissingModelsFileExits1BeforeTouchingTheTrace) {
+  const std::string path = write_trace("cli_err_nomodels.bin");
+  const CliResult result =
+      run_cli("predict '" + path + "' --ranks 4 --models '" +
+              testing::TempDir() + "/no_such.models'");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("cannot read models file"), std::string::npos)
+      << result.output;
+  std::remove(path.c_str());
+}
+
+TEST(CliErrors, MissingSimulateConfigExits1WithErrnoContext) {
+  const CliResult result =
+      run_cli("simulate '" + testing::TempDir() +
+              "/no_such.ini' --trace /dev/null");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("cannot read config file"), std::string::npos)
+      << result.output;
+}
+
+TEST(CliErrors, MissingTrainCsvExits1WithErrnoContext) {
+  const CliResult result = run_cli("train '" + testing::TempDir() +
+                                   "/no_such.csv' --out /dev/null");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("cannot read timings CSV"), std::string::npos)
+      << result.output;
+}
+
+// --- exit 0: the happy path stays exit 0 with flags in play -----------------
+
+TEST(CliErrors, WorkloadOnRealTraceExits0) {
+  const std::string path = write_trace("cli_err_ok.bin");
+  const CliResult result = run_cli("workload '" + path +
+                                   "' --ranks 4 --nelx 4 --nely 4 --nelz 4");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("intervals"), std::string::npos)
+      << result.output;
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace picp

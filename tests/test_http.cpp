@@ -1,0 +1,300 @@
+// Wire-level tests for the from-scratch HTTP/1.1 framing in src/serve.
+// Each test drives an HttpConnection over one end of a socketpair and
+// speaks raw bytes on the other, so the parser sees exactly the stream a
+// peer would produce — including malformed, truncated, and oversized ones.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "serve/http.hpp"
+
+namespace picp::serve {
+namespace {
+
+struct WirePair {
+  std::unique_ptr<HttpConnection> conn;  // the side under test
+  int raw = -1;                          // the scripted peer
+
+  WirePair() {
+    int fds[2];
+    EXPECT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    conn = std::make_unique<HttpConnection>(fds[0]);
+    raw = fds[1];
+  }
+  ~WirePair() {
+    if (raw >= 0) ::close(raw);
+  }
+
+  void send(const std::string& bytes) const {
+    ASSERT_EQ(::send(raw, bytes.data(), bytes.size(), 0),
+              static_cast<ssize_t>(bytes.size()));
+  }
+  void close_peer() {
+    ::close(raw);
+    raw = -1;
+  }
+  std::string drain() const {
+    std::string out;
+    char buf[4096];
+    while (true) {
+      const ssize_t n = ::recv(raw, buf, sizeof buf, MSG_DONTWAIT);
+      if (n <= 0) break;
+      out.append(buf, static_cast<std::size_t>(n));
+    }
+    return out;
+  }
+};
+
+HttpLimits quick_limits() {
+  HttpLimits limits;
+  limits.io_timeout_ms = 2000;
+  return limits;
+}
+
+TEST(HttpParse, SimpleGetRequest) {
+  WirePair wire;
+  wire.send("GET /healthz HTTP/1.1\r\nHost: x\r\nAccept: */*\r\n\r\n");
+  HttpRequest request;
+  ASSERT_TRUE(wire.conn->read_request(request, quick_limits()));
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.target, "/healthz");
+  EXPECT_EQ(request.version, "HTTP/1.1");
+  EXPECT_TRUE(request.keep_alive());
+  ASSERT_NE(request.header("accept"), nullptr);
+  EXPECT_EQ(*request.header("accept"), "*/*");
+}
+
+TEST(HttpParse, HeaderNamesAreCaseInsensitiveByConstruction) {
+  WirePair wire;
+  wire.send("POST /v1/predict HTTP/1.1\r\nCoNtEnT-LeNgTh: 2\r\n\r\nhi");
+  HttpRequest request;
+  ASSERT_TRUE(wire.conn->read_request(request, quick_limits()));
+  EXPECT_EQ(request.body, "hi");
+  ASSERT_NE(request.header("content-length"), nullptr);
+}
+
+TEST(HttpParse, BodySplitAcrossManySegmentsReassembles) {
+  WirePair wire;
+  std::thread writer([&] {
+    wire.send("POST /v1/predict HTTP/1.1\r\nContent-Length: 10\r\n");
+    wire.send("\r\n12345");
+    wire.send("67890");
+  });
+  HttpRequest request;
+  ASSERT_TRUE(wire.conn->read_request(request, quick_limits()));
+  EXPECT_EQ(request.body, "1234567890");
+  writer.join();
+}
+
+TEST(HttpParse, ConnectionCloseDisablesKeepAlive) {
+  WirePair wire;
+  wire.send("GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+  HttpRequest request;
+  ASSERT_TRUE(wire.conn->read_request(request, quick_limits()));
+  EXPECT_FALSE(request.keep_alive());
+}
+
+TEST(HttpParse, BareLfLineEndingsTolerated) {
+  WirePair wire;
+  wire.send("GET /healthz HTTP/1.1\nHost: x\n\n");
+  HttpRequest request;
+  ASSERT_TRUE(wire.conn->read_request(request, quick_limits()));
+  EXPECT_EQ(request.target, "/healthz");
+}
+
+TEST(HttpParse, CleanEofBeforeFirstByteReturnsFalse) {
+  WirePair wire;
+  wire.close_peer();
+  HttpRequest request;
+  EXPECT_FALSE(wire.conn->read_request(request, quick_limits()));
+}
+
+TEST(HttpParse, EofMidMessageIsAnError) {
+  WirePair wire;
+  wire.send("GET /healthz HTTP/1.1\r\nHos");
+  wire.close_peer();
+  HttpRequest request;
+  try {
+    wire.conn->read_request(request, quick_limits());
+    FAIL() << "truncated head parsed";
+  } catch (const HttpError& e) {
+    EXPECT_EQ(e.status(), 400);
+  }
+}
+
+TEST(HttpParse, MalformedRequestLineIs400) {
+  WirePair wire;
+  wire.send("COMPLETE NONSENSE\r\n\r\n");
+  HttpRequest request;
+  try {
+    wire.conn->read_request(request, quick_limits());
+    FAIL() << "garbage request line parsed";
+  } catch (const HttpError& e) {
+    EXPECT_EQ(e.status(), 400);
+  }
+}
+
+TEST(HttpParse, NegativeContentLengthIs400) {
+  WirePair wire;
+  wire.send("POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n");
+  HttpRequest request;
+  try {
+    wire.conn->read_request(request, quick_limits());
+    FAIL() << "negative Content-Length accepted";
+  } catch (const HttpError& e) {
+    EXPECT_EQ(e.status(), 400);
+  }
+}
+
+TEST(HttpParse, ChunkedTransferEncodingIs501) {
+  WirePair wire;
+  wire.send("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  HttpRequest request;
+  try {
+    wire.conn->read_request(request, quick_limits());
+    FAIL() << "chunked encoding accepted";
+  } catch (const HttpError& e) {
+    EXPECT_EQ(e.status(), 501);
+  }
+}
+
+TEST(HttpParse, OversizedCompleteHeaderBlockIs431) {
+  WirePair wire;
+  HttpLimits limits = quick_limits();
+  limits.max_header_bytes = 256;
+  std::string head = "GET / HTTP/1.1\r\nX-Big: ";
+  head.append(1024, 'a');
+  head += "\r\n\r\n";
+  wire.send(head);
+  HttpRequest request;
+  try {
+    wire.conn->read_request(request, limits);
+    FAIL() << "oversized header block accepted";
+  } catch (const HttpError& e) {
+    EXPECT_EQ(e.status(), 431);
+  }
+}
+
+TEST(HttpParse, UnterminatedHeaderStreamIs431) {
+  WirePair wire;
+  HttpLimits limits = quick_limits();
+  limits.max_header_bytes = 256;
+  // No terminator at all: the cap must fire from buffered growth alone.
+  std::string head = "GET / HTTP/1.1\r\nX-Drip: ";
+  head.append(1024, 'b');
+  wire.send(head);
+  HttpRequest request;
+  try {
+    wire.conn->read_request(request, limits);
+    FAIL() << "unterminated oversized header accepted";
+  } catch (const HttpError& e) {
+    EXPECT_EQ(e.status(), 431);
+  }
+}
+
+TEST(HttpParse, OversizedBodyIsRejectedBeforeItIsRead) {
+  WirePair wire;
+  HttpLimits limits = quick_limits();
+  limits.max_body_bytes = 16;
+  // Only the head is sent: the 413 must come from the declared length, not
+  // from buffering a body we intend to refuse.
+  wire.send("POST / HTTP/1.1\r\nContent-Length: 1048576\r\n\r\n");
+  HttpRequest request;
+  try {
+    wire.conn->read_request(request, limits);
+    FAIL() << "oversized body accepted";
+  } catch (const HttpError& e) {
+    EXPECT_EQ(e.status(), 413);
+  }
+}
+
+TEST(HttpParse, StalledPeerTimesOutWith408) {
+  WirePair wire;
+  HttpLimits limits;
+  limits.io_timeout_ms = 60;
+  wire.send("GET / HTTP/1.1\r\nHost:");  // then silence
+  HttpRequest request;
+  try {
+    wire.conn->read_request(request, limits);
+    FAIL() << "stalled read did not time out";
+  } catch (const HttpError& e) {
+    EXPECT_EQ(e.status(), 408);
+  }
+}
+
+TEST(HttpRoundTrip, ResponseWriteThenParse) {
+  WirePair server_side;
+  HttpResponse out;
+  out.status = 404;
+  out.set_header("Content-Type", "application/json");
+  out.set_header("X-Picp-Cache", "miss");
+  out.body = "{\"error\":\"no\"}";
+  server_side.conn->write_response(out);
+
+  const std::string wire_bytes = server_side.drain();
+  EXPECT_NE(wire_bytes.find("HTTP/1.1 404 Not Found\r\n"), std::string::npos);
+  EXPECT_NE(wire_bytes.find("Content-Length: 14\r\n"), std::string::npos);
+
+  WirePair client_side;
+  client_side.send(wire_bytes);
+  HttpResponse in;
+  ASSERT_TRUE(client_side.conn->read_response(in, quick_limits()));
+  EXPECT_EQ(in.status, 404);
+  EXPECT_EQ(in.body, out.body);
+  ASSERT_NE(in.header("x-picp-cache"), nullptr);
+  EXPECT_EQ(*in.header("x-picp-cache"), "miss");
+}
+
+TEST(HttpRoundTrip, RequestWriteThenParse) {
+  WirePair client_side;
+  HttpRequest out;
+  out.method = "POST";
+  out.target = "/v1/predict";
+  out.body = "{\"ranks\":[16]}";
+  client_side.conn->write_request(out, "127.0.0.1:9");
+
+  const std::string wire_bytes = client_side.drain();
+  WirePair server_side;
+  server_side.send(wire_bytes);
+  HttpRequest in;
+  ASSERT_TRUE(server_side.conn->read_request(in, quick_limits()));
+  EXPECT_EQ(in.method, "POST");
+  EXPECT_EQ(in.target, "/v1/predict");
+  EXPECT_EQ(in.body, out.body);
+  ASSERT_NE(in.header("host"), nullptr);
+}
+
+TEST(HttpRoundTrip, PipelinedKeepAliveRequestsParseBackToBack) {
+  WirePair wire;
+  wire.send(
+      "GET /a HTTP/1.1\r\n\r\n"
+      "POST /b HTTP/1.1\r\nContent-Length: 3\r\n\r\nxyz"
+      "GET /c HTTP/1.1\r\nConnection: close\r\n\r\n");
+  HttpRequest request;
+  ASSERT_TRUE(wire.conn->read_request(request, quick_limits()));
+  EXPECT_EQ(request.target, "/a");
+  ASSERT_TRUE(wire.conn->read_request(request, quick_limits()));
+  EXPECT_EQ(request.target, "/b");
+  EXPECT_EQ(request.body, "xyz");
+  ASSERT_TRUE(wire.conn->read_request(request, quick_limits()));
+  EXPECT_EQ(request.target, "/c");
+  EXPECT_FALSE(request.keep_alive());
+}
+
+TEST(HttpRoundTrip, StatusReasonsCoverTheServingSet) {
+  EXPECT_STREQ(status_reason(200), "OK");
+  EXPECT_STREQ(status_reason(400), "Bad Request");
+  EXPECT_STREQ(status_reason(404), "Not Found");
+  EXPECT_STREQ(status_reason(405), "Method Not Allowed");
+  EXPECT_STREQ(status_reason(408), "Request Timeout");
+  EXPECT_STREQ(status_reason(503), "Service Unavailable");
+}
+
+}  // namespace
+}  // namespace picp::serve

@@ -1,0 +1,226 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the prediction daemon: boot `picpredict serve`
+# on an ephemeral port, then drive the whole serving contract through the
+# `picpredict query` client — health, prediction, byte-identical cache
+# replay, single-flight dedup under 100 concurrent identical queries,
+# malformed-input 400s, method routing, backpressure shedding, and the
+# SIGTERM drain (exit 0 + valid telemetry manifest).
+#
+# Usage: check_serve.sh <picpredict-binary> [workdir]
+# Wired into ctest (fast tier) from tools/CMakeLists.txt.
+set -euo pipefail
+
+PICPREDICT=${1:?usage: check_serve.sh <picpredict-binary> [workdir]}
+WORK=${2:-$(mktemp -d)}
+PYTHON=${PYTHON:-python3}
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+cd "$WORK"
+
+SERVE_PID=""
+BUSY_PID=""
+cleanup() {
+    [[ -n "$SERVE_PID" ]] && kill -9 "$SERVE_PID" 2>/dev/null || true
+    [[ -n "$BUSY_PID" ]] && kill -9 "$BUSY_PID" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+# Counter lookup from a /metricsz JSON body (last line of query output).
+metric() { # metric <file> <counter-name>
+    "$PYTHON" - "$1" "$2" <<'EOF'
+import json, sys
+doc = json.loads(open(sys.argv[1]).read().splitlines()[-1])
+counters = doc.get("metrics", doc).get("counters", {})
+print(int(counters.get(sys.argv[2], 0)))
+EOF
+}
+
+# --- fixture: miniature trace + models --------------------------------------
+cat > mini.ini <<'EOF'
+[mesh]
+nelx = 8
+nely = 8
+nelz = 16
+
+[bed]
+num_particles = 2000
+
+[run]
+num_iterations = 200
+sample_every = 50
+threads = 2
+
+[mapping]
+num_ranks = 8
+
+[measure]
+enabled = true
+min_seconds = 2e-6
+max_reps = 4
+EOF
+
+echo "== build fixture (simulate + train) =="
+"$PICPREDICT" simulate mini.ini --trace mini.trace --timings mini.csv
+"$PICPREDICT" train mini.csv --out mini.models --method linear
+
+echo "== CLI determinism: two predict runs agree on every modeled column =="
+# Column 4 is wall-clock workload-generation seconds — the only
+# non-deterministic field on the line; everything modeled must replay
+# bit-identically (same contract the daemon's cache depends on).
+"$PICPREDICT" predict mini.trace --models mini.models --ranks 4,8 \
+    --nelx 8 --nely 8 --nelz 16 | awk '{print $1, $2, $3, $5}' > predict_a.txt
+"$PICPREDICT" predict mini.trace --models mini.models --ranks 4,8 \
+    --nelx 8 --nely 8 --nelz 16 | awk '{print $1, $2, $3, $5}' > predict_b.txt
+diff predict_a.txt predict_b.txt || fail "CLI predict runs diverged"
+
+# --- boot the daemon ---------------------------------------------------------
+cat > serve.ini <<'EOF'
+[serve]
+trace = mini.trace
+models = mini.models
+threads = 4
+max_connections = 32
+request_timeout_ms = 30000
+drain_timeout_ms = 10000
+
+[mesh]
+nelx = 8
+nely = 8
+nelz = 16
+EOF
+
+echo "== boot daemon on an ephemeral port =="
+"$PICPREDICT" serve --config serve.ini --ready-file ready.port \
+    --telemetry-dir tele_serve > serve.log 2>&1 &
+SERVE_PID=$!
+
+for _ in $(seq 1 100); do
+    [[ -s ready.port ]] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || { cat serve.log >&2; fail "daemon died during startup"; }
+    sleep 0.1
+done
+[[ -s ready.port ]] || fail "daemon never wrote the ready file"
+PORT=$(cat ready.port)
+
+echo "== health + models =="
+"$PICPREDICT" query /healthz --port "$PORT" > healthz.txt
+grep -q '^200 OK' healthz.txt || fail "/healthz not 200: $(cat healthz.txt)"
+grep -q '"status"' healthz.txt || fail "/healthz body has no status field"
+"$PICPREDICT" query /v1/models --port "$PORT" > models.txt
+grep -q '^200 OK' models.txt || fail "/v1/models not 200"
+
+echo "== predict: miss, then byte-identical cached replay =="
+"$PICPREDICT" query /v1/predict --port "$PORT" \
+    --body '{"ranks": [8], "mapper": "bin"}' > predict_miss.txt
+grep -q '^200 OK cache=miss' predict_miss.txt \
+    || fail "first predict was not a cache miss: $(head -1 predict_miss.txt)"
+"$PICPREDICT" query /v1/predict --port "$PORT" \
+    --body '{"ranks": [8], "mapper": "bin"}' > predict_hit.txt
+grep -q '^200 OK cache=hit' predict_hit.txt \
+    || fail "second identical predict was not a cache hit"
+tail -n +2 predict_miss.txt > body_miss.json
+tail -n +2 predict_hit.txt > body_hit.json
+cmp body_miss.json body_hit.json \
+    || fail "cached replay is not byte-identical to the original response"
+
+echo "== workload endpoint shares the artifact cache =="
+"$PICPREDICT" query /v1/workload --port "$PORT" \
+    --body '{"ranks": [8]}' > workload.txt
+grep -q '^200 OK' workload.txt || fail "/v1/workload not 200"
+
+echo "== single-flight: 100 concurrent identical queries, 1 generation =="
+"$PICPREDICT" query /metricsz --port "$PORT" > metrics_before.txt
+GEN_BEFORE=$(metric metrics_before.txt "serve.workload.generations")
+# ranks=20 has never been requested: every one of the 100 concurrent
+# queries below needs the same brand-new workload artifact.
+"$PICPREDICT" query /v1/predict --port "$PORT" \
+    --body '{"ranks": [20]}' --repeat 100 --parallel 16 --quiet \
+    || fail "concurrent identical queries failed"
+"$PICPREDICT" query /metricsz --port "$PORT" > metrics_after.txt
+GEN_AFTER=$(metric metrics_after.txt "serve.workload.generations")
+HITS=$(metric metrics_after.txt "serve.cache.response.hits")
+[[ $((GEN_AFTER - GEN_BEFORE)) -eq 1 ]] \
+    || fail "expected exactly 1 workload generation for 100 concurrent identical queries, got $((GEN_AFTER - GEN_BEFORE))"
+[[ "$HITS" -ge 99 ]] \
+    || fail "expected >= 99 response-cache hits after the concurrent burst, got $HITS"
+
+echo "== malformed and misrouted requests get structured errors =="
+set +e
+"$PICPREDICT" query /v1/predict --port "$PORT" --body '{"ranks": ' > bad_json.txt
+BAD_JSON_EXIT=$?
+"$PICPREDICT" query /v1/predict --port "$PORT" --body '{"ranks": [0]}' > bad_ranks.txt
+BAD_RANKS_EXIT=$?
+"$PICPREDICT" query /v1/predict --port "$PORT" > wrong_method.txt
+WRONG_METHOD_EXIT=$?
+"$PICPREDICT" query /v1/nonexistent --port "$PORT" > not_found.txt
+NOT_FOUND_EXIT=$?
+set -e
+[[ $BAD_JSON_EXIT -ne 0 ]] || fail "query exited 0 on a 400 response"
+grep -q '^400 Bad Request' bad_json.txt || fail "truncated JSON was not a 400"
+grep -q '"error"' bad_json.txt || fail "400 body is not a structured error"
+grep -q '^400 Bad Request' bad_ranks.txt || fail "ranks=0 was not a 400"
+[[ $BAD_RANKS_EXIT -ne 0 ]] || fail "query exited 0 on invalid ranks"
+grep -q '^405 Method Not Allowed' wrong_method.txt \
+    || fail "GET /v1/predict was not a 405"
+[[ $WRONG_METHOD_EXIT -ne 0 ]] || fail "query exited 0 on a 405"
+grep -q '^404 Not Found' not_found.txt || fail "unknown endpoint was not a 404"
+[[ $NOT_FOUND_EXIT -ne 0 ]] || fail "query exited 0 on a 404"
+
+echo "== backpressure: a 1-connection daemon sheds concurrent clients =="
+cat > busy.ini <<'EOF'
+[serve]
+trace = mini.trace
+models = mini.models
+threads = 1
+max_connections = 1
+
+[mesh]
+nelx = 8
+nely = 8
+nelz = 16
+EOF
+"$PICPREDICT" serve --config busy.ini --ready-file busy.port > busy.log 2>&1 &
+BUSY_PID=$!
+for _ in $(seq 1 100); do
+    [[ -s busy.port ]] && break
+    sleep 0.1
+done
+[[ -s busy.port ]] || fail "busy daemon never wrote the ready file"
+BUSY_PORT=$(cat busy.port)
+# Warm the cache so rejected connections are the only failure mode.
+"$PICPREDICT" query /v1/predict --port "$BUSY_PORT" \
+    --body '{"ranks": [8]}' --quiet || fail "busy daemon warmup failed"
+set +e
+"$PICPREDICT" query /v1/predict --port "$BUSY_PORT" \
+    --body '{"ranks": [8]}' --repeat 64 --parallel 8 --quiet > shed.txt 2>&1
+SHED_EXIT=$?
+set -e
+[[ $SHED_EXIT -ne 0 ]] \
+    || fail "8 persistent connections against max_connections=1 all succeeded"
+"$PICPREDICT" query /metricsz --port "$BUSY_PORT" > busy_metrics.txt
+REJECTED=$(metric busy_metrics.txt "serve.rejected_busy")
+[[ "$REJECTED" -ge 1 ]] || fail "rejected_busy counter never moved"
+kill -TERM "$BUSY_PID"
+wait "$BUSY_PID" || fail "busy daemon did not exit 0 on SIGTERM"
+BUSY_PID=""
+
+echo "== drain shutdown: SIGTERM -> exit 0 + valid telemetry manifest =="
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || fail "daemon did not exit 0 on SIGTERM"
+SERVE_PID=""
+grep -q 'drained after' serve.log || fail "no drain summary in serve.log"
+for f in tele_serve/manifest.json tele_serve/trace.json; do
+    [[ -s "$f" ]] || fail "$f missing or empty after drain"
+done
+leftover=$(find tele_serve -name '*.tmp*' | wc -l)
+[[ "$leftover" -eq 0 ]] || fail "atomic-write temp files left in tele_serve"
+"$PICPREDICT" report tele_serve --check
+grep -q '"command": "serve"' tele_serve/manifest.json \
+    || fail "manifest command != serve"
+grep -q 'serve.workload_gen' tele_serve/trace.json \
+    || fail "no serve.workload_gen spans in trace.json"
+
+echo "check_serve: OK"

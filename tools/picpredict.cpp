@@ -39,12 +39,36 @@
 //       totals, pool utilization) and the top-N hottest span families from
 //       the Chrome trace. --check validates both files against the
 //       required-key schemas and exits non-zero on any violation.
+//
+//   picpredict serve --config <serve.ini> [--port P] [--threads N]
+//                    [--ready-file F] [--telemetry-dir D]
+//       Long-lived prediction daemon: load the trace + models once, answer
+//       /v1/predict, /v1/workload, /v1/models, /healthz, /metricsz over
+//       HTTP/1.1 with a content-addressed artifact cache. SIGINT/SIGTERM
+//       drain in-flight requests, then exit 0 (writing the telemetry
+//       manifest when --telemetry-dir is set).
+//
+//   picpredict query <endpoint> [--port P] [--host H] [--body JSON]
+//                    [--repeat N] [--parallel K] [--quiet]
+//       Client for the daemon: one request (or a closed loop of N, K at a
+//       time), printing status + body. Exits 0 iff every response is 2xx.
+//
+// Exit codes (contract, covered by tests/test_cli_errors.cpp): 0 success,
+// 1 runtime failure (missing/corrupt input, prediction error, non-2xx
+// query), 2 usage error (unknown command, bad flag, malformed value).
+
+#include <sys/stat.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <set>
 #include <sstream>
 #include <string>
@@ -55,13 +79,18 @@
 #include "mapping/mapper.hpp"
 #include "picsim/checkpoint.hpp"
 #include "picsim/sim_driver.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
 #include "telemetry/telemetry.hpp"
 #include "trace/extrapolate.hpp"
 #include "trace/trace_reader.hpp"
 #include "trace/trace_salvage.hpp"
+#include "util/atomic_file.hpp"
+#include "util/config.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/string_util.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/workload_stats.hpp"
 
 namespace {
@@ -86,8 +115,51 @@ using namespace picp;
                "                     [--telemetry-dir <dir>]\n"
                "  picpredict extrapolate <trace> --out <out> --particles "
                "<N> [--seed N]\n"
-               "  picpredict report <telemetry-dir> [--top N] [--check]\n");
+               "  picpredict report <telemetry-dir> [--top N] [--check]\n"
+               "  picpredict serve --config <serve.ini> [--port P] "
+               "[--threads N]\n"
+               "                   [--ready-file F] [--telemetry-dir D]\n"
+               "  picpredict query <endpoint> [--port P] [--host H] "
+               "[--body JSON]\n"
+               "                  [--repeat N] [--parallel K] [--quiet]\n");
   std::exit(2);
+}
+
+/// Usage-class failure (exit 2): one line, no usage wall — for malformed
+/// flag *values*, where the user got the shape right but the content wrong.
+[[noreturn]] void fail_usage(const std::string& msg) {
+  std::fprintf(stderr, "picpredict: error: %s\n", msg.c_str());
+  std::exit(2);
+}
+
+/// Numeric flag values route parse errors to exit 2 with the flag named —
+/// `--ranks banana` is a usage error, not a runtime failure.
+long long flag_int_value(const std::string& name, const std::string& text) {
+  try {
+    return parse_int(text);
+  } catch (const Error&) {
+    fail_usage("flag --" + name + " needs an integer, got \"" + text + "\"");
+  }
+}
+
+double flag_double_value(const std::string& name, const std::string& text) {
+  try {
+    return parse_double(text);
+  } catch (const Error&) {
+    fail_usage("flag --" + name + " needs a number, got \"" + text + "\"");
+  }
+}
+
+/// Fail early with errno context when an input file is absent/unreadable,
+/// instead of whatever a deep parser would say (or, worse, a bare usage
+/// dump). Runtime-class failure: exit 1 via the main() catch.
+void require_readable(const std::string& path, const char* what) {
+  struct stat st {};
+  if (::stat(path.c_str(), &st) != 0)
+    throw Error(std::string(what) + " " + path + ": " +
+                std::strerror(errno));
+  if (!S_ISREG(st.st_mode))
+    throw Error(std::string(what) + " " + path + ": not a regular file");
 }
 
 /// flag → value map from argv[first..). Flags take one value except the
@@ -127,6 +199,7 @@ std::string flag_or(const std::map<std::string, std::string>& flags,
 int cmd_simulate(int argc, char** argv) {
   if (argc < 3) usage("simulate needs a config file");
   const auto flags = parse_flags(argc, argv, 3, {"resume"});
+  require_readable(argv[2], "cannot read config file");
   const SimConfig cfg = SimConfig::from_config(Config::from_file(argv[2]));
   SimDriver driver(cfg);
   RunOptions options;
@@ -170,6 +243,7 @@ int cmd_trace(int argc, char** argv) {
   if (argc < 4) usage("trace needs a subcommand and a trace file");
   const std::string sub = argv[2];
   const std::string path = argv[3];
+  if (sub == "verify" || sub == "repair") require_readable(path, "cannot read trace file");
   if (sub == "verify") {
     if (argc > 4) usage("trace verify takes no flags");
     const SalvageReport report = scan_trace(path);
@@ -198,11 +272,12 @@ int cmd_trace(int argc, char** argv) {
 int cmd_train(int argc, char** argv) {
   if (argc < 3) usage("train needs a timings CSV");
   const auto flags = parse_flags(argc, argv, 3);
+  require_readable(argv[2], "cannot read timings CSV");
   const KernelTimings timings = KernelTimings::load_csv(argv[2]);
   ModelGenConfig config;
   config.method = fit_method_from_name(flag_or(flags, "method", "auto"));
-  config.symreg.seed =
-      static_cast<std::uint64_t>(parse_int(flag_or(flags, "seed", "1")));
+  config.symreg.seed = static_cast<std::uint64_t>(
+      flag_int_value("seed", flag_or(flags, "seed", "1")));
   TrainReport report;
   const ModelSet models = train_models(timings, config, &report);
   models.save(require_flag(flags, "out"));
@@ -218,7 +293,7 @@ SpectralMesh mesh_for_trace(const TraceReader& trace,
   // Mesh dimensions may be overridden; default to the scaled case study.
   const auto dim = [&flags](const char* name, long long fallback) {
     return static_cast<std::int64_t>(
-        parse_int(flag_or(flags, name, std::to_string(fallback))));
+        flag_int_value(name, flag_or(flags, name, std::to_string(fallback))));
   };
   return SpectralMesh(trace.header().domain, dim("nelx", 32), dim("nely", 32),
                       dim("nelz", 64),
@@ -228,18 +303,18 @@ SpectralMesh mesh_for_trace(const TraceReader& trace,
 int cmd_workload(int argc, char** argv) {
   if (argc < 3) usage("workload needs a trace file");
   const auto flags = parse_flags(argc, argv, 3);
+  require_readable(argv[2], "cannot read trace file");
   TraceReader trace(argv[2]);
   const SpectralMesh mesh = mesh_for_trace(trace, flags);
-  const auto ranks =
-      static_cast<Rank>(parse_int(require_flag(flags, "ranks")));
-  const double filter = parse_double(flag_or(flags, "filter", "0.024"));
-  const MeshPartition partition = rcb_partition(mesh, ranks);
-  const auto mapper = make_mapper(flag_or(flags, "mapper", "bin"), mesh,
-                                  partition, filter);
-  WorkloadParams params;
-  params.ghost_radius = filter;
-  WorkloadGenerator generator(mesh, partition, *mapper, params);
-  const WorkloadResult workload = generator.generate(trace);
+  // Same in-process entry point the daemon's cache fills from — the CLI is
+  // a one-shot client of the pipeline, not a second implementation.
+  const PredictionPipeline pipeline(mesh, ModelSet{});
+  PredictionConfig pc;
+  pc.num_ranks =
+      static_cast<Rank>(flag_int_value("ranks", require_flag(flags, "ranks")));
+  pc.mapper_kind = flag_or(flags, "mapper", "bin");
+  pc.filter_size = flag_double_value("filter", flag_or(flags, "filter", "0.024"));
+  const WorkloadResult workload = pipeline.generate_workload(trace, pc);
 
   const UtilizationStats stats = utilization(workload.comp_real);
   std::printf("intervals            : %zu\n", workload.num_intervals());
@@ -276,6 +351,8 @@ int cmd_predict(int argc, char** argv) {
     telemetry::add_run_annotation("ranks", require_flag(flags, "ranks"));
     telemetry::add_run_annotation("mapper", flag_or(flags, "mapper", "bin"));
   }
+  require_readable(argv[2], "cannot read trace file");
+  require_readable(require_flag(flags, "models"), "cannot read models file");
   TraceReader trace(argv[2]);
   const SpectralMesh mesh = mesh_for_trace(trace, flags);
   const ModelSet models = ModelSet::load(require_flag(flags, "models"));
@@ -286,9 +363,10 @@ int cmd_predict(int argc, char** argv) {
   for (const std::string& field :
        split(require_flag(flags, "ranks"), ',')) {
     PredictionConfig pc;
-    pc.num_ranks = static_cast<Rank>(parse_int(field));
+    pc.num_ranks = static_cast<Rank>(flag_int_value("ranks", field));
     pc.mapper_kind = flag_or(flags, "mapper", "bin");
-    pc.filter_size = parse_double(flag_or(flags, "filter", "0.024"));
+    pc.filter_size =
+        flag_double_value("filter", flag_or(flags, "filter", "0.024"));
     const PredictionOutcome outcome = pipeline.predict(trace, pc);
     std::printf("%8d %16.5f %18.5f %14.3f %12llu\n", pc.num_ranks,
                 outcome.sim.total_seconds,
@@ -322,8 +400,8 @@ int cmd_report(int argc, char** argv) {
   const auto flags = parse_flags(argc, argv, 3, {"check"});
   const std::string dir = argv[2];
   const bool check = flags.count("check") > 0;
-  const auto top_n =
-      static_cast<std::size_t>(parse_int(flag_or(flags, "top", "10")));
+  const auto top_n = static_cast<std::size_t>(
+      flag_int_value("top", flag_or(flags, "top", "10")));
   int violations = 0;
   const auto violation = [&violations](const std::string& what) {
     std::fprintf(stderr, "schema violation: %s\n", what.c_str());
@@ -435,12 +513,13 @@ int cmd_report(int argc, char** argv) {
 int cmd_extrapolate(int argc, char** argv) {
   if (argc < 3) usage("extrapolate needs a trace file");
   const auto flags = parse_flags(argc, argv, 3);
+  require_readable(argv[2], "cannot read trace file");
   TraceReader trace(argv[2]);
   ExtrapolationParams params;
   params.target_particles = static_cast<std::uint64_t>(
-      parse_int(require_flag(flags, "particles")));
+      flag_int_value("particles", require_flag(flags, "particles")));
   params.seed = static_cast<std::uint64_t>(
-      parse_int(flag_or(flags, "seed", "20210517")));
+      flag_int_value("seed", flag_or(flags, "seed", "20210517")));
   const std::string out = require_flag(flags, "out");
   const std::uint64_t samples = extrapolate_trace(trace, out, params);
   std::printf("wrote %llu samples x %llu particles to %s\n",
@@ -448,6 +527,166 @@ int cmd_extrapolate(int argc, char** argv) {
               static_cast<unsigned long long>(params.target_particles),
               out.c_str());
   return 0;
+}
+
+// --- serve ------------------------------------------------------------------
+
+serve::HttpServer* g_server = nullptr;  // signal handler target
+
+extern "C" void handle_shutdown_signal(int) {
+  // request_shutdown() is one write(2) to a self-pipe: async-signal-safe.
+  if (g_server != nullptr) g_server->request_shutdown();
+}
+
+int cmd_serve(int argc, char** argv) {
+  const auto flags = parse_flags(argc, argv, 2);
+  const std::string config_path = require_flag(flags, "config");
+  require_readable(config_path, "cannot read serve config");
+  const Config config = Config::from_file(config_path);
+  const serve::ServiceConfig service_config =
+      serve::ServiceConfig::from_config(config);
+  require_readable(service_config.trace_path, "cannot read trace file");
+  if (!service_config.models_path.empty())
+    require_readable(service_config.models_path, "cannot read models file");
+
+  serve::ServerOptions options;
+  options.port = static_cast<std::uint16_t>(flag_int_value(
+      "port", flag_or(flags, "port",
+                      std::to_string(config.get_int("serve.port", 0)))));
+  options.threads = static_cast<std::size_t>(flag_int_value(
+      "threads", flag_or(flags, "threads",
+                         std::to_string(config.get_int("serve.threads", 0)))));
+  options.max_connections = static_cast<std::size_t>(
+      config.get_int("serve.max_connections",
+                     static_cast<long long>(options.max_connections)));
+  options.request_timeout_ms = static_cast<int>(config.get_int(
+      "serve.request_timeout_ms", options.request_timeout_ms));
+  options.drain_timeout_ms = static_cast<int>(
+      config.get_int("serve.drain_timeout_ms", options.drain_timeout_ms));
+  options.limits.io_timeout_ms = options.request_timeout_ms;
+
+  // The daemon always collects telemetry — /metricsz and the cache
+  // hit/miss counters are part of the serving contract, not an opt-in.
+  // --telemetry-dir additionally writes trace.json + manifest.json on
+  // shutdown (the drain manifest the smoke test validates).
+  const bool telemetry_persisted = flags.count("telemetry-dir") > 0;
+  telemetry::SessionOptions session;
+  if (telemetry_persisted) session.directory = flags.at("telemetry-dir");
+  telemetry::configure(session);
+  telemetry::add_run_annotation("config", config_path);
+  telemetry::add_run_annotation("trace", service_config.trace_path);
+
+  serve::PredictionService service(service_config);
+  serve::HttpServer server(
+      options, [&service](const serve::HttpRequest& request) {
+        return service.handle(request);
+      });
+  telemetry::set_run_info("serve", 0, server.workers());
+
+  g_server = &server;
+  struct sigaction action {};
+  action.sa_handler = handle_shutdown_signal;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+
+  std::printf("picpredict serve: listening on 127.0.0.1:%u\n",
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+  if (flags.count("ready-file") > 0) {
+    // Published atomically so a watcher never reads a half-written port.
+    const std::string port_line = std::to_string(server.port()) + "\n";
+    atomic_write_file(flags.at("ready-file"), port_line.data(),
+                      port_line.size());
+  }
+
+  server.run();  // blocks until SIGINT/SIGTERM, then drains
+  g_server = nullptr;
+
+  const serve::ServerStats stats = server.stats();
+  if (telemetry_persisted) telemetry::finalize();
+  std::printf("picpredict serve: drained after %llu request(s), "
+              "%llu connection(s) accepted, %llu shed\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.accepted),
+              static_cast<unsigned long long>(stats.rejected_busy));
+  return 0;
+}
+
+// --- query ------------------------------------------------------------------
+
+int cmd_query(int argc, char** argv) {
+  if (argc < 3 || argv[2][0] == '-')
+    usage("query needs an endpoint path, e.g. /healthz");
+  const std::string endpoint = argv[2];
+  const auto flags = parse_flags(argc, argv, 3, {"quiet"});
+  const std::string host = flag_or(flags, "host", "127.0.0.1");
+  const auto port = static_cast<std::uint16_t>(
+      flag_int_value("port", require_flag(flags, "port")));
+  const std::string body = flag_or(flags, "body", "");
+  const auto repeat = static_cast<std::size_t>(
+      flag_int_value("repeat", flag_or(flags, "repeat", "1")));
+  const auto parallel = static_cast<std::size_t>(
+      flag_int_value("parallel", flag_or(flags, "parallel", "1")));
+  const bool quiet = flags.count("quiet") > 0;
+  if (repeat < 1) fail_usage("--repeat must be >= 1");
+  if (parallel < 1) fail_usage("--parallel must be >= 1");
+
+  serve::HttpRequest request;
+  request.method = body.empty() ? "GET" : "POST";
+  request.target = endpoint;
+  request.body = body;
+  if (!body.empty())
+    request.headers.emplace_back("Content-Type", "application/json");
+  const std::string host_header = host + ":" + std::to_string(port);
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> failures{0};
+  std::mutex print_mutex;
+  const auto worker = [&] {
+    // One connection per worker, reused across its share of requests —
+    // the closed-loop shape the daemon's keep-alive path is built for.
+    try {
+      serve::HttpConnection connection(serve::connect_tcp(host, port));
+      serve::HttpLimits limits;
+      while (next.fetch_add(1) < repeat) {
+        connection.write_request(request, host_header);
+        serve::HttpResponse response;
+        if (!connection.read_response(response, limits))
+          throw Error("server closed the connection");
+        if (response.status < 200 || response.status >= 300)
+          failures.fetch_add(1);
+        if (!quiet) {
+          std::lock_guard<std::mutex> lock(print_mutex);
+          const std::string* cache = response.header("x-picp-cache");
+          std::printf("%d %s%s%s%s", response.status,
+                      serve::status_reason(response.status),
+                      cache != nullptr ? " cache=" : "",
+                      cache != nullptr ? cache->c_str() : "",
+                      response.body.empty() ? "\n" : "\n");
+          if (!response.body.empty())
+            std::fwrite(response.body.data(), 1, response.body.size(),
+                        stdout);
+        }
+        const std::string* connection_header =
+            response.header("connection");
+        if (connection_header != nullptr && *connection_header == "close")
+          throw Error("server is draining (connection: close)");
+      }
+    } catch (const std::exception& e) {
+      failures.fetch_add(1);
+      std::lock_guard<std::mutex> lock(print_mutex);
+      std::fprintf(stderr, "query: %s\n", e.what());
+    }
+  };
+
+  if (parallel == 1) {
+    worker();
+  } else {
+    ThreadPool pool(parallel);
+    for (std::size_t i = 0; i < parallel; ++i) pool.submit(worker);
+    pool.wait_idle();
+  }
+  return failures.load() == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -463,8 +702,12 @@ int main(int argc, char** argv) {
     if (command == "predict") return cmd_predict(argc, argv);
     if (command == "extrapolate") return cmd_extrapolate(argc, argv);
     if (command == "report") return cmd_report(argc, argv);
+    if (command == "serve") return cmd_serve(argc, argv);
+    if (command == "query") return cmd_query(argc, argv);
     usage(("unknown command: " + command).c_str());
   } catch (const std::exception& e) {
+    // One-line diagnostic, never a bare stack of parser noise: the first
+    // line carries the path + errno context, any hint lines follow.
     std::fprintf(stderr, "picpredict: %s\n", e.what());
     return 1;
   }
