@@ -1,12 +1,21 @@
 // Closed-loop load generator for the prediction daemon: spins up the real
 // HttpServer + PredictionService in-process, then drives it with K
 // persistent keep-alive connections issuing M requests each over a small
-// rotation of configs. Reports latency percentiles, throughput, and the
-// cache hit rate observed on the wire (X-Picp-Cache), separating the
-// cold-cache generation cost from the cached hot path the daemon is built
-// around. Snapshot rows live in results/micro_serve.txt.
+// rotation of configs. Runs three phases over the same server:
+//
+//   warmup    one sequential pass per distinct config (cold generation,
+//             not measured) so the measured phases compare like with like;
+//   baseline  the all-hits hot path the daemon is built around;
+//   faulty    the same load with `http.write=delay(5):1in100` armed — the
+//             failure-mode column: what 1% slow socket writes do to p99.
+//
+// Reports latency percentiles, throughput, and the cache hit rate observed
+// on the wire (X-Picp-Cache) per phase. Snapshot rows live in
+// results/micro_serve.txt; --json writes the machine-readable
+// BENCH_serve.json snapshot the perf trajectory tracks.
 //
 // Usage: micro_serve [--connections K] [--requests M] [--distinct D]
+//                    [--json FILE]
 
 #include <algorithm>
 #include <atomic>
@@ -24,6 +33,7 @@
 #include "serve/server.hpp"
 #include "serve/service.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/failpoint.hpp"
 
 namespace picp {
 namespace {
@@ -31,6 +41,16 @@ namespace {
 struct LoadResult {
   std::vector<double> latencies_us;  // one per completed request
   std::uint64_t wire_hits = 0;
+  std::uint64_t failures = 0;
+};
+
+/// One measured phase, aggregated over every client.
+struct PhaseResult {
+  std::string name;
+  std::size_t samples = 0;
+  double p50_us = 0, p95_us = 0, p99_us = 0, max_us = 0;
+  double throughput_rps = 0;
+  double cache_hit_pct = 0;
   std::uint64_t failures = 0;
 };
 
@@ -42,8 +62,7 @@ double percentile(std::vector<double>& sorted, double p) {
 }
 
 /// One client: a persistent connection issuing `requests` POSTs, rotating
-/// the rank count through `distinct` values so the first pass of each
-/// config misses and everything after hits.
+/// the rank count through `distinct` values.
 LoadResult run_client(std::uint16_t port, std::size_t requests,
                       std::size_t distinct, std::size_t seed) {
   LoadResult result;
@@ -73,10 +92,55 @@ LoadResult run_client(std::uint16_t port, std::size_t requests,
   return result;
 }
 
+/// Drive the closed loop once and fold every client into one PhaseResult.
+PhaseResult run_phase(const std::string& name, std::uint16_t port,
+                      std::size_t connections, std::size_t requests,
+                      std::size_t distinct) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<LoadResult> per_client(connections);
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < connections; ++c)
+    clients.emplace_back([&, c] {
+      per_client[c] = run_client(port, requests, distinct, c);
+    });
+  for (auto& t : clients) t.join();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  std::vector<double> latencies;
+  PhaseResult phase;
+  phase.name = name;
+  for (const LoadResult& r : per_client) {
+    latencies.insert(latencies.end(), r.latencies_us.begin(),
+                     r.latencies_us.end());
+    phase.cache_hit_pct += static_cast<double>(r.wire_hits);
+    phase.failures += r.failures;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  phase.samples = latencies.size();
+  const double total = static_cast<double>(latencies.size());
+  phase.p50_us = percentile(latencies, 50);
+  phase.p95_us = percentile(latencies, 95);
+  phase.p99_us = percentile(latencies, 99);
+  phase.max_us = latencies.empty() ? 0.0 : latencies.back();
+  phase.throughput_rps = total / wall_seconds;
+  phase.cache_hit_pct =
+      total > 0 ? 100.0 * phase.cache_hit_pct / total : 0.0;
+  return phase;
+}
+
 long long arg_or(int argc, char** argv, const char* name, long long fallback) {
   for (int i = 1; i + 1 < argc; ++i)
     if (std::strcmp(argv[i], name) == 0) return std::atoll(argv[i + 1]);
   return fallback;
+}
+
+const char* arg_str(int argc, char** argv, const char* name) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  return nullptr;
 }
 
 }  // namespace
@@ -92,6 +156,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(arg_or(argc, argv, "--requests", 250));
   const auto distinct =
       static_cast<std::size_t>(arg_or(argc, argv, "--distinct", 8));
+  const char* json_path = arg_str(argc, argv, "--json");
 
   // --- fixture: tiny trace + models, like the serving smoke test ----------
   const std::string work = fs::temp_directory_path() / "picp_micro_serve";
@@ -142,49 +207,73 @@ int main(int argc, char** argv) {
                            });
   std::thread server_thread([&] { server.run(); });
 
-  // --- closed loop ---------------------------------------------------------
-  const auto wall_start = std::chrono::steady_clock::now();
-  std::vector<LoadResult> per_client(connections);
-  std::vector<std::thread> clients;
-  for (std::size_t c = 0; c < connections; ++c)
-    clients.emplace_back([&, c] {
-      per_client[c] = run_client(server.port(), requests, distinct, c);
-    });
-  for (auto& t : clients) t.join();
-  const double wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    wall_start)
-          .count();
+  // Warmup: generate each distinct config once, sequentially, so both
+  // measured phases run against a fully warm cache and their percentiles
+  // differ only by the injected fault.
+  const PhaseResult warmup =
+      run_phase("warmup", server.port(), 1, distinct, distinct);
+
+  const PhaseResult baseline =
+      run_phase("baseline", server.port(), connections, requests, distinct);
+
+  // Failure mode: 1% of response writes sleep 5 ms — the p99-with-faults
+  // column. Deterministic seed so two runs arm the same fire pattern.
+  failpoint::set_seed(20210517);
+  failpoint::arm("http.write=delay(5):1in100");
+  const PhaseResult faulty = run_phase("delay_1in100", server.port(),
+                                       connections, requests, distinct);
+  failpoint::disarm_all();
 
   server.request_shutdown();
   server_thread.join();
 
-  std::vector<double> latencies;
-  std::uint64_t wire_hits = 0, failures = 0;
-  for (const LoadResult& r : per_client) {
-    latencies.insert(latencies.end(), r.latencies_us.begin(),
-                     r.latencies_us.end());
-    wire_hits += r.wire_hits;
-    failures += r.failures;
-  }
-  std::sort(latencies.begin(), latencies.end());
-  const double total = static_cast<double>(latencies.size());
-
   std::printf("# micro_serve: closed-loop load against the prediction "
               "daemon (in-process server, loopback TCP)\n");
-  std::printf("# %zu connections x %zu requests, %zu distinct configs "
-              "(first pass per config generates, the rest hit the cache)\n",
+  std::printf("# %zu connections x %zu requests, %zu distinct configs, "
+              "cache warmed before measurement; the delay_1in100 phase "
+              "runs with http.write=delay(5):1in100 armed\n",
               connections, requests, distinct);
-  std::printf("connections,requests,distinct,p50_us,p95_us,p99_us,max_us,"
-              "throughput_rps,cache_hit_pct,failures\n");
-  std::printf("%zu,%zu,%zu,%.1f,%.1f,%.1f,%.1f,%.0f,%.2f,%llu\n",
-              connections, requests, distinct, percentile(latencies, 50),
-              percentile(latencies, 95), percentile(latencies, 99),
-              latencies.empty() ? 0.0 : latencies.back(),
-              total / wall_seconds,
-              total > 0 ? 100.0 * static_cast<double>(wire_hits) / total : 0.0,
-              static_cast<unsigned long long>(failures));
+  std::printf("phase,connections,requests,distinct,p50_us,p95_us,p99_us,"
+              "max_us,throughput_rps,cache_hit_pct,failures\n");
+  for (const PhaseResult* phase : {&baseline, &faulty})
+    std::printf("%s,%zu,%zu,%zu,%.1f,%.1f,%.1f,%.1f,%.0f,%.2f,%llu\n",
+                phase->name.c_str(), connections, requests, distinct,
+                phase->p50_us, phase->p95_us, phase->p99_us, phase->max_us,
+                phase->throughput_rps, phase->cache_hit_pct,
+                static_cast<unsigned long long>(phase->failures));
+
+  if (json_path != nullptr) {
+    std::FILE* out = std::fopen(json_path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "micro_serve: cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"micro_serve\",\n"
+                 "  \"connections\": %zu,\n"
+                 "  \"requests\": %zu,\n"
+                 "  \"distinct\": %zu,\n"
+                 "  \"phases\": [\n",
+                 connections, requests, distinct);
+    bool first = true;
+    for (const PhaseResult* phase : {&baseline, &faulty}) {
+      std::fprintf(
+          out,
+          "%s    {\"phase\": \"%s\", \"samples\": %zu, \"p50_us\": %.1f, "
+          "\"p95_us\": %.1f, \"p99_us\": %.1f, \"max_us\": %.1f, "
+          "\"throughput_rps\": %.0f, \"cache_hit_pct\": %.2f, "
+          "\"failures\": %llu}",
+          first ? "" : ",\n", phase->name.c_str(), phase->samples,
+          phase->p50_us, phase->p95_us, phase->p99_us, phase->max_us,
+          phase->throughput_rps, phase->cache_hit_pct,
+          static_cast<unsigned long long>(phase->failures));
+      first = false;
+    }
+    std::fprintf(out, "\n  ]\n}\n");
+    std::fclose(out);
+  }
 
   fs::remove_all(work);
-  return failures == 0 ? 0 : 1;
+  return warmup.failures + baseline.failures + faulty.failures == 0 ? 0 : 1;
 }

@@ -15,7 +15,9 @@ PredictionPipeline::PredictionPipeline(const SpectralMesh& mesh,
 
 WorkloadResult PredictionPipeline::generate_workload(
     TraceReader& trace, const PredictionConfig& config) const {
+  config.deadline.check("generate.partition");
   const MeshPartition partition = rcb_partition(*mesh_, config.num_ranks);
+  config.deadline.check("generate.mapper");
   const auto mapper = make_mapper(config.mapper_kind, *mesh_, partition,
                                   config.filter_size);
   WorkloadParams params;
@@ -24,6 +26,7 @@ WorkloadResult PredictionPipeline::generate_workload(
   params.compute_comm = config.compute_comm;
   params.max_intervals = config.max_intervals;
   params.interval_stride = config.interval_stride;
+  params.deadline = config.deadline;
   WorkloadGenerator generator(*mesh_, partition, *mapper, params);
   try {
     return generator.generate(trace);
@@ -41,6 +44,7 @@ WorkloadResult PredictionPipeline::generate_workload(
 
 SimReport PredictionPipeline::simulate_workload(
     const WorkloadResult& workload, const PredictionConfig& config) const {
+  config.deadline.check("simulate.des");
   const Predictor predictor(models_, config.filter_size);
   const telemetry::ScopedSpan span("predict.des", "predict");
   return run_trace_simulation(predictor.sim_input(workload, config.network));

@@ -7,6 +7,7 @@
 #include "mesh/spectral_mesh.hpp"
 #include "model/model_set.hpp"
 #include "trace/trace_reader.hpp"
+#include "util/deadline.hpp"
 #include "workload/generator.hpp"
 
 namespace picp {
@@ -25,6 +26,11 @@ struct PredictionConfig {
   std::size_t interval_stride = 1;
   bool compute_ghosts = true;
   bool compute_comm = true;
+  /// Per-request budget, checked at stage boundaries (partition, mapper,
+  /// per-interval generation, simulation). NOT part of any cache
+  /// fingerprint — two requests for the same artifact with different
+  /// budgets are the same artifact.
+  Deadline deadline;
 };
 
 /// Everything a full prediction produces.

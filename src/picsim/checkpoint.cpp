@@ -6,6 +6,7 @@
 #include "util/atomic_file.hpp"
 #include "util/crc32.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 
 namespace picp {
 
@@ -28,6 +29,7 @@ T take_pod(const char*& cursor) {
 }  // namespace
 
 void SimCheckpoint::save(const std::string& path) const {
+  failpoint::inject("checkpoint.save");
   PICP_REQUIRE(positions.size() == velocities.size(),
                "checkpoint particle arrays disagree");
   std::vector<char> out;
@@ -51,6 +53,7 @@ void SimCheckpoint::save(const std::string& path) const {
 }
 
 SimCheckpoint SimCheckpoint::load(const std::string& path) {
+  failpoint::inject("checkpoint.load");
   std::ifstream in(path, std::ios::binary);
   PICP_REQUIRE(in.is_open(), "cannot open checkpoint: " + path);
   std::vector<char> raw{std::istreambuf_iterator<char>(in),

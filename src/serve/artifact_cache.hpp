@@ -10,9 +10,27 @@
 // entries survive as crash-safe spill files and repopulate the LRU on the
 // next miss. The sibling of tests/support/fixture_cache (same
 // content-addressing idea), but in-memory-first and concurrency-aware.
+//
+// Robustness contract (PR 7):
+//   - Spill files are framed [magic | key | crc32c | payload]; a file
+//     whose digest or key does not match is *quarantined* (moved to
+//     spill_dir/quarantine, never deleted, never replayed) and counted.
+//     The constructor scans the whole spill dir, so a crash that corrupts
+//     or orphans files is reconciled before the first request.
+//   - A failed spill (disk full, injected short write) drops the entry
+//     from the disk tier but never publishes a torn file — AtomicFile
+//     unlinks its temp on abort — and never aborts the eviction.
+//   - get_or_compute() takes a Deadline: waiters joined to an in-flight
+//     computation stop waiting when their request's budget expires, so a
+//     wedged generation cannot strand every later request for the key.
+//   - A bounded *stale tier* remembers the last good value per key in
+//     memory. When compute fails and the caller allows it, the stale
+//     value is served (flagged degraded) instead of propagating a 500.
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <functional>
@@ -25,7 +43,10 @@
 #include <unordered_map>
 
 #include "util/atomic_file.hpp"
+#include "util/crc32.hpp"
+#include "util/deadline.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 
 namespace picp::serve {
 
@@ -37,6 +58,9 @@ struct ArtifactCacheStats {
   std::uint64_t disk_hits = 0;       // repopulated from the spill tier
   std::uint64_t evictions = 0;       // LRU entries dropped (capacity)
   std::uint64_t inflight_waits = 0;  // callers that joined a compute in flight
+  std::uint64_t quarantined = 0;     // spill files failing their digest
+  std::uint64_t stale_served = 0;    // degraded responses from the stale tier
+  std::uint64_t spill_failures = 0;  // evictions whose disk spill failed
 };
 
 template <typename V>
@@ -51,14 +75,18 @@ class ArtifactCache {
   };
 
   /// `capacity` bounds completed in-memory entries (>= 1). `spill_dir`
-  /// empty disables the disk tier.
+  /// empty disables the disk tier. When enabled, the constructor
+  /// reconciles the spill dir: entries failing their frame digest and
+  /// orphaned temp files are quarantined before any request is served.
   explicit ArtifactCache(std::size_t capacity, std::string spill_dir = "",
                          SpillHooks hooks = {})
       : capacity_(capacity == 0 ? 1 : capacity),
         spill_dir_(std::move(spill_dir)),
         hooks_(std::move(hooks)) {
-    if (!spill_dir_.empty())
+    if (!spill_dir_.empty()) {
       std::filesystem::create_directories(spill_dir_);
+      scan_spill_dir();
+    }
   }
 
   /// The artifact for `key`, computing it via `compute` on a miss. Blocks
@@ -66,9 +94,17 @@ class ArtifactCache {
   /// throwing compute propagates to every waiter and leaves the key
   /// absent, so the next request retries. `from_cache` (optional) reports
   /// whether the value was served without running `compute`.
+  ///
+  /// `deadline` bounds how long this caller waits on someone else's
+  /// in-flight computation (DeadlineExceeded past it). With `allow_stale`,
+  /// a failed compute falls back to the last good value for the key when
+  /// one is remembered — `*degraded` reports that the value is stale.
+  /// Deadline overruns never serve stale: the client stopped waiting, and
+  /// stale-on-timeout would disguise a 504 as a 200.
   std::shared_ptr<const V> get_or_compute(
       std::uint64_t key, const std::function<V()>& compute,
-      bool* from_cache = nullptr) {
+      bool* from_cache = nullptr, const Deadline& deadline = Deadline(),
+      bool allow_stale = false, bool* degraded = nullptr) {
     std::shared_future<std::shared_ptr<const V>> future;
     std::shared_ptr<std::promise<std::shared_ptr<const V>>> promise;
     {
@@ -93,7 +129,12 @@ class ArtifactCache {
     }
 
     if (promise == nullptr) {
-      // Someone else is computing; their result (or exception) is ours.
+      // Someone else is computing; their result (or exception) is ours —
+      // but only for as long as our own request's budget allows.
+      if (deadline.limited() &&
+          future.wait_until(deadline.time_point()) !=
+              std::future_status::ready)
+        throw DeadlineExceeded("cache.wait");
       auto value = future.get();
       if (from_cache != nullptr) *from_cache = true;
       return value;
@@ -103,13 +144,32 @@ class ArtifactCache {
     std::shared_ptr<const V> value;
     try {
       value = load_spill(key, &from_disk);
-      if (value == nullptr)
+      if (value == nullptr) {
+        deadline.check("cache.compute");
         value = std::make_shared<const V>(compute());
+      }
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      entries_.erase(key);
-      promise->set_exception(std::current_exception());
-      throw;
+      std::shared_ptr<const V> stale = allow_stale && !unwinding_deadline()
+                                           ? take_stale(key)
+                                           : nullptr;
+      if (stale == nullptr) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        entries_.erase(key);
+        promise->set_exception(std::current_exception());
+        throw;
+      }
+      // Degraded mode: hand the last good value to ourselves and every
+      // waiter, then free the slot so the next request retries a fresh
+      // compute instead of re-serving stale forever.
+      promise->set_value(stale);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        entries_.erase(key);
+        ++stats_.stale_served;
+      }
+      if (from_cache != nullptr) *from_cache = true;
+      if (degraded != nullptr) *degraded = true;
+      return stale;
     }
     promise->set_value(value);
     {
@@ -121,6 +181,7 @@ class ArtifactCache {
       lru_.push_front(key);
       it->second.lru = lru_.begin();
       if (from_disk) ++stats_.disk_hits;
+      remember_stale(key, value);
       evict_over_capacity();
     }
     if (from_cache != nullptr) *from_cache = from_disk;
@@ -148,12 +209,149 @@ class ArtifactCache {
     return spill_dir_ + "/" + name;
   }
 
+  /// Where quarantined spill files land (for tests and operators).
+  std::string quarantine_dir() const {
+    return spill_dir_.empty() ? "" : spill_dir_ + "/quarantine";
+  }
+
  private:
   struct Entry {
     std::shared_ptr<const V> value;  // nullptr while computing
     std::shared_future<std::shared_ptr<const V>> future;
     std::list<std::uint64_t>::iterator lru;
   };
+
+  // --- spill frame -------------------------------------------------------
+  // [8B magic "PICPART1"][8B key LE][4B crc32c(payload)][payload]. The key
+  // is embedded so a file renamed over another key's slot cannot replay.
+
+  static constexpr char kMagic[8] = {'P', 'I', 'C', 'P', 'A', 'R', 'T', '1'};
+  static constexpr std::size_t kFrameHeader = 8 + 8 + 4;
+
+  static std::string encode_frame(std::uint64_t key,
+                                  const std::string& payload) {
+    std::string out;
+    out.reserve(kFrameHeader + payload.size());
+    out.append(kMagic, sizeof kMagic);
+    char scratch[8];
+    for (int i = 0; i < 8; ++i)
+      scratch[i] = static_cast<char>((key >> (8 * i)) & 0xFF);
+    out.append(scratch, 8);
+    const std::uint32_t crc = crc32c(payload.data(), payload.size());
+    for (int i = 0; i < 4; ++i)
+      out.push_back(static_cast<char>((crc >> (8 * i)) & 0xFF));
+    out += payload;
+    return out;
+  }
+
+  /// Payload of a verified frame; throws CorruptInputError on any
+  /// mismatch (magic, embedded key, digest, truncation).
+  static std::string decode_frame(std::uint64_t key, const std::string& raw,
+                                  const std::string& path) {
+    if (raw.size() < kFrameHeader || std::memcmp(raw.data(), kMagic, 8) != 0)
+      throw CorruptInputError(path, "missing spill frame header");
+    std::uint64_t embedded = 0;
+    for (std::size_t i = 0; i < 8; ++i)
+      embedded |= static_cast<std::uint64_t>(
+                      static_cast<unsigned char>(raw[8 + i]))
+                  << (8 * i);
+    if (embedded != key)
+      throw CorruptInputError(path, "spill frame key mismatch");
+    std::uint32_t crc = 0;
+    for (std::size_t i = 0; i < 4; ++i)
+      crc |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(raw[16 + i]))
+             << (8 * i);
+    const std::string payload = raw.substr(kFrameHeader);
+    if (crc32c(payload.data(), payload.size()) != crc)
+      throw CorruptInputError(path, "spill frame digest mismatch");
+    return payload;
+  }
+
+  // --- boot reconciliation ----------------------------------------------
+
+  /// Move a file into spill_dir/quarantine (never delete: the bytes are
+  /// evidence). Falls back to removal only if even the move fails, because
+  /// the one unacceptable outcome is a corrupt file left where it replays.
+  void quarantine_file(const std::filesystem::path& path) {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    const fs::path qdir(quarantine_dir());
+    fs::create_directories(qdir, ec);
+    fs::rename(path, qdir / path.filename(), ec);
+    if (ec) fs::remove(path, ec);
+  }
+
+  /// Constructor-time scan: verify every committed spill frame, quarantine
+  /// failures and crash-orphaned temp files. Runs before any request, so
+  /// no locking; counts land in stats_ and surface via /metricsz.
+  void scan_spill_dir() {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    for (const auto& item : fs::directory_iterator(spill_dir_, ec)) {
+      if (!item.is_regular_file()) continue;
+      const std::string name = item.path().filename().string();
+      if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+        // Crash mid-spill: AtomicFile never committed this. Quarantine it
+        // so a later spill of the same key starts from a clean slate.
+        quarantine_file(item.path());
+        ++stats_.quarantined;
+        continue;
+      }
+      if (name.size() != 20 || name.compare(16, 4, ".art") != 0) continue;
+      char* end = nullptr;
+      const std::uint64_t key = std::strtoull(name.c_str(), &end, 16);
+      if (end != name.c_str() + 16) continue;
+      std::ifstream in(item.path(), std::ios::binary);
+      if (!in.is_open()) continue;
+      std::ostringstream bytes;
+      bytes << in.rdbuf();
+      try {
+        (void)decode_frame(key, bytes.str(), item.path().string());
+      } catch (const Error&) {
+        quarantine_file(item.path());
+        ++stats_.quarantined;
+      }
+    }
+  }
+
+  // --- stale tier --------------------------------------------------------
+
+  /// Remember the last good value for a key (bounded FIFO of capacity_
+  /// keys) so degraded mode can serve it after compute + disk both fail.
+  /// Caller holds mutex_.
+  void remember_stale(std::uint64_t key, std::shared_ptr<const V> value) {
+    if (auto it = stale_.find(key); it != stale_.end()) {
+      it->second = std::move(value);
+      return;
+    }
+    stale_.emplace(key, std::move(value));
+    stale_order_.push_back(key);
+    while (stale_order_.size() > capacity_) {
+      stale_.erase(stale_order_.front());
+      stale_order_.pop_front();
+    }
+  }
+
+  std::shared_ptr<const V> take_stale(std::uint64_t key) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = stale_.find(key);
+    return it == stale_.end() ? nullptr : it->second;
+  }
+
+  /// True while the in-flight exception is a DeadlineExceeded (degraded
+  /// mode must not mask timeouts as successes).
+  static bool unwinding_deadline() {
+    try {
+      throw;
+    } catch (const DeadlineExceeded&) {
+      return true;
+    } catch (...) {
+      return false;
+    }
+  }
+
+  // --- LRU + disk tier ---------------------------------------------------
 
   void touch(Entry& entry) {
     lru_.splice(lru_.begin(), lru_, entry.lru);
@@ -165,7 +363,15 @@ class ArtifactCache {
       const std::uint64_t victim = lru_.back();
       auto it = entries_.find(victim);
       PICP_ENSURE(it != entries_.end(), "LRU key missing from entry map");
-      spill(victim, *it->second.value);
+      remember_stale(victim, it->second.value);
+      try {
+        spill(victim, *it->second.value);
+      } catch (const std::exception&) {
+        // Disk full / injected short write: the entry just falls out of
+        // the disk tier. AtomicFile aborted its temp, so nothing torn was
+        // published — and eviction itself must never fail.
+        ++stats_.spill_failures;
+      }
       entries_.erase(it);
       lru_.pop_back();
       ++stats_.evictions;
@@ -174,26 +380,41 @@ class ArtifactCache {
 
   void spill(std::uint64_t key, const V& value) {
     if (spill_dir_.empty() || !hooks_.encode) return;
-    const std::string encoded = hooks_.encode(value);
+    failpoint::inject("cache.spill");
+    const std::string framed = encode_frame(key, hooks_.encode(value));
     // AtomicFile publication: a crash mid-spill leaves no torn artifact
     // under the final name, so decode never sees a half-written file that
     // was committed.
-    atomic_write_file(spill_path(key), encoded.data(), encoded.size());
+    atomic_write_file(spill_path(key), framed.data(), framed.size());
   }
 
-  /// nullptr when absent/disabled; throws only on decode rejecting bytes.
+  /// nullptr when absent/disabled or when the file fails its frame check
+  /// (which quarantines it); throws only on decode rejecting a payload
+  /// whose digest was valid — a logic error worth surfacing.
   std::shared_ptr<const V> load_spill(std::uint64_t key, bool* from_disk) {
     if (spill_dir_.empty() || !hooks_.decode) return nullptr;
-    std::ifstream in(spill_path(key), std::ios::binary);
+    failpoint::inject("cache.load");
+    const std::string path = spill_path(key);
+    std::ifstream in(path, std::ios::binary);
     if (!in.is_open()) return nullptr;
     std::ostringstream bytes;
     bytes << in.rdbuf();
+    std::string payload;
     try {
-      auto value = std::make_shared<const V>(hooks_.decode(bytes.str()));
+      payload = decode_frame(key, bytes.str(), path);
+    } catch (const Error&) {
+      in.close();
+      quarantine_file(path);
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.quarantined;
+      return nullptr;
+    }
+    try {
+      auto value = std::make_shared<const V>(hooks_.decode(payload));
       *from_disk = true;
       return value;
     } catch (const Error&) {
-      return nullptr;  // corrupt spill file: fall through to compute
+      return nullptr;  // decode rejected a digest-valid payload: recompute
     }
   }
 
@@ -203,6 +424,8 @@ class ArtifactCache {
   SpillHooks hooks_;
   std::unordered_map<std::uint64_t, Entry> entries_;
   std::list<std::uint64_t> lru_;  // front = most recently used
+  std::unordered_map<std::uint64_t, std::shared_ptr<const V>> stale_;
+  std::list<std::uint64_t> stale_order_;  // FIFO bound for stale_
   ArtifactCacheStats stats_;
 };
 

@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "util/failpoint.hpp"
 #include "util/string_util.hpp"
 
 namespace picp::serve {
@@ -128,6 +129,7 @@ const char* status_reason(int status) {
     case 200: return "OK";
     case 204: return "No Content";
     case 400: return "Bad Request";
+    case 403: return "Forbidden";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 408: return "Request Timeout";
@@ -137,6 +139,7 @@ const char* status_reason(int status) {
     case 500: return "Internal Server Error";
     case 501: return "Not Implemented";
     case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
     default: return "Unknown";
   }
 }
@@ -158,6 +161,7 @@ bool HttpConnection::wait_readable(int timeout_ms) {
 }
 
 bool HttpConnection::fill(int timeout_ms) {
+  failpoint::inject("http.read");
   // Poll the socket itself, not wait_readable(): that helper reports
   // buffered-but-unconsumed bytes as readable, and fill()'s whole job is
   // to pull NEW bytes — treating the buffer as readiness would send the
@@ -285,6 +289,7 @@ bool HttpConnection::read_response(HttpResponse& response,
 }
 
 void HttpConnection::write_all(const char* data, std::size_t size) {
+  failpoint::inject("http.write");
   std::size_t sent = 0;
   while (sent < size) {
     const ssize_t n =

@@ -30,6 +30,9 @@ struct HttpRequest {
   std::string version;  // "HTTP/1.1"
   std::vector<std::pair<std::string, std::string>> headers;
   std::string body;
+  /// True when the peer connected from 127.0.0.0/8 or ::1 — set by the
+  /// server at accept time, never from wire bytes. Gates admin endpoints.
+  bool from_loopback = false;
 
   /// Header value by lower-case name; nullptr when absent.
   const std::string* header(const std::string& lower_name) const;

@@ -15,6 +15,7 @@
 #include "telemetry/json.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 #include "util/logging.hpp"
 
 namespace picp::serve {
@@ -22,6 +23,13 @@ namespace picp::serve {
 namespace {
 
 void set_cloexec(int fd) { ::fcntl(fd, F_SETFD, FD_CLOEXEC); }
+
+/// True iff the peer address is 127.0.0.0/8 (the listener is IPv4-only).
+bool peer_is_loopback(const sockaddr_storage& peer, socklen_t len) {
+  if (peer.ss_family != AF_INET || len < sizeof(sockaddr_in)) return false;
+  const auto* in4 = reinterpret_cast<const sockaddr_in*>(&peer);
+  return (ntohl(in4->sin_addr.s_addr) >> 24) == 127;
+}
 
 }  // namespace
 
@@ -161,11 +169,29 @@ void HttpServer::accept_loop() {
     if (shutting_down()) break;
     if ((fds[0].revents & POLLIN) == 0) continue;
 
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    sockaddr_storage peer{};
+    socklen_t peer_len = sizeof peer;
+    const int fd = ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer),
+                            &peer_len);
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
       PICP_LOG_WARN << "accept: " << std::strerror(errno);
       break;
+    }
+    const bool from_loopback = peer_is_loopback(peer, peer_len);
+    if (failpoint::any_armed()) {
+      if (const auto action = failpoint::fire("http.accept")) {
+        // The accept loop must survive its own failpoint: delay inline,
+        // anything else drops the connection on the floor (a crashy
+        // accept(2), from the peer's point of view).
+        if (action->kind == failpoint::ActionKind::kDelay ||
+            action->kind == failpoint::ActionKind::kCrash) {
+          failpoint::apply(*action, "http.accept");
+        } else {
+          ::close(fd);
+          continue;
+        }
+      }
     }
     set_cloexec(fd);
     int one = 1;
@@ -189,9 +215,9 @@ void HttpServer::accept_loop() {
     publish_gauges();
     if (telemetry::enabled())
       telemetry::registry().counter("serve.accepted").add();
-    pool_->submit([this, fd] {
+    pool_->submit([this, fd, from_loopback] {
       try {
-        serve_connection(fd);
+        serve_connection(fd, from_loopback);
       } catch (const std::exception& e) {
         // A connection must never take the pool down; log and move on.
         PICP_LOG_WARN << "connection error: " << e.what();
@@ -202,7 +228,7 @@ void HttpServer::accept_loop() {
   }
 }
 
-void HttpServer::serve_connection(int fd) {
+void HttpServer::serve_connection(int fd, bool from_loopback) {
   HttpConnection connection(fd);
   // Keep-alive loop: short poll ticks so a drain request interrupts an
   // idle connection within ~100 ms instead of a full request timeout.
@@ -223,6 +249,7 @@ void HttpServer::serve_connection(int fd) {
     bool close_after = false;
     try {
       if (!connection.read_request(request, options_.limits)) return;
+      request.from_loopback = from_loopback;
       requests_.fetch_add(1, std::memory_order_relaxed);
       response = handler_(request);
       close_after = !request.keep_alive();

@@ -84,7 +84,7 @@ class HttpServer {
 
  private:
   void accept_loop();
-  void serve_connection(int fd);
+  void serve_connection(int fd, bool from_loopback);
   /// 503 + Retry-After on a connection we will not service.
   void reject_busy(int fd);
   void publish_gauges();

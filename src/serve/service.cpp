@@ -5,6 +5,7 @@
 #include "telemetry/manifest.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/crc32.hpp"
+#include "util/failpoint.hpp"
 #include "util/logging.hpp"
 #include "util/string_util.hpp"
 #include "util/timer.hpp"
@@ -72,6 +73,10 @@ ServiceConfig ServiceConfig::from_config(const Config& config) {
       "serve.response_cache", static_cast<long long>(
                                   service.response_cache_capacity)));
   service.cache_dir = config.get_string("serve.cache_dir", "");
+  service.allow_stale = config.get_bool("serve.allow_stale", false);
+  service.enable_failpoints =
+      config.get_bool("serve.enable_failpoints", false);
+  service.failpoints = config.get_string("serve.failpoints", "");
   return service;
 }
 
@@ -92,6 +97,7 @@ PredictionService::PredictionService(const ServiceConfig& config)
              Json::parse(bytes);
              return bytes;
            }}) {
+  if (!config_.failpoints.empty()) failpoint::arm_many(config_.failpoints);
   trace_ = std::make_unique<TraceReader>(config_.trace_path);
   const TraceHeader& header = trace_->header();
   Crc32c identity;
@@ -205,6 +211,7 @@ std::shared_ptr<const WorkloadResult> PredictionService::workload_for(
   auto workload = workload_cache_.get_or_compute(
       workload_fingerprint(config),
       [this, &config] {
+        failpoint::inject("serve.generate");
         // The span exists only on actual generation — its absence on a
         // repeat query is the observable proof of a cache hit.
         const telemetry::ScopedSpan span("serve.workload_gen", "serve");
@@ -213,7 +220,7 @@ std::shared_ptr<const WorkloadResult> PredictionService::workload_for(
         std::lock_guard<std::mutex> lock(trace_mutex_);
         return pipeline_->generate_workload(*trace_, config);
       },
-      &from_cache);
+      &from_cache, config.deadline);
   if (telemetry::enabled())
     telemetry::registry()
         .counter(from_cache ? "serve.cache.workload.hits"
@@ -261,13 +268,90 @@ Json PredictionService::handle_models() {
   return body;
 }
 
+HttpResponse PredictionService::handle_failpoints(
+    const HttpRequest& request) {
+  HttpResponse response;
+  if (!config_.enable_failpoints) {
+    // Indistinguishable from a route that does not exist: a daemon
+    // without --enable-failpoints has no fault-injection surface at all.
+    response.status = 404;
+    response.body = error_body(404, "no such endpoint: /v1/failpoints");
+    return response;
+  }
+  if (!request.from_loopback) {
+    response.status = 403;
+    response.body = error_body(403, "/v1/failpoints is loopback-only");
+    return response;
+  }
+  if (request.method != "GET" && request.method != "POST") {
+    response.status = 405;
+    response.set_header("Allow", "GET, POST");
+    response.body = error_body(405, "use GET or POST for /v1/failpoints");
+    return response;
+  }
+
+  if (request.method == "POST") {
+    Json body;
+    try {
+      body = request.body.empty() ? Json::object()
+                                  : Json::parse(request.body);
+    } catch (const Error& e) {
+      throw BadRequest(std::string("malformed JSON body: ") + e.what());
+    }
+    if (!body.is_object())
+      throw BadRequest("request body must be a JSON object");
+    if (const Json* seed = body.find("seed"); seed != nullptr) {
+      if (!seed->is_number()) throw BadRequest("\"seed\" must be a number");
+      failpoint::set_seed(seed->as_uint());
+    }
+    try {
+      if (const Json* arm = body.find("arm"); arm != nullptr) {
+        if (!arm->is_string())
+          throw BadRequest("\"arm\" must be a spec string");
+        failpoint::arm_many(arm->as_string());
+      }
+    } catch (const BadRequest&) {
+      throw;
+    } catch (const Error& e) {
+      throw BadRequest(e.what());  // malformed spec is the client's fault
+    }
+    if (const Json* disarm = body.find("disarm"); disarm != nullptr) {
+      if (!disarm->is_string())
+        throw BadRequest("\"disarm\" must be a site name");
+      failpoint::disarm(disarm->as_string());
+    }
+    if (const Json* all = body.find("disarm_all"); all != nullptr) {
+      if (all->kind() != Json::Kind::kBool)
+        throw BadRequest("\"disarm_all\" must be a boolean");
+      if (all->as_bool()) failpoint::disarm_all();
+    }
+  }
+
+  Json armed = Json::array();
+  for (const failpoint::Info& info : failpoint::list()) {
+    Json row = Json::object();
+    row.set("site", Json(info.site));
+    row.set("spec", Json(info.spec));
+    row.set("hits", Json(info.hits));
+    row.set("fires", Json(info.fires));
+    armed.push_back(std::move(row));
+  }
+  Json body = Json::object();
+  body.set("failpoints", std::move(armed));
+  response.body = json_line(body);
+  return response;
+}
+
 std::string PredictionService::handle_predict(const std::string& body,
-                                              bool* from_cache) {
+                                              bool* from_cache,
+                                              const Deadline& deadline,
+                                              bool* degraded) {
   if (!models_loaded_)
     throw BadRequest(
         "no models loaded (start the daemon with serve.models set) — "
         "/v1/workload is still available");
-  const std::vector<PredictionConfig> configs = parse_request(body);
+  std::vector<PredictionConfig> configs = parse_request(body);
+  for (PredictionConfig& config : configs) config.deadline = deadline;
 
   // The response key covers every config in the batch, so a reordered
   // ranks list is a different artifact (its JSON differs too).
@@ -297,7 +381,7 @@ std::string PredictionService::handle_predict(const std::string& body,
         reply.set("results", std::move(results));
         return json_line(reply);
       },
-      from_cache);
+      from_cache, deadline, config_.allow_stale, degraded);
   if (telemetry::enabled())
     telemetry::registry()
         .counter(*from_cache ? "serve.cache.response.hits"
@@ -307,8 +391,11 @@ std::string PredictionService::handle_predict(const std::string& body,
 }
 
 std::string PredictionService::handle_workload(const std::string& body,
-                                               bool* from_cache) {
-  const std::vector<PredictionConfig> configs = parse_request(body);
+                                               bool* from_cache,
+                                               const Deadline& deadline,
+                                               bool* degraded) {
+  std::vector<PredictionConfig> configs = parse_request(body);
+  for (PredictionConfig& config : configs) config.deadline = deadline;
 
   Crc32c key;
   key.update_pod(std::uint64_t{0x574b4c44});  // namespace: "WKLD" responses
@@ -341,7 +428,7 @@ std::string PredictionService::handle_workload(const std::string& body,
         reply.set("results", std::move(results));
         return json_line(reply);
       },
-      from_cache);
+      from_cache, deadline, config_.allow_stale, degraded);
   if (telemetry::enabled())
     telemetry::registry()
         .counter(*from_cache ? "serve.cache.response.hits"
@@ -369,16 +456,52 @@ void PredictionService::publish_cache_counters() {
       .set(static_cast<double>(response.evictions));
   reg.gauge("serve.cache.response.disk_hits")
       .set(static_cast<double>(response.disk_hits));
+  // Robustness counters: all must read zero when no failpoint is armed
+  // and no spill file was corrupted — check_chaos.sh asserts exactly that.
+  reg.gauge("serve.cache.response.quarantined")
+      .set(static_cast<double>(response.quarantined));
+  reg.gauge("serve.cache.response.stale_served")
+      .set(static_cast<double>(response.stale_served));
+  reg.gauge("serve.cache.response.spill_failures")
+      .set(static_cast<double>(response.spill_failures));
+  reg.gauge("serve.cache.workload.stale_served")
+      .set(static_cast<double>(workload.stale_served));
+  reg.gauge("failpoint.armed")
+      .set(static_cast<double>(failpoint::list().size()));
 }
 
 HttpResponse PredictionService::handle(const HttpRequest& request) {
   Stopwatch watch;
   HttpResponse response;
   try {
-    response = handle_routed(request);
+    Deadline deadline;
+    if (const std::string* budget = request.header("x-picp-deadline-ms")) {
+      long long ms = 0;
+      try {
+        ms = parse_int(*budget);
+      } catch (const Error&) {
+        throw BadRequest("malformed X-Picp-Deadline-Ms: " + *budget);
+      }
+      if (ms <= 0)
+        throw BadRequest("X-Picp-Deadline-Ms must be a positive integer");
+      deadline = Deadline::after_ms(ms);
+    }
+    response = handle_routed(request, deadline);
   } catch (const BadRequest& e) {
     response.status = 400;
     response.body = error_body(400, e.what());
+  } catch (const DeadlineExceeded& e) {
+    // The request ran out of budget mid-pipeline: tell the client which
+    // stage the work died in (partial-progress telemetry), free the
+    // worker, and count it — a 504 is load information, not an error.
+    response.status = 504;
+    response.set_header("X-Picp-Deadline-Stage", e.stage());
+    response.body = error_body(504, e.what());
+    if (telemetry::enabled()) {
+      auto& reg = telemetry::registry();
+      reg.counter("serve.deadline_exceeded").add();
+      reg.counter("serve.deadline.stage." + e.stage()).add();
+    }
   } catch (const std::exception& e) {
     PICP_LOG_WARN << "request " << request.method << " " << request.target
                   << " failed: " << e.what();
@@ -404,11 +527,14 @@ HttpResponse PredictionService::handle(const HttpRequest& request) {
   return response;
 }
 
-HttpResponse PredictionService::handle_routed(const HttpRequest& request) {
+HttpResponse PredictionService::handle_routed(const HttpRequest& request,
+                                              const Deadline& deadline) {
   HttpResponse response;
   const std::string& path = request.target;
   const bool is_get = request.method == "GET";
   const bool is_post = request.method == "POST";
+
+  if (path == "/v1/failpoints") return handle_failpoints(request);
 
   if (path == "/healthz" || path == "/metricsz" || path == "/v1/models") {
     if (!is_get) {
@@ -432,14 +558,22 @@ HttpResponse PredictionService::handle_routed(const HttpRequest& request) {
       return response;
     }
     bool from_cache = false;
+    bool degraded = false;
     if (path == "/v1/predict") {
       const telemetry::ScopedSpan span("serve.predict", "serve");
-      response.body = handle_predict(request.body, &from_cache);
+      response.body =
+          handle_predict(request.body, &from_cache, deadline, &degraded);
     } else {
       const telemetry::ScopedSpan span("serve.workload", "serve");
-      response.body = handle_workload(request.body, &from_cache);
+      response.body =
+          handle_workload(request.body, &from_cache, deadline, &degraded);
     }
     response.set_header("X-Picp-Cache", from_cache ? "hit" : "miss");
+    if (degraded) {
+      response.set_header("X-Picp-Degraded", "stale");
+      if (telemetry::enabled())
+        telemetry::registry().counter("serve.degraded").add();
+    }
     return response;
   }
 

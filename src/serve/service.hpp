@@ -13,6 +13,7 @@
 #include "telemetry/json.hpp"
 #include "trace/trace_reader.hpp"
 #include "util/config.hpp"
+#include "util/deadline.hpp"
 
 namespace picp::serve {
 
@@ -37,6 +38,15 @@ struct ServiceConfig {
   std::size_t response_cache_capacity = 256;
   /// Disk spill tier for evicted response bodies; empty = off.
   std::string cache_dir;
+
+  /// Serve the last good cached artifact (flagged `X-Picp-Degraded:
+  /// stale`) when regeneration fails transiently, instead of a 500.
+  bool allow_stale = false;
+  /// Expose the /v1/failpoints admin endpoint (loopback peers only).
+  /// Off by default: fault injection is an operator tool, not an API.
+  bool enable_failpoints = false;
+  /// Failpoint specs armed at service startup (PICP_FAILPOINTS grammar).
+  std::string failpoints;
 
   static ServiceConfig from_config(const Config& config);
 };
@@ -74,12 +84,16 @@ class PredictionService {
   bool models_loaded() const { return models_loaded_; }
 
  private:
-  HttpResponse handle_routed(const HttpRequest& request);
+  HttpResponse handle_routed(const HttpRequest& request,
+                             const Deadline& deadline);
   Json handle_healthz();
   Json handle_metricsz();
   Json handle_models();
-  std::string handle_predict(const std::string& body, bool* from_cache);
-  std::string handle_workload(const std::string& body, bool* from_cache);
+  HttpResponse handle_failpoints(const HttpRequest& request);
+  std::string handle_predict(const std::string& body, bool* from_cache,
+                             const Deadline& deadline, bool* degraded);
+  std::string handle_workload(const std::string& body, bool* from_cache,
+                              const Deadline& deadline, bool* degraded);
 
   /// Parse + validate the request body into per-rank-count configs.
   std::vector<PredictionConfig> parse_request(const std::string& body) const;

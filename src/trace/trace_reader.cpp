@@ -4,6 +4,7 @@
 
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 
 namespace picp {
 
@@ -199,6 +200,7 @@ void TraceReader::prescan_salvage(std::uint64_t file_bytes) {
 
 bool TraceReader::read_next(TraceSample& sample) {
   if (cursor_ >= effective_samples_) return false;
+  failpoint::inject("trace.read");
   const std::size_t np = static_cast<std::size_t>(header_.num_particles);
   sample.positions.resize(np);
 

@@ -4,6 +4,7 @@
 
 #include "trace/trace_reader.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 #include "util/logging.hpp"
 
 namespace picp {
@@ -127,6 +128,7 @@ void TraceWriter::append(std::uint64_t iteration,
   PICP_REQUIRE(!closed_, "append on closed TraceWriter");
   PICP_REQUIRE(positions.size() == header_.num_particles,
                "position count does not match trace header");
+  failpoint::inject("trace.append");
   frame_buffer_.clear();
   if (header_.version >= 2) append_pod(frame_buffer_, TraceHeader::kFrameMagic);
   append_pod(frame_buffer_, iteration);

@@ -4,11 +4,13 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 
 namespace picp {
 
@@ -84,6 +86,27 @@ AtomicFile::~AtomicFile() {
 void AtomicFile::write_fully(int fd, std::uint64_t offset, const void* data,
                              std::size_t size) {
   const auto* bytes = static_cast<const char*>(data);
+  if (failpoint::any_armed()) {
+    if (const auto action = failpoint::fire("atomicfile.write")) {
+      // partial_write: land only the first N bytes on disk (a real pwrite,
+      // so the torn state is genuinely there), then fail the call — the
+      // ENOSPC-mid-write shape AtomicFile must never publish.
+      if (action->kind == failpoint::ActionKind::kPartialWrite) {
+        const std::size_t keep = std::min(action->partial_bytes, size);
+        std::size_t landed = 0;
+        while (landed < keep) {
+          const ssize_t n = ::pwrite(fd, bytes + landed, keep - landed,
+                                     static_cast<off_t>(offset + landed));
+          if (n <= 0) break;
+          landed += static_cast<std::size_t>(n);
+        }
+        throw Error("failpoint atomicfile.write: injected short write (" +
+                    std::to_string(landed) + "/" + std::to_string(size) +
+                    " bytes)");
+      }
+      failpoint::apply(*action, "atomicfile.write");
+    }
+  }
   int retries = 0;
   while (size > 0) {
     const ssize_t n = ::pwrite(fd, bytes, size, static_cast<off_t>(offset));
@@ -121,6 +144,9 @@ void AtomicFile::sync() {
 
 void AtomicFile::commit() {
   PICP_REQUIRE(fd_ >= 0 && !committed_, "commit on closed AtomicFile");
+  // Fires before the rename: an injected crash here leaves only the temp
+  // file, which crash-consistency tests expect readers to never observe.
+  failpoint::inject("atomicfile.commit");
   sync();
   const int close_rc = ::close(fd_);
   fd_ = -1;

@@ -1,0 +1,247 @@
+#include "util/failpoint.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/string_util.hpp"
+
+namespace picp::failpoint {
+
+namespace detail {
+std::atomic<std::uint64_t> g_armed_count{0};
+}
+
+namespace {
+
+/// One armed failpoint: the parsed action, its trigger state, and a private
+/// deterministic RNG stream for 1inN draws.
+struct Armed {
+  Action action;
+  std::string spec;
+  std::uint64_t one_in = 0;  // 0 = no probabilistic trigger
+  std::uint64_t after = 0;   // silent for the first `after` hits
+  std::uint64_t times = 0;   // 0 = unlimited fires
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+  Xoshiro256 rng;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, Armed> armed;
+  std::uint64_t seed = 20210517;  // default: the paper's magic date seed
+};
+
+Registry& registry() {
+  static Registry* instance = new Registry();  // immortal: sites may fire late
+  return *instance;
+}
+
+/// Stable per-site RNG stream: seed ^ hash(site), so two sites armed with
+/// the same global seed still draw independently.
+Xoshiro256 site_rng(std::uint64_t seed, const std::string& site) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return Xoshiro256(seed ^ h);
+}
+
+/// "action" or "action(arg)" → Action. Throws on unknown names / bad args.
+Action parse_action(const std::string& text, const std::string& spec) {
+  std::string name = text;
+  std::string arg;
+  const std::size_t open = text.find('(');
+  if (open != std::string::npos) {
+    PICP_REQUIRE(text.back() == ')',
+                 "failpoint spec \"" + spec + "\": unterminated '(' in \"" +
+                     text + "\"");
+    name = text.substr(0, open);
+    arg = text.substr(open + 1, text.size() - open - 2);
+  }
+  Action action;
+  if (name == "error") {
+    action.kind = ActionKind::kError;
+    PICP_REQUIRE(arg.empty(), "failpoint action error takes no argument");
+    return action;
+  }
+  if (name == "crash") {
+    action.kind = ActionKind::kCrash;
+    PICP_REQUIRE(arg.empty(), "failpoint action crash takes no argument");
+    return action;
+  }
+  const auto int_arg = [&](const char* what) {
+    PICP_REQUIRE(!arg.empty(), "failpoint spec \"" + spec + "\": " +
+                                   std::string(what) + " needs an argument");
+    const long long value = parse_int(arg);
+    PICP_REQUIRE(value >= 0, std::string(what) + " argument must be >= 0");
+    return value;
+  };
+  if (name == "errno") {
+    action.kind = ActionKind::kErrno;
+    action.errno_value = static_cast<int>(int_arg("errno"));
+    return action;
+  }
+  if (name == "delay") {
+    action.kind = ActionKind::kDelay;
+    action.delay_ms = static_cast<int>(int_arg("delay"));
+    return action;
+  }
+  if (name == "partial_write") {
+    action.kind = ActionKind::kPartialWrite;
+    action.partial_bytes = static_cast<std::size_t>(int_arg("partial_write"));
+    return action;
+  }
+  throw Error("failpoint spec \"" + spec + "\": unknown action \"" + name +
+              "\" (have error, errno(E), delay(MS), partial_write(N), "
+              "crash)");
+}
+
+/// "1inN" / "afterN" / "timesN" → trigger fields on `armed`.
+void parse_trigger(const std::string& text, Armed& armed,
+                   const std::string& spec) {
+  const auto tail_int = [&](std::size_t prefix_len) {
+    const long long value = parse_int(text.substr(prefix_len));
+    PICP_REQUIRE(value >= 1, "failpoint trigger \"" + text +
+                                 "\" needs a count >= 1");
+    return static_cast<std::uint64_t>(value);
+  };
+  if (starts_with(text, "1in")) {
+    armed.one_in = tail_int(3);
+    return;
+  }
+  if (starts_with(text, "after")) {
+    armed.after = tail_int(5);
+    return;
+  }
+  if (starts_with(text, "times")) {
+    armed.times = tail_int(5);
+    return;
+  }
+  throw Error("failpoint spec \"" + spec + "\": unknown trigger \"" + text +
+              "\" (have 1inN, afterN, timesN)");
+}
+
+}  // namespace
+
+std::optional<Action> fire(const char* site) {
+  if (!any_armed()) return std::nullopt;
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  const auto it = reg.armed.find(site);
+  if (it == reg.armed.end()) return std::nullopt;
+  Armed& armed = it->second;
+  ++armed.hits;
+  if (armed.hits <= armed.after) return std::nullopt;
+  if (armed.times != 0 && armed.fires >= armed.times) return std::nullopt;
+  if (armed.one_in > 1 && armed.rng.uniform_below(armed.one_in) != 0)
+    return std::nullopt;
+  ++armed.fires;
+  return armed.action;
+}
+
+void apply(const Action& action, const char* site) {
+  switch (action.kind) {
+    case ActionKind::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(action.delay_ms));
+      return;
+    case ActionKind::kCrash:
+      PICP_LOG_WARN << "failpoint " << site << ": injected crash";
+      std::_Exit(134);  // simulate a hard crash: no atexit, no flushing
+    case ActionKind::kErrno:
+      errno = action.errno_value;
+      throw Error(std::string("failpoint ") + site + ": injected errno " +
+                  std::to_string(action.errno_value) + " (" +
+                  std::strerror(action.errno_value) + ")");
+    case ActionKind::kError:
+    case ActionKind::kPartialWrite:  // site can't truncate — degrade to error
+      throw Error(std::string("failpoint ") + site + ": injected error");
+  }
+}
+
+void arm(const std::string& spec) {
+  const std::size_t eq = spec.find('=');
+  PICP_REQUIRE(eq != std::string::npos && eq > 0,
+               "failpoint spec \"" + spec + "\" must be site=action[:trig]");
+  const std::string site = trim(spec.substr(0, eq));
+  const std::vector<std::string> parts = split(spec.substr(eq + 1), ':');
+  PICP_REQUIRE(!parts.empty() && !trim(parts[0]).empty(),
+               "failpoint spec \"" + spec + "\" names no action");
+
+  Armed armed;
+  armed.spec = spec;
+  armed.action = parse_action(trim(parts[0]), spec);
+  for (std::size_t i = 1; i < parts.size(); ++i)
+    parse_trigger(trim(parts[i]), armed, spec);
+
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  armed.rng = site_rng(reg.seed, site);
+  const bool replaced = reg.armed.count(site) > 0;
+  reg.armed[site] = std::move(armed);
+  if (!replaced)
+    detail::g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  PICP_LOG_WARN << "failpoint armed: " << spec;
+}
+
+void arm_many(const std::string& specs) {
+  for (const std::string& field : split(specs, ';'))
+    if (!trim(field).empty()) arm(trim(field));
+}
+
+bool arm_from_env() {
+  if (const char* seed = std::getenv("PICP_FAILPOINTS_SEED"))
+    set_seed(static_cast<std::uint64_t>(parse_int(seed)));
+  const char* specs = std::getenv("PICP_FAILPOINTS");
+  if (specs == nullptr || *specs == '\0') return false;
+  arm_many(specs);
+  return any_armed();
+}
+
+bool disarm(const std::string& site) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  if (reg.armed.erase(site) == 0) return false;
+  detail::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+void disarm_all() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  detail::g_armed_count.fetch_sub(reg.armed.size(),
+                                  std::memory_order_relaxed);
+  reg.armed.clear();
+}
+
+void set_seed(std::uint64_t seed) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.seed = seed;
+}
+
+std::vector<Info> list() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<Info> infos;
+  infos.reserve(reg.armed.size());
+  for (const auto& [site, armed] : reg.armed) {
+    Info info;
+    info.site = site;
+    info.spec = armed.spec;
+    info.hits = armed.hits;
+    info.fires = armed.fires;
+    infos.push_back(std::move(info));
+  }
+  return infos;
+}
+
+}  // namespace picp::failpoint

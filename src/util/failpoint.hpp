@@ -1,0 +1,109 @@
+#pragma once
+
+// Deterministic fault injection for the I/O choke points. Every boundary
+// that can fail in production (AtomicFile writes, trace frames, cache
+// spill, checkpoints, HTTP sockets, workload generation) hosts a *named
+// failpoint* that is compiled in unconditionally but costs one relaxed
+// atomic load while nothing is armed — cheap enough to leave in release
+// builds, which is the point: the binary you chaos-test is the binary you
+// ship.
+//
+// Arming sources (all share one grammar):
+//   - environment:  PICP_FAILPOINTS='site=action[:trigger...];...'
+//                   PICP_FAILPOINTS_SEED=<N> (deterministic 1inN draws)
+//   - admin API:    POST /v1/failpoints on a daemon started with
+//                   --enable-failpoints (loopback-only)
+//   - in-process:   failpoint::arm("...") from tests and benches
+//
+// Grammar, one spec per failpoint (specs joined with ';'):
+//   <site>=<action>[:<trigger>][:<trigger>]
+//   actions:  error            throw picp::Error at the site
+//             errno(E)         set errno = E, then throw (strerror in text)
+//             delay(MS)        sleep MS milliseconds, then continue
+//             partial_write(N) sites that support it write only N bytes,
+//                              then fail (others treat it as `error`)
+//             crash            std::_Exit(134) — no atexit, no flushing:
+//                              a hard crash for crash-consistency tests
+//   triggers (AND-combined; omitted = fire on every hit):
+//             1inN             fire with probability 1/N per hit, drawn
+//                              from a per-site xoshiro stream seeded by
+//                              set_seed() — same seed, same fire pattern
+//             afterN           stay silent for the first N hits
+//             timesN           fire at most N times, then go inert
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace picp::failpoint {
+
+enum class ActionKind { kError, kErrno, kDelay, kPartialWrite, kCrash };
+
+/// What an armed failpoint does when its trigger fires.
+struct Action {
+  ActionKind kind = ActionKind::kError;
+  int errno_value = 0;            // kErrno
+  int delay_ms = 0;               // kDelay
+  std::size_t partial_bytes = 0;  // kPartialWrite
+};
+
+namespace detail {
+extern std::atomic<std::uint64_t> g_armed_count;
+}
+
+/// The only cost a disarmed process pays at a failpoint site.
+inline bool any_armed() {
+  return detail::g_armed_count.load(std::memory_order_relaxed) != 0;
+}
+
+/// Evaluate the named site: engaged iff a failpoint is armed there and its
+/// trigger fires this hit. Sites that need custom semantics (partial
+/// writes) branch on the returned Action; everything else uses inject().
+std::optional<Action> fire(const char* site);
+
+/// Apply an Action that already fired: throw (error/errno), sleep (delay),
+/// or std::_Exit (crash). partial_write is applied as `error` — only sites
+/// that can truncate a write handle it themselves.
+[[maybe_unused]] void apply(const Action& action, const char* site);
+
+/// fire() + apply() — the one-liner for sites without custom semantics.
+inline void inject(const char* site) {
+  if (!any_armed()) return;
+  if (const auto action = fire(site)) apply(*action, site);
+}
+
+/// Arm one failpoint from a spec ("site=action[:trigger...]"). Re-arming a
+/// site replaces its previous spec and resets its counters. Throws
+/// picp::Error on malformed specs.
+void arm(const std::string& spec);
+
+/// Arm a ';'-separated list of specs (empty segments ignored).
+void arm_many(const std::string& specs);
+
+/// Arm from PICP_FAILPOINTS / PICP_FAILPOINTS_SEED. Returns true iff any
+/// failpoint was armed. Called once from the CLI front end.
+bool arm_from_env();
+
+/// Disarm one site; returns false when it was not armed.
+bool disarm(const std::string& site);
+
+void disarm_all();
+
+/// Seed for the deterministic 1inN draws; each site forks its own stream.
+/// Takes effect for failpoints armed after the call.
+void set_seed(std::uint64_t seed);
+
+/// Introspection row for the admin endpoint and tests.
+struct Info {
+  std::string site;
+  std::string spec;         // the spec text it was armed with
+  std::uint64_t hits = 0;   // times the site was evaluated
+  std::uint64_t fires = 0;  // times the action actually fired
+};
+
+/// All armed failpoints, sorted by site name.
+std::vector<Info> list();
+
+}  // namespace picp::failpoint

@@ -52,6 +52,7 @@ WorkloadResult WorkloadGenerator::generate(TraceReader& trace) {
   std::size_t t = 0;
   while (t < total && trace.read_next(sample)) {
     if (seen++ % params_.interval_stride != 0) continue;
+    params_.deadline.check("workload.interval");
     process_interval(t, sample.iteration, sample.positions, result);
     ++t;
   }

@@ -10,6 +10,7 @@
 #include "mesh/partition.hpp"
 #include "mesh/spectral_mesh.hpp"
 #include "trace/trace_reader.hpp"
+#include "util/deadline.hpp"
 #include "util/thread_pool.hpp"
 #include "workload/comm_matrix.hpp"
 #include "workload/comp_matrix.hpp"
@@ -32,6 +33,10 @@ struct WorkloadParams {
   /// Worker threads for the ghost search (the generator's dominant cost);
   /// 0 or 1 = serial. Results are bit-identical for any thread count.
   std::size_t threads = 0;
+  /// Request budget, checked between intervals so an over-budget
+  /// generation unwinds with DeadlineExceeded instead of running to the
+  /// end of the trace. Default: unlimited (no behavior change).
+  Deadline deadline;
 };
 
 /// Everything the Dynamic Workload Generator produces for one

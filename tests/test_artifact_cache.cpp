@@ -15,7 +15,9 @@
 #include <vector>
 
 #include "serve/artifact_cache.hpp"
+#include "util/deadline.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 
 namespace picp::serve {
 namespace {
@@ -209,6 +211,229 @@ TEST(ArtifactCache, ZeroCapacityIsClampedToOne) {
   EXPECT_EQ(cache.size(), 1u);
   bool from_cache = false;
   cache.get_or_compute(1, [] { return -1; }, &from_cache);
+  EXPECT_TRUE(from_cache);
+}
+
+// ---------------------------------------------------------------------------
+// Robustness contract (PR 7): spill failures, quarantine, deadlines, stale.
+// ---------------------------------------------------------------------------
+
+ArtifactCache<std::string>::SpillHooks identity_hooks() {
+  ArtifactCache<std::string>::SpillHooks hooks;
+  hooks.encode = [](const std::string& v) { return v; };
+  hooks.decode = [](const std::string& bytes) { return bytes; };
+  return hooks;
+}
+
+TEST(ArtifactCache, FailedSpillNeverLeavesTruncatedReplayableEntry) {
+  // The satellite regression: a short write during disk spill must not
+  // publish a torn .art file that a later miss could replay. The eviction
+  // itself must survive and be counted.
+  const std::string dir = temp_dir("shortspill");
+  ArtifactCache<std::string> cache(1, dir, identity_hooks());
+  cache.get_or_compute(1, [] { return std::string("first"); });
+
+  failpoint::arm("atomicfile.write=partial_write(4)");
+  cache.get_or_compute(2, [] { return std::string("second"); });  // evicts 1
+  failpoint::disarm_all();
+
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().spill_failures, 1u);
+  EXPECT_FALSE(fs::exists(cache.spill_path(1)))
+      << "torn spill must not be published";
+  for (const auto& item : fs::directory_iterator(dir))
+    EXPECT_NE(item.path().extension(), ".tmp")
+        << "aborted spill must not leave a temp file: " << item.path();
+
+  // Key 1 fell out of both tiers; the next request recomputes cleanly.
+  int computes = 0;
+  bool from_cache = true;
+  auto value = cache.get_or_compute(
+      1, [&] { ++computes; return std::string("recomputed"); }, &from_cache);
+  EXPECT_EQ(*value, "recomputed");
+  EXPECT_EQ(computes, 1);
+  EXPECT_FALSE(from_cache);
+  fs::remove_all(dir);
+}
+
+TEST(ArtifactCache, InjectedSpillErrorIsToleratedAndCounted) {
+  const std::string dir = temp_dir("spillerr");
+  ArtifactCache<std::string> cache(1, dir, identity_hooks());
+  cache.get_or_compute(1, [] { return std::string("one"); });
+  failpoint::arm("cache.spill=errno(28)");  // ENOSPC
+  cache.get_or_compute(2, [] { return std::string("two"); });
+  failpoint::disarm_all();
+  EXPECT_EQ(cache.stats().spill_failures, 1u);
+  EXPECT_FALSE(fs::exists(cache.spill_path(1)));
+  fs::remove_all(dir);
+}
+
+TEST(ArtifactCache, BootScanQuarantinesCorruptSpillEntries) {
+  // Satellite (d) in unit form: corrupt one committed spill entry, restart
+  // (construct a new cache over the same dir), and assert the entry is
+  // quarantined — moved, not deleted — counted, and regenerated once.
+  const std::string dir = temp_dir("bootscan");
+  {
+    ArtifactCache<std::string> cache(1, dir, identity_hooks());
+    cache.get_or_compute(1, [] { return std::string("good one"); });
+    cache.get_or_compute(2, [] { return std::string("good two"); });
+    ASSERT_TRUE(fs::exists(cache.spill_path(1)));
+  }
+  // Flip payload bytes; the frame digest no longer matches.
+  std::string path;
+  for (const auto& item : fs::directory_iterator(dir))
+    if (item.path().extension() == ".art") path = item.path().string();
+  ASSERT_FALSE(path.empty());
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-1, std::ios::end);
+    f.put('\xFF');
+  }
+
+  ArtifactCache<std::string> reborn(1, dir, identity_hooks());
+  EXPECT_EQ(reborn.stats().quarantined, 1u);
+  EXPECT_FALSE(fs::exists(path)) << "corrupt entry must leave the spill dir";
+  EXPECT_TRUE(
+      fs::exists(fs::path(reborn.quarantine_dir()) / fs::path(path).filename()))
+      << "quarantine preserves the bytes as evidence";
+
+  // The quarantined key regenerates exactly once; the intact key replays.
+  int computes = 0;
+  bool from_cache = true;
+  auto fresh = reborn.get_or_compute(
+      1, [&] { ++computes; return std::string("regenerated"); }, &from_cache);
+  EXPECT_EQ(computes, 1);
+  EXPECT_FALSE(from_cache);
+  EXPECT_EQ(*fresh, "regenerated");
+  fs::remove_all(dir);
+}
+
+TEST(ArtifactCache, BootScanQuarantinesOrphanedTempFiles) {
+  const std::string dir = temp_dir("orphantmp");
+  fs::create_directories(dir);
+  std::ofstream(dir + "/0000000000000005.art.tmp", std::ios::binary)
+      << "half a spill";
+  ArtifactCache<std::string> cache(1, dir, identity_hooks());
+  EXPECT_EQ(cache.stats().quarantined, 1u);
+  EXPECT_FALSE(fs::exists(dir + "/0000000000000005.art.tmp"));
+  fs::remove_all(dir);
+}
+
+TEST(ArtifactCache, RuntimeCorruptionQuarantinesInsteadOfReplaying) {
+  const std::string dir = temp_dir("runtimequar");
+  ArtifactCache<std::string> cache(1, dir, identity_hooks());
+  cache.get_or_compute(3, [] { return std::string("spilled"); });
+  cache.get_or_compute(4, [] { return std::string("evictor"); });
+  const std::string path = cache.spill_path(3);
+  ASSERT_TRUE(fs::exists(path));
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-1, std::ios::end);
+    f.put('\xFF');
+  }
+  int computes = 0;
+  auto value =
+      cache.get_or_compute(3, [&] { ++computes; return std::string("new"); });
+  EXPECT_EQ(*value, "new");
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(cache.stats().quarantined, 1u);
+  EXPECT_FALSE(fs::exists(path));
+  fs::remove_all(dir);
+}
+
+TEST(ArtifactCache, StaleTierServesDegradedWhenComputeFails) {
+  ArtifactCache<std::string> cache(1);  // no disk tier: memory + stale only
+  cache.get_or_compute(1, [] { return std::string("last good"); });
+  cache.get_or_compute(2, [] { return std::string("evictor"); });  // 1 gone
+
+  bool from_cache = false;
+  bool degraded = false;
+  auto value = cache.get_or_compute(
+      1, [&]() -> std::string { throw Error("backend down"); }, &from_cache,
+      Deadline(), /*allow_stale=*/true, &degraded);
+  EXPECT_EQ(*value, "last good");
+  EXPECT_TRUE(degraded);
+  EXPECT_TRUE(from_cache);
+  EXPECT_EQ(cache.stats().stale_served, 1u);
+
+  // The slot is freed: the next request retries a fresh compute instead of
+  // serving stale forever.
+  degraded = false;
+  auto healed = cache.get_or_compute(
+      1, [] { return std::string("fresh again"); }, &from_cache, Deadline(),
+      true, &degraded);
+  EXPECT_EQ(*healed, "fresh again");
+  EXPECT_FALSE(degraded);
+}
+
+TEST(ArtifactCache, ComputeFailureWithoutStalePermissionStillThrows) {
+  ArtifactCache<std::string> cache(1);
+  cache.get_or_compute(1, [] { return std::string("good"); });
+  cache.get_or_compute(2, [] { return std::string("evictor"); });
+  EXPECT_THROW(cache.get_or_compute(
+                   1, [&]() -> std::string { throw Error("backend down"); }),
+               Error);
+}
+
+TEST(ArtifactCache, DeadlineExpiryNeverServesStale) {
+  // Stale-on-timeout would disguise a 504 as a 200: the deadline must win.
+  ArtifactCache<std::string> cache(1);
+  cache.get_or_compute(1, [] { return std::string("good"); });
+  cache.get_or_compute(2, [] { return std::string("evictor"); });
+  bool degraded = false;
+  try {
+    cache.get_or_compute(1, [] { return std::string("never runs"); }, nullptr,
+                         Deadline::after_ms(0), /*allow_stale=*/true,
+                         &degraded);
+    FAIL() << "expired deadline must throw";
+  } catch (const DeadlineExceeded& e) {
+    EXPECT_EQ(e.stage(), "cache.compute");
+  }
+  EXPECT_FALSE(degraded);
+  EXPECT_EQ(cache.stats().stale_served, 0u);
+}
+
+TEST(ArtifactCache, WaiterDeadlineBoundsInflightWait) {
+  // A wedged computation must not strand waiters whose budget has expired
+  // — the single-flight dewedging half of the tentpole.
+  ArtifactCache<int> cache(4);
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool computing = false;
+  bool release = false;
+
+  std::thread computer([&] {
+    cache.get_or_compute(8, [&] {
+      {
+        std::lock_guard<std::mutex> lock(gate_mutex);
+        computing = true;
+      }
+      gate_cv.notify_all();
+      std::unique_lock<std::mutex> lock(gate_mutex);
+      gate_cv.wait(lock, [&] { return release; });
+      return 42;
+    });
+  });
+  {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return computing; });
+  }
+  try {
+    cache.get_or_compute(8, [] { return -1; }, nullptr,
+                         Deadline::after_ms(30));
+    FAIL() << "waiter must give up at its deadline";
+  } catch (const DeadlineExceeded& e) {
+    EXPECT_EQ(e.stage(), "cache.wait");
+  }
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    release = true;
+  }
+  gate_cv.notify_all();
+  computer.join();
+  // The flight itself was healthy: once it lands, the key serves normally.
+  bool from_cache = false;
+  EXPECT_EQ(*cache.get_or_compute(8, [] { return -1; }, &from_cache), 42);
   EXPECT_TRUE(from_cache);
 }
 

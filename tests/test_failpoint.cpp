@@ -1,0 +1,226 @@
+// Unit tests for the failpoint fault-injection subsystem: spec grammar,
+// trigger semantics (1inN determinism, afterN, timesN), arming sources
+// (in-process, environment), counters, and the crash action's hard-exit
+// contract. Every test disarms on teardown — failpoint state is process
+// global and other suites in this binary run with it disarmed.
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/atomic_file.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+
+namespace picp {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FailpointTest : public testing::Test {
+ protected:
+  void TearDown() override {
+    failpoint::disarm_all();
+    ::unsetenv("PICP_FAILPOINTS");
+    ::unsetenv("PICP_FAILPOINTS_SEED");
+  }
+};
+
+TEST_F(FailpointTest, DisarmedSiteIsInertAndFree) {
+  EXPECT_FALSE(failpoint::any_armed());
+  EXPECT_FALSE(failpoint::fire("test.nothing").has_value());
+  EXPECT_NO_THROW(failpoint::inject("test.nothing"));
+  EXPECT_TRUE(failpoint::list().empty());
+}
+
+TEST_F(FailpointTest, ErrorActionFiresEveryHitAndCounts) {
+  failpoint::arm("test.err=error");
+  EXPECT_TRUE(failpoint::any_armed());
+  for (int i = 0; i < 3; ++i)
+    EXPECT_THROW(failpoint::inject("test.err"), Error);
+  // Other sites stay silent even while something is armed.
+  EXPECT_NO_THROW(failpoint::inject("test.other"));
+
+  const auto infos = failpoint::list();
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_EQ(infos[0].site, "test.err");
+  EXPECT_EQ(infos[0].spec, "test.err=error");
+  EXPECT_EQ(infos[0].hits, 3u);
+  EXPECT_EQ(infos[0].fires, 3u);
+}
+
+TEST_F(FailpointTest, ErrnoActionSetsErrnoAndNamesIt) {
+  failpoint::arm("test.enospc=errno(28)");  // ENOSPC
+  errno = 0;
+  try {
+    failpoint::inject("test.enospc");
+    FAIL() << "errno action must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(errno, 28);
+    EXPECT_NE(std::string(e.what()).find("test.enospc"), std::string::npos);
+  }
+}
+
+TEST_F(FailpointTest, DelayActionSleepsWithoutThrowing) {
+  failpoint::arm("test.slow=delay(1)");
+  EXPECT_NO_THROW(failpoint::inject("test.slow"));
+  EXPECT_EQ(failpoint::list()[0].fires, 1u);
+}
+
+TEST_F(FailpointTest, AfterTriggerStaysSilentThenFires) {
+  failpoint::arm("test.after=error:after2");
+  EXPECT_NO_THROW(failpoint::inject("test.after"));
+  EXPECT_NO_THROW(failpoint::inject("test.after"));
+  EXPECT_THROW(failpoint::inject("test.after"), Error);
+  const auto infos = failpoint::list();
+  EXPECT_EQ(infos[0].hits, 3u);
+  EXPECT_EQ(infos[0].fires, 1u);
+}
+
+TEST_F(FailpointTest, TimesTriggerGoesInertAfterBudget) {
+  failpoint::arm("test.times=error:times2");
+  EXPECT_THROW(failpoint::inject("test.times"), Error);
+  EXPECT_THROW(failpoint::inject("test.times"), Error);
+  EXPECT_NO_THROW(failpoint::inject("test.times"));
+  EXPECT_NO_THROW(failpoint::inject("test.times"));
+  EXPECT_EQ(failpoint::list()[0].fires, 2u);
+}
+
+TEST_F(FailpointTest, CombinedTriggersAndTogether) {
+  // after1 + times1: silent on hit 1, fires exactly once on hit 2.
+  failpoint::arm("test.combo=error:after1:times1");
+  EXPECT_NO_THROW(failpoint::inject("test.combo"));
+  EXPECT_THROW(failpoint::inject("test.combo"), Error);
+  EXPECT_NO_THROW(failpoint::inject("test.combo"));
+}
+
+TEST_F(FailpointTest, OneInNDrawsAreSeedDeterministic) {
+  const auto pattern = [](std::uint64_t seed) {
+    failpoint::disarm_all();
+    failpoint::set_seed(seed);
+    failpoint::arm("test.prob=error:1in4");
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      bool f = false;
+      try {
+        failpoint::inject("test.prob");
+      } catch (const Error&) {
+        f = true;
+      }
+      fired.push_back(f);
+    }
+    return fired;
+  };
+  const auto a = pattern(7);
+  const auto b = pattern(7);
+  EXPECT_EQ(a, b) << "same seed must reproduce the same fire pattern";
+
+  // Sanity: 1in4 over 64 hits should fire sometimes but not always.
+  const auto fires = failpoint::list()[0].fires;
+  EXPECT_GT(fires, 0u);
+  EXPECT_LT(fires, 64u);
+}
+
+TEST_F(FailpointTest, ReArmingReplacesSpecAndResetsCounters) {
+  failpoint::arm("test.rearm=error");
+  EXPECT_THROW(failpoint::inject("test.rearm"), Error);
+  failpoint::arm("test.rearm=delay(0)");
+  EXPECT_NO_THROW(failpoint::inject("test.rearm"));
+  const auto infos = failpoint::list();
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_EQ(infos[0].spec, "test.rearm=delay(0)");
+  EXPECT_EQ(infos[0].hits, 1u) << "re-arm must reset counters";
+}
+
+TEST_F(FailpointTest, DisarmRemovesOneSiteDisarmAllTheRest) {
+  failpoint::arm_many("test.a=error;test.b=error");
+  EXPECT_EQ(failpoint::list().size(), 2u);
+  EXPECT_TRUE(failpoint::disarm("test.a"));
+  EXPECT_FALSE(failpoint::disarm("test.a"));
+  EXPECT_NO_THROW(failpoint::inject("test.a"));
+  EXPECT_THROW(failpoint::inject("test.b"), Error);
+  failpoint::disarm_all();
+  EXPECT_FALSE(failpoint::any_armed());
+  EXPECT_NO_THROW(failpoint::inject("test.b"));
+}
+
+TEST_F(FailpointTest, MalformedSpecsThrowAndArmNothing) {
+  for (const char* bad :
+       {"", "nosite", "site=", "site=bogus", "site=errno", "site=errno()",
+        "site=delay(x)", "site=error:1in0", "site=error:sometimes"}) {
+    EXPECT_THROW(failpoint::arm(bad), Error) << "spec: " << bad;
+  }
+  EXPECT_FALSE(failpoint::any_armed());
+}
+
+TEST_F(FailpointTest, ArmFromEnvReadsSpecAndSeed) {
+  ::setenv("PICP_FAILPOINTS_SEED", "11", 1);
+  ::setenv("PICP_FAILPOINTS", "test.env=error:times1;;test.env2=delay(0)", 1);
+  EXPECT_TRUE(failpoint::arm_from_env());
+  EXPECT_EQ(failpoint::list().size(), 2u);
+  EXPECT_THROW(failpoint::inject("test.env"), Error);
+  ::unsetenv("PICP_FAILPOINTS");
+  failpoint::disarm_all();
+  EXPECT_FALSE(failpoint::arm_from_env());
+}
+
+TEST_F(FailpointTest, CrashActionHardExits134) {
+  EXPECT_EXIT(
+      {
+        failpoint::arm("test.crash=crash");
+        failpoint::inject("test.crash");
+      },
+      testing::ExitedWithCode(134), "");
+}
+
+TEST_F(FailpointTest, PartialWriteAtAtomicFileNeverPublishesTornBytes) {
+  // The satellite regression in miniature: a short write inside AtomicFile
+  // must throw — and because the temp file is unlinked on abort, nothing
+  // truncated may ever appear under the final name.
+  const std::string dir = testing::TempDir() + "/picp_failpoint_partial";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string path = dir + "/artifact.bin";
+  const std::string payload(256, 'x');
+
+  failpoint::arm("atomicfile.write=partial_write(16)");
+  EXPECT_THROW(atomic_write_file(path, payload.data(), payload.size()),
+               Error);
+  failpoint::disarm_all();
+  EXPECT_FALSE(fs::exists(path)) << "torn write must not be published";
+  EXPECT_TRUE(fs::is_empty(dir)) << "temp file must be unlinked on abort";
+
+  // Disarmed, the same call publishes the full payload.
+  atomic_write_file(path, payload.data(), payload.size());
+  std::ifstream in(path, std::ios::binary);
+  std::string back((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(back, payload);
+  fs::remove_all(dir);
+}
+
+TEST_F(FailpointTest, CommitFailpointLeavesPreviousFileIntact) {
+  const std::string dir = testing::TempDir() + "/picp_failpoint_commit";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string path = dir + "/artifact.bin";
+  atomic_write_file(path, "old", 3);
+
+  failpoint::arm("atomicfile.commit=error");
+  EXPECT_THROW(atomic_write_file(path, "new!", 4), Error);
+  failpoint::disarm_all();
+
+  std::ifstream in(path, std::ios::binary);
+  std::string back((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(back, "old") << "failed commit must not touch the old file";
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace picp

@@ -1,0 +1,221 @@
+// In-process tests of the service layer's robustness contract (PR 7):
+// per-request deadline propagation (504 + stage telemetry), degraded-mode
+// stale serving (X-Picp-Degraded), and the /v1/failpoints admin endpoint's
+// gating (404 when disabled, loopback-only when enabled). Drives
+// PredictionService::handle() directly — no sockets — against a miniature
+// trace generated once per process.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "picsim/sim_driver.hpp"
+#include "serve/http.hpp"
+#include "serve/service.hpp"
+#include "util/failpoint.hpp"
+
+namespace picp::serve {
+namespace {
+
+/// One miniature trace for every test in this file (generation costs more
+/// than every request below combined). Leaked on purpose: process-lifetime.
+const std::string& shared_trace_path() {
+  static const std::string* path = [] {
+    SimConfig cfg;
+    cfg.nelx = 8;
+    cfg.nely = 8;
+    cfg.nelz = 16;
+    cfg.bed.num_particles = 1500;
+    cfg.num_iterations = 100;
+    cfg.sample_every = 50;
+    cfg.num_ranks = 8;
+    cfg.filter_size = 0.08;
+    // PID-unique: ctest runs each TEST as its own process, and two
+    // processes regenerating one shared path would race reader vs writer.
+    const auto* p = new std::string(testing::TempDir() +
+                                    "/picp_serve_degraded_" +
+                                    std::to_string(::getpid()) + ".trace");
+    SimDriver driver(cfg);
+    driver.run(*p);
+    return p;
+  }();
+  return *path;
+}
+
+ServiceConfig tiny_service_config() {
+  ServiceConfig config;
+  config.trace_path = shared_trace_path();
+  config.nelx = 8;
+  config.nely = 8;
+  config.nelz = 16;
+  // Capacity 1 on both tiers: the second distinct key evicts the first,
+  // which is exactly the shape the degraded-mode tests need.
+  config.workload_cache_capacity = 1;
+  config.response_cache_capacity = 1;
+  return config;
+}
+
+HttpRequest post(const std::string& target, const std::string& body) {
+  HttpRequest request;
+  request.method = "POST";
+  request.target = target;
+  request.body = body;
+  return request;
+}
+
+class ServeDegradedTest : public testing::Test {
+ protected:
+  void TearDown() override { failpoint::disarm_all(); }
+};
+
+TEST_F(ServeDegradedTest, WorkloadServesAndReplaysByteIdentically) {
+  PredictionService service(tiny_service_config());
+  const HttpResponse miss =
+      service.handle(post("/v1/workload", "{\"ranks\": [4]}"));
+  ASSERT_EQ(miss.status, 200) << miss.body;
+  ASSERT_NE(miss.header("x-picp-cache"), nullptr);
+  EXPECT_EQ(*miss.header("x-picp-cache"), "miss");
+  EXPECT_EQ(miss.header("x-picp-degraded"), nullptr);
+
+  const HttpResponse hit =
+      service.handle(post("/v1/workload", "{\"ranks\": [4]}"));
+  ASSERT_EQ(hit.status, 200);
+  EXPECT_EQ(*hit.header("x-picp-cache"), "hit");
+  EXPECT_EQ(hit.body, miss.body) << "cached replay must be byte-identical";
+}
+
+TEST_F(ServeDegradedTest, ExpiredDeadlineReturns504WithStage) {
+  PredictionService service(tiny_service_config());
+  // The injected delay burns the whole budget before the first pipeline
+  // stage boundary, so the 504 is deterministic, not a timing race.
+  failpoint::arm("serve.generate=delay(80)");
+  HttpRequest request = post("/v1/workload", "{\"ranks\": [4]}");
+  request.headers.emplace_back("x-picp-deadline-ms", "20");
+  const HttpResponse response = service.handle(request);
+  EXPECT_EQ(response.status, 504) << response.body;
+  ASSERT_NE(response.header("x-picp-deadline-stage"), nullptr);
+  EXPECT_EQ(*response.header("x-picp-deadline-stage"), "generate.partition");
+  EXPECT_NE(response.body.find("deadline exceeded"), std::string::npos);
+}
+
+TEST_F(ServeDegradedTest, GenerousDeadlineDoesNotDisturbTheRequest) {
+  PredictionService service(tiny_service_config());
+  HttpRequest request = post("/v1/workload", "{\"ranks\": [4]}");
+  request.headers.emplace_back("x-picp-deadline-ms", "600000");
+  EXPECT_EQ(service.handle(request).status, 200);
+}
+
+TEST_F(ServeDegradedTest, MalformedDeadlineHeaderIsA400) {
+  PredictionService service(tiny_service_config());
+  for (const char* bad : {"soon", "-5", "0"}) {
+    HttpRequest request = post("/v1/workload", "{\"ranks\": [4]}");
+    request.headers.emplace_back("x-picp-deadline-ms", bad);
+    EXPECT_EQ(service.handle(request).status, 400) << bad;
+  }
+}
+
+TEST_F(ServeDegradedTest, TransientFailureServesStaleWhenAllowed) {
+  ServiceConfig config = tiny_service_config();
+  config.allow_stale = true;
+  PredictionService service(config);
+
+  // Warm ranks=4, then evict it from both capacity-1 tiers with ranks=2.
+  // The stale tier keeps the evicted response as the last good value.
+  const HttpResponse good =
+      service.handle(post("/v1/workload", "{\"ranks\": [4]}"));
+  ASSERT_EQ(good.status, 200);
+  ASSERT_EQ(service.handle(post("/v1/workload", "{\"ranks\": [2]}")).status,
+            200);
+
+  failpoint::arm("serve.generate=error");
+  const HttpResponse degraded =
+      service.handle(post("/v1/workload", "{\"ranks\": [4]}"));
+  EXPECT_EQ(degraded.status, 200) << degraded.body;
+  ASSERT_NE(degraded.header("x-picp-degraded"), nullptr);
+  EXPECT_EQ(*degraded.header("x-picp-degraded"), "stale");
+  EXPECT_EQ(degraded.body, good.body)
+      << "degraded mode must replay the last good artifact byte-for-byte";
+
+  // Disarmed, the next request regenerates fresh — no stale lock-in.
+  failpoint::disarm_all();
+  const HttpResponse healed =
+      service.handle(post("/v1/workload", "{\"ranks\": [4]}"));
+  EXPECT_EQ(healed.status, 200);
+  EXPECT_EQ(healed.header("x-picp-degraded"), nullptr);
+  EXPECT_EQ(healed.body, good.body);
+}
+
+TEST_F(ServeDegradedTest, TransientFailureWithoutStalePermissionIsA500) {
+  PredictionService service(tiny_service_config());  // allow_stale = false
+  ASSERT_EQ(service.handle(post("/v1/workload", "{\"ranks\": [4]}")).status,
+            200);
+  ASSERT_EQ(service.handle(post("/v1/workload", "{\"ranks\": [2]}")).status,
+            200);
+  failpoint::arm("serve.generate=error");
+  const HttpResponse response =
+      service.handle(post("/v1/workload", "{\"ranks\": [4]}"));
+  EXPECT_EQ(response.status, 500);
+  EXPECT_EQ(response.header("x-picp-degraded"), nullptr);
+}
+
+TEST_F(ServeDegradedTest, FailpointsEndpointIs404WhenDisabled) {
+  PredictionService service(tiny_service_config());
+  HttpRequest request;
+  request.method = "GET";
+  request.target = "/v1/failpoints";
+  request.from_loopback = true;  // even loopback peers see nothing
+  EXPECT_EQ(service.handle(request).status, 404);
+}
+
+TEST_F(ServeDegradedTest, FailpointsEndpointIsLoopbackOnly) {
+  ServiceConfig config = tiny_service_config();
+  config.enable_failpoints = true;
+  PredictionService service(config);
+  HttpRequest request;
+  request.method = "GET";
+  request.target = "/v1/failpoints";
+  request.from_loopback = false;
+  EXPECT_EQ(service.handle(request).status, 403);
+}
+
+TEST_F(ServeDegradedTest, FailpointsEndpointArmsListsAndDisarms) {
+  ServiceConfig config = tiny_service_config();
+  config.enable_failpoints = true;
+  PredictionService service(config);
+
+  HttpRequest arm = post("/v1/failpoints",
+                         "{\"arm\": \"serve.generate=error:times1\"}");
+  arm.from_loopback = true;
+  const HttpResponse armed = service.handle(arm);
+  ASSERT_EQ(armed.status, 200) << armed.body;
+  EXPECT_NE(armed.body.find("serve.generate=error:times1"),
+            std::string::npos);
+
+  HttpRequest list;
+  list.method = "GET";
+  list.target = "/v1/failpoints";
+  list.from_loopback = true;
+  EXPECT_NE(service.handle(list).body.find("serve.generate"),
+            std::string::npos);
+
+  // The armed failpoint really bites the serving path once.
+  EXPECT_EQ(service.handle(post("/v1/workload", "{\"ranks\": [4]}")).status,
+            500);
+  EXPECT_EQ(service.handle(post("/v1/workload", "{\"ranks\": [4]}")).status,
+            200);
+
+  HttpRequest disarm = post("/v1/failpoints", "{\"disarm_all\": true}");
+  disarm.from_loopback = true;
+  EXPECT_EQ(service.handle(disarm).status, 200);
+  EXPECT_TRUE(failpoint::list().empty());
+
+  HttpRequest bad = post("/v1/failpoints", "{\"arm\": \"not a spec\"}");
+  bad.from_loopback = true;
+  EXPECT_EQ(service.handle(bad).status, 400);
+}
+
+}  // namespace
+}  // namespace picp::serve

@@ -23,4 +23,13 @@ cmake --build "$BUILD_DIR" -j
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
   ctest --test-dir "$BUILD_DIR" --output-on-failure -LE claims \
   -j "$(nproc 2>/dev/null || echo 4)"
+# Chaos smoke under the sanitizer: the failpoint storms exercise the error
+# unwind paths (torn writes, injected errno, crash recovery) that the happy
+# path never touches — exactly where lifetime bugs hide. The instrumented
+# ctest tier above already ran check_chaos once; this second run with
+# abort_on_error surfaces leaks/UB reports the harness's own asserts
+# would otherwise swallow into a generic FAIL.
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
+  "$SRC_DIR/tools/check_chaos.sh" "$BUILD_DIR/tools/picpredict" \
+  "$BUILD_DIR/check_chaos_sanitize_work"
 echo "sanitizer suite (${SANITIZE}) passed"

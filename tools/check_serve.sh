@@ -193,9 +193,13 @@ BUSY_PORT=$(cat busy.port)
 # Warm the cache so rejected connections are the only failure mode.
 "$PICPREDICT" query /v1/predict --port "$BUSY_PORT" \
     --body '{"ranks": [8]}' --quiet || fail "busy daemon warmup failed"
+# --retries 0: this assertion is about the *server* shedding load, so the
+# client's 503 retry loop (which would eventually squeeze everything
+# through one connection) must stay out of the way.
 set +e
 "$PICPREDICT" query /v1/predict --port "$BUSY_PORT" \
-    --body '{"ranks": [8]}' --repeat 64 --parallel 8 --quiet > shed.txt 2>&1
+    --body '{"ranks": [8]}' --repeat 64 --parallel 8 --retries 0 \
+    --quiet > shed.txt 2>&1
 SHED_EXIT=$?
 set -e
 [[ $SHED_EXIT -ne 0 ]] \

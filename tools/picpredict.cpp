@@ -42,20 +42,32 @@
 //
 //   picpredict serve --config <serve.ini> [--port P] [--threads N]
 //                    [--ready-file F] [--telemetry-dir D]
+//                    [--enable-failpoints]
 //       Long-lived prediction daemon: load the trace + models once, answer
 //       /v1/predict, /v1/workload, /v1/models, /healthz, /metricsz over
 //       HTTP/1.1 with a content-addressed artifact cache. SIGINT/SIGTERM
 //       drain in-flight requests, then exit 0 (writing the telemetry
-//       manifest when --telemetry-dir is set).
+//       manifest when --telemetry-dir is set). --enable-failpoints exposes
+//       the loopback-only /v1/failpoints fault-injection endpoint.
 //
 //   picpredict query <endpoint> [--port P] [--host H] [--body JSON]
-//                    [--repeat N] [--parallel K] [--quiet]
+//                    [--repeat N] [--parallel K] [--retries R]
+//                    [--max-backoff-ms MS] [--deadline-ms MS] [--quiet]
 //       Client for the daemon: one request (or a closed loop of N, K at a
-//       time), printing status + body. Exits 0 iff every response is 2xx.
+//       time), printing status + body. 503 (server shedding load) is
+//       retried up to --retries times with capped exponential backoff and
+//       full jitter, honoring the server's Retry-After as a floor.
+//       --deadline-ms stamps X-Picp-Deadline-Ms so the server can 504
+//       instead of finishing work nobody is waiting for.
 //
 // Exit codes (contract, covered by tests/test_cli_errors.cpp): 0 success,
 // 1 runtime failure (missing/corrupt input, prediction error, non-2xx
-// query), 2 usage error (unknown command, bad flag, malformed value).
+// query), 2 usage error (unknown command, bad flag, malformed value),
+// 3 server busy — every failure was a 503 and the retry budget ran out.
+//
+// Fault injection: PICP_FAILPOINTS='site=action[:trigger];...' (with
+// PICP_FAILPOINTS_SEED=N) arms failpoints in any command; see
+// src/util/failpoint.hpp for the grammar.
 
 #include <sys/stat.h>
 
@@ -66,12 +78,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <chrono>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/pipeline.hpp"
@@ -88,7 +103,9 @@
 #include "util/atomic_file.hpp"
 #include "util/config.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 #include "util/logging.hpp"
+#include "util/rng.hpp"
 #include "util/string_util.hpp"
 #include "util/thread_pool.hpp"
 #include "workload/workload_stats.hpp"
@@ -118,10 +135,24 @@ using namespace picp;
                "  picpredict report <telemetry-dir> [--top N] [--check]\n"
                "  picpredict serve --config <serve.ini> [--port P] "
                "[--threads N]\n"
-               "                   [--ready-file F] [--telemetry-dir D]\n"
+               "                   [--ready-file F] [--telemetry-dir D] "
+               "[--enable-failpoints]\n"
                "  picpredict query <endpoint> [--port P] [--host H] "
                "[--body JSON]\n"
-               "                  [--repeat N] [--parallel K] [--quiet]\n");
+               "                  [--repeat N] [--parallel K] [--retries R] "
+               "[--max-backoff-ms MS]\n"
+               "                  [--deadline-ms MS] [--quiet]\n"
+               "\n"
+               "exit codes: 0 success; 1 runtime failure (missing/corrupt "
+               "input, non-2xx\n"
+               "            response); 2 usage error; 3 server busy — every "
+               "failure was a\n"
+               "            503 and the --retries budget ran out\n"
+               "\n"
+               "fault injection: set PICP_FAILPOINTS="
+               "'site=action[:trigger];...' (and\n"
+               "optionally PICP_FAILPOINTS_SEED=N) to arm failpoints in any "
+               "command\n");
   std::exit(2);
 }
 
@@ -539,12 +570,14 @@ extern "C" void handle_shutdown_signal(int) {
 }
 
 int cmd_serve(int argc, char** argv) {
-  const auto flags = parse_flags(argc, argv, 2);
+  const auto flags = parse_flags(argc, argv, 2, {"enable-failpoints"});
   const std::string config_path = require_flag(flags, "config");
   require_readable(config_path, "cannot read serve config");
   const Config config = Config::from_file(config_path);
-  const serve::ServiceConfig service_config =
+  serve::ServiceConfig service_config =
       serve::ServiceConfig::from_config(config);
+  if (flags.count("enable-failpoints") > 0)
+    service_config.enable_failpoints = true;
   require_readable(service_config.trace_path, "cannot read trace file");
   if (!service_config.models_path.empty())
     require_readable(service_config.models_path, "cannot read models file");
@@ -627,9 +660,17 @@ int cmd_query(int argc, char** argv) {
       flag_int_value("repeat", flag_or(flags, "repeat", "1")));
   const auto parallel = static_cast<std::size_t>(
       flag_int_value("parallel", flag_or(flags, "parallel", "1")));
+  const auto retries = static_cast<std::size_t>(
+      flag_int_value("retries", flag_or(flags, "retries", "3")));
+  const long long max_backoff_ms = flag_int_value(
+      "max-backoff-ms", flag_or(flags, "max-backoff-ms", "2000"));
+  const long long deadline_ms =
+      flag_int_value("deadline-ms", flag_or(flags, "deadline-ms", "0"));
   const bool quiet = flags.count("quiet") > 0;
   if (repeat < 1) fail_usage("--repeat must be >= 1");
   if (parallel < 1) fail_usage("--parallel must be >= 1");
+  if (max_backoff_ms < 1) fail_usage("--max-backoff-ms must be >= 1");
+  if (deadline_ms < 0) fail_usage("--deadline-ms must be >= 0");
 
   serve::HttpRequest request;
   request.method = body.empty() ? "GET" : "POST";
@@ -637,56 +678,117 @@ int cmd_query(int argc, char** argv) {
   request.body = body;
   if (!body.empty())
     request.headers.emplace_back("Content-Type", "application/json");
+  if (deadline_ms > 0)
+    request.headers.emplace_back("X-Picp-Deadline-Ms",
+                                 std::to_string(deadline_ms));
   const std::string host_header = host + ":" + std::to_string(port);
 
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> failures{0};
+  std::atomic<std::size_t> busy_failures{0};  // failures that were 503s
   std::mutex print_mutex;
-  const auto worker = [&] {
+  const auto print_response = [&](const serve::HttpResponse& response) {
+    if (quiet) return;
+    std::lock_guard<std::mutex> lock(print_mutex);
+    const std::string* cache = response.header("x-picp-cache");
+    const std::string* degraded = response.header("x-picp-degraded");
+    std::printf("%d %s%s%s%s\n", response.status,
+                serve::status_reason(response.status),
+                cache != nullptr ? " cache=" : "",
+                cache != nullptr ? cache->c_str() : "",
+                degraded != nullptr ? " degraded=stale" : "");
+    if (!response.body.empty())
+      std::fwrite(response.body.data(), 1, response.body.size(), stdout);
+  };
+
+  const auto worker = [&](std::size_t worker_index) {
     // One connection per worker, reused across its share of requests —
     // the closed-loop shape the daemon's keep-alive path is built for.
-    try {
-      serve::HttpConnection connection(serve::connect_tcp(host, port));
-      serve::HttpLimits limits;
-      while (next.fetch_add(1) < repeat) {
-        connection.write_request(request, host_header);
-        serve::HttpResponse response;
-        if (!connection.read_response(response, limits))
-          throw Error("server closed the connection");
-        if (response.status < 200 || response.status >= 300)
+    // Retry state: capped exponential backoff with *full jitter* (sleep a
+    // uniform draw from [0, cap]) — the spread that keeps a shed fleet of
+    // clients from re-arriving in lockstep — with the server's
+    // Retry-After as a floor when it sent one.
+    Xoshiro256 jitter(0x9e3779b97f4a7c15ULL + worker_index);
+    std::unique_ptr<serve::HttpConnection> connection;
+    serve::HttpLimits limits;
+    const auto backoff = [&](std::size_t attempt, long long floor_ms) {
+      long long cap = 100;  // base delay, doubled per attempt
+      for (std::size_t i = 0; i < attempt && cap < max_backoff_ms; ++i)
+        cap *= 2;
+      if (cap > max_backoff_ms) cap = max_backoff_ms;
+      long long delay = static_cast<long long>(
+          jitter.uniform_below(static_cast<std::uint64_t>(cap) + 1));
+      if (delay < floor_ms) delay = floor_ms;
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    };
+
+    while (next.fetch_add(1) < repeat) {
+      std::size_t attempt = 0;
+      for (;;) {
+        try {
+          if (connection == nullptr)
+            connection = std::make_unique<serve::HttpConnection>(
+                serve::connect_tcp(host, port));
+          connection->write_request(request, host_header);
+          serve::HttpResponse response;
+          if (!connection->read_response(response, limits))
+            throw Error("server closed the connection");
+          const std::string* connection_header =
+              response.header("connection");
+          if (connection_header != nullptr &&
+              *connection_header == "close")
+            connection.reset();  // reconnect before the next attempt
+
+          if (response.status == 503 && attempt < retries) {
+            // Shed by backpressure: retryable by contract. Honor the
+            // server's Retry-After (seconds) as the minimum wait.
+            long long floor_ms = 0;
+            if (const std::string* after = response.header("retry-after")) {
+              try {
+                floor_ms = parse_int(*after) * 1000;
+              } catch (const Error&) {
+                floor_ms = 0;  // malformed header: jitter-only backoff
+              }
+            }
+            ++attempt;
+            backoff(attempt, floor_ms);
+            continue;
+          }
+          if (response.status < 200 || response.status >= 300) {
+            failures.fetch_add(1);
+            if (response.status == 503) busy_failures.fetch_add(1);
+          }
+          print_response(response);
+          break;
+        } catch (const std::exception& e) {
+          connection.reset();
+          if (attempt < retries) {
+            ++attempt;
+            backoff(attempt, 0);
+            continue;
+          }
           failures.fetch_add(1);
-        if (!quiet) {
           std::lock_guard<std::mutex> lock(print_mutex);
-          const std::string* cache = response.header("x-picp-cache");
-          std::printf("%d %s%s%s%s", response.status,
-                      serve::status_reason(response.status),
-                      cache != nullptr ? " cache=" : "",
-                      cache != nullptr ? cache->c_str() : "",
-                      response.body.empty() ? "\n" : "\n");
-          if (!response.body.empty())
-            std::fwrite(response.body.data(), 1, response.body.size(),
-                        stdout);
+          std::fprintf(stderr, "query: %s\n", e.what());
+          break;
         }
-        const std::string* connection_header =
-            response.header("connection");
-        if (connection_header != nullptr && *connection_header == "close")
-          throw Error("server is draining (connection: close)");
       }
-    } catch (const std::exception& e) {
-      failures.fetch_add(1);
-      std::lock_guard<std::mutex> lock(print_mutex);
-      std::fprintf(stderr, "query: %s\n", e.what());
     }
   };
 
   if (parallel == 1) {
-    worker();
+    worker(0);
   } else {
     ThreadPool pool(parallel);
-    for (std::size_t i = 0; i < parallel; ++i) pool.submit(worker);
+    for (std::size_t i = 0; i < parallel; ++i)
+      pool.submit([&worker, i] { worker(i); });
     pool.wait_idle();
   }
-  return failures.load() == 0 ? 0 : 1;
+  const std::size_t failed = failures.load();
+  if (failed == 0) return 0;
+  // Exit 3: the server was healthy but busy — every failure was a 503
+  // that outlived the retry budget. Scripts can sleep-and-rerun on it.
+  return failed == busy_failures.load() ? 3 : 1;
 }
 
 }  // namespace
@@ -695,6 +797,9 @@ int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string command = argv[1];
   try {
+    // Arm before dispatch so every command is injectable; a malformed
+    // PICP_FAILPOINTS spec is a runtime failure (exit 1), not silence.
+    failpoint::arm_from_env();
     if (command == "simulate") return cmd_simulate(argc, argv);
     if (command == "trace") return cmd_trace(argc, argv);
     if (command == "train") return cmd_train(argc, argv);
