@@ -1,21 +1,34 @@
-// Closed-loop load generator for the prediction daemon: spins up the real
-// HttpServer + PredictionService in-process, then drives it with K
-// persistent keep-alive connections issuing M requests each over a small
-// rotation of configs. Runs three phases over the same server:
+// Load generator for the prediction daemon: spins up the real HttpServer
+// (epoll reactor) + PredictionService in-process, then drives it through
+// four phases over the same server:
 //
-//   warmup    one sequential pass per distinct config (cold generation,
-//             not measured) so the measured phases compare like with like;
-//   baseline  the all-hits hot path the daemon is built around;
-//   faulty    the same load with `http.write=delay(5):1in100` armed — the
-//             failure-mode column: what 1% slow socket writes do to p99.
+//   warmup        one sequential pass per distinct config (cold
+//                 generation, not measured) so the measured phases
+//                 compare like with like;
+//   baseline      closed loop, K persistent keep-alive connections — the
+//                 all-hits hot path the daemon is built around;
+//   delay_1in100  the same load with `http.write=delay(5):1in100` armed —
+//                 the failure-mode column: what 1% slow writes do to p99;
+//   open_loop_10k N concurrent connections (default 10000) opened by a
+//                 forked client process, each issuing one identical
+//                 cached request — the reactor's concurrency ceiling.
+//                 Forked because the container caps fds at 20000 per
+//                 process: the server holds N sockets, the client child
+//                 holds the other N in its own fd table. Latency here is
+//                 burst-to-response (open loop), not per-request service
+//                 time; `peak_connections` proves all N were concurrent.
 //
 // Reports latency percentiles, throughput, and the cache hit rate observed
 // on the wire (X-Picp-Cache) per phase. Snapshot rows live in
-// results/micro_serve.txt; --json writes the machine-readable
-// BENCH_serve.json snapshot the perf trajectory tracks.
+// results/micro_serve.txt; --json writes the machine-readable snapshot
+// appended to BENCH_serve.json (see tools/check_bench_serve.sh for the
+// p99 regression guard).
 //
 // Usage: micro_serve [--connections K] [--requests M] [--distinct D]
-//                    [--json FILE]
+//                    [--open-connections N] [--json FILE]
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
@@ -24,6 +37,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -131,6 +145,134 @@ PhaseResult run_phase(const std::string& name, std::uint16_t port,
   return phase;
 }
 
+/// The open-loop client, run inside the forked child: open `n` concurrent
+/// connections, send one identical cached request on every one of them,
+/// then collect every response. All sockets stay open until every
+/// response is read, so the server provably holds `n` connections at once.
+PhaseResult run_open_loop_client(std::uint16_t port, std::size_t n) {
+  PhaseResult phase;
+  phase.name = "open_loop_10k";
+  std::vector<std::unique_ptr<serve::HttpConnection>> conns;
+  conns.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    try {
+      conns.push_back(std::make_unique<serve::HttpConnection>(
+          serve::connect_tcp("127.0.0.1", port)));
+    } catch (const std::exception&) {
+      ++phase.failures;
+      conns.push_back(nullptr);
+    }
+  }
+
+  serve::HttpRequest request;
+  request.method = "POST";
+  request.target = "/v1/predict";
+  request.body = "{\"ranks\": [16]}";  // warmed by the closed-loop phases
+
+  const auto burst_start = std::chrono::steady_clock::now();
+  std::vector<std::chrono::steady_clock::time_point> sent(conns.size());
+  for (std::size_t i = 0; i < conns.size(); ++i) {
+    if (conns[i] == nullptr) continue;
+    try {
+      conns[i]->write_request(request, "127.0.0.1");
+      sent[i] = std::chrono::steady_clock::now();
+    } catch (const std::exception&) {
+      ++phase.failures;
+      conns[i].reset();
+    }
+  }
+
+  std::vector<double> latencies;
+  latencies.reserve(conns.size());
+  std::uint64_t wire_hits = 0;
+  serve::HttpLimits limits;
+  limits.io_timeout_ms = 120000;  // the whole burst drains through 1 core
+  for (std::size_t i = 0; i < conns.size(); ++i) {
+    if (conns[i] == nullptr) continue;
+    serve::HttpResponse response;
+    try {
+      if (!conns[i]->read_response(response, limits) ||
+          response.status != 200) {
+        ++phase.failures;
+        continue;
+      }
+    } catch (const std::exception&) {
+      ++phase.failures;
+      continue;
+    }
+    latencies.push_back(std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - sent[i])
+                            .count());
+    const std::string* cache = response.header("x-picp-cache");
+    if (cache != nullptr && *cache == "hit") ++wire_hits;
+  }
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    burst_start)
+          .count();
+
+  std::sort(latencies.begin(), latencies.end());
+  phase.samples = latencies.size();
+  phase.p50_us = percentile(latencies, 50);
+  phase.p95_us = percentile(latencies, 95);
+  phase.p99_us = percentile(latencies, 99);
+  phase.max_us = latencies.empty() ? 0.0 : latencies.back();
+  phase.throughput_rps =
+      wall_seconds > 0 ? static_cast<double>(latencies.size()) / wall_seconds
+                       : 0.0;
+  phase.cache_hit_pct = latencies.empty()
+                            ? 0.0
+                            : 100.0 * static_cast<double>(wire_hits) /
+                                  static_cast<double>(latencies.size());
+  return phase;
+}
+
+/// Fork the open-loop client and read its PhaseResult back over a pipe.
+/// The fork keeps the client's n sockets out of the server process's fd
+/// table (the per-process limit would not fit both sides of 10k pairs).
+PhaseResult run_open_loop(std::uint16_t port, std::size_t n) {
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    std::perror("pipe");
+    std::exit(1);
+  }
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::close(fds[0]);
+    const PhaseResult phase = run_open_loop_client(port, n);
+    ::dprintf(fds[1], "%zu %f %f %f %f %f %f %llu\n", phase.samples,
+              phase.p50_us, phase.p95_us, phase.p99_us, phase.max_us,
+              phase.throughput_rps, phase.cache_hit_pct,
+              static_cast<unsigned long long>(phase.failures));
+    ::close(fds[1]);
+    std::_Exit(0);  // no atexit: the child must not tear down server state
+  }
+  ::close(fds[1]);
+  std::string line;
+  char buf[256];
+  ssize_t got;
+  while ((got = ::read(fds[0], buf, sizeof buf)) > 0)
+    line.append(buf, static_cast<std::size_t>(got));
+  ::close(fds[0]);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+
+  PhaseResult phase;
+  phase.name = "open_loop_10k";
+  unsigned long long failures = 0;
+  if (std::sscanf(line.c_str(), "%zu %lf %lf %lf %lf %lf %lf %llu",
+                  &phase.samples, &phase.p50_us, &phase.p95_us,
+                  &phase.p99_us, &phase.max_us, &phase.throughput_rps,
+                  &phase.cache_hit_pct, &failures) != 8) {
+    std::fprintf(stderr, "micro_serve: open-loop child reported nothing "
+                         "(exit status %d)\n", status);
+    phase.failures = n;  // treat a vanished child as total failure
+    return phase;
+  }
+  phase.failures = failures;
+  return phase;
+}
+
 long long arg_or(int argc, char** argv, const char* name, long long fallback) {
   for (int i = 1; i + 1 < argc; ++i)
     if (std::strcmp(argv[i], name) == 0) return std::atoll(argv[i + 1]);
@@ -156,6 +298,8 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(arg_or(argc, argv, "--requests", 250));
   const auto distinct =
       static_cast<std::size_t>(arg_or(argc, argv, "--distinct", 8));
+  const auto open_connections = static_cast<std::size_t>(
+      arg_or(argc, argv, "--open-connections", 10000));
   const char* json_path = arg_str(argc, argv, "--json");
 
   // --- fixture: tiny trace + models, like the serving smoke test ----------
@@ -200,7 +344,12 @@ int main(int argc, char** argv) {
   // otherwise serialize persistent connections on low-core machines and
   // the percentiles would measure queueing, not service.
   options.threads = connections;
-  options.max_connections = connections + 4;
+  options.max_connections = std::max(connections + 4, open_connections + 64);
+  // The open-loop burst parks every request behind one identical config —
+  // most coalesce into batches, but the SLO must not shed the stragglers.
+  options.max_pending_requests =
+      std::max<std::size_t>(256, open_connections);
+  options.listen_backlog = 4096;
   serve::HttpServer server(options,
                            [&](const serve::HttpRequest& request) {
                              return service.handle(request);
@@ -224,23 +373,48 @@ int main(int argc, char** argv) {
                                        connections, requests, distinct);
   failpoint::disarm_all();
 
+  // Concurrency ceiling: every open-loop connection from a forked child so
+  // the client's sockets live in a separate fd table. Runs last — the
+  // closed-loop percentiles above are unaffected by its 10k accept storm.
+  PhaseResult open_loop;
+  open_loop.name = "open_loop_10k";
+  if (open_connections > 0)
+    open_loop = run_open_loop(server.port(), open_connections);
+
   server.request_shutdown();
   server_thread.join();
+  // peak_connections is monotonic, so reading after the drain still
+  // reflects the open-loop high-water mark (and avoids racing the reactor).
+  const serve::ServerStats stats = server.stats();
 
-  std::printf("# micro_serve: closed-loop load against the prediction "
-              "daemon (in-process server, loopback TCP)\n");
+  std::printf("# micro_serve: load against the prediction daemon "
+              "(in-process server, loopback TCP)\n");
   std::printf("# %zu connections x %zu requests, %zu distinct configs, "
               "cache warmed before measurement; the delay_1in100 phase "
-              "runs with http.write=delay(5):1in100 armed\n",
-              connections, requests, distinct);
+              "runs with http.write=delay(5):1in100 armed; open_loop_10k "
+              "bursts %zu one-shot connections from a forked client "
+              "(latency is burst-to-response)\n",
+              connections, requests, distinct, open_connections);
   std::printf("phase,connections,requests,distinct,p50_us,p95_us,p99_us,"
               "max_us,throughput_rps,cache_hit_pct,failures\n");
-  for (const PhaseResult* phase : {&baseline, &faulty})
+  std::vector<const PhaseResult*> report = {&baseline, &faulty};
+  if (open_connections > 0) report.push_back(&open_loop);
+  for (const PhaseResult* phase : report) {
+    const bool open = phase == &open_loop;
     std::printf("%s,%zu,%zu,%zu,%.1f,%.1f,%.1f,%.1f,%.0f,%.2f,%llu\n",
-                phase->name.c_str(), connections, requests, distinct,
-                phase->p50_us, phase->p95_us, phase->p99_us, phase->max_us,
+                phase->name.c_str(),
+                open ? open_connections : connections,
+                open ? std::size_t{1} : requests,
+                open ? std::size_t{1} : distinct, phase->p50_us,
+                phase->p95_us, phase->p99_us, phase->max_us,
                 phase->throughput_rps, phase->cache_hit_pct,
                 static_cast<unsigned long long>(phase->failures));
+  }
+  std::printf("# peak_connections=%zu batch_leaders=%llu "
+              "batch_members=%llu\n",
+              stats.peak_connections,
+              static_cast<unsigned long long>(stats.batch_leaders),
+              static_cast<unsigned long long>(stats.batch_members));
 
   if (json_path != nullptr) {
     std::FILE* out = std::fopen(json_path, "w");
@@ -254,10 +428,17 @@ int main(int argc, char** argv) {
                  "  \"connections\": %zu,\n"
                  "  \"requests\": %zu,\n"
                  "  \"distinct\": %zu,\n"
+                 "  \"open_connections\": %zu,\n"
+                 "  \"peak_connections\": %zu,\n"
+                 "  \"batch_leaders\": %llu,\n"
+                 "  \"batch_members\": %llu,\n"
                  "  \"phases\": [\n",
-                 connections, requests, distinct);
+                 connections, requests, distinct, open_connections,
+                 stats.peak_connections,
+                 static_cast<unsigned long long>(stats.batch_leaders),
+                 static_cast<unsigned long long>(stats.batch_members));
     bool first = true;
-    for (const PhaseResult* phase : {&baseline, &faulty}) {
+    for (const PhaseResult* phase : report) {
       std::fprintf(
           out,
           "%s    {\"phase\": \"%s\", \"samples\": %zu, \"p50_us\": %.1f, "
@@ -275,5 +456,12 @@ int main(int argc, char** argv) {
   }
 
   fs::remove_all(work);
-  return warmup.failures + baseline.failures + faulty.failures == 0 ? 0 : 1;
+  // The open-loop phase must both complete cleanly and prove that all N
+  // connections were concurrently open on the server.
+  const bool open_ok =
+      open_connections == 0 ||
+      (open_loop.failures == 0 && stats.peak_connections >= open_connections);
+  const bool closed_ok =
+      warmup.failures + baseline.failures + faulty.failures == 0;
+  return closed_ok && open_ok ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "serve/http_parser.hpp"
 #include "util/failpoint.hpp"
 #include "util/string_util.hpp"
 
@@ -41,59 +42,6 @@ int remaining_ms(std::chrono::steady_clock::time_point deadline) {
                         .count();
   if (left <= 0) throw HttpError(408, "receive timeout");
   return static_cast<int>(left > 1 ? left : 1);
-}
-
-/// Header block -> start line + headers. Tolerates bare-LF line endings
-/// (curl and friends always send CRLF, but the parser is fed untrusted
-/// bytes and must not misframe on either form).
-void parse_head(const std::string& head, std::string& start_line,
-                std::vector<std::pair<std::string, std::string>>& headers) {
-  headers.clear();
-  std::size_t pos = 0;
-  bool first = true;
-  while (pos < head.size()) {
-    std::size_t eol = head.find('\n', pos);
-    if (eol == std::string::npos) eol = head.size();
-    std::size_t end = eol;
-    if (end > pos && head[end - 1] == '\r') --end;
-    const std::string line = head.substr(pos, end - pos);
-    pos = eol + 1;
-    if (line.empty()) break;  // blank line terminates the block
-    if (first) {
-      start_line = line;
-      first = false;
-      continue;
-    }
-    const std::size_t colon = line.find(':');
-    if (colon == std::string::npos || colon == 0)
-      throw HttpError(400, "malformed header line: " + line);
-    std::string name = lower(trim(line.substr(0, colon)));
-    std::string value = trim(line.substr(colon + 1));
-    if (name.empty()) throw HttpError(400, "empty header name");
-    headers.emplace_back(std::move(name), std::move(value));
-  }
-  if (first) throw HttpError(400, "empty message head");
-}
-
-std::size_t content_length(
-    const std::vector<std::pair<std::string, std::string>>& headers,
-    const HttpLimits& limits) {
-  if (find_header(headers, "transfer-encoding") != nullptr)
-    throw HttpError(501, "chunked transfer encoding not supported");
-  const std::string* value = find_header(headers, "content-length");
-  if (value == nullptr) return 0;
-  long long length = 0;
-  try {
-    length = parse_int(*value);
-  } catch (const Error&) {
-    throw HttpError(400, "malformed Content-Length: " + *value);
-  }
-  if (length < 0) throw HttpError(400, "negative Content-Length");
-  if (static_cast<std::size_t>(length) > limits.max_body_bytes)
-    throw HttpError(413, "body exceeds " +
-                             std::to_string(limits.max_body_bytes) +
-                             " bytes");
-  return static_cast<std::size_t>(length);
 }
 
 }  // namespace
@@ -195,14 +143,7 @@ bool HttpConnection::read_head(std::string& head, const HttpLimits& limits) {
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(limits.io_timeout_ms);
   for (;;) {
-    const std::size_t terminator = buffer_.find("\n\r\n", pos_);
-    const std::size_t bare = buffer_.find("\n\n", pos_);
-    const std::size_t end = terminator != std::string::npos &&
-                                    (bare == std::string::npos ||
-                                     terminator < bare)
-                                ? terminator + 3
-                                : (bare != std::string::npos ? bare + 2
-                                                             : std::string::npos);
+    const std::size_t end = wire::find_head_end(buffer_, pos_);
     // Enforce the cap on complete heads too, not just unterminated ones —
     // a peer that delivers a huge header block in one burst still finds a
     // terminator, and must still be refused.
@@ -244,25 +185,10 @@ bool HttpConnection::read_request(HttpRequest& request,
   std::string head;
   if (!read_head(head, limits)) return false;
   std::string start_line;
-  parse_head(head, start_line, request.headers);
-
-  // Request line: METHOD SP target SP HTTP/x.y
-  const std::size_t sp1 = start_line.find(' ');
-  const std::size_t sp2 =
-      sp1 == std::string::npos ? std::string::npos
-                               : start_line.find(' ', sp1 + 1);
-  if (sp1 == std::string::npos || sp2 == std::string::npos)
-    throw HttpError(400, "malformed request line: " + start_line);
-  request.method = start_line.substr(0, sp1);
-  request.target = start_line.substr(sp1 + 1, sp2 - sp1 - 1);
-  request.version = start_line.substr(sp2 + 1);
-  if (request.version.rfind("HTTP/", 0) != 0)
-    throw HttpError(400, "malformed HTTP version: " + request.version);
-  if (request.method.empty() || request.target.empty() ||
-      request.target[0] != '/')
-    throw HttpError(400, "malformed request target");
-
-  read_body(content_length(request.headers, limits), request.body, limits);
+  wire::parse_head_block(head, start_line, request.headers);
+  wire::parse_request_line(start_line, request);
+  read_body(wire::content_length_of(request.headers, limits), request.body,
+            limits);
   return true;
 }
 
@@ -271,7 +197,7 @@ bool HttpConnection::read_response(HttpResponse& response,
   std::string head;
   if (!read_head(head, limits)) return false;
   std::string start_line;
-  parse_head(head, start_line, response.headers);
+  wire::parse_head_block(head, start_line, response.headers);
 
   // Status line: HTTP/x.y SP code SP reason
   const std::size_t sp1 = start_line.find(' ');
@@ -284,7 +210,8 @@ bool HttpConnection::read_response(HttpResponse& response,
     throw HttpError(400, "malformed status code in: " + start_line);
   }
 
-  read_body(content_length(response.headers, limits), response.body, limits);
+  read_body(wire::content_length_of(response.headers, limits), response.body,
+            limits);
   return true;
 }
 
@@ -301,7 +228,7 @@ void HttpConnection::write_all(const char* data, std::size_t size) {
   }
 }
 
-void HttpConnection::write_response(const HttpResponse& response) {
+std::string serialize_response(const HttpResponse& response) {
   std::string wire = "HTTP/1.1 " + std::to_string(response.status) + " " +
                      status_reason(response.status) + "\r\n";
   for (const auto& [name, value] : response.headers)
@@ -309,6 +236,11 @@ void HttpConnection::write_response(const HttpResponse& response) {
   wire += "Content-Length: " + std::to_string(response.body.size()) +
           "\r\n\r\n";
   wire += response.body;
+  return wire;
+}
+
+void HttpConnection::write_response(const HttpResponse& response) {
+  const std::string wire = serialize_response(response);
   write_all(wire.data(), wire.size());
 }
 

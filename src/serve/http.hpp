@@ -54,6 +54,11 @@ struct HttpResponse {
 /// Canonical reason phrase for a status code ("OK", "Not Found", ...).
 const char* status_reason(int status);
 
+/// Wire bytes for one response (status line, headers, Content-Length
+/// framing, body) — shared by the blocking writer and the reactor's
+/// per-connection output buffers.
+std::string serialize_response(const HttpResponse& response);
+
 /// Wire limits and timeouts for one connection.
 struct HttpLimits {
   std::size_t max_header_bytes = 64 * 1024;

@@ -1,0 +1,799 @@
+#include "serve/reactor.hpp"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "telemetry/json.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/logging.hpp"
+
+namespace picp::serve {
+
+namespace {
+
+// epoll user-data tags for the two fds that are not connections.
+constexpr std::uint64_t kListenTag = ~std::uint64_t{0};
+constexpr std::uint64_t kWakeTag = ~std::uint64_t{0} - 1;
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_cloexec(int fd) { ::fcntl(fd, F_SETFD, FD_CLOEXEC); }
+
+/// True iff the peer address is 127.0.0.0/8 (the listener is IPv4-only).
+bool peer_is_loopback(const sockaddr_storage& peer, socklen_t len) {
+  if (peer.ss_family != AF_INET || len < sizeof(sockaddr_in)) return false;
+  const auto* in4 = reinterpret_cast<const sockaddr_in*>(&peer);
+  return (ntohl(in4->sin_addr.s_addr) >> 24) == 127;
+}
+
+void bump(const char* name, std::uint64_t n = 1) {
+  if (telemetry::enabled()) telemetry::registry().counter(name).add(n);
+}
+
+/// Two requests may share one handler execution only when a cache-keyed
+/// replay would be indistinguishable: same method, target, body, and same
+/// declared deadline budget (a member with a tighter X-Picp-Deadline-Ms
+/// must not inherit the leader's looser one, or vice versa).
+bool same_identity(const HttpRequest& a, const HttpRequest& b) {
+  if (a.method != b.method || a.target != b.target || a.body != b.body)
+    return false;
+  const std::string* da = a.header("x-picp-deadline-ms");
+  const std::string* db = b.header("x-picp-deadline-ms");
+  if ((da == nullptr) != (db == nullptr)) return false;
+  return da == nullptr || *da == *db;
+}
+
+}  // namespace
+
+EpollReactor::EpollReactor(const ReactorOptions& options, Handler handler,
+                           ThreadPool* pool, ReactorClock clock)
+    : options_(options), handler_(std::move(handler)), pool_(pool),
+      clock_(std::move(clock)) {
+  PICP_REQUIRE(handler_ != nullptr, "EpollReactor needs a handler");
+  if (!clock_) clock_ = [] { return std::chrono::steady_clock::now(); };
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  PICP_REQUIRE(epoll_fd_ >= 0,
+               std::string("epoll_create1: ") + std::strerror(errno));
+
+  int pipe_fds[2];
+  PICP_REQUIRE(::pipe(pipe_fds) == 0,
+               std::string("pipe: ") + std::strerror(errno));
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  set_nonblocking(wake_read_fd_);
+  set_nonblocking(wake_write_fd_);
+  set_cloexec(wake_read_fd_);
+  set_cloexec(wake_write_fd_);
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;  // level-triggered; the loop fully drains the pipe
+  ev.data.u64 = kWakeTag;
+  PICP_REQUIRE(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_read_fd_, &ev) == 0,
+               std::string("epoll_ctl(wake): ") + std::strerror(errno));
+}
+
+EpollReactor::~EpollReactor() {
+  for (auto& [id, conn] : conns_)
+    if (conn->fd >= 0) ::close(conn->fd);
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EpollReactor::listen_on(int listen_fd) {
+  PICP_REQUIRE(listen_fd_ < 0, "listen_on called twice");
+  listen_fd_ = listen_fd;
+  set_nonblocking(listen_fd_);
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLET;
+  ev.data.u64 = kListenTag;
+  PICP_REQUIRE(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0,
+               std::string("epoll_ctl(listen): ") + std::strerror(errno));
+}
+
+void EpollReactor::adopt(int fd, bool from_loopback) {
+  set_nonblocking(fd);
+  set_cloexec(fd);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.accepted;
+  }
+  bump("serve.accepted");
+  setup_conn(fd, from_loopback, /*counted=*/true);
+}
+
+void EpollReactor::setup_conn(int fd, bool from_loopback, bool counted) {
+  auto conn = std::make_unique<Conn>();
+  conn->fd = fd;
+  conn->id = next_conn_id_++;
+  conn->from_loopback = from_loopback;
+  conn->parser = std::make_unique<RequestParser>(options_.limits);
+  conn->counted = counted;
+  if (options_.request_timeout_ms > 0) {
+    conn->deadline =
+        now() + std::chrono::milliseconds(options_.request_timeout_ms);
+    next_expiry_ = std::min(next_expiry_, conn->deadline);
+  } else {
+    conn->deadline = TimePoint::max();
+  }
+
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLET | EPOLLRDHUP;
+  ev.data.u64 = conn->id;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    PICP_LOG_WARN << "epoll_ctl(add conn): " << std::strerror(errno);
+    ::close(fd);
+    return;
+  }
+  if (counted) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.active_connections;
+    stats_.peak_connections =
+        std::max(stats_.peak_connections, stats_.active_connections);
+  }
+  conns_.emplace(conn->id, std::move(conn));
+}
+
+void EpollReactor::handle_accept() {
+  for (;;) {
+    if (failpoint::any_armed()) {
+      if (const auto action = failpoint::fire("http.accept")) {
+        // EMFILE/ENFILE is the one accept(2) failure with its own recovery
+        // path (pause + backoff); the errno action simulates it without
+        // actually exhausting the fd table. Everything else keeps the old
+        // accept-loop semantics: delay/crash apply inline, error drops the
+        // connection on the floor.
+        if (action->kind == failpoint::ActionKind::kErrno &&
+            (action->errno_value == EMFILE ||
+             action->errno_value == ENFILE)) {
+          pause_accept(action->errno_value);
+          return;
+        }
+        if (action->kind == failpoint::ActionKind::kDelay ||
+            action->kind == failpoint::ActionKind::kCrash) {
+          failpoint::apply(*action, "http.accept");
+        } else {
+          sockaddr_storage peer{};
+          socklen_t peer_len = sizeof peer;
+          const int fd =
+              ::accept4(listen_fd_, reinterpret_cast<sockaddr*>(&peer),
+                        &peer_len, SOCK_NONBLOCK | SOCK_CLOEXEC);
+          if (fd >= 0) ::close(fd);
+          continue;
+        }
+      }
+    }
+
+    sockaddr_storage peer{};
+    socklen_t peer_len = sizeof peer;
+    const int fd = ::accept4(listen_fd_, reinterpret_cast<sockaddr*>(&peer),
+                             &peer_len, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE) {
+        pause_accept(errno);
+        return;
+      }
+      PICP_LOG_WARN << "accept: " << std::strerror(errno);
+      return;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    const bool from_loopback = peer_is_loopback(peer, peer_len);
+
+    bool shed = false;
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      if (stats_.active_connections >= options_.max_connections) {
+        ++stats_.rejected_busy;
+        shed = true;
+      } else {
+        ++stats_.accepted;
+      }
+    }
+    if (shed) {
+      bump("serve.rejected_busy");
+      // The 503 goes through a normal (uncounted) connection so a slow
+      // reader cannot block the reactor on the write.
+      setup_conn(fd, from_loopback, /*counted=*/false);
+      Conn* conn = conn_by_id(next_conn_id_ - 1);
+      if (conn != nullptr) {
+        conn->read_closed = true;
+        const std::uint64_t seq = conn->next_seq++;
+        conn->slots.emplace_back();
+        fill_slot(*conn, seq, busy_response(), /*close_after=*/true);
+        flush(*conn);
+      }
+      continue;
+    }
+    bump("serve.accepted");
+    setup_conn(fd, from_loopback, /*counted=*/true);
+  }
+}
+
+void EpollReactor::pause_accept(int err) {
+  if (accept_paused_ || listen_fd_ < 0) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+  accept_paused_ = true;
+  accept_resume_ =
+      now() + std::chrono::milliseconds(options_.accept_backoff_ms);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.accept_backoffs;
+  }
+  bump("serve.accept_backoffs");
+  PICP_LOG_WARN << "accept: " << std::strerror(err) << " — pausing accepts "
+                << options_.accept_backoff_ms << " ms";
+}
+
+void EpollReactor::resume_accept_if_due() {
+  if (!accept_paused_ || now() < accept_resume_) return;
+  accept_paused_ = false;
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLET;
+  ev.data.u64 = kListenTag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0)
+    PICP_LOG_WARN << "epoll_ctl(resume listen): " << std::strerror(errno);
+  // Connections that queued in the backlog during the pause predate the
+  // re-registration edge; drain them now rather than waiting for the next
+  // SYN to produce one.
+  handle_accept();
+}
+
+int EpollReactor::run_once(int max_wait_ms) {
+  resume_accept_if_due();
+
+  epoll_event events[128];
+  const int wait = next_wait_ms(max_wait_ms);
+  int n = ::epoll_wait(epoll_fd_, events,
+                       static_cast<int>(std::size(events)), wait);
+  if (n < 0) {
+    if (errno != EINTR)
+      PICP_LOG_WARN << "epoll_wait: " << std::strerror(errno);
+    n = 0;
+  }
+
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t tag = events[i].data.u64;
+    if (tag == kWakeTag) {
+      char sink[256];
+      while (::read(wake_read_fd_, sink, sizeof sink) > 0) {
+      }
+      continue;
+    }
+    if (tag == kListenTag) {
+      handle_accept();
+      continue;
+    }
+    Conn* conn = conn_by_id(tag);
+    if (conn == nullptr) continue;  // closed earlier in this batch
+    if ((events[i].events & EPOLLOUT) != 0) handle_writable(*conn);
+    conn = conn_by_id(tag);
+    if (conn == nullptr) continue;
+    if ((events[i].events &
+         (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR)) != 0)
+      handle_readable(*conn);
+  }
+
+  // Window-0 batches dispatch here — after every read of this cycle has
+  // had the chance to join, before anything waits again.
+  dispatch_due_batches(/*force=*/false);
+  drain_completions();
+  expire_deadlines();
+  resume_accept_if_due();
+  reap_dead();
+  publish_gauges();
+  return n;
+}
+
+void EpollReactor::run() {
+  while (!stop_.load(std::memory_order_relaxed)) run_once(500);
+
+  // Drain: stop accepting, let in-flight handler executions finish and
+  // their responses flush (stopping() forces Connection: close on each),
+  // then close whatever is left — idle keep-alive peers included.
+  if (listen_fd_ >= 0 && !accept_paused_)
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+  accept_paused_ = true;
+  accept_resume_ = TimePoint::max();
+
+  const TimePoint drain_deadline =
+      now() + std::chrono::milliseconds(options_.drain_timeout_ms);
+  for (;;) {
+    dispatch_due_batches(/*force=*/true);
+    bool busy = !open_batches_.empty();
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      busy = busy || stats_.pending_requests > 0;
+    }
+    if (!busy) {
+      for (const auto& [id, conn] : conns_) {
+        if (conn->fd < 0) continue;
+        if (!conn->slots.empty() || conn->out.size() > conn->out_pos) {
+          busy = true;
+          break;
+        }
+      }
+    }
+    if (!busy) break;
+    if (now() >= drain_deadline) {
+      PICP_LOG_WARN << "drain timeout: abandoning "
+                    << connection_count() << " connection(s)";
+      break;
+    }
+    run_once(50);
+  }
+
+  std::vector<std::uint64_t> ids;
+  ids.reserve(conns_.size());
+  for (const auto& [id, conn] : conns_) ids.push_back(id);
+  for (const std::uint64_t id : ids) {
+    Conn* conn = conn_by_id(id);
+    if (conn != nullptr) close_conn(*conn);
+  }
+  reap_dead();
+  publish_gauges();
+}
+
+void EpollReactor::request_stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (wake_write_fd_ >= 0) {
+    const char byte = 'x';
+    // Async-signal-safe; a full pipe still wakes the poller, so the result
+    // is intentionally ignored.
+    [[maybe_unused]] ssize_t rc = ::write(wake_write_fd_, &byte, 1);
+  }
+}
+
+void EpollReactor::wake() {
+  const char byte = 'c';
+  [[maybe_unused]] ssize_t rc = ::write(wake_write_fd_, &byte, 1);
+}
+
+std::size_t EpollReactor::connection_count() const {
+  std::size_t alive = 0;
+  for (const auto& [id, conn] : conns_)
+    if (conn->fd >= 0) ++alive;
+  return alive;
+}
+
+ReactorStats EpollReactor::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void EpollReactor::handle_readable(Conn& conn) {
+  if (failpoint::any_armed()) {
+    try {
+      failpoint::inject("http.read");
+    } catch (const Error&) {
+      close_conn(conn);
+      return;
+    }
+  }
+  char buf[16384];
+  for (;;) {
+    const ssize_t got = ::recv(conn.fd, buf, sizeof buf, 0);
+    if (got < 0 && errno == EINTR) continue;
+    if (got < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_conn(conn);
+      return;
+    }
+    if (got == 0) {
+      conn.read_closed = true;
+      if (!conn.slots.empty() || conn.out.size() > conn.out_pos) {
+        // Responses are still owed / buffered; the peer only half-closed.
+        conn.close_after_flush = true;
+      } else if (conn.parser->mid_message()) {
+        // Dirty EOF: the peer walked away mid-message. Nothing useful to
+        // answer — a 400 would race the RST — so just drop it.
+        close_conn(conn);
+      } else {
+        close_conn(conn);  // clean close between messages
+      }
+      return;
+    }
+    if (conn.read_closed) continue;  // shed/errored conn: discard bytes
+    try {
+      conn.parser->feed(buf, static_cast<std::size_t>(got));
+    } catch (const HttpError& e) {
+      // Framing is suspect from here on: answer the error, stop parsing,
+      // close once the pipeline ahead of it has flushed.
+      const std::uint64_t seq = conn.next_seq++;
+      conn.slots.emplace_back();
+      fill_slot(conn, seq, error_response(e.status(), e.what()),
+                /*close_after=*/true);
+      conn.read_closed = true;
+      break;
+    }
+    HttpRequest request;
+    while (conn.parser->next(request)) {
+      on_request(conn, std::move(request));
+      if (conn.fd < 0) return;  // inline dispatch closed it
+      if (conn.read_closed) break;
+    }
+  }
+  if (conn.fd >= 0) flush(conn);
+}
+
+void EpollReactor::handle_writable(Conn& conn) { flush(conn); }
+
+void EpollReactor::on_request(Conn& conn, HttpRequest&& request) {
+  request.from_loopback = conn.from_loopback;
+  const bool close_after = !request.keep_alive() ||
+                           stop_.load(std::memory_order_relaxed);
+  const std::uint64_t seq = conn.next_seq++;
+  conn.slots.emplace_back();
+  touch(conn);  // a complete message resets the receive/idle budget
+
+  std::size_t pending = 0;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.requests;
+    pending = stats_.pending_requests;
+  }
+
+  Member member{conn.id, seq, close_after};
+
+  if (options_.batchable && options_.batchable(request)) {
+    for (auto& batch : open_batches_) {
+      if (!same_identity(batch.request, request)) continue;
+      batch.members.push_back(member);
+      if (batch.members.size() >= options_.max_batch) {
+        Batch full = std::move(batch);
+        batch = std::move(open_batches_.back());
+        open_batches_.pop_back();
+        dispatch(std::move(full));
+      }
+      return;
+    }
+    // Queue SLO: an over-limit request that cannot ride an open batch is
+    // shed rather than queued (joining a batch is free — it adds no
+    // handler execution — so members above never shed).
+    if (pending >= options_.max_pending_requests) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.shed_queue;
+      }
+      bump("serve.shed_queue");
+      fill_slot(conn, seq, busy_response(), /*close_after=*/true);
+      conn.read_closed = true;
+      return;
+    }
+    Batch batch;
+    batch.request = std::move(request);
+    batch.members.push_back(member);
+    batch.dispatch_at =
+        now() + std::chrono::milliseconds(options_.batch_window_ms);
+    open_batches_.push_back(std::move(batch));
+    return;
+  }
+
+  if (pending >= options_.max_pending_requests) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.shed_queue;
+    }
+    bump("serve.shed_queue");
+    fill_slot(conn, seq, busy_response(), /*close_after=*/true);
+    conn.read_closed = true;
+    return;
+  }
+  execute(request, {member});
+}
+
+void EpollReactor::dispatch(Batch&& batch) {
+  if (batch.members.size() > 1) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.batch_leaders;
+      stats_.batch_members += batch.members.size() - 1;
+    }
+    bump("serve.batch.leaders");
+    bump("serve.batch.members", batch.members.size() - 1);
+  }
+  execute(batch.request, std::move(batch.members));
+}
+
+void EpollReactor::dispatch_due_batches(bool force) {
+  if (open_batches_.empty()) return;
+  const TimePoint t = now();
+  std::vector<Batch> due;
+  for (std::size_t i = 0; i < open_batches_.size();) {
+    if (force || open_batches_[i].dispatch_at <= t) {
+      due.push_back(std::move(open_batches_[i]));
+      open_batches_[i] = std::move(open_batches_.back());
+      open_batches_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  for (auto& batch : due) dispatch(std::move(batch));
+}
+
+HttpResponse EpollReactor::run_handler(const HttpRequest& request) {
+  try {
+    return handler_(request);
+  } catch (const std::exception& e) {
+    // A handler must never take the reactor (or a worker) down.
+    PICP_LOG_WARN << "handler error: " << e.what();
+    return error_response(500, e.what());
+  }
+}
+
+void EpollReactor::execute(const HttpRequest& request,
+                           std::vector<Member> members) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.pending_requests;
+  }
+  if (pool_ == nullptr) {
+    const HttpResponse response = run_handler(request);
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      --stats_.pending_requests;
+    }
+    deliver(response, members);
+    return;
+  }
+  auto shared_request = std::make_shared<HttpRequest>(request);
+  pool_->submit([this, shared_request,
+                 members = std::move(members)]() mutable {
+    HttpResponse response = run_handler(*shared_request);
+    {
+      std::lock_guard<std::mutex> lock(completion_mutex_);
+      completions_.push_back({std::move(response), std::move(members)});
+    }
+    wake();
+  });
+}
+
+void EpollReactor::drain_completions() {
+  std::vector<Completion> done;
+  {
+    std::lock_guard<std::mutex> lock(completion_mutex_);
+    done.swap(completions_);
+  }
+  if (done.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.pending_requests -= std::min(stats_.pending_requests, done.size());
+  }
+  for (const Completion& completion : done)
+    deliver(completion.response, completion.members);
+}
+
+void EpollReactor::deliver(const HttpResponse& response,
+                           const std::vector<Member>& members) {
+  const bool stopping = stop_.load(std::memory_order_relaxed);
+  for (const Member& member : members) {
+    Conn* conn = conn_by_id(member.conn_id);
+    if (conn == nullptr) continue;  // member hung up before the answer
+    // Every member gets byte-identical status/headers/body; only the
+    // Connection header is per-member.
+    HttpResponse copy = response;
+    const bool close_after = member.close_after || stopping;
+    copy.set_header("Connection", close_after ? "close" : "keep-alive");
+    fill_slot(*conn, member.seq, copy, close_after);
+    flush(*conn);
+  }
+}
+
+void EpollReactor::fill_slot(Conn& conn, std::uint64_t seq,
+                             const HttpResponse& response, bool close_after) {
+  if (seq < conn.base_seq) return;  // slot dropped by an earlier close
+  const std::size_t index = static_cast<std::size_t>(seq - conn.base_seq);
+  if (index >= conn.slots.size()) return;
+  Slot& slot = conn.slots[index];
+  slot.bytes = serialize_response(response);
+  slot.ready = true;
+  slot.close_after = close_after;
+}
+
+void EpollReactor::flush(Conn& conn) {
+  if (conn.fd < 0) return;
+  // Promote ready slots to the output buffer strictly in request order.
+  while (!conn.slots.empty() && conn.slots.front().ready) {
+    conn.out += conn.slots.front().bytes;
+    const bool close_after = conn.slots.front().close_after;
+    conn.slots.pop_front();
+    ++conn.base_seq;
+    if (close_after) {
+      // Anything pipelined behind a Connection: close response is void;
+      // jump base_seq so late completions for those slots are ignored.
+      conn.close_after_flush = true;
+      conn.read_closed = true;
+      conn.slots.clear();
+      conn.base_seq = conn.next_seq;
+      break;
+    }
+  }
+
+  if (conn.out.size() > conn.out_pos) {
+    if (failpoint::any_armed()) {
+      try {
+        failpoint::inject("http.write");
+      } catch (const Error&) {
+        close_conn(conn);
+        return;
+      }
+    }
+    while (conn.out_pos < conn.out.size()) {
+      const ssize_t n = ::send(conn.fd, conn.out.data() + conn.out_pos,
+                               conn.out.size() - conn.out_pos, MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (!conn.want_write) update_epoll(conn, /*want_write=*/true);
+        return;
+      }
+      if (n <= 0) {
+        close_conn(conn);
+        return;
+      }
+      conn.out_pos += static_cast<std::size_t>(n);
+    }
+    conn.out.clear();
+    conn.out_pos = 0;
+  }
+
+  if (conn.want_write) update_epoll(conn, /*want_write=*/false);
+  if (conn.close_after_flush ||
+      (conn.read_closed && conn.slots.empty()))
+    close_conn(conn);
+}
+
+void EpollReactor::expire_deadlines() {
+  if (options_.request_timeout_ms <= 0) return;
+  const TimePoint t = now();
+  if (t < next_expiry_) return;
+  next_expiry_ = TimePoint::max();
+  std::vector<std::uint64_t> expired;
+  for (const auto& [id, conn] : conns_) {
+    if (conn->fd < 0) continue;
+    if (conn->deadline <= t)
+      expired.push_back(id);
+    else
+      next_expiry_ = std::min(next_expiry_, conn->deadline);
+  }
+  for (const std::uint64_t id : expired) {
+    Conn* conn = conn_by_id(id);
+    if (conn == nullptr) continue;
+    if (!conn->slots.empty() || conn->out.size() > conn->out_pos) {
+      // The conn is waiting on OUR handler or a slow flush, not on the
+      // peer; the receive budget does not apply. Push it forward.
+      touch(*conn);
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.timeouts;
+    }
+    bump("serve.timeouts");
+    if (conn->parser->mid_message()) {
+      // Slow-loris: a partial message that ran out its budget gets an
+      // explicit 408 before the close.
+      const std::uint64_t seq = conn->next_seq++;
+      conn->slots.emplace_back();
+      fill_slot(*conn, seq, error_response(408, "receive timeout"),
+                /*close_after=*/true);
+      conn->read_closed = true;
+      flush(*conn);
+    } else {
+      close_conn(*conn);  // idle keep-alive expired; close silently
+    }
+  }
+}
+
+void EpollReactor::close_conn(Conn& conn) {
+  if (conn.fd < 0) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.fd, nullptr);
+  ::close(conn.fd);
+  conn.fd = -1;
+  conn.slots.clear();
+  conn.base_seq = conn.next_seq;
+  if (conn.counted) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (stats_.active_connections > 0) --stats_.active_connections;
+  }
+  dead_.push_back(conn.id);
+}
+
+void EpollReactor::reap_dead() {
+  for (const std::uint64_t id : dead_) conns_.erase(id);
+  dead_.clear();
+}
+
+void EpollReactor::update_epoll(Conn& conn, bool want_write) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLET | EPOLLRDHUP |
+              (want_write ? EPOLLOUT : 0u);
+  ev.data.u64 = conn.id;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev) == 0)
+    conn.want_write = want_write;
+}
+
+void EpollReactor::touch(Conn& conn) {
+  if (options_.request_timeout_ms <= 0) return;
+  conn.deadline =
+      now() + std::chrono::milliseconds(options_.request_timeout_ms);
+  next_expiry_ = std::min(next_expiry_, conn.deadline);
+}
+
+int EpollReactor::next_wait_ms(int max_wait_ms) const {
+  if (max_wait_ms <= 0) return max_wait_ms;
+  TimePoint earliest = TimePoint::max();
+  if (options_.request_timeout_ms > 0) earliest = next_expiry_;
+  for (const auto& batch : open_batches_)
+    earliest = std::min(earliest, batch.dispatch_at);
+  if (accept_paused_) earliest = std::min(earliest, accept_resume_);
+  if (earliest == TimePoint::max()) return max_wait_ms;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        earliest - now())
+                        .count();
+  if (left <= 0) return 0;
+  return static_cast<int>(
+      std::min<long long>(left, static_cast<long long>(max_wait_ms)));
+}
+
+EpollReactor::Conn* EpollReactor::conn_by_id(std::uint64_t id) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end() || it->second->fd < 0) return nullptr;
+  return it->second.get();
+}
+
+HttpResponse EpollReactor::error_response(int status,
+                                          const std::string& message) const {
+  HttpResponse response;
+  response.status = status;
+  // Error slots are filled directly (no deliver() pass); default to close,
+  // which deliver() overrides per member when the conn is reusable.
+  response.set_header("Connection", "close");
+  response.set_header("Content-Type", "application/json");
+  response.body = "{\"error\": {\"status\": " + std::to_string(status) +
+                  ", \"message\": \"" + json_escape(message) + "\"}}";
+  return response;
+}
+
+HttpResponse EpollReactor::busy_response() const {
+  HttpResponse response;
+  response.status = 503;
+  response.set_header("Connection", "close");
+  response.set_header("Retry-After",
+                      std::to_string(options_.retry_after_seconds));
+  response.set_header("Content-Type", "application/json");
+  response.body =
+      "{\"error\": {\"status\": 503, \"message\": \"server at capacity; "
+      "retry after " +
+      std::to_string(options_.retry_after_seconds) + " s\"}}";
+  return response;
+}
+
+void EpollReactor::publish_gauges() {
+  if (!telemetry::enabled()) return;
+  auto& reg = telemetry::registry();
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  reg.gauge("serve.active_connections")
+      .set(static_cast<double>(stats_.active_connections));
+  reg.gauge("serve.queue_depth")
+      .set(static_cast<double>(stats_.pending_requests));
+}
+
+}  // namespace picp::serve

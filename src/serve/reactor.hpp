@@ -1,0 +1,247 @@
+#pragma once
+
+// Epoll reactor serving core. One non-blocking, edge-triggered event loop
+// owns every connection: it accepts, reads, and incrementally parses
+// (RequestParser) on the reactor thread, hands complete requests to a
+// picp::ThreadPool, and flushes responses back through per-connection
+// output buffers — no thread ever blocks on a socket, so 10k+ concurrent
+// connections cost one thread plus a worker pool sized to the compute.
+//
+// Testability is a design input, not an afterthought: the clock is
+// injectable (a ClockFn), sockets can be adopted from a socketpair, the
+// loop can be single-stepped with run_once(0), and dispatch runs inline
+// when no pool is supplied — so the protocol tests in tests/test_reactor.cpp
+// replay partial reads, pipelined bursts, slow-loris stalls, mid-parse
+// deadline expiry, and EMFILE backoff deterministically, without one real
+// timer.
+//
+// Request batching generalizes the artifact cache's single-flight from
+// "identical key already computing" to "batchable requests arriving within
+// a window": requests with identical method+target+body (+deadline header)
+// that arrive inside `batch_window_ms` of the first one are coalesced into
+// ONE handler execution; every member receives a byte-identical copy of
+// the rendered body (headers may differ only in Connection). A window of 0
+// still coalesces requests parsed in the same event-loop cycle — zero
+// added latency, which is why it is the default.
+//
+// Backpressure has two layers, both 503 + Retry-After:
+//   - connection cap (`max_connections`): shed at accept, as before;
+//   - queue-depth SLO (`max_pending_requests`): shed complete requests
+//     when the number of in-flight handler executions — published as the
+//     `serve.queue_depth` telemetry gauge — is already at the limit.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/http.hpp"
+#include "serve/http_parser.hpp"
+#include "util/thread_pool.hpp"
+
+namespace picp::serve {
+
+/// Injectable time source; defaults to steady_clock. Protocol tests
+/// substitute a manually-advanced clock so timeout behavior replays
+/// deterministically.
+using ReactorClock =
+    std::function<std::chrono::steady_clock::time_point()>;
+
+struct ReactorOptions {
+  /// Connections being serviced; above this, accept sheds with 503.
+  std::size_t max_connections = 1024;
+  /// In-flight handler executions; above this, complete requests shed
+  /// with 503 instead of queueing unboundedly (the queue-depth SLO).
+  std::size_t max_pending_requests = 256;
+  /// Receive budget for one message and keep-alive idle budget (ms);
+  /// <= 0 disables. Mid-message expiry is a 408; idle expiry a close.
+  int request_timeout_ms = 30000;
+  /// How long run() keeps the loop alive after stop to finish in-flight
+  /// requests and flush buffered responses.
+  int drain_timeout_ms = 10000;
+  /// Advisory client back-off stamped on every 503.
+  int retry_after_seconds = 1;
+  /// Coalescing window for batchable requests (0 = same-cycle only).
+  int batch_window_ms = 0;
+  /// Largest batch one handler execution may serve.
+  std::size_t max_batch = 64;
+  /// How long to stop accepting after EMFILE/ENFILE before retrying.
+  int accept_backoff_ms = 100;
+  /// Which requests may share one handler execution. Unset = none.
+  std::function<bool(const HttpRequest&)> batchable;
+  HttpLimits limits;
+};
+
+/// Point-in-time reactor counters (all monotonic except the gauges).
+struct ReactorStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_busy = 0;    // shed at accept (connection cap)
+  std::uint64_t shed_queue = 0;       // shed at dispatch (queue-depth SLO)
+  std::uint64_t requests = 0;         // complete requests parsed
+  std::uint64_t timeouts = 0;         // 408s + idle keep-alive closes
+  std::uint64_t accept_backoffs = 0;  // EMFILE/ENFILE pauses entered
+  std::uint64_t batch_leaders = 0;    // handler executions serving a batch
+  std::uint64_t batch_members = 0;    // requests coalesced onto a leader
+  std::size_t active_connections = 0;
+  std::size_t peak_connections = 0;
+  std::size_t pending_requests = 0;   // handler executions in flight
+};
+
+class EpollReactor {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  /// `pool == nullptr` runs handlers inline on the reactor thread —
+  /// deterministic single-threaded mode for the protocol tests.
+  EpollReactor(const ReactorOptions& options, Handler handler,
+               ThreadPool* pool, ReactorClock clock = {});
+  ~EpollReactor();
+  EpollReactor(const EpollReactor&) = delete;
+  EpollReactor& operator=(const EpollReactor&) = delete;
+
+  /// Register a bound+listening fd (not owned; the caller closes it after
+  /// run() returns). Accepted connections are owned by the reactor.
+  void listen_on(int listen_fd);
+
+  /// Take ownership of an already-connected fd (tests: one socketpair
+  /// end). The fd is made non-blocking and enters the event loop like an
+  /// accepted connection.
+  void adopt(int fd, bool from_loopback = true);
+
+  /// One event-loop cycle: wait at most `max_wait_ms` (0 = poll), handle
+  /// readiness, drain worker completions, dispatch due batches, expire
+  /// timers. Returns the number of epoll events handled.
+  int run_once(int max_wait_ms);
+
+  /// Loop until request_stop(), then drain: stop accepting, finish
+  /// in-flight requests and flush responses (bounded by drain_timeout_ms),
+  /// close everything.
+  void run();
+
+  /// Async-signal-safe: one atomic store + one write(2) to the wake pipe.
+  void request_stop();
+
+  bool stopping() const { return stop_.load(std::memory_order_relaxed); }
+
+  /// Open connections currently registered (tests poll this).
+  std::size_t connection_count() const;
+
+  ReactorStats stats() const;
+
+ private:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  /// One response slot in a connection's pipeline: filled in request
+  /// order, flushed FIFO so pipelined responses never reorder.
+  struct Slot {
+    bool ready = false;
+    std::string bytes;
+    bool close_after = false;
+  };
+
+  struct Conn {
+    int fd = -1;
+    std::uint64_t id = 0;
+    bool from_loopback = false;
+    std::unique_ptr<RequestParser> parser;
+    std::deque<Slot> slots;
+    std::uint64_t base_seq = 0;  // absolute seq of slots.front()
+    std::uint64_t next_seq = 0;  // seq the next parsed request gets
+    std::string out;             // serialized bytes being flushed
+    std::size_t out_pos = 0;
+    bool want_write = false;     // EPOLLOUT armed
+    bool read_closed = false;    // no further requests will be parsed
+    bool close_after_flush = false;
+    bool counted = false;        // contributes to active_connections
+    TimePoint deadline{};        // receive/idle budget expiry
+  };
+
+  /// A request waiting for (or riding on) one handler execution.
+  struct Member {
+    std::uint64_t conn_id = 0;
+    std::uint64_t seq = 0;
+    bool close_after = false;
+  };
+
+  /// An open coalescing window: identical requests join until the window
+  /// expires or the batch is full, then one handler execution serves all.
+  struct Batch {
+    HttpRequest request;  // the leader's request (identity of the batch)
+    std::vector<Member> members;
+    TimePoint dispatch_at{};
+  };
+
+  /// A finished handler execution on its way back to the reactor thread.
+  struct Completion {
+    HttpResponse response;
+    std::vector<Member> members;
+  };
+
+  TimePoint now() const { return clock_(); }
+
+  void handle_accept();
+  void pause_accept(int err);
+  void resume_accept_if_due();
+  void setup_conn(int fd, bool from_loopback, bool counted);
+  HttpResponse run_handler(const HttpRequest& request);
+  void wake();
+  void reap_dead();
+  void handle_readable(Conn& conn);
+  void handle_writable(Conn& conn);
+  void on_request(Conn& conn, HttpRequest&& request);
+  void dispatch(Batch&& batch);
+  void execute(const HttpRequest& request, std::vector<Member> members);
+  void deliver(const HttpResponse& response,
+               const std::vector<Member>& members);
+  void fill_slot(Conn& conn, std::uint64_t seq, const HttpResponse& response,
+                 bool close_after);
+  void flush(Conn& conn);
+  void drain_completions();
+  void dispatch_due_batches(bool force);
+  void expire_deadlines();
+  void close_conn(Conn& conn);
+  void update_epoll(Conn& conn, bool want_write);
+  void touch(Conn& conn);
+  int next_wait_ms(int max_wait_ms) const;
+  Conn* conn_by_id(std::uint64_t id);
+  HttpResponse error_response(int status, const std::string& message) const;
+  HttpResponse busy_response() const;
+  void publish_gauges();
+
+  ReactorOptions options_;
+  Handler handler_;
+  ThreadPool* pool_;  // nullptr = inline dispatch
+  ReactorClock clock_;
+
+  int epoll_fd_ = -1;
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  bool accept_paused_ = false;
+  TimePoint accept_resume_{};
+
+  std::uint64_t next_conn_id_ = 1;
+  // Keyed by id, not fd: the kernel reuses fd numbers immediately, and
+  // closes are deferred to end-of-cycle (an event batch may still carry
+  // readiness for a connection an earlier event killed).
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+  std::vector<std::uint64_t> dead_;   // defunct conns to reap after events
+  std::vector<Batch> open_batches_;
+  TimePoint next_expiry_ = TimePoint::max();  // earliest conn deadline
+
+  std::atomic<bool> stop_{false};
+
+  std::mutex completion_mutex_;
+  std::vector<Completion> completions_;
+
+  mutable std::mutex stats_mutex_;
+  ReactorStats stats_;
+};
+
+}  // namespace picp::serve

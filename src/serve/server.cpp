@@ -3,32 +3,27 @@
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
-#include <chrono>
 #include <cstring>
+#include <utility>
 
-#include "telemetry/json.hpp"
-#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
-#include "util/failpoint.hpp"
 #include "util/logging.hpp"
 
 namespace picp::serve {
 
 namespace {
 
-void set_cloexec(int fd) { ::fcntl(fd, F_SETFD, FD_CLOEXEC); }
-
-/// True iff the peer address is 127.0.0.0/8 (the listener is IPv4-only).
-bool peer_is_loopback(const sockaddr_storage& peer, socklen_t len) {
-  if (peer.ss_family != AF_INET || len < sizeof(sockaddr_in)) return false;
-  const auto* in4 = reinterpret_cast<const sockaddr_in*>(&peer);
-  return (ntohl(in4->sin_addr.s_addr) >> 24) == 127;
+/// Default batchable predicate: the two generation-backed endpoints whose
+/// responses are pure functions of the request body — exactly the requests
+/// a coalesced execution can answer for many peers at once.
+bool default_batchable(const HttpRequest& request) {
+  return request.method == "POST" &&
+         (request.target == "/v1/predict" ||
+          request.target == "/v1/workload");
 }
 
 }  // namespace
@@ -40,7 +35,7 @@ HttpServer::HttpServer(const ServerOptions& options, Handler handler)
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   PICP_REQUIRE(listen_fd_ >= 0,
                std::string("socket: ") + std::strerror(errno));
-  set_cloexec(listen_fd_);
+  ::fcntl(listen_fd_, F_SETFD, FD_CLOEXEC);
   int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
 
@@ -68,204 +63,61 @@ HttpServer::HttpServer(const ServerOptions& options, Handler handler)
                std::string("getsockname: ") + std::strerror(errno));
   port_ = ntohs(addr.sin_port);
 
-  int pipe_fds[2];
-  PICP_REQUIRE(::pipe(pipe_fds) == 0,
-               std::string("pipe: ") + std::strerror(errno));
-  wake_read_fd_ = pipe_fds[0];
-  wake_write_fd_ = pipe_fds[1];
-  set_cloexec(wake_read_fd_);
-  set_cloexec(wake_write_fd_);
-
   pool_ = std::make_unique<ThreadPool>(options_.threads);
+
+  ReactorOptions reactor_options;
+  reactor_options.max_connections = options_.max_connections;
+  reactor_options.max_pending_requests = options_.max_pending_requests;
+  reactor_options.request_timeout_ms = options_.request_timeout_ms;
+  reactor_options.drain_timeout_ms = options_.drain_timeout_ms;
+  reactor_options.retry_after_seconds = options_.retry_after_seconds;
+  reactor_options.batch_window_ms = options_.batch_window_ms;
+  reactor_options.max_batch = options_.max_batch;
+  reactor_options.accept_backoff_ms = options_.accept_backoff_ms;
+  reactor_options.batchable =
+      options_.batchable ? options_.batchable : default_batchable;
+  reactor_options.limits = options_.limits;
+  reactor_ = std::make_unique<EpollReactor>(
+      reactor_options, [this](const HttpRequest& r) { return handler_(r); },
+      pool_.get());
 }
 
 HttpServer::~HttpServer() {
   request_shutdown();
-  // Unblock any worker parked in a keep-alive poll, then let the pool join.
-  pool_.reset();
+  pool_.reset();  // joins workers; after this no task references reactor_
+  reactor_.reset();
   if (listen_fd_ >= 0) ::close(listen_fd_);
-  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
-  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
 }
 
 void HttpServer::request_shutdown() {
-  shutdown_.store(true, std::memory_order_relaxed);
-  if (wake_write_fd_ >= 0) {
-    const char byte = 'x';
-    // Async-signal-safe; a full pipe still wakes the poller, so the result
-    // is intentionally ignored.
-    [[maybe_unused]] ssize_t rc = ::write(wake_write_fd_, &byte, 1);
-  }
+  if (reactor_) reactor_->request_stop();
 }
 
 ServerStats HttpServer::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const ReactorStats r = reactor_->stats();
   ServerStats s;
-  s.accepted = accepted_;
-  s.rejected_busy = rejected_busy_;
-  s.requests = requests_.load(std::memory_order_relaxed);
-  s.active_connections = active_connections_;
+  s.accepted = r.accepted;
+  s.rejected_busy = r.rejected_busy;
+  s.shed_queue = r.shed_queue;
+  s.requests = r.requests;
+  s.timeouts = r.timeouts;
+  s.batch_leaders = r.batch_leaders;
+  s.batch_members = r.batch_members;
+  s.active_connections = r.active_connections;
+  s.peak_connections = r.peak_connections;
   return s;
-}
-
-void HttpServer::publish_gauges() {
-  if (!telemetry::enabled()) return;
-  auto& reg = telemetry::registry();
-  std::lock_guard<std::mutex> lock(mutex_);
-  reg.gauge("serve.active_connections")
-      .set(static_cast<double>(active_connections_));
-}
-
-void HttpServer::reject_busy(int fd) {
-  HttpResponse response;
-  response.status = 503;
-  response.set_header("Retry-After",
-                      std::to_string(options_.retry_after_seconds));
-  response.set_header("Content-Type", "application/json");
-  response.set_header("Connection", "close");
-  response.body =
-      "{\"error\": {\"status\": 503, \"message\": \"server at connection "
-      "capacity; retry after " +
-      std::to_string(options_.retry_after_seconds) + " s\"}}";
-  try {
-    HttpConnection connection(fd);  // owns + closes fd
-    connection.write_response(response);
-  } catch (const Error&) {
-    // Peer vanished before reading the 503 — nothing left to shed.
-  }
-  if (telemetry::enabled())
-    telemetry::registry().counter("serve.rejected_busy").add();
 }
 
 void HttpServer::run() {
   PICP_LOG_INFO << "serving on " << options_.host << ":" << port_ << " ("
                 << pool_->size() << " workers, max "
-                << options_.max_connections << " connections)";
-  accept_loop();
-
-  // Drain: workers notice shutting_down() at their next poll tick; wait
-  // for every active connection to close, bounded by drain_timeout_ms.
-  std::unique_lock<std::mutex> lock(mutex_);
-  const bool drained = drained_.wait_for(
-      lock, std::chrono::milliseconds(options_.drain_timeout_ms),
-      [this] { return active_connections_ == 0; });
-  const std::size_t leftover = active_connections_;
-  lock.unlock();
-  if (!drained)
-    PICP_LOG_WARN << "drain timeout: abandoning " << leftover
-                  << " connection(s)";
-  PICP_LOG_INFO << "server stopped after " << requests_ << " request(s)";
-}
-
-void HttpServer::accept_loop() {
-  while (!shutting_down()) {
-    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_read_fd_, POLLIN, 0}};
-    const int rc = ::poll(fds, 2, -1);
-    if (rc < 0) {
-      if (errno == EINTR) continue;
-      PICP_LOG_WARN << "accept poll: " << std::strerror(errno);
-      break;
-    }
-    if (shutting_down()) break;
-    if ((fds[0].revents & POLLIN) == 0) continue;
-
-    sockaddr_storage peer{};
-    socklen_t peer_len = sizeof peer;
-    const int fd = ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer),
-                            &peer_len);
-    if (fd < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      PICP_LOG_WARN << "accept: " << std::strerror(errno);
-      break;
-    }
-    const bool from_loopback = peer_is_loopback(peer, peer_len);
-    if (failpoint::any_armed()) {
-      if (const auto action = failpoint::fire("http.accept")) {
-        // The accept loop must survive its own failpoint: delay inline,
-        // anything else drops the connection on the floor (a crashy
-        // accept(2), from the peer's point of view).
-        if (action->kind == failpoint::ActionKind::kDelay ||
-            action->kind == failpoint::ActionKind::kCrash) {
-          failpoint::apply(*action, "http.accept");
-        } else {
-          ::close(fd);
-          continue;
-        }
-      }
-    }
-    set_cloexec(fd);
-    int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-
-    bool shed = false;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (active_connections_ >= options_.max_connections) {
-        ++rejected_busy_;
-        shed = true;
-      } else {
-        ++accepted_;
-        ++active_connections_;
-      }
-    }
-    if (shed) {
-      reject_busy(fd);
-      continue;
-    }
-    publish_gauges();
-    if (telemetry::enabled())
-      telemetry::registry().counter("serve.accepted").add();
-    pool_->submit([this, fd, from_loopback] {
-      try {
-        serve_connection(fd, from_loopback);
-      } catch (const std::exception& e) {
-        // A connection must never take the pool down; log and move on.
-        PICP_LOG_WARN << "connection error: " << e.what();
-      }
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (--active_connections_ == 0) drained_.notify_all();
-    });
-  }
-}
-
-void HttpServer::serve_connection(int fd, bool from_loopback) {
-  HttpConnection connection(fd);
-  // Keep-alive loop: short poll ticks so a drain request interrupts an
-  // idle connection within ~100 ms instead of a full request timeout.
-  const int tick_ms = 100;
-  for (;;) {
-    int waited = 0;
-    while (!connection.wait_readable(tick_ms)) {
-      if (shutting_down()) return;
-      waited += tick_ms;
-      if (options_.request_timeout_ms > 0 &&
-          waited >= options_.request_timeout_ms)
-        return;  // idle keep-alive expired
-    }
-    if (shutting_down()) return;
-
-    HttpRequest request;
-    HttpResponse response;
-    bool close_after = false;
-    try {
-      if (!connection.read_request(request, options_.limits)) return;
-      request.from_loopback = from_loopback;
-      requests_.fetch_add(1, std::memory_order_relaxed);
-      response = handler_(request);
-      close_after = !request.keep_alive();
-    } catch (const HttpError& e) {
-      response.status = e.status();
-      response.set_header("Content-Type", "application/json");
-      response.body = "{\"error\": {\"status\": " +
-                      std::to_string(e.status()) + ", \"message\": \"" +
-                      json_escape(e.what()) + "\"}}";
-      close_after = true;  // framing is suspect; do not reuse the socket
-    }
-    if (shutting_down()) close_after = true;
-    response.set_header("Connection", close_after ? "close" : "keep-alive");
-    connection.write_response(response);
-    if (close_after) return;
-  }
+                << options_.max_connections << " connections, batch window "
+                << options_.batch_window_ms << " ms)";
+  reactor_->listen_on(listen_fd_);
+  reactor_->run();
+  pool_->wait_idle();
+  PICP_LOG_INFO << "server stopped after " << stats().requests
+                << " request(s)";
 }
 
 }  // namespace picp::serve

@@ -1,15 +1,12 @@
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
 
 #include "serve/http.hpp"
+#include "serve/reactor.hpp"
 #include "util/thread_pool.hpp"
 
 namespace picp::serve {
@@ -20,33 +17,52 @@ struct ServerOptions {
   std::uint16_t port = 0;
   /// Handler worker threads (0 = hardware concurrency).
   std::size_t threads = 0;
-  /// Connections being processed or awaiting a worker. The accept loop
-  /// sheds load above this: 503 + Retry-After, then close (backpressure).
-  std::size_t max_connections = 64;
+  /// Open connections the reactor will service. Above this, accept sheds
+  /// load: 503 + Retry-After, then close (backpressure).
+  std::size_t max_connections = 1024;
+  /// In-flight handler executions — the queue-depth SLO. Complete requests
+  /// above this shed with 503 instead of queueing unboundedly.
+  std::size_t max_pending_requests = 256;
   /// listen(2) backlog — connections the kernel may hold before accept.
   int listen_backlog = 128;
   /// Per-message receive budget and keep-alive idle budget.
   int request_timeout_ms = 30000;
-  /// How long shutdown waits for in-flight connections before giving up.
+  /// How long shutdown waits for in-flight requests before giving up.
   int drain_timeout_ms = 10000;
   /// Advisory client back-off stamped on 503 responses.
   int retry_after_seconds = 1;
+  /// Coalescing window for batchable requests (0 = same-event-loop-cycle
+  /// only, which adds zero latency and is the default).
+  int batch_window_ms = 0;
+  /// Largest batch one handler execution may serve.
+  std::size_t max_batch = 64;
+  /// Accept pause after EMFILE/ENFILE before retrying.
+  int accept_backoff_ms = 100;
+  /// Which requests may coalesce into one handler execution. Unset picks
+  /// the picpredict default: POST /v1/predict and /v1/workload.
+  std::function<bool(const HttpRequest&)> batchable;
   HttpLimits limits;
 };
 
 /// Point-in-time server counters (also published as telemetry metrics).
 struct ServerStats {
   std::uint64_t accepted = 0;
-  std::uint64_t rejected_busy = 0;  // shed with 503 at the accept loop
+  std::uint64_t rejected_busy = 0;  // shed with 503 at accept
+  std::uint64_t shed_queue = 0;     // shed with 503 at the queue-depth SLO
   std::uint64_t requests = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t batch_leaders = 0;
+  std::uint64_t batch_members = 0;
   std::size_t active_connections = 0;
+  std::size_t peak_connections = 0;
 };
 
-/// Minimal threaded HTTP/1.1 server: one blocking accept loop feeding a
-/// picp::ThreadPool, one task per connection (keep-alive requests are
-/// served back-to-back on the same worker). No TLS, no chunked encoding —
-/// this fronts picpredict's own query clients on a trusted network, not
-/// the open internet.
+/// HTTP/1.1 server: one epoll reactor thread (accept + parse + flush)
+/// feeding a picp::ThreadPool with complete requests. Identical batchable
+/// requests arriving within the batching window coalesce into one handler
+/// execution (see EpollReactor). No TLS, no chunked encoding — this fronts
+/// picpredict's own query clients on a trusted network, not the open
+/// internet.
 ///
 /// Lifecycle: construct (binds + listens, so port() is valid immediately),
 /// then run() blocks until request_shutdown() — which is async-signal-safe
@@ -69,41 +85,26 @@ class HttpServer {
   /// Handler worker count (resolves threads 0 to the pool's pick).
   std::size_t workers() const { return pool_->size(); }
 
-  /// Accept-and-dispatch until shutdown; returns after the drain.
+  /// Run the reactor until shutdown; returns after the drain.
   void run();
 
-  /// Async-signal-safe: one write(2) to a self-pipe. The accept loop polls
-  /// the pipe alongside the listen socket, so the wake-up is immediate.
+  /// Async-signal-safe: one write(2) to the reactor's wake pipe.
   void request_shutdown();
 
-  bool shutting_down() const {
-    return shutdown_.load(std::memory_order_relaxed);
-  }
+  bool shutting_down() const { return reactor_->stopping(); }
 
   ServerStats stats() const;
 
  private:
-  void accept_loop();
-  void serve_connection(int fd, bool from_loopback);
-  /// 503 + Retry-After on a connection we will not service.
-  void reject_busy(int fd);
-  void publish_gauges();
-
   ServerOptions options_;
   Handler handler_;
-  std::unique_ptr<ThreadPool> pool_;
   int listen_fd_ = -1;
-  int wake_read_fd_ = -1;
-  int wake_write_fd_ = -1;
   std::uint16_t port_ = 0;
-  std::atomic<bool> shutdown_{false};
-
-  mutable std::mutex mutex_;
-  std::condition_variable drained_;
-  std::size_t active_connections_ = 0;
-  std::uint64_t accepted_ = 0;
-  std::uint64_t rejected_busy_ = 0;
-  std::atomic<std::uint64_t> requests_{0};
+  // Declaration order is a lifetime contract: the pool joins its workers
+  // (which may still reference the reactor through in-flight tasks) before
+  // the reactor is destroyed.
+  std::unique_ptr<EpollReactor> reactor_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace picp::serve

@@ -1,0 +1,720 @@
+// Deterministic protocol tests for the epoll reactor (src/serve/reactor).
+// Every test drives the reactor through adopted socketpair ends and a
+// manually-advanced clock, single-stepping the event loop with
+// run_once(0) — so partial reads, pipelined bursts, slow-loris stalls,
+// mid-parse deadline expiry, EMFILE accept backoff, and batch-coalescing
+// windows replay exactly, with no real timers and no sleeps on the
+// assertion path.
+//
+// The last section is the batch-coalescing property test against the real
+// PredictionService: N identical-config /v1/workload queries arriving in
+// one window must cost exactly ONE workload generation (proven through
+// /metricsz served by the same reactor) and every member must receive a
+// byte-identical body; a mixed-config storm must never cross-contaminate.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "picsim/sim_driver.hpp"
+#include "serve/http_parser.hpp"
+#include "serve/reactor.hpp"
+#include "serve/service.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/failpoint.hpp"
+#include "util/string_util.hpp"
+#include "util/thread_pool.hpp"
+
+namespace picp::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// The scripted peer of one adopted connection: raw byte I/O plus an
+/// incremental response scanner, so tests assert on exactly the wire
+/// bytes the reactor produced.
+struct Peer {
+  int fd = -1;
+  std::string inbox;
+
+  explicit Peer(int raw_fd = -1) : fd(raw_fd) {}
+  Peer(Peer&& other) noexcept : fd(other.fd), inbox(std::move(other.inbox)) {
+    other.fd = -1;
+  }
+  Peer& operator=(Peer&& other) noexcept {
+    if (fd >= 0) ::close(fd);
+    fd = other.fd;
+    inbox = std::move(other.inbox);
+    other.fd = -1;
+    return *this;
+  }
+  ~Peer() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  void send(const std::string& bytes) const {
+    ASSERT_EQ(::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(bytes.size()));
+  }
+
+  /// Drain whatever the reactor has flushed so far into the inbox.
+  void pump() {
+    char buf[8192];
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf, sizeof buf, MSG_DONTWAIT);
+      if (n <= 0) break;
+      inbox.append(buf, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// True once the reactor closed its end (after pump() drained the tail).
+  bool closed() const {
+    char byte;
+    const ssize_t n = ::recv(fd, &byte, 1, MSG_DONTWAIT | MSG_PEEK);
+    return n == 0;
+  }
+
+  /// Parse every complete response sitting in the inbox, consuming them.
+  std::vector<HttpResponse> take_responses() {
+    std::vector<HttpResponse> out;
+    std::size_t pos = 0;
+    for (;;) {
+      const std::size_t end = wire::find_head_end(inbox, pos);
+      if (end == std::string::npos) break;
+      std::string start_line;
+      HttpResponse response;
+      wire::parse_head_block(inbox.substr(pos, end - pos), start_line,
+                             response.headers);
+      response.status = static_cast<int>(
+          parse_int(start_line.substr(start_line.find(' ') + 1, 3)));
+      HttpLimits limits;
+      const std::size_t body =
+          wire::content_length_of(response.headers, limits);
+      if (inbox.size() - end < body) break;
+      response.body = inbox.substr(end, body);
+      pos = end + body;
+      out.push_back(std::move(response));
+    }
+    inbox.erase(0, pos);
+    return out;
+  }
+};
+
+/// Blocking-free echo handler: 200, body = "<method> <target>|<body>".
+HttpResponse echo_handler(const HttpRequest& request) {
+  HttpResponse response;
+  response.set_header("Content-Type", "text/plain");
+  response.body = request.method + " " + request.target + "|" + request.body;
+  return response;
+}
+
+class ReactorTest : public testing::Test {
+ protected:
+  void TearDown() override { failpoint::disarm_all(); }
+
+  ReactorOptions quick_options() {
+    ReactorOptions options;
+    options.request_timeout_ms = 1000;
+    options.accept_backoff_ms = 100;
+    options.batchable = [](const HttpRequest& r) {
+      return r.method == "POST" && (r.target == "/v1/workload" ||
+                                    r.target == "/v1/predict");
+    };
+    return options;
+  }
+
+  void make(const ReactorOptions& options, EpollReactor::Handler handler,
+            ThreadPool* pool = nullptr) {
+    now_ = Clock::now();
+    reactor_ = std::make_unique<EpollReactor>(
+        options, std::move(handler), pool, [this] { return now_; });
+  }
+
+  Peer adopt_peer() {
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    reactor_->adopt(fds[0]);
+    return Peer(fds[1]);
+  }
+
+  void advance_ms(int ms) { now_ += std::chrono::milliseconds(ms); }
+
+  /// Step the loop and pump every peer handed in.
+  void cycle(std::initializer_list<Peer*> peers = {}) {
+    reactor_->run_once(0);
+    for (Peer* peer : peers) peer->pump();
+  }
+
+  /// Bound listener on an ephemeral port; returns the port.
+  std::uint16_t make_listener() {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(listen_fd_, 0);
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof addr), 0);
+    EXPECT_EQ(::listen(listen_fd_, 16), 0);
+    socklen_t len = sizeof addr;
+    EXPECT_EQ(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                            &len), 0);
+    reactor_->listen_on(listen_fd_);
+    return ntohs(addr.sin_port);
+  }
+
+  Clock::time_point now_{};
+  std::unique_ptr<EpollReactor> reactor_;
+  int listen_fd_ = -1;
+
+ public:
+  ~ReactorTest() override {
+    reactor_.reset();  // closes its conns first
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+  }
+};
+
+// --- incremental parsing ----------------------------------------------------
+
+TEST_F(ReactorTest, PartialReadsAssembleOneRequest) {
+  make(quick_options(), echo_handler);
+  Peer peer = adopt_peer();
+
+  peer.send("GET /hea");
+  cycle({&peer});
+  EXPECT_TRUE(peer.take_responses().empty()) << "responded to half a line";
+
+  peer.send("lthz HTTP/1.1\r\nHost: x");
+  cycle({&peer});
+  EXPECT_TRUE(peer.take_responses().empty()) << "responded to half a head";
+
+  peer.send("\r\n\r\n");
+  cycle({&peer});
+  const auto responses = peer.take_responses();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, 200);
+  EXPECT_EQ(responses[0].body, "GET /healthz|");
+  EXPECT_FALSE(peer.closed()) << "keep-alive connection was closed";
+  EXPECT_EQ(reactor_->stats().requests, 1u);
+}
+
+TEST_F(ReactorTest, BodyArrivingByteByByteCompletesTheRequest) {
+  make(quick_options(), echo_handler);
+  Peer peer = adopt_peer();
+  peer.send("POST /echo HTTP/1.1\r\nContent-Length: 3\r\n\r\n");
+  cycle({&peer});
+  EXPECT_TRUE(peer.take_responses().empty());
+  for (const char* byte : {"a", "b"}) {
+    peer.send(byte);
+    cycle({&peer});
+    EXPECT_TRUE(peer.take_responses().empty());
+  }
+  peer.send("c");
+  cycle({&peer});
+  const auto responses = peer.take_responses();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].body, "POST /echo|abc");
+}
+
+TEST_F(ReactorTest, PipelinedBurstAnswersInOrderOnOneConnection) {
+  make(quick_options(), echo_handler);
+  Peer peer = adopt_peer();
+  peer.send(
+      "GET /a HTTP/1.1\r\n\r\n"
+      "POST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nbb"
+      "GET /c HTTP/1.1\r\n\r\n");
+  cycle({&peer});
+  const auto responses = peer.take_responses();
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_EQ(responses[0].body, "GET /a|");
+  EXPECT_EQ(responses[1].body, "POST /b|bb");
+  EXPECT_EQ(responses[2].body, "GET /c|");
+  EXPECT_FALSE(peer.closed());
+  EXPECT_EQ(reactor_->stats().requests, 3u);
+}
+
+TEST_F(ReactorTest, MalformedRequestGets400ThenClose) {
+  make(quick_options(), echo_handler);
+  Peer peer = adopt_peer();
+  peer.send("NOT A REQUEST\r\n\r\n");
+  cycle({&peer});
+  const auto responses = peer.take_responses();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, 400);
+  EXPECT_TRUE(peer.closed()) << "poisoned framing must not be reused";
+}
+
+TEST_F(ReactorTest, OversizedHeaderBlockGets431) {
+  ReactorOptions options = quick_options();
+  options.limits.max_header_bytes = 128;
+  make(options, echo_handler);
+  Peer peer = adopt_peer();
+  peer.send("GET / HTTP/1.1\r\nX-Pad: " + std::string(200, 'x') + "\r\n\r\n");
+  cycle({&peer});
+  const auto responses = peer.take_responses();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, 431);
+  EXPECT_TRUE(peer.closed());
+}
+
+// --- deadlines off the injectable clock -------------------------------------
+
+TEST_F(ReactorTest, SlowLorisGets408AtTheReceiveBudget) {
+  make(quick_options(), echo_handler);
+  Peer peer = adopt_peer();
+  peer.send("POST /v1/workload HTTP/1.1\r\nContent-Le");  // never finishes
+  cycle({&peer});
+
+  advance_ms(999);
+  cycle({&peer});
+  EXPECT_TRUE(peer.take_responses().empty()) << "timed out before the budget";
+  EXPECT_FALSE(peer.closed());
+
+  advance_ms(2);
+  cycle({&peer});
+  const auto responses = peer.take_responses();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, 408);
+  EXPECT_TRUE(peer.closed());
+  EXPECT_EQ(reactor_->stats().timeouts, 1u);
+}
+
+TEST_F(ReactorTest, DribblingBytesDoesNotExtendTheMessageDeadline) {
+  make(quick_options(), echo_handler);
+  Peer peer = adopt_peer();
+  peer.send("GET / HT");
+  cycle({&peer});
+  // 900 ms in, the peer dribbles a few more bytes. The budget is per
+  // message, not per byte — the deadline must NOT reset.
+  advance_ms(900);
+  peer.send("TP/1.1\r\nHost:");
+  cycle({&peer});
+  advance_ms(200);  // 1100 ms since the message started
+  cycle({&peer});
+  const auto responses = peer.take_responses();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, 408);
+  EXPECT_TRUE(peer.closed());
+}
+
+TEST_F(ReactorTest, IdleKeepAliveExpiresSilently) {
+  make(quick_options(), echo_handler);
+  Peer peer = adopt_peer();
+  peer.send("GET / HTTP/1.1\r\n\r\n");
+  cycle({&peer});
+  ASSERT_EQ(peer.take_responses().size(), 1u);
+
+  advance_ms(1001);
+  cycle({&peer});
+  EXPECT_TRUE(peer.take_responses().empty())
+      << "idle expiry must not write anything";
+  EXPECT_TRUE(peer.closed());
+  EXPECT_EQ(reactor_->stats().timeouts, 1u);
+}
+
+TEST_F(ReactorTest, CompletedRequestResetsTheIdleBudget) {
+  make(quick_options(), echo_handler);
+  Peer peer = adopt_peer();
+  advance_ms(900);
+  peer.send("GET / HTTP/1.1\r\n\r\n");  // completes at t=900
+  cycle({&peer});
+  ASSERT_EQ(peer.take_responses().size(), 1u);
+  advance_ms(900);  // t=1800 < 900+1000: still inside the refreshed budget
+  cycle({&peer});
+  EXPECT_FALSE(peer.closed());
+  peer.send("GET /again HTTP/1.1\r\n\r\n");
+  cycle({&peer});
+  EXPECT_EQ(peer.take_responses().size(), 1u);
+}
+
+// --- EOF handling -----------------------------------------------------------
+
+TEST_F(ReactorTest, CleanEofBetweenMessagesClosesQuietly) {
+  make(quick_options(), echo_handler);
+  Peer peer = adopt_peer();
+  peer.send("GET / HTTP/1.1\r\n\r\n");
+  cycle({&peer});
+  ASSERT_EQ(peer.take_responses().size(), 1u);
+  ::shutdown(peer.fd, SHUT_WR);
+  cycle({&peer});
+  EXPECT_TRUE(peer.take_responses().empty());
+  EXPECT_TRUE(peer.closed());
+  EXPECT_EQ(reactor_->connection_count(), 0u);
+}
+
+TEST_F(ReactorTest, ConnectionCloseRequestIsHonored) {
+  make(quick_options(), echo_handler);
+  Peer peer = adopt_peer();
+  peer.send("GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+  cycle({&peer});
+  const auto responses = peer.take_responses();
+  ASSERT_EQ(responses.size(), 1u);
+  ASSERT_NE(responses[0].header("connection"), nullptr);
+  EXPECT_EQ(*responses[0].header("connection"), "close");
+  EXPECT_TRUE(peer.closed());
+}
+
+// --- accept path: shedding and EMFILE backoff -------------------------------
+
+TEST_F(ReactorTest, ConnectionCapShedsWith503RetryAfter) {
+  ReactorOptions options = quick_options();
+  options.max_connections = 1;
+  options.retry_after_seconds = 7;
+  make(options, echo_handler);
+  const std::uint16_t port = make_listener();
+
+  Peer first(connect_tcp("127.0.0.1", port));
+  cycle();  // accept the first
+  Peer second(connect_tcp("127.0.0.1", port));
+  cycle({&second});  // shed the second
+
+  const auto responses = second.take_responses();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, 503);
+  ASSERT_NE(responses[0].header("retry-after"), nullptr);
+  EXPECT_EQ(*responses[0].header("retry-after"), "7");
+  EXPECT_TRUE(second.closed());
+
+  // The surviving connection still serves.
+  first.send("GET / HTTP/1.1\r\n\r\n");
+  cycle({&first});
+  EXPECT_EQ(first.take_responses().size(), 1u);
+  const ReactorStats stats = reactor_->stats();
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.rejected_busy, 1u);
+}
+
+TEST_F(ReactorTest, EmfileBackoffPausesAcceptThenRecovers) {
+  make(quick_options(), echo_handler);
+  const std::uint16_t port = make_listener();
+
+  // One simulated EMFILE, injected at the accept site — no need to
+  // actually exhaust the fd table.
+  failpoint::arm("http.accept=errno(24):times1");
+  Peer peer(connect_tcp("127.0.0.1", port));
+  cycle();
+  EXPECT_EQ(reactor_->stats().accept_backoffs, 1u);
+  EXPECT_EQ(reactor_->stats().accepted, 0u)
+      << "EMFILE must pause accepts, not half-accept";
+
+  // Still inside the backoff window: nothing accepted.
+  advance_ms(99);
+  cycle();
+  EXPECT_EQ(reactor_->stats().accepted, 0u);
+
+  // Past the window: the connection that waited in the backlog is served.
+  advance_ms(2);
+  cycle();
+  EXPECT_EQ(reactor_->stats().accepted, 1u);
+  peer.send("GET / HTTP/1.1\r\n\r\n");
+  cycle({&peer});
+  const auto responses = peer.take_responses();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, 200);
+}
+
+// --- queue-depth SLO ---------------------------------------------------------
+
+TEST_F(ReactorTest, QueueDepthSloShedsCompleteRequests) {
+  ReactorOptions options = quick_options();
+  options.max_pending_requests = 0;  // every execution is over the SLO
+  make(options, echo_handler);
+  Peer peer = adopt_peer();
+  peer.send("GET / HTTP/1.1\r\n\r\n");
+  cycle({&peer});
+  const auto responses = peer.take_responses();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, 503);
+  ASSERT_NE(responses[0].header("retry-after"), nullptr);
+  EXPECT_TRUE(peer.closed());
+  EXPECT_EQ(reactor_->stats().shed_queue, 1u);
+}
+
+// --- batching ---------------------------------------------------------------
+
+TEST_F(ReactorTest, SameCycleIdenticalRequestsShareOneExecution) {
+  int executions = 0;
+  ReactorOptions options = quick_options();
+  make(options, [&executions](const HttpRequest& request) {
+    ++executions;
+    return echo_handler(request);
+  });
+  Peer a = adopt_peer();
+  Peer b = adopt_peer();
+  Peer c = adopt_peer();
+  const std::string wire =
+      "POST /v1/workload HTTP/1.1\r\nContent-Length: 14\r\n\r\n"
+      "{\"ranks\": [4]}";
+  a.send(wire);
+  b.send(wire);
+  c.send(wire);
+  cycle({&a, &b, &c});
+
+  EXPECT_EQ(executions, 1) << "identical same-cycle requests must coalesce";
+  std::vector<std::string> bodies;
+  for (Peer* peer : {&a, &b, &c}) {
+    const auto responses = peer->take_responses();
+    ASSERT_EQ(responses.size(), 1u);
+    EXPECT_EQ(responses[0].status, 200);
+    bodies.push_back(responses[0].body);
+    EXPECT_FALSE(peer->closed());
+  }
+  EXPECT_EQ(bodies[0], bodies[1]);
+  EXPECT_EQ(bodies[1], bodies[2]);
+  const ReactorStats stats = reactor_->stats();
+  EXPECT_EQ(stats.batch_leaders, 1u);
+  EXPECT_EQ(stats.batch_members, 2u);
+  EXPECT_EQ(stats.requests, 3u);
+}
+
+TEST_F(ReactorTest, BatchWindowHoldsTheLeaderForLateTwins) {
+  int executions = 0;
+  ReactorOptions options = quick_options();
+  options.batch_window_ms = 50;
+  make(options, [&executions](const HttpRequest& request) {
+    ++executions;
+    return echo_handler(request);
+  });
+  Peer a = adopt_peer();
+  Peer b = adopt_peer();
+  const std::string wire =
+      "POST /v1/workload HTTP/1.1\r\nContent-Length: 14\r\n\r\n"
+      "{\"ranks\": [4]}";
+  a.send(wire);
+  cycle({&a});
+  EXPECT_EQ(executions, 0) << "leader dispatched before its window closed";
+  EXPECT_TRUE(a.take_responses().empty());
+
+  advance_ms(30);
+  b.send(wire);
+  cycle({&a, &b});
+  EXPECT_EQ(executions, 0);
+
+  advance_ms(21);  // window expires 51 ms after the leader arrived
+  cycle({&a, &b});
+  EXPECT_EQ(executions, 1);
+  ASSERT_EQ(a.take_responses().size(), 1u);
+  ASSERT_EQ(b.take_responses().size(), 1u);
+  EXPECT_EQ(reactor_->stats().batch_members, 1u);
+}
+
+TEST_F(ReactorTest, DifferentDeadlineHeadersNeverCoalesce) {
+  int executions = 0;
+  make(quick_options(), [&executions](const HttpRequest& request) {
+    ++executions;
+    return echo_handler(request);
+  });
+  Peer a = adopt_peer();
+  Peer b = adopt_peer();
+  a.send(
+      "POST /v1/workload HTTP/1.1\r\nX-Picp-Deadline-Ms: 100\r\n"
+      "Content-Length: 14\r\n\r\n{\"ranks\": [4]}");
+  b.send(
+      "POST /v1/workload HTTP/1.1\r\n"
+      "Content-Length: 14\r\n\r\n{\"ranks\": [4]}");
+  cycle({&a, &b});
+  EXPECT_EQ(executions, 2)
+      << "a tighter deadline must not ride a looser execution";
+  EXPECT_EQ(reactor_->stats().batch_members, 0u);
+}
+
+TEST_F(ReactorTest, FullBatchDispatchesWithoutWaitingForTheWindow) {
+  int executions = 0;
+  ReactorOptions options = quick_options();
+  options.batch_window_ms = 10000;  // would stall forever if waited for
+  options.max_batch = 2;
+  make(options, [&executions](const HttpRequest& request) {
+    ++executions;
+    return echo_handler(request);
+  });
+  Peer a = adopt_peer();
+  Peer b = adopt_peer();
+  const std::string wire =
+      "POST /v1/workload HTTP/1.1\r\nContent-Length: 14\r\n\r\n"
+      "{\"ranks\": [4]}";
+  a.send(wire);
+  b.send(wire);
+  cycle({&a, &b});
+  EXPECT_EQ(executions, 1);
+  EXPECT_EQ(a.take_responses().size(), 1u);
+  EXPECT_EQ(b.take_responses().size(), 1u);
+}
+
+// --- worker-pool dispatch ----------------------------------------------------
+
+TEST_F(ReactorTest, PoolDispatchDeliversThroughTheCompletionQueue) {
+  ThreadPool pool(2);
+  make(quick_options(), echo_handler, &pool);
+  Peer peer = adopt_peer();
+  peer.send("POST /echo HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi");
+  std::vector<HttpResponse> responses;
+  // The handler runs on a worker; its completion wakes the loop through
+  // the wake pipe. Bounded real-time waits, no manual-clock advance.
+  for (int i = 0; i < 200 && responses.empty(); ++i) {
+    reactor_->run_once(25);
+    peer.pump();
+    responses = peer.take_responses();
+  }
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].body, "POST /echo|hi");
+  pool.wait_idle();  // no task may outlive the reactor below
+}
+
+// --- property test: batch coalescing against the real service ---------------
+
+/// Miniature trace shared by every service-backed test in this file.
+/// Leaked on purpose: process-lifetime.
+const std::string& reactor_trace_path() {
+  static const std::string* path = [] {
+    SimConfig cfg;
+    cfg.nelx = 8;
+    cfg.nely = 8;
+    cfg.nelz = 16;
+    cfg.bed.num_particles = 1500;
+    cfg.num_iterations = 100;
+    cfg.sample_every = 50;
+    cfg.num_ranks = 8;
+    cfg.filter_size = 0.08;
+    const auto* p = new std::string(testing::TempDir() + "/picp_reactor_" +
+                                    std::to_string(::getpid()) + ".trace");
+    SimDriver driver(cfg);
+    driver.run(*p);
+    return p;
+  }();
+  return *path;
+}
+
+/// Counter value out of a /metricsz JSON body; 0 when absent.
+std::uint64_t metric_value(const std::string& body, const std::string& name) {
+  const std::size_t at = body.find("\"" + name + "\":");
+  if (at == std::string::npos) return 0;
+  std::size_t cursor = body.find(':', at) + 1;
+  while (cursor < body.size() && body[cursor] == ' ') ++cursor;
+  std::uint64_t value = 0;
+  while (cursor < body.size() && body[cursor] >= '0' && body[cursor] <= '9')
+    value = value * 10 + static_cast<std::uint64_t>(body[cursor++] - '0');
+  return value;
+}
+
+std::string workload_wire(const std::string& ranks_json) {
+  const std::string body = "{\"ranks\": [" + ranks_json + "]}";
+  return "POST /v1/workload HTTP/1.1\r\nContent-Length: " +
+         std::to_string(body.size()) + "\r\n\r\n" + body;
+}
+
+class ReactorServiceTest : public ReactorTest {
+ protected:
+  void SetUp() override {
+    telemetry::configure(telemetry::SessionOptions{});
+    config_.trace_path = reactor_trace_path();
+    config_.nelx = 8;
+    config_.nely = 8;
+    config_.nelz = 16;
+    service_ = std::make_unique<PredictionService>(config_);
+    make(quick_options(), [this](const HttpRequest& request) {
+      return service_->handle(request);
+    });
+  }
+
+  /// One complete request/response exchange on a fresh connection.
+  HttpResponse roundtrip(const std::string& wire_bytes) {
+    Peer peer = adopt_peer();
+    peer.send(wire_bytes);
+    std::vector<HttpResponse> responses;
+    for (int i = 0; i < 100 && responses.empty(); ++i) {
+      cycle({&peer});
+      responses = peer.take_responses();
+    }
+    EXPECT_EQ(responses.size(), 1u);
+    return responses.empty() ? HttpResponse{} : responses[0];
+  }
+
+  std::uint64_t generations() {
+    const HttpResponse metrics = roundtrip("GET /metricsz HTTP/1.1\r\n\r\n");
+    EXPECT_EQ(metrics.status, 200);
+    return metric_value(metrics.body, "serve.workload.generations");
+  }
+
+  ServiceConfig config_;
+  std::unique_ptr<PredictionService> service_;
+};
+
+TEST_F(ReactorServiceTest, IdenticalStormCostsExactlyOneGeneration) {
+  const std::uint64_t before = generations();
+
+  constexpr int kPeers = 6;
+  std::vector<Peer> peers;
+  peers.reserve(kPeers);
+  for (int i = 0; i < kPeers; ++i) peers.push_back(adopt_peer());
+  const std::string wire = workload_wire("6");
+  for (Peer& peer : peers) peer.send(wire);
+  reactor_->run_once(0);  // all six requests coalesce in this one cycle
+
+  std::vector<std::string> bodies;
+  for (Peer& peer : peers) {
+    peer.pump();
+    const auto responses = peer.take_responses();
+    ASSERT_EQ(responses.size(), 1u);
+    ASSERT_EQ(responses[0].status, 200) << responses[0].body;
+    bodies.push_back(responses[0].body);
+  }
+  for (int i = 1; i < kPeers; ++i)
+    EXPECT_EQ(bodies[0], bodies[i])
+        << "batch member " << i << " got a different body";
+
+  // The whole storm cost ONE workload generation — proven through the
+  // same reactor via /metricsz, like the shell smoke does.
+  EXPECT_EQ(generations() - before, 1u);
+  const ReactorStats stats = reactor_->stats();
+  EXPECT_EQ(stats.batch_leaders, 1u);
+  EXPECT_EQ(stats.batch_members, static_cast<std::uint64_t>(kPeers - 1));
+
+  // A later solo request replays the member bytes exactly.
+  const HttpResponse solo = roundtrip(wire);
+  ASSERT_EQ(solo.status, 200);
+  EXPECT_EQ(solo.body, bodies[0])
+      << "solo replay diverged from the batched response";
+  EXPECT_EQ(generations() - before, 1u) << "solo replay regenerated";
+}
+
+TEST_F(ReactorServiceTest, MixedStormNeverCrossContaminates) {
+  constexpr int kPeers = 8;
+  std::vector<Peer> peers;
+  peers.reserve(kPeers);
+  for (int i = 0; i < kPeers; ++i) peers.push_back(adopt_peer());
+  // Alternate two configs through one cycle: 4-rank and 8-rank workloads.
+  for (int i = 0; i < kPeers; ++i)
+    peers[i].send(workload_wire(i % 2 == 0 ? "4" : "8"));
+  reactor_->run_once(0);
+
+  std::vector<std::string> bodies(kPeers);
+  for (int i = 0; i < kPeers; ++i) {
+    peers[i].pump();
+    const auto responses = peers[i].take_responses();
+    ASSERT_EQ(responses.size(), 1u);
+    ASSERT_EQ(responses[0].status, 200) << responses[0].body;
+    bodies[i] = responses[0].body;
+  }
+
+  // Within a config: byte-identical. Across configs: distinct.
+  for (int i = 2; i < kPeers; i += 2) EXPECT_EQ(bodies[0], bodies[i]);
+  for (int i = 3; i < kPeers; i += 2) EXPECT_EQ(bodies[1], bodies[i]);
+  EXPECT_NE(bodies[0], bodies[1]) << "4-rank and 8-rank responses collided";
+
+  // And each matches its config's solo ground truth.
+  EXPECT_EQ(roundtrip(workload_wire("4")).body, bodies[0]);
+  EXPECT_EQ(roundtrip(workload_wire("8")).body, bodies[1]);
+}
+
+}  // namespace
+}  // namespace picp::serve

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Serving-latency regression guard: run the micro_serve closed loop fresh
+# (open-loop phase skipped — this is a p99 guard, not a concurrency test)
+# and compare the baseline p99 against the last committed snapshot in
+# BENCH_serve.json. Fails only when the fresh p99 exceeds the snapshot by
+# BOTH >20% and >300 us — the absolute floor keeps microsecond jitter on
+# loaded single-core CI machines from tripping the relative bound.
+# One retry (best of two): p99 on a shared box has heavy right-tail noise.
+#
+# Usage: check_bench_serve.sh <micro_serve-binary> <committed-json> [workdir]
+# Wired into ctest (fast tier, skipped under sanitizers) from
+# tools/CMakeLists.txt.
+set -euo pipefail
+
+MICRO_SERVE=${1:?usage: check_bench_serve.sh <micro_serve-binary> <committed-json> [workdir]}
+SNAPSHOT=${2:?usage: check_bench_serve.sh <micro_serve-binary> <committed-json> [workdir]}
+WORK=${3:-$(mktemp -d)}
+PYTHON=${PYTHON:-python3}
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+cd "$WORK"
+
+trap 'exit 130' INT
+trap 'exit 143' TERM
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+baseline_p99() { # baseline_p99 <json-file>
+    "$PYTHON" - "$1" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+# Committed file holds a snapshot history; a fresh run is one bare object.
+snap = doc["snapshots"][-1] if "snapshots" in doc else doc
+for phase in snap["phases"]:
+    if phase["phase"] == "baseline":
+        print(phase["p99_us"])
+        sys.exit(0)
+sys.exit("no baseline phase in " + sys.argv[1])
+EOF
+}
+
+COMMITTED=$(baseline_p99 "$SNAPSHOT")
+
+best=""
+for attempt in 1 2; do
+    echo "== micro_serve run $attempt =="
+    "$MICRO_SERVE" --open-connections 0 --json "run_$attempt.json" \
+        > "run_$attempt.csv" || fail "micro_serve exited nonzero (run $attempt)"
+    fresh=$(baseline_p99 "run_$attempt.json")
+    echo "baseline p99: fresh=${fresh}us committed=${COMMITTED}us"
+    if [[ -z "$best" ]] || "$PYTHON" -c "import sys; sys.exit(0 if float('$fresh') < float('$best') else 1)"; then
+        best=$fresh
+    fi
+    # Within bounds already? No need for the retry.
+    if "$PYTHON" -c "
+import sys
+fresh, committed = float('$best'), float('$COMMITTED')
+sys.exit(0 if fresh <= committed * 1.2 or fresh <= committed + 300.0 else 1)
+"; then
+        echo "check_bench_serve: OK (p99 ${best}us vs committed ${COMMITTED}us)"
+        exit 0
+    fi
+done
+
+fail "baseline p99 regressed: best-of-2 ${best}us vs committed ${COMMITTED}us (+20% and +300us both exceeded)"

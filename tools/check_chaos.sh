@@ -31,9 +31,18 @@ cd "$WORK"
 
 SERVE_PID=""
 cleanup() {
+    # Kill the daemon we know about AND every background job this shell
+    # still owns — an early `set -e` exit between fork and PID capture must
+    # not leave an orphaned daemon running.
     [[ -n "$SERVE_PID" ]] && kill -9 "$SERVE_PID" 2>/dev/null || true
+    local job_pids
+    job_pids=$(jobs -p)
+    [[ -n "$job_pids" ]] && kill -9 $job_pids 2>/dev/null || true
+    return 0
 }
 trap cleanup EXIT
+trap 'exit 130' INT
+trap 'exit 143' TERM
 
 fail() { echo "FAIL: $*" >&2; exit 1; }
 

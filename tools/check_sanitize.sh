@@ -1,17 +1,23 @@
 #!/usr/bin/env sh
 # Run the full test suite under AddressSanitizer + UBSan in a dedicated
-# build tree. Use after touching I/O, framing, or checksum code — the
+# build tree, then the reactor/serving suite under ThreadSanitizer in a
+# second tree. Use after touching I/O, framing, or checksum code — the
 # corruption-sweep tests exercise every byte-level parse path, and this is
-# the CI job that proves none of them read out of bounds or hit UB.
+# the CI job that proves none of them read out of bounds or hit UB. The
+# TSan pass covers the one place the codebase hands data between threads
+# on a hot path: reactor <-> worker-pool completion traffic.
 #
-#   tools/check_sanitize.sh [sanitizer] [build-dir]
+#   tools/check_sanitize.sh [sanitizer] [build-dir] [tsan-build-dir]
 #
-#   sanitizer  PICP_SANITIZE value (default: address,undefined)
-#   build-dir  out-of-source build directory (default: build-asan)
+#   sanitizer       PICP_SANITIZE value (default: address,undefined)
+#   build-dir       out-of-source build directory (default: build-asan)
+#   tsan-build-dir  build directory for the TSan pass (default: build-tsan;
+#                   "none" skips the TSan pass)
 set -eu
 
 SANITIZE="${1:-address,undefined}"
 BUILD_DIR="${2:-build-asan}"
+TSAN_BUILD_DIR="${3:-build-tsan}"
 SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
 
 cmake -B "$BUILD_DIR" -S "$SRC_DIR" -DPICP_SANITIZE="$SANITIZE"
@@ -33,3 +39,17 @@ UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
   "$SRC_DIR/tools/check_chaos.sh" "$BUILD_DIR/tools/picpredict" \
   "$BUILD_DIR/check_chaos_sanitize_work"
 echo "sanitizer suite (${SANITIZE}) passed"
+
+# ThreadSanitizer pass over the concurrent serving stack. Scoped to the
+# suites that actually cross threads — the reactor's pool dispatch and
+# completion queue, the HTTP server end-to-end, the thread pool itself,
+# and the artifact cache's single-flight — because a full-suite TSan run
+# costs 10x+ and everything else is single-threaded by construction.
+if [ "$TSAN_BUILD_DIR" != "none" ]; then
+  cmake -B "$TSAN_BUILD_DIR" -S "$SRC_DIR" -DPICP_SANITIZE=thread
+  cmake --build "$TSAN_BUILD_DIR" -j --target picp_tests
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    "$TSAN_BUILD_DIR/tests/picp_tests" \
+    --gtest_filter='Reactor*:Http*:ThreadPool*:ArtifactCache*'
+  echo "thread-sanitizer reactor suite passed"
+fi

@@ -596,6 +596,13 @@ int cmd_serve(int argc, char** argv) {
       "serve.request_timeout_ms", options.request_timeout_ms));
   options.drain_timeout_ms = static_cast<int>(
       config.get_int("serve.drain_timeout_ms", options.drain_timeout_ms));
+  options.max_pending_requests = static_cast<std::size_t>(
+      config.get_int("serve.max_pending",
+                     static_cast<long long>(options.max_pending_requests)));
+  options.batch_window_ms = static_cast<int>(
+      config.get_int("serve.batch_window_ms", options.batch_window_ms));
+  options.max_batch = static_cast<std::size_t>(config.get_int(
+      "serve.max_batch", static_cast<long long>(options.max_batch)));
   options.limits.io_timeout_ms = options.request_timeout_ms;
 
   // The daemon always collects telemetry — /metricsz and the cache
