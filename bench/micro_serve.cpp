@@ -350,6 +350,11 @@ int main(int argc, char** argv) {
   options.max_pending_requests =
       std::max<std::size_t>(256, open_connections);
   options.listen_backlog = 4096;
+  // Observability fully armed, as in production: every request traced
+  // into spans and access-logged — the percentiles below price the
+  // instrumented hot path, and the regression guard holds it to budget.
+  options.trace_sample_n = 1;
+  options.access_log_path = work + "/bench_access.ndjson";
   serve::HttpServer server(options,
                            [&](const serve::HttpRequest& request) {
                              return service.handle(request);

@@ -72,6 +72,30 @@ void HttpResponse::set_header(const std::string& name,
   headers.emplace_back(name, value);
 }
 
+std::string target_path(const std::string& target) {
+  const std::size_t q = target.find('?');
+  return q == std::string::npos ? target : target.substr(0, q);
+}
+
+std::string query_param(const std::string& target, const std::string& key) {
+  const std::size_t q = target.find('?');
+  if (q == std::string::npos) return "";
+  std::size_t pos = q + 1;
+  while (pos < target.size()) {
+    std::size_t end = target.find('&', pos);
+    if (end == std::string::npos) end = target.size();
+    const std::size_t eq = target.find('=', pos);
+    if (eq != std::string::npos && eq < end) {
+      if (target.compare(pos, eq - pos, key) == 0)
+        return target.substr(eq + 1, end - eq - 1);
+    } else if (target.compare(pos, end - pos, key) == 0) {
+      return "1";  // bare flag: ?ready counts as ready=1
+    }
+    pos = end + 1;
+  }
+  return "";
+}
+
 const char* status_reason(int status) {
   switch (status) {
     case 200: return "OK";

@@ -51,6 +51,16 @@ struct HttpResponse {
   void set_header(const std::string& name, const std::string& value);
 };
 
+/// The path component of an origin-form target ("/metricsz?format=x" →
+/// "/metricsz"). Routing and per-endpoint metrics key on this, so a query
+/// string can never mint a new metric name.
+std::string target_path(const std::string& target);
+
+/// Value of one query parameter ("" when absent). A bare flag with no `=`
+/// reads as "1", so `?ready` and `?ready=1` are equivalent. No %-decoding:
+/// picpredict's own query strings are plain tokens.
+std::string query_param(const std::string& target, const std::string& key);
+
 /// Canonical reason phrase for a status code ("OK", "Not Found", ...).
 const char* status_reason(int status);
 

@@ -1,5 +1,6 @@
 #include "serve/reactor.hpp"
 
+#include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -8,6 +9,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <cerrno>
 #include <cstring>
 #include <utility>
@@ -42,6 +44,41 @@ bool peer_is_loopback(const sockaddr_storage& peer, socklen_t len) {
 
 void bump(const char* name, std::uint64_t n = 1) {
   if (telemetry::enabled()) telemetry::registry().counter(name).add(n);
+}
+
+/// "ip:port" for the access log; "unknown" for exotic address families.
+std::string peer_string(const sockaddr_storage& peer, socklen_t len) {
+  if (peer.ss_family == AF_INET && len >= sizeof(sockaddr_in)) {
+    const auto* in4 = reinterpret_cast<const sockaddr_in*>(&peer);
+    char ip[INET_ADDRSTRLEN];
+    if (::inet_ntop(AF_INET, &in4->sin_addr, ip, sizeof ip) != nullptr)
+      return std::string(ip) + ":" + std::to_string(ntohs(in4->sin_port));
+  }
+  return "unknown";
+}
+
+/// RED histogram bounds (µs), same log-spaced ladder as the service-side
+/// latency histograms: 100 µs … 3 s.
+constexpr std::array<double, 10> kRedBoundsUs = {
+    1e2, 3e2, 1e3, 3e3, 1e4, 3e4, 1e5, 3e5, 1e6, 3e6};
+
+/// Bounded route family for RED metric names — a scanner probing random
+/// paths must not be able to mint unbounded metric series.
+const char* route_of(const std::string& path) {
+  if (path == "/v1/predict") return "predict";
+  if (path == "/v1/workload") return "workload";
+  if (path == "/healthz") return "healthz";
+  if (path == "/metricsz") return "metricsz";
+  if (path == "/v1/models") return "models";
+  if (path == "/v1/failpoints") return "failpoints";
+  return "other";
+}
+
+const char* status_class_of(int status) {
+  if (status >= 500) return "5xx";
+  if (status >= 400) return "4xx";
+  if (status >= 300) return "3xx";
+  return "2xx";
 }
 
 /// Two requests may share one handler execution only when a cache-keyed
@@ -114,14 +151,16 @@ void EpollReactor::adopt(int fd, bool from_loopback) {
     ++stats_.accepted;
   }
   bump("serve.accepted");
-  setup_conn(fd, from_loopback, /*counted=*/true);
+  setup_conn(fd, from_loopback, /*counted=*/true, "local");
 }
 
-void EpollReactor::setup_conn(int fd, bool from_loopback, bool counted) {
+void EpollReactor::setup_conn(int fd, bool from_loopback, bool counted,
+                              std::string peer) {
   auto conn = std::make_unique<Conn>();
   conn->fd = fd;
   conn->id = next_conn_id_++;
   conn->from_loopback = from_loopback;
+  conn->peer = std::move(peer);
   conn->parser = std::make_unique<RequestParser>(options_.limits);
   conn->counted = counted;
   if (options_.request_timeout_ms > 0) {
@@ -212,19 +251,22 @@ void EpollReactor::handle_accept() {
       bump("serve.rejected_busy");
       // The 503 goes through a normal (uncounted) connection so a slow
       // reader cannot block the reactor on the write.
-      setup_conn(fd, from_loopback, /*counted=*/false);
+      setup_conn(fd, from_loopback, /*counted=*/false,
+                 peer_string(peer, peer_len));
       Conn* conn = conn_by_id(next_conn_id_ - 1);
       if (conn != nullptr) {
         conn->read_closed = true;
         const std::uint64_t seq = conn->next_seq++;
         conn->slots.emplace_back();
-        fill_slot(*conn, seq, busy_response(), /*close_after=*/true);
+        fill_error(*conn, seq, busy_response(),
+                   make_synthetic_trace(*conn));
         flush(*conn);
       }
       continue;
     }
     bump("serve.accepted");
-    setup_conn(fd, from_loopback, /*counted=*/true);
+    setup_conn(fd, from_loopback, /*counted=*/true,
+               peer_string(peer, peer_len));
   }
 }
 
@@ -269,6 +311,9 @@ int EpollReactor::run_once(int max_wait_ms) {
       PICP_LOG_WARN << "epoll_wait: " << std::strerror(errno);
     n = 0;
   }
+  // Cycle time starts when the wait returns: it measures the work of this
+  // pass (events + batches + completions + timers), not the idle wait.
+  const TimePoint cycle_start = now();
 
   for (int i = 0; i < n; ++i) {
     const std::uint64_t tag = events[i].data.u64;
@@ -300,6 +345,10 @@ int EpollReactor::run_once(int max_wait_ms) {
   resume_accept_if_due();
   reap_dead();
   publish_gauges();
+  if (telemetry::enabled())
+    telemetry::registry().gauge("serve.reactor.cycle_us")
+        .set(std::chrono::duration<double, std::micro>(now() - cycle_start)
+                 .count());
   return n;
 }
 
@@ -419,8 +468,8 @@ void EpollReactor::handle_readable(Conn& conn) {
       // close once the pipeline ahead of it has flushed.
       const std::uint64_t seq = conn.next_seq++;
       conn.slots.emplace_back();
-      fill_slot(conn, seq, error_response(e.status(), e.what()),
-                /*close_after=*/true);
+      fill_error(conn, seq, error_response(e.status(), e.what()),
+                 make_synthetic_trace(conn));
       conn.read_closed = true;
       break;
     }
@@ -451,7 +500,7 @@ void EpollReactor::on_request(Conn& conn, HttpRequest&& request) {
     pending = stats_.pending_requests;
   }
 
-  Member member{conn.id, seq, close_after};
+  Member member{conn.id, seq, close_after, make_trace(conn, request)};
 
   if (options_.batchable && options_.batchable(request)) {
     for (auto& batch : open_batches_) {
@@ -474,7 +523,7 @@ void EpollReactor::on_request(Conn& conn, HttpRequest&& request) {
         ++stats_.shed_queue;
       }
       bump("serve.shed_queue");
-      fill_slot(conn, seq, busy_response(), /*close_after=*/true);
+      fill_error(conn, seq, busy_response(), member.trace);
       conn.read_closed = true;
       return;
     }
@@ -493,7 +542,7 @@ void EpollReactor::on_request(Conn& conn, HttpRequest&& request) {
       ++stats_.shed_queue;
     }
     bump("serve.shed_queue");
-    fill_slot(conn, seq, busy_response(), /*close_after=*/true);
+    fill_error(conn, seq, busy_response(), member.trace);
     conn.read_closed = true;
     return;
   }
@@ -529,6 +578,72 @@ void EpollReactor::dispatch_due_batches(bool force) {
   for (auto& batch : due) dispatch(std::move(batch));
 }
 
+std::shared_ptr<RequestTrace> EpollReactor::make_trace(
+    const Conn& conn, const HttpRequest& request) {
+  auto trace = std::make_shared<RequestTrace>(clock_);
+  const std::string* inbound = request.header("x-picp-trace-id");
+  trace->id = inbound != nullptr ? sanitize_trace_id(*inbound)
+                                 : generate_trace_id();
+  trace->method = request.method;
+  trace->path = target_path(request.target);
+  trace->peer = conn.peer;
+  trace->arrived_us = trace->now_us();
+  trace->dispatch_us = trace->arrived_us;
+  trace->handler_start_us = trace->arrived_us;
+  trace->armed = options_.observer != nullptr ||
+                 (telemetry::enabled() && (options_.trace_sample_n > 0 ||
+                                           options_.slow_request_ms > 0));
+  return trace;
+}
+
+std::shared_ptr<RequestTrace> EpollReactor::make_synthetic_trace(
+    const Conn& conn) {
+  auto trace = std::make_shared<RequestTrace>(clock_);
+  trace->id = generate_trace_id();
+  trace->peer = conn.peer;
+  trace->role = "none";  // no parsed request behind this response
+  trace->arrived_us = trace->now_us();
+  trace->dispatch_us = trace->arrived_us;
+  trace->handler_start_us = trace->arrived_us;
+  return trace;
+}
+
+void EpollReactor::fill_error(Conn& conn, std::uint64_t seq,
+                              HttpResponse response,
+                              const std::shared_ptr<RequestTrace>& trace) {
+  if (trace != nullptr) {
+    response.set_header("X-Picp-Trace-Id", trace->id);
+    finalize_trace(*trace, response.status);
+  }
+  fill_slot(conn, seq, response, /*close_after=*/true);
+}
+
+void EpollReactor::finalize_trace(RequestTrace& trace, int status) {
+  trace.status = status;
+  trace.total_us = trace.now_us() - trace.arrived_us;
+  ++finished_requests_;
+  if (telemetry::enabled()) {
+    auto& reg = telemetry::registry();
+    const std::string route = route_of(trace.path);
+    reg.histogram(
+           "serve.red.total_us." + route + "." + status_class_of(status),
+           kRedBoundsUs)
+        .observe(trace.total_us);
+    reg.histogram("serve.red.queue_us." + route, kRedBoundsUs)
+        .observe(trace.batch_wait_us + trace.queue_wait_us);
+    reg.histogram("serve.red.handler_us." + route, kRedBoundsUs)
+        .observe(trace.handler_us);
+    const bool sampled =
+        options_.trace_sample_n > 0 &&
+        finished_requests_ % options_.trace_sample_n == 0;
+    const bool slow =
+        options_.slow_request_ms > 0 &&
+        trace.total_us >= static_cast<double>(options_.slow_request_ms) * 1e3;
+    if (sampled || slow) trace.emit_spans(telemetry::tracer());
+  }
+  if (options_.observer) options_.observer(trace);
+}
+
 HttpResponse EpollReactor::run_handler(const HttpRequest& request) {
   try {
     return handler_(request);
@@ -539,14 +654,37 @@ HttpResponse EpollReactor::run_handler(const HttpRequest& request) {
   }
 }
 
+HttpResponse EpollReactor::run_traced(const HttpRequest& request,
+                                      RequestTrace* trace) {
+  if (trace == nullptr) return run_handler(request);
+  trace->handler_start_us = trace->now_us();
+  trace->queue_wait_us = trace->handler_start_us - trace->dispatch_us;
+  const RequestTrace::Scope scope(trace);
+  HttpResponse response = run_handler(request);
+  trace->handler_us = trace->now_us() - trace->handler_start_us;
+  return response;
+}
+
 void EpollReactor::execute(const HttpRequest& request,
                            std::vector<Member> members) {
+  // Dispatch closes the batch-wait phase for every member; only the
+  // leader's trace (members[0]) rides into the handler — members adopt
+  // its execution at deliver().
+  if (!members.empty() && members[0].trace != nullptr) {
+    const double dispatched = members[0].trace->now_us();
+    for (Member& member : members) {
+      if (member.trace == nullptr) continue;
+      member.trace->dispatch_us = dispatched;
+      member.trace->batch_wait_us = dispatched - member.trace->arrived_us;
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.pending_requests;
   }
   if (pool_ == nullptr) {
-    const HttpResponse response = run_handler(request);
+    const HttpResponse response =
+        run_traced(request, members[0].trace.get());
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       --stats_.pending_requests;
@@ -557,7 +695,11 @@ void EpollReactor::execute(const HttpRequest& request,
   auto shared_request = std::make_shared<HttpRequest>(request);
   pool_->submit([this, shared_request,
                  members = std::move(members)]() mutable {
-    HttpResponse response = run_handler(*shared_request);
+    // The worker owns the members (and their traces) until the completion
+    // is drained back on the reactor thread, so stamping the leader's
+    // handler timings here is race-free.
+    HttpResponse response =
+        run_traced(*shared_request, members[0].trace.get());
     {
       std::lock_guard<std::mutex> lock(completion_mutex_);
       completions_.push_back({std::move(response), std::move(members)});
@@ -584,15 +726,32 @@ void EpollReactor::drain_completions() {
 void EpollReactor::deliver(const HttpResponse& response,
                            const std::vector<Member>& members) {
   const bool stopping = stop_.load(std::memory_order_relaxed);
-  for (const Member& member : members) {
+  const bool batched = members.size() > 1;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const Member& member = members[i];
+    RequestTrace* trace = member.trace.get();
+    if (trace != nullptr) {
+      // A member's response IS the leader's execution: adopt its stages
+      // and handler timings; keep the member's own arrival timeline.
+      if (i > 0 && members[0].trace != nullptr)
+        trace->copy_execution_from(*members[0].trace);
+      trace->role = batched ? (i == 0 ? "leader" : "member") : "solo";
+      trace->batch_size = members.size();
+    }
     Conn* conn = conn_by_id(member.conn_id);
-    if (conn == nullptr) continue;  // member hung up before the answer
+    if (conn == nullptr) {
+      // The member hung up before the answer — its record still closes.
+      if (trace != nullptr) finalize_trace(*trace, response.status);
+      continue;
+    }
     // Every member gets byte-identical status/headers/body; only the
-    // Connection header is per-member.
+    // Connection and trace-id headers are per-member.
     HttpResponse copy = response;
     const bool close_after = member.close_after || stopping;
     copy.set_header("Connection", close_after ? "close" : "keep-alive");
+    if (trace != nullptr) copy.set_header("X-Picp-Trace-Id", trace->id);
     fill_slot(*conn, member.seq, copy, close_after);
+    if (trace != nullptr) finalize_trace(*trace, copy.status);
     flush(*conn);
   }
 }
@@ -692,8 +851,8 @@ void EpollReactor::expire_deadlines() {
       // explicit 408 before the close.
       const std::uint64_t seq = conn->next_seq++;
       conn->slots.emplace_back();
-      fill_slot(*conn, seq, error_response(408, "receive timeout"),
-                /*close_after=*/true);
+      fill_error(*conn, seq, error_response(408, "receive timeout"),
+                 make_synthetic_trace(*conn));
       conn->read_closed = true;
       flush(*conn);
     } else {
@@ -789,11 +948,18 @@ HttpResponse EpollReactor::busy_response() const {
 void EpollReactor::publish_gauges() {
   if (!telemetry::enabled()) return;
   auto& reg = telemetry::registry();
+  std::size_t open_members = 0;
+  for (const Batch& batch : open_batches_)
+    open_members += batch.members.size();
   std::lock_guard<std::mutex> lock(stats_mutex_);
   reg.gauge("serve.active_connections")
       .set(static_cast<double>(stats_.active_connections));
   reg.gauge("serve.queue_depth")
       .set(static_cast<double>(stats_.pending_requests));
+  // In-flight = handler executions running + requests parked in open
+  // coalescing windows: everything accepted but not yet answered.
+  reg.gauge("serve.inflight")
+      .set(static_cast<double>(stats_.pending_requests + open_members));
 }
 
 }  // namespace picp::serve

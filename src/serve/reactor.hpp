@@ -43,15 +43,10 @@
 
 #include "serve/http.hpp"
 #include "serve/http_parser.hpp"
+#include "serve/request_trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace picp::serve {
-
-/// Injectable time source; defaults to steady_clock. Protocol tests
-/// substitute a manually-advanced clock so timeout behavior replays
-/// deterministically.
-using ReactorClock =
-    std::function<std::chrono::steady_clock::time_point()>;
 
 struct ReactorOptions {
   /// Connections being serviced; above this, accept sheds with 503.
@@ -75,6 +70,14 @@ struct ReactorOptions {
   int accept_backoff_ms = 100;
   /// Which requests may share one handler execution. Unset = none.
   std::function<bool(const HttpRequest&)> batchable;
+  /// Emit Chrome-trace spans for every Nth finished request (0 = never).
+  std::uint64_t trace_sample_n = 0;
+  /// Always emit spans for requests slower than this (0 = never).
+  int slow_request_ms = 0;
+  /// Called on the reactor thread for every finished request — the access
+  /// log hook (and the deterministic observability tests). Setting it
+  /// arms per-stage recording on every request.
+  std::function<void(const RequestTrace&)> observer;
   HttpLimits limits;
 };
 
@@ -149,6 +152,7 @@ class EpollReactor {
     int fd = -1;
     std::uint64_t id = 0;
     bool from_loopback = false;
+    std::string peer;  // "ip:port"; "local" for adopted test sockets
     std::unique_ptr<RequestParser> parser;
     std::deque<Slot> slots;
     std::uint64_t base_seq = 0;  // absolute seq of slots.front()
@@ -162,11 +166,14 @@ class EpollReactor {
     TimePoint deadline{};        // receive/idle budget expiry
   };
 
-  /// A request waiting for (or riding on) one handler execution.
+  /// A request waiting for (or riding on) one handler execution. Every
+  /// member carries its own RequestTrace (own id, own arrival timeline);
+  /// members[0]'s trace additionally records the shared execution.
   struct Member {
     std::uint64_t conn_id = 0;
     std::uint64_t seq = 0;
     bool close_after = false;
+    std::shared_ptr<RequestTrace> trace;
   };
 
   /// An open coalescing window: identical requests join until the window
@@ -188,8 +195,26 @@ class EpollReactor {
   void handle_accept();
   void pause_accept(int err);
   void resume_accept_if_due();
-  void setup_conn(int fd, bool from_loopback, bool counted);
+  void setup_conn(int fd, bool from_loopback, bool counted,
+                  std::string peer);
   HttpResponse run_handler(const HttpRequest& request);
+  /// Wrap run_handler with the trace timeline (queue wait, handler wall
+  /// time, status) and the thread-local annotation scope.
+  HttpResponse run_traced(const HttpRequest& request, RequestTrace* trace);
+  /// One RequestTrace for a freshly parsed request (id from the inbound
+  /// header or generated, arrival stamped on the reactor clock).
+  std::shared_ptr<RequestTrace> make_trace(const Conn& conn,
+                                           const HttpRequest& request);
+  /// Trace for a response with no parsed request behind it (accept-shed
+  /// 503, parse-error 400, receive-timeout 408).
+  std::shared_ptr<RequestTrace> make_synthetic_trace(const Conn& conn);
+  /// Fill a slot for an error produced outside deliver(): stamps the
+  /// trace id header, finalizes the trace, fills the slot.
+  void fill_error(Conn& conn, std::uint64_t seq, HttpResponse response,
+                  const std::shared_ptr<RequestTrace>& trace);
+  /// Close the request's observability record: totals, RED metrics, span
+  /// sampling, observer. Reactor thread only.
+  void finalize_trace(RequestTrace& trace, int status);
   void wake();
   void reap_dead();
   void handle_readable(Conn& conn);
@@ -236,6 +261,10 @@ class EpollReactor {
   TimePoint next_expiry_ = TimePoint::max();  // earliest conn deadline
 
   std::atomic<bool> stop_{false};
+
+  /// Finished requests (reactor thread only) — drives the every-Nth span
+  /// sampling knob.
+  std::uint64_t finished_requests_ = 0;
 
   std::mutex completion_mutex_;
   std::vector<Completion> completions_;

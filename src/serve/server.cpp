@@ -76,6 +76,17 @@ HttpServer::HttpServer(const ServerOptions& options, Handler handler)
   reactor_options.accept_backoff_ms = options_.accept_backoff_ms;
   reactor_options.batchable =
       options_.batchable ? options_.batchable : default_batchable;
+  reactor_options.trace_sample_n = options_.trace_sample_n;
+  reactor_options.slow_request_ms = options_.slow_request_ms;
+  if (!options_.access_log_path.empty())
+    access_log_ = std::make_unique<AccessLog>(AccessLogOptions{
+        options_.access_log_path, options_.access_log_max_bytes});
+  if (access_log_ != nullptr || options_.observer) {
+    reactor_options.observer = [this](const RequestTrace& trace) {
+      if (access_log_ != nullptr) access_log_->write(trace);
+      if (options_.observer) options_.observer(trace);
+    };
+  }
   reactor_options.limits = options_.limits;
   reactor_ = std::make_unique<EpollReactor>(
       reactor_options, [this](const HttpRequest& r) { return handler_(r); },
@@ -105,7 +116,24 @@ ServerStats HttpServer::stats() const {
   s.batch_members = r.batch_members;
   s.active_connections = r.active_connections;
   s.peak_connections = r.peak_connections;
+  s.pending_requests = r.pending_requests;
   return s;
+}
+
+bool HttpServer::not_ready(std::string* reason) const {
+  if (reactor_->stopping()) {
+    if (reason != nullptr) *reason = "draining";
+    return true;
+  }
+  if (reactor_->stats().pending_requests >= options_.max_pending_requests) {
+    if (reason != nullptr) *reason = "queue saturated";
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t HttpServer::access_log_lines() const {
+  return access_log_ != nullptr ? access_log_->lines_written() : 0;
 }
 
 void HttpServer::run() {

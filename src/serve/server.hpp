@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "serve/access_log.hpp"
 #include "serve/http.hpp"
 #include "serve/reactor.hpp"
 #include "util/thread_pool.hpp"
@@ -41,6 +42,16 @@ struct ServerOptions {
   /// Which requests may coalesce into one handler execution. Unset picks
   /// the picpredict default: POST /v1/predict and /v1/workload.
   std::function<bool(const HttpRequest&)> batchable;
+  /// Emit Chrome-trace spans for every Nth finished request (0 = never).
+  std::uint64_t trace_sample_n = 0;
+  /// Always emit spans for requests slower than this (0 = never).
+  int slow_request_ms = 0;
+  /// NDJSON access log path; empty = no access log.
+  std::string access_log_path;
+  /// Rotate the access log when it exceeds this many bytes.
+  std::size_t access_log_max_bytes = 64 * 1024 * 1024;
+  /// Extra per-request observer (tests); runs after the access log write.
+  std::function<void(const RequestTrace&)> observer;
   HttpLimits limits;
 };
 
@@ -55,6 +66,7 @@ struct ServerStats {
   std::uint64_t batch_members = 0;
   std::size_t active_connections = 0;
   std::size_t peak_connections = 0;
+  std::size_t pending_requests = 0;  // handler executions in flight
 };
 
 /// HTTP/1.1 server: one epoll reactor thread (accept + parse + flush)
@@ -95,11 +107,20 @@ class HttpServer {
 
   ServerStats stats() const;
 
+  /// True when the daemon should be taken out of rotation: draining, or
+  /// the queue-depth SLO is saturated. `reason` (optional) says which.
+  bool not_ready(std::string* reason) const;
+
+  /// Access log lines written so far (0 when no log is configured).
+  std::uint64_t access_log_lines() const;
+
  private:
   ServerOptions options_;
   Handler handler_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
+  // The log must outlive the reactor, whose observer writes into it.
+  std::unique_ptr<AccessLog> access_log_;
   // Declaration order is a lifetime contract: the pool joins its workers
   // (which may still reference the reactor through in-flight tasks) before
   // the reactor is destroyed.

@@ -2,7 +2,9 @@
 
 #include <array>
 
+#include "serve/request_trace.hpp"
 #include "telemetry/manifest.hpp"
+#include "telemetry/prometheus.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/crc32.hpp"
 #include "util/failpoint.hpp"
@@ -215,6 +217,7 @@ std::shared_ptr<const WorkloadResult> PredictionService::workload_for(
         // The span exists only on actual generation — its absence on a
         // repeat query is the observable proof of a cache hit.
         const telemetry::ScopedSpan span("serve.workload_gen", "serve");
+        const RequestTrace::Stage stage("generate");
         if (telemetry::enabled())
           telemetry::registry().counter("serve.workload.generations").add();
         std::lock_guard<std::mutex> lock(trace_mutex_);
@@ -358,14 +361,22 @@ std::string PredictionService::handle_predict(const std::string& body,
   Crc32c key;
   for (const PredictionConfig& config : configs)
     key.update_pod(request_fingerprint(config));
+  // "cache" covers the lookup and any single-flight wait; the nested
+  // generate/simulate/render stages subtract themselves out, so a hit
+  // shows pure cache time and a miss shows only the cache machinery.
+  const RequestTrace::Stage cache_stage("cache");
   auto rendered = response_cache_.get_or_compute(
       key.value(),
       [this, &configs] {
         Json results = Json::array();
         for (const PredictionConfig& config : configs) {
           const auto workload = workload_for(config);
-          const SimReport sim =
-              pipeline_->simulate_workload(*workload, config);
+          SimReport sim;
+          {
+            const RequestTrace::Stage stage("simulate");
+            sim = pipeline_->simulate_workload(*workload, config);
+          }
+          const RequestTrace::Stage stage("render");
           Json row = Json::object();
           row.set("ranks", Json(static_cast<std::int64_t>(config.num_ranks)));
           row.set("mapper", Json(config.mapper_kind));
@@ -377,6 +388,7 @@ std::string PredictionService::handle_predict(const std::string& body,
                   Json(static_cast<std::uint64_t>(workload->num_intervals())));
           results.push_back(std::move(row));
         }
+        const RequestTrace::Stage stage("render");
         Json reply = Json::object();
         reply.set("results", std::move(results));
         return json_line(reply);
@@ -401,12 +413,14 @@ std::string PredictionService::handle_workload(const std::string& body,
   key.update_pod(std::uint64_t{0x574b4c44});  // namespace: "WKLD" responses
   for (const PredictionConfig& config : configs)
     key.update_pod(workload_fingerprint(config));
+  const RequestTrace::Stage cache_stage("cache");
   auto rendered = response_cache_.get_or_compute(
       key.value(),
       [this, &configs] {
         Json results = Json::array();
         for (const PredictionConfig& config : configs) {
           const auto workload = workload_for(config);
+          const RequestTrace::Stage stage("render");
           const UtilizationStats stats = utilization(workload->comp_real);
           Json row = Json::object();
           row.set("ranks", Json(static_cast<std::int64_t>(config.num_ranks)));
@@ -497,6 +511,7 @@ HttpResponse PredictionService::handle(const HttpRequest& request) {
     response.status = 504;
     response.set_header("X-Picp-Deadline-Stage", e.stage());
     response.body = error_body(504, e.what());
+    RequestTrace::note_deadline_stage(e.stage());
     if (telemetry::enabled()) {
       auto& reg = telemetry::registry();
       reg.counter("serve.deadline_exceeded").add();
@@ -508,7 +523,9 @@ HttpResponse PredictionService::handle(const HttpRequest& request) {
     response.status = 500;
     response.body = error_body(500, e.what());
   }
-  response.set_header("Content-Type", "application/json");
+  // Set-if-absent: the Prometheus exposition branch picks its own type.
+  if (response.header("content-type") == nullptr)
+    response.set_header("Content-Type", "application/json");
 
   if (telemetry::enabled()) {
     auto& reg = telemetry::registry();
@@ -517,8 +534,9 @@ HttpResponse PredictionService::handle(const HttpRequest& request) {
                         : response.status >= 400 ? "serve.responses.4xx"
                                                  : "serve.responses.2xx";
     reg.counter(klass).add();
-    // One histogram per endpoint family (bounded name set: the route map).
-    std::string endpoint = request.target;
+    // One histogram per endpoint family (bounded name set: the route map);
+    // keyed on the path alone so a query string cannot mint a new series.
+    std::string endpoint = target_path(request.target);
     for (char& c : endpoint)
       if (c == '/') c = '_';
     reg.histogram("serve.latency_us" + endpoint, kLatencyBoundsUs)
@@ -530,7 +548,9 @@ HttpResponse PredictionService::handle(const HttpRequest& request) {
 HttpResponse PredictionService::handle_routed(const HttpRequest& request,
                                               const Deadline& deadline) {
   HttpResponse response;
-  const std::string& path = request.target;
+  // Route on the path alone; the query string selects representations
+  // (?format=prometheus) and probes (?ready=1), never endpoints.
+  const std::string path = target_path(request.target);
   const bool is_get = request.method == "GET";
   const bool is_post = request.method == "POST";
 
@@ -544,9 +564,31 @@ HttpResponse PredictionService::handle_routed(const HttpRequest& request,
       return response;
     }
     const telemetry::ScopedSpan span("serve.introspect", "serve");
-    if (path == "/healthz") response.body = json_line(handle_healthz());
-    else if (path == "/metricsz") response.body = json_line(handle_metricsz());
-    else response.body = json_line(handle_models());
+    if (path == "/healthz") {
+      if (query_param(request.target, "ready") == "1") {
+        std::string reason;
+        if (readiness_probe_ && !readiness_probe_(&reason)) {
+          // Load balancers read this: alive, but take me out of rotation.
+          response.status = 503;
+          response.set_header("Retry-After", "1");
+          response.body = error_body(503, "not ready: " + reason);
+          return response;
+        }
+      }
+      response.body = json_line(handle_healthz());
+    } else if (path == "/metricsz") {
+      if (query_param(request.target, "format") == "prometheus") {
+        publish_cache_counters();
+        response.body = telemetry::to_prometheus_text(
+            telemetry::registry().snapshot());
+        response.set_header("Content-Type",
+                            telemetry::prometheus_content_type());
+      } else {
+        response.body = json_line(handle_metricsz());
+      }
+    } else {
+      response.body = json_line(handle_models());
+    }
     return response;
   }
 
@@ -569,6 +611,8 @@ HttpResponse PredictionService::handle_routed(const HttpRequest& request,
           handle_workload(request.body, &from_cache, deadline, &degraded);
     }
     response.set_header("X-Picp-Cache", from_cache ? "hit" : "miss");
+    RequestTrace::note_cache(degraded ? "stale"
+                                      : (from_cache ? "hit" : "miss"));
     if (degraded) {
       response.set_header("X-Picp-Degraded", "stale");
       if (telemetry::enabled())

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -83,6 +84,15 @@ class PredictionService {
   const ServiceConfig& config() const { return config_; }
   bool models_loaded() const { return models_loaded_; }
 
+  /// Answers "can this daemon take traffic right now?" for
+  /// `GET /healthz?ready=1`; on false, fills `reason` and the endpoint
+  /// returns 503. The server wires this to its drain flag and queue-depth
+  /// SLO. Unset = always ready (plain liveness still works).
+  using ReadinessProbe = std::function<bool(std::string* reason)>;
+  void set_readiness_probe(ReadinessProbe probe) {
+    readiness_probe_ = std::move(probe);
+  }
+
  private:
   HttpResponse handle_routed(const HttpRequest& request,
                              const Deadline& deadline);
@@ -113,6 +123,7 @@ class PredictionService {
   std::mutex trace_mutex_;
   std::uint64_t trace_identity_ = 0;  // folded into every fingerprint
 
+  ReadinessProbe readiness_probe_;
   ArtifactCache<WorkloadResult> workload_cache_;
   ArtifactCache<std::string> response_cache_;
   std::chrono::steady_clock::time_point started_ =

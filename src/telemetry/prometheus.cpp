@@ -1,0 +1,98 @@
+#include "telemetry/prometheus.hpp"
+
+#include <cstdio>
+#include <set>
+
+namespace picp::telemetry {
+
+namespace {
+
+/// Shortest round-trip decimal for a double ("100", "0.5", "3e+06").
+std::string number(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  // Prefer the short form when it round-trips: Prometheus clients parse
+  // both, but "100" beats "100.00000000000000" in every scrape diff.
+  char short_buf[64];
+  std::snprintf(short_buf, sizeof short_buf, "%g", value);
+  double parsed = 0.0;
+  if (std::sscanf(short_buf, "%lf", &parsed) == 1 && parsed == value)
+    return short_buf;
+  return buf;
+}
+
+std::string integer(std::uint64_t value) {
+  return std::to_string(value);
+}
+
+bool name_start_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+
+bool name_char(char c) {
+  return name_start_char(c) || (c >= '0' && c <= '9');
+}
+
+/// One family header. `help` doubles as provenance: the registry name the
+/// family was sanitized from, so operators can map a scrape back to
+/// /metricsz JSON.
+void family_header(std::string& out, const std::string& family,
+                   const std::string& source, const char* type) {
+  out += "# HELP " + family + " picpredict metric " + source + "\n";
+  out += "# TYPE " + family + " ";
+  out += type;
+  out += "\n";
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "picp_";
+  for (const char c : name) out += name_char(c) ? c : '_';
+  return out;
+}
+
+const char* prometheus_content_type() {
+  return "text/plain; version=0.0.4";
+}
+
+std::string to_prometheus_text(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(4096);
+  std::set<std::string> emitted;  // defensive duplicate-family guard
+
+  for (const auto& counter : snapshot.counters) {
+    const std::string family = prometheus_name(counter.name);
+    if (!emitted.insert(family).second) continue;
+    family_header(out, family, counter.name, "counter");
+    out += family + " " + integer(counter.value) + "\n";
+  }
+
+  for (const auto& gauge : snapshot.gauges) {
+    const std::string family = prometheus_name(gauge.name);
+    if (!emitted.insert(family).second) continue;
+    family_header(out, family, gauge.name, "gauge");
+    out += family + " " + number(gauge.value) + "\n";
+  }
+
+  for (const auto& histogram : snapshot.histograms) {
+    const std::string family = prometheus_name(histogram.name);
+    if (!emitted.insert(family).second) continue;
+    family_header(out, family, histogram.name, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < histogram.bounds.size(); ++i) {
+      if (i < histogram.counts.size()) cumulative += histogram.counts[i];
+      out += family + "_bucket{le=\"" + number(histogram.bounds[i]) +
+             "\"} " + integer(cumulative) + "\n";
+    }
+    out += family + "_bucket{le=\"+Inf\"} " + integer(histogram.count) +
+           "\n";
+    out += family + "_sum " + number(histogram.sum) + "\n";
+    out += family + "_count " + integer(histogram.count) + "\n";
+  }
+
+  return out;
+}
+
+}  // namespace picp::telemetry

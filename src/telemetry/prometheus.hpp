@@ -1,0 +1,31 @@
+#pragma once
+
+// Prometheus text exposition (format version 0.0.4) of a MetricsSnapshot.
+// The same registry snapshot that backs the JSON /metricsz body renders
+// here as scrape-ready plaintext: one `# HELP` + `# TYPE` pair per metric
+// family, `_bucket{le="..."}` cumulative series plus `_sum`/`_count` for
+// histograms, and every name mapped into the Prometheus grammar
+// ([a-zA-Z_:][a-zA-Z0-9_:]*) under a `picp_` prefix — dots and any other
+// illegal characters become underscores, so `serve.queue_depth` scrapes as
+// `picp_serve_queue_depth`. Distinct registry names can collide after
+// sanitization only if they differ solely in punctuation, which the
+// registry's naming convention (dots + underscores used consistently)
+// never produces; the emitter nevertheless de-duplicates defensively so
+// the output always passes a duplicate-series check.
+
+#include <string>
+
+#include "telemetry/registry.hpp"
+
+namespace picp::telemetry {
+
+/// Map one registry metric name to its Prometheus family name.
+std::string prometheus_name(const std::string& name);
+
+/// Render the whole snapshot as Prometheus text format 0.0.4.
+std::string to_prometheus_text(const MetricsSnapshot& snapshot);
+
+/// Content-Type for the exposition ("text/plain; version=0.0.4").
+const char* prometheus_content_type();
+
+}  // namespace picp::telemetry

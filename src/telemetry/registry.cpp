@@ -40,6 +40,25 @@ void Histogram::reset() {
   sum_.store(0.0, std::memory_order_relaxed);
 }
 
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0 || counts.empty() || bounds.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t below = cumulative;
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i >= bounds.size()) return bounds.back();  // overflow: clamp
+    if (counts[i] == 0) return bounds[i];
+    const double lower = i == 0 ? 0.0 : bounds[i - 1];
+    const double fraction = (rank - static_cast<double>(below)) /
+                            static_cast<double>(counts[i]);
+    return lower + (bounds[i] - lower) * fraction;
+  }
+  return bounds.back();
+}
+
 std::uint64_t MetricsSnapshot::counter_value(const std::string& name) const {
   for (const auto& c : counters)
     if (c.name == name) return c.value;

@@ -79,6 +79,14 @@ struct HistogramSnapshot {
   std::vector<std::uint64_t> counts;  // bounds.size() + 1 (overflow last)
   std::uint64_t count = 0;
   double sum = 0.0;
+
+  /// Estimate the q-quantile (q in [0, 1]) from the bucket counts by
+  /// linear interpolation within the bucket that holds the target rank —
+  /// the same estimator Prometheus' histogram_quantile() uses. The first
+  /// bucket interpolates from 0; a rank landing in the overflow bucket
+  /// clamps to the largest finite bound (there is no upper edge to
+  /// interpolate toward). Returns 0.0 for an empty histogram.
+  double quantile(double q) const;
 };
 
 /// Point-in-time copy of every registered metric, sorted by name.

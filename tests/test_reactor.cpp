@@ -19,15 +19,20 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <condition_variable>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "picsim/sim_driver.hpp"
+#include "serve/access_log.hpp"
 #include "serve/http_parser.hpp"
 #include "serve/reactor.hpp"
 #include "serve/service.hpp"
+#include "telemetry/json.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/failpoint.hpp"
 #include "util/string_util.hpp"
@@ -714,6 +719,267 @@ TEST_F(ReactorServiceTest, MixedStormNeverCrossContaminates) {
   // And each matches its config's solo ground truth.
   EXPECT_EQ(roundtrip(workload_wire("4")).body, bodies[0]);
   EXPECT_EQ(roundtrip(workload_wire("8")).body, bodies[1]);
+}
+
+TEST_F(ReactorServiceTest, ReadinessProbeGatesHealthzReadyOnly) {
+  // Liveness stays 200 regardless; ?ready=1 consults the probe.
+  EXPECT_EQ(roundtrip("GET /healthz HTTP/1.1\r\n\r\n").status, 200);
+  EXPECT_EQ(roundtrip("GET /healthz?ready=1 HTTP/1.1\r\n\r\n").status, 200);
+
+  service_->set_readiness_probe([](std::string* reason) {
+    if (reason != nullptr) *reason = "draining";
+    return false;
+  });
+  EXPECT_EQ(roundtrip("GET /healthz HTTP/1.1\r\n\r\n").status, 200);
+  const HttpResponse not_ready =
+      roundtrip("GET /healthz?ready=1 HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(not_ready.status, 503);
+  ASSERT_NE(not_ready.header("retry-after"), nullptr);
+  EXPECT_NE(not_ready.body.find("draining"), std::string::npos);
+}
+
+TEST_F(ReactorServiceTest, MetricszSpeaksPrometheusOnRequest) {
+  // Default stays JSON for the existing tooling.
+  const HttpResponse json = roundtrip("GET /metricsz HTTP/1.1\r\n\r\n");
+  ASSERT_EQ(json.status, 200);
+  ASSERT_NE(json.header("content-type"), nullptr);
+  EXPECT_NE(json.header("content-type")->find("application/json"),
+            std::string::npos);
+
+  const HttpResponse prom =
+      roundtrip("GET /metricsz?format=prometheus HTTP/1.1\r\n\r\n");
+  ASSERT_EQ(prom.status, 200);
+  ASSERT_NE(prom.header("content-type"), nullptr);
+  EXPECT_EQ(*prom.header("content-type"), "text/plain; version=0.0.4");
+  EXPECT_NE(prom.body.find("# HELP picp_"), std::string::npos);
+  EXPECT_NE(prom.body.find("# TYPE picp_serve_requests counter"),
+            std::string::npos);
+  EXPECT_EQ(prom.body.find("{\"metrics\""), std::string::npos)
+      << "prometheus body leaked JSON";
+}
+
+// --- request observability ---------------------------------------------------
+
+TEST_F(ReactorTest, EveryResponseCarriesATraceId) {
+  make(quick_options(), echo_handler);
+
+  // Generated id on a plain request.
+  Peer peer = adopt_peer();
+  peer.send("GET /healthz HTTP/1.1\r\n\r\n");
+  cycle({&peer});
+  auto responses = peer.take_responses();
+  ASSERT_EQ(responses.size(), 1u);
+  const std::string* generated = responses[0].header("x-picp-trace-id");
+  ASSERT_NE(generated, nullptr);
+  EXPECT_EQ(generated->substr(0, 2), "p-");
+
+  // A well-formed inbound id is propagated verbatim.
+  peer.send("GET /healthz HTTP/1.1\r\nX-Picp-Trace-Id: client-42.a\r\n\r\n");
+  cycle({&peer});
+  responses = peer.take_responses();
+  ASSERT_EQ(responses.size(), 1u);
+  const std::string* echoed = responses[0].header("x-picp-trace-id");
+  ASSERT_NE(echoed, nullptr);
+  EXPECT_EQ(*echoed, "client-42.a");
+
+  // A hostile inbound id is replaced, never echoed.
+  peer.send("GET /healthz HTTP/1.1\r\nX-Picp-Trace-Id: has spaces!\r\n\r\n");
+  cycle({&peer});
+  responses = peer.take_responses();
+  ASSERT_EQ(responses.size(), 1u);
+  const std::string* replaced = responses[0].header("x-picp-trace-id");
+  ASSERT_NE(replaced, nullptr);
+  EXPECT_EQ(replaced->substr(0, 2), "p-");
+
+  // Even a 400 for unparseable framing is traceable.
+  Peer bad = adopt_peer();
+  bad.send("NOT A REQUEST\r\n\r\n");
+  cycle({&bad});
+  responses = bad.take_responses();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, 400);
+  ASSERT_NE(responses[0].header("x-picp-trace-id"), nullptr);
+}
+
+TEST_F(ReactorTest, ObserverSeesWaitsStagesAndStatusPerRequest) {
+  std::vector<RequestTrace> observed;
+  ReactorOptions options = quick_options();
+  options.observer = [&observed](const RequestTrace& trace) {
+    observed.push_back(trace);
+  };
+  // Handler walks the annotated pipeline on the manual clock: 5 ms of
+  // "cache" around a nested 20 ms "generate", then 10 ms "simulate" and
+  // 3 ms "render" — exclusive stage times must sum to the handler time.
+  make(options, [this](const HttpRequest& request) {
+    {
+      const RequestTrace::Stage cache("cache");
+      advance_ms(5);
+      const RequestTrace::Stage generate("generate");
+      advance_ms(20);
+    }
+    {
+      const RequestTrace::Stage simulate("simulate");
+      advance_ms(10);
+    }
+    const RequestTrace::Stage render("render");
+    advance_ms(3);
+    return echo_handler(request);
+  });
+
+  Peer peer = adopt_peer();
+  peer.send("POST /v1/predict HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi");
+  cycle({&peer});
+  const auto responses = peer.take_responses();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, 200);
+
+  ASSERT_EQ(observed.size(), 1u);
+  const RequestTrace& trace = observed[0];
+  EXPECT_EQ(trace.method, "POST");
+  EXPECT_EQ(trace.path, "/v1/predict");
+  EXPECT_EQ(trace.status, 200);
+  EXPECT_STREQ(trace.role, "solo");
+  ASSERT_NE(responses[0].header("x-picp-trace-id"), nullptr);
+  EXPECT_EQ(*responses[0].header("x-picp-trace-id"), trace.id);
+
+  // Same-cycle inline dispatch: no batch or queue wait on the manual
+  // clock; the handler accounts for the whole request.
+  EXPECT_DOUBLE_EQ(trace.batch_wait_us, 0.0);
+  EXPECT_DOUBLE_EQ(trace.queue_wait_us, 0.0);
+  EXPECT_DOUBLE_EQ(trace.handler_us, 38000.0);
+  EXPECT_DOUBLE_EQ(trace.total_us, 38000.0);
+
+  double stage_sum_us = 0.0;
+  for (const StageTiming& stage : trace.stages()) stage_sum_us += stage.dur_us;
+  const double accounted =
+      trace.batch_wait_us + trace.queue_wait_us + stage_sum_us;
+  EXPECT_NEAR(accounted, trace.total_us, 0.1 * trace.total_us)
+      << "stage timings do not account for the request total";
+
+  // The access-log line renders the same numbers.
+  const Json line = Json::parse(access_log_line(trace));
+  EXPECT_EQ(line.find("trace_id")->as_string(), trace.id);
+  EXPECT_DOUBLE_EQ(line.find("total_us")->as_double(), 38000.0);
+  EXPECT_DOUBLE_EQ(line.find("stages")->find("cache")->as_double(), 5000.0);
+  EXPECT_DOUBLE_EQ(line.find("stages")->find("generate")->as_double(),
+                   20000.0);
+}
+
+TEST_F(ReactorTest, SampledSlowRequestEmitsSpansThatSumToTheTotal) {
+  telemetry::configure(telemetry::SessionOptions{});  // in-memory session
+  ReactorOptions options = quick_options();
+  options.trace_sample_n = 1;  // sample every finished request
+  make(options, [this](const HttpRequest& request) {
+    {
+      const RequestTrace::Stage generate("generate");
+      advance_ms(30);
+    }
+    const RequestTrace::Stage simulate("simulate");
+    advance_ms(12);
+    return echo_handler(request);
+  });
+
+  Peer peer = adopt_peer();
+  peer.send("POST /v1/predict HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+  cycle({&peer});
+  ASSERT_EQ(peer.take_responses().size(), 1u);
+
+  double request_us = 0.0, stage_sum_us = 0.0;
+  for (const auto& tagged : telemetry::tracer().collect()) {
+    if (std::string(tagged.span.category) != "request") continue;
+    const std::string name = tagged.span.name;
+    if (name == "request")
+      request_us = tagged.span.dur_us;
+    else if (name != "queue" && name != "batch-wait")
+      stage_sum_us += tagged.span.dur_us;
+  }
+  EXPECT_DOUBLE_EQ(request_us, 42000.0);
+  EXPECT_NEAR(stage_sum_us, request_us, 0.1 * request_us)
+      << "emitted stage spans do not sum to the request span";
+
+  // RED histograms observed the same request.
+  const auto snapshot = telemetry::registry().snapshot();
+  bool red_seen = false;
+  for (const auto& h : snapshot.histograms) {
+    if (h.name == "serve.red.total_us.predict.2xx") {
+      red_seen = true;
+      EXPECT_EQ(h.count, 1u);
+      EXPECT_DOUBLE_EQ(h.sum, 42000.0);
+    }
+  }
+  EXPECT_TRUE(red_seen) << "RED latency histogram was never registered";
+}
+
+TEST_F(ReactorTest, MetricsScrapeNeverBlocksBehindABatchedStorm) {
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool released = false;
+  std::atomic<int> blocked{0};
+
+  ThreadPool pool(2);
+  make(quick_options(), [&](const HttpRequest& request) {
+    if (request.method == "POST") {
+      blocked.fetch_add(1);
+      std::unique_lock<std::mutex> lock(gate_mutex);
+      gate_cv.wait(lock, [&] { return released; });
+    }
+    return echo_handler(request);
+  }, &pool);
+
+  // A storm of identical batchable requests coalesces into ONE pool task,
+  // which parks on the gate — one worker consumed, one still free.
+  constexpr int kStorm = 4;
+  std::vector<Peer> storm;
+  storm.reserve(kStorm);
+  for (int i = 0; i < kStorm; ++i) storm.push_back(adopt_peer());
+  const std::string wire =
+      "POST /v1/predict HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi";
+  for (Peer& peer : storm) peer.send(wire);
+  reactor_->run_once(0);  // parse + coalesce + dispatch the batch
+  for (int i = 0; i < 400 && blocked.load() == 0; ++i)
+    reactor_->run_once(25);
+  ASSERT_EQ(blocked.load(), 1) << "storm did not coalesce into one task";
+
+  // The scrape-style request must complete while the storm is parked.
+  Peer scrape = adopt_peer();
+  scrape.send("GET /metricsz HTTP/1.1\r\n\r\n");
+  std::vector<HttpResponse> scraped;
+  for (int i = 0; i < 400 && scraped.empty(); ++i) {
+    reactor_->run_once(25);
+    scrape.pump();
+    scraped = scrape.take_responses();
+  }
+  ASSERT_EQ(scraped.size(), 1u) << "scrape starved behind the batch";
+  EXPECT_EQ(scraped[0].status, 200);
+  for (Peer& peer : storm) {
+    peer.pump();
+    EXPECT_TRUE(peer.take_responses().empty())
+        << "storm answered before the gate opened";
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    released = true;
+  }
+  gate_cv.notify_all();
+  std::size_t answered = 0;
+  for (int i = 0; i < 400 && answered < kStorm; ++i) {
+    reactor_->run_once(25);
+    for (Peer& peer : storm) {
+      peer.pump();
+      answered += peer.take_responses().size();
+    }
+  }
+  EXPECT_EQ(answered, static_cast<std::size_t>(kStorm));
+  pool.wait_idle();
+
+  // Snapshot consistency: every batchable request is accounted for as
+  // exactly one leader or member.
+  const ReactorStats stats = reactor_->stats();
+  EXPECT_EQ(stats.batch_leaders, 1u);
+  EXPECT_EQ(stats.batch_members, static_cast<std::uint64_t>(kStorm - 1));
+  EXPECT_EQ(stats.batch_leaders + stats.batch_members,
+            static_cast<std::uint64_t>(kStorm));
 }
 
 }  // namespace

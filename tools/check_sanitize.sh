@@ -43,13 +43,15 @@ echo "sanitizer suite (${SANITIZE}) passed"
 # ThreadSanitizer pass over the concurrent serving stack. Scoped to the
 # suites that actually cross threads — the reactor's pool dispatch and
 # completion queue, the HTTP server end-to-end, the thread pool itself,
-# and the artifact cache's single-flight — because a full-suite TSan run
-# costs 10x+ and everything else is single-threaded by construction.
+# the artifact cache's single-flight, and the observability layer (trace
+# stages ride worker threads; the access log is reactor-written but
+# mutex-guarded for embedders) — because a full-suite TSan run costs 10x+
+# and everything else is single-threaded by construction.
 if [ "$TSAN_BUILD_DIR" != "none" ]; then
   cmake -B "$TSAN_BUILD_DIR" -S "$SRC_DIR" -DPICP_SANITIZE=thread
   cmake --build "$TSAN_BUILD_DIR" -j --target picp_tests
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     "$TSAN_BUILD_DIR/tests/picp_tests" \
-    --gtest_filter='Reactor*:Http*:ThreadPool*:ArtifactCache*'
+    --gtest_filter='Reactor*:Http*:ThreadPool*:ArtifactCache*:AccessLog*:RequestTrace*:TraceId*:HistogramQuantile*:Prometheus*'
   echo "thread-sanitizer reactor suite passed"
 fi

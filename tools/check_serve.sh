@@ -86,6 +86,9 @@ echo "== CLI determinism: two predict runs agree on every modeled column =="
 diff predict_a.txt predict_b.txt || fail "CLI predict runs diverged"
 
 # --- boot the daemon ---------------------------------------------------------
+# Observability is fully armed: every request is span-sampled and access
+# logged, so the drain-time manifest/trace checks below also prove the
+# instrumented hot path survives a whole smoke run.
 cat > serve.ini <<'EOF'
 [serve]
 trace = mini.trace
@@ -94,6 +97,8 @@ threads = 4
 max_connections = 32
 request_timeout_ms = 30000
 drain_timeout_ms = 10000
+trace_sample_n = 1
+access_log = access.ndjson
 
 [mesh]
 nelx = 8
@@ -160,6 +165,155 @@ BATCHED=$(metric metrics_after.txt "serve.batch.members")
 # reach the cache counters).
 [[ $((HITS + BATCHED)) -ge 99 ]] \
     || fail "expected >= 99 deduplicated responses (cache hits + batch members) after the concurrent burst, got hits=$HITS batched=$BATCHED"
+
+echo "== observability: trace ids on every response =="
+"$PYTHON" - "$PORT" <<'EOF'
+import socket, sys
+port = int(sys.argv[1])
+
+def exchange(request_bytes):
+    s = socket.create_connection(("127.0.0.1", port), timeout=10)
+    s.sendall(request_bytes.encode())
+    data = b""
+    while b"\r\n\r\n" not in data:
+        chunk = s.recv(65536)
+        if not chunk:
+            break
+        data += chunk
+    s.close()
+    head = data.split(b"\r\n\r\n", 1)[0].decode()
+    lines = head.split("\r\n")
+    headers = {}
+    for line in lines[1:]:
+        key, _, value = line.partition(":")
+        headers[key.strip().lower()] = value.strip()
+    return lines[0], headers
+
+# Generated id on a plain request.
+status, headers = exchange(
+    "GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+assert "200" in status, status
+assert headers.get("x-picp-trace-id", "").startswith("p-"), \
+    "no generated trace id: %r" % headers.get("x-picp-trace-id")
+
+# A well-formed inbound id comes back verbatim.
+status, headers = exchange(
+    "GET /healthz HTTP/1.1\r\nHost: x\r\n"
+    "X-Picp-Trace-Id: smoke-test-42\r\nConnection: close\r\n\r\n")
+assert headers.get("x-picp-trace-id") == "smoke-test-42", headers
+
+# Even a 404 is traceable.
+status, headers = exchange(
+    "GET /nope HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+assert "404" in status, status
+assert "x-picp-trace-id" in headers, headers
+print("trace ids OK")
+EOF
+
+echo "== observability: readiness probe on a healthy daemon =="
+"$PICPREDICT" query '/healthz?ready=1' --port "$PORT" > ready_ok.txt
+grep -q '^200 OK' ready_ok.txt \
+    || fail "/healthz?ready=1 not 200 on a healthy daemon: $(head -1 ready_ok.txt)"
+
+echo "== observability: prometheus exposition passes the format checker =="
+"$PICPREDICT" query '/metricsz?format=prometheus' --port "$PORT" > prom_a.txt
+grep -q '^200 OK' prom_a.txt || fail "prometheus scrape not 200"
+tail -n +2 prom_a.txt > prom_a.prom
+# Traffic between the two scrapes: counters must move monotonically.
+"$PICPREDICT" query /v1/predict --port "$PORT" \
+    --body '{"ranks": [8], "mapper": "bin"}' --quiet \
+    || fail "inter-scrape traffic failed"
+"$PICPREDICT" query '/metricsz?format=prometheus' --port "$PORT" > prom_b.txt
+tail -n +2 prom_b.txt > prom_b.prom
+"$PYTHON" - prom_a.prom prom_b.prom <<'EOF'
+import sys
+
+def parse(path):
+    helps, types, series, samples = set(), {}, set(), {}
+    for raw in open(path):
+        line = raw.rstrip("\n")
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            family = line.split()[2]
+            assert family not in helps, "duplicate HELP for " + family
+            helps.add(family)
+            continue
+        if line.startswith("# TYPE "):
+            family = line.split()[2]
+            assert family not in types, "duplicate TYPE for " + family
+            types[family] = line.split()[3]
+            continue
+        assert not line.startswith("#"), "unknown comment: " + line
+        name_and_labels, _, value = line.rpartition(" ")
+        assert name_and_labels not in series, "duplicate series: " + line
+        series.add(name_and_labels)
+        samples[name_and_labels] = float(value)
+        family = name_and_labels.split("{")[0]
+        for suffix in ("_bucket", "_sum", "_count"):
+            if family.endswith(suffix) and family[: -len(suffix)] in types:
+                family = family[: -len(suffix)]
+                break
+        assert family in helps, "sample without HELP: " + line
+        assert family in types, "sample without TYPE: " + line
+        assert family.startswith("picp_"), "unprefixed family: " + line
+    # Histogram integrity: buckets cumulative, +Inf equals _count.
+    for family, kind in types.items():
+        if kind != "histogram":
+            continue
+        buckets = [(k, v) for k, v in samples.items()
+                   if k.startswith(family + "_bucket{")]
+        assert buckets, "histogram %s has no buckets" % family
+        values = [v for _, v in sorted(
+            buckets, key=lambda kv: float("inf")
+            if "+Inf" in kv[0] else float(kv[0].split('"')[1]))]
+        assert values == sorted(values), "non-cumulative buckets: " + family
+        inf = [v for k, v in buckets if "+Inf" in k]
+        assert len(inf) == 1, family + " needs exactly one +Inf bucket"
+        assert inf[0] == samples[family + "_count"], \
+            family + " +Inf bucket != _count"
+    return types, samples
+
+types_a, samples_a = parse(sys.argv[1])
+types_b, samples_b = parse(sys.argv[2])
+moved = 0
+for name, value in samples_a.items():
+    kind = types_a.get(name.split("{")[0])
+    if kind == "counter" and name in samples_b:
+        assert samples_b[name] >= value, "counter went backward: " + name
+        moved += samples_b[name] > value
+assert moved > 0, "no counter moved across two scrapes with traffic between"
+print("prometheus format OK (%d series, %d counters moved)"
+      % (len(samples_b), moved))
+EOF
+
+echo "== observability: NDJSON access log =="
+[[ -s access.ndjson ]] || fail "access log missing or empty"
+"$PYTHON" - access.ndjson <<'EOF'
+import json, sys
+required = {"ts", "trace_id", "peer", "method", "path", "status",
+            "batch_role", "batch_size", "cache", "deadline_stage",
+            "batch_wait_us", "queue_us", "handler_us", "total_us", "stages"}
+count = 0
+roles = set()
+for line in open(sys.argv[1]):
+    doc = json.loads(line)
+    missing = required - set(doc)
+    assert not missing, "access log line missing %s: %s" % (missing, line)
+    assert doc["trace_id"], "empty trace id: " + line
+    roles.add(doc["batch_role"])
+    count += 1
+assert count > 0, "no access log lines"
+assert roles <= {"solo", "leader", "member", "none"}, roles
+print("access log OK (%d lines, roles %s)" % (count, sorted(roles)))
+EOF
+
+echo "== observability: picpredict top renders live stats =="
+"$PICPREDICT" top --port "$PORT" --iterations 2 --interval-ms 100 > top.txt
+grep -q 'p99_us' top.txt || fail "top header missing: $(cat top.txt)"
+# 1 banner + 1 header + 2 data rows.
+[[ $(wc -l < top.txt) -eq 4 ]] \
+    || fail "top --iterations 2 produced $(wc -l < top.txt) lines, wanted 4"
 
 echo "== malformed and misrouted requests get structured errors =="
 set +e

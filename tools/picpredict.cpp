@@ -60,6 +60,12 @@
 //       --deadline-ms stamps X-Picp-Deadline-Ms so the server can 504
 //       instead of finishing work nobody is waiting for.
 //
+//   picpredict top --port P [--host H] [--interval-ms MS] [--iterations N]
+//       Live serving stats: poll /metricsz and render a refreshing table
+//       of RPS, in-flight requests, queue depth, latency p50/p95/p99 (from
+//       the RED histograms), cache hit ratio, and shed/batch counters.
+//       --iterations 0 (the default) polls until interrupted.
+//
 // Exit codes (contract, covered by tests/test_cli_errors.cpp): 0 success,
 // 1 runtime failure (missing/corrupt input, prediction error, non-2xx
 // query), 2 usage error (unknown command, bad flag, malformed value),
@@ -70,6 +76,7 @@
 // src/util/failpoint.hpp for the grammar.
 
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
@@ -142,6 +149,8 @@ using namespace picp;
                "                  [--repeat N] [--parallel K] [--retries R] "
                "[--max-backoff-ms MS]\n"
                "                  [--deadline-ms MS] [--quiet]\n"
+               "  picpredict top --port P [--host H] [--interval-ms MS] "
+               "[--iterations N]\n"
                "\n"
                "exit codes: 0 success; 1 runtime failure (missing/corrupt "
                "input, non-2xx\n"
@@ -477,6 +486,20 @@ int cmd_report(int argc, char** argv) {
                 static_cast<unsigned long long>(
                     manifest.metrics.counter_value("threadpool.tasks")));
 
+  // --- Histogram quantiles: bucket-interpolated p50/p95/p99 ----------------
+  bool histogram_header = false;
+  for (const auto& h : manifest.metrics.histograms) {
+    if (h.count == 0) continue;  // registered but never observed
+    if (!histogram_header) {
+      std::printf("\n%-36s %10s %12s %12s %12s\n", "histogram", "count",
+                  "p50", "p95", "p99");
+      histogram_header = true;
+    }
+    std::printf("%-36s %10llu %12.1f %12.1f %12.1f\n", h.name.c_str(),
+                static_cast<unsigned long long>(h.count), h.quantile(0.50),
+                h.quantile(0.95), h.quantile(0.99));
+  }
+
   // --- Chrome trace: validate required keys, roll up span families ---------
   const Json trace = Json::parse(read_text_file(dir + "/trace.json"));
   if (!trace.is_object() || !trace.has("traceEvents")) {
@@ -603,6 +626,14 @@ int cmd_serve(int argc, char** argv) {
       config.get_int("serve.batch_window_ms", options.batch_window_ms));
   options.max_batch = static_cast<std::size_t>(config.get_int(
       "serve.max_batch", static_cast<long long>(options.max_batch)));
+  options.trace_sample_n = static_cast<std::uint64_t>(
+      config.get_int("serve.trace_sample_n", 0));
+  options.slow_request_ms = static_cast<int>(
+      config.get_int("serve.slow_request_ms", 0));
+  options.access_log_path = config.get_string("serve.access_log", "");
+  options.access_log_max_bytes = static_cast<std::size_t>(config.get_int(
+      "serve.access_log_max_bytes",
+      static_cast<long long>(options.access_log_max_bytes)));
   options.limits.io_timeout_ms = options.request_timeout_ms;
 
   // The daemon always collects telemetry — /metricsz and the cache
@@ -621,6 +652,12 @@ int cmd_serve(int argc, char** argv) {
       options, [&service](const serve::HttpRequest& request) {
         return service.handle(request);
       });
+  // /healthz?ready=1 reads the server's drain flag and queue-depth SLO;
+  // both outlive every request, so capturing the server by reference is
+  // safe for the daemon's lifetime.
+  service.set_readiness_probe([&server](std::string* reason) {
+    return !server.not_ready(reason);
+  });
   telemetry::set_run_info("serve", 0, server.workers());
 
   g_server = &server;
@@ -798,6 +835,118 @@ int cmd_query(int argc, char** argv) {
   return failed == busy_failures.load() ? 3 : 1;
 }
 
+// --- top --------------------------------------------------------------------
+
+/// One /metricsz scrape, parsed back into a MetricsSnapshot.
+telemetry::MetricsSnapshot scrape_metrics(const std::string& host,
+                                          std::uint16_t port) {
+  serve::HttpConnection connection(serve::connect_tcp(host, port));
+  serve::HttpRequest request;
+  request.method = "GET";
+  request.target = "/metricsz";
+  connection.write_request(request,
+                           host + ":" + std::to_string(port));
+  serve::HttpResponse response;
+  const serve::HttpLimits limits;
+  if (!connection.read_response(response, limits))
+    throw Error("server closed the connection");
+  if (response.status != 200)
+    throw Error("/metricsz returned " + std::to_string(response.status));
+  const Json body = Json::parse(response.body);
+  if (!body.is_object() || !body.has("metrics"))
+    throw Error("/metricsz reply lacks a \"metrics\" object");
+  return telemetry::metrics_from_json(body.at("metrics"));
+}
+
+/// Merge every per-route/per-class serve.red.total_us.* histogram into one
+/// (they share the bucket ladder), so `top` quotes daemon-wide quantiles.
+telemetry::HistogramSnapshot aggregate_red_total(
+    const telemetry::MetricsSnapshot& snapshot) {
+  telemetry::HistogramSnapshot total;
+  for (const auto& h : snapshot.histograms) {
+    if (h.name.rfind("serve.red.total_us.", 0) != 0) continue;
+    if (total.bounds.empty()) {
+      total.bounds = h.bounds;
+      total.counts.assign(h.counts.size(), 0);
+    }
+    if (h.bounds != total.bounds || h.counts.size() != total.counts.size())
+      continue;
+    for (std::size_t i = 0; i < h.counts.size(); ++i)
+      total.counts[i] += h.counts[i];
+    total.count += h.count;
+    total.sum += h.sum;
+  }
+  return total;
+}
+
+int cmd_top(int argc, char** argv) {
+  const auto flags = parse_flags(argc, argv, 2);
+  const std::string host = flag_or(flags, "host", "127.0.0.1");
+  const auto port = static_cast<std::uint16_t>(
+      flag_int_value("port", require_flag(flags, "port")));
+  const long long interval_ms = flag_int_value(
+      "interval-ms", flag_or(flags, "interval-ms", "1000"));
+  const long long iterations =
+      flag_int_value("iterations", flag_or(flags, "iterations", "0"));
+  if (interval_ms < 1) fail_usage("--interval-ms must be >= 1");
+  if (iterations < 0) fail_usage("--iterations must be >= 0");
+
+  // A terminal gets a refreshing screen; a pipe (scripts, the smoke test)
+  // gets one header followed by one appended row per poll.
+  const bool tty = ::isatty(::fileno(stdout)) != 0;
+  const auto print_header = [&] {
+    std::printf("picpredict top — %s:%u every %lld ms%s\n",
+                host.c_str(), static_cast<unsigned>(port), interval_ms,
+                iterations == 0 ? " (interrupt to quit)" : "");
+    std::printf("%10s %9s %7s %10s %10s %10s %7s %7s %9s %10s\n", "rps",
+                "inflight", "queue", "p50_us", "p95_us", "p99_us", "cache%",
+                "shed", "batched", "requests");
+  };
+
+  std::uint64_t previous_requests = 0;
+  for (long long i = 0; iterations == 0 || i < iterations; ++i) {
+    const telemetry::MetricsSnapshot snapshot = scrape_metrics(host, port);
+    const std::uint64_t requests = snapshot.counter_value("serve.requests");
+    const double rps =
+        i == 0 ? 0.0
+               : static_cast<double>(requests - previous_requests) *
+                     1000.0 / static_cast<double>(interval_ms);
+    previous_requests = requests;
+
+    const telemetry::HistogramSnapshot red = aggregate_red_total(snapshot);
+    const double hits = static_cast<double>(
+        snapshot.counter_value("serve.cache.response.hits"));
+    const double misses = static_cast<double>(
+        snapshot.counter_value("serve.cache.response.misses"));
+    const double hit_pct =
+        hits + misses > 0.0 ? 100.0 * hits / (hits + misses) : 0.0;
+    const std::uint64_t shed =
+        snapshot.counter_value("serve.shed_queue") +
+        snapshot.counter_value("serve.rejected_busy");
+    const std::uint64_t batched =
+        snapshot.counter_value("serve.batch.members");
+
+    if (tty) {
+      std::printf("\x1b[2J\x1b[H");
+      print_header();
+    } else if (i == 0) {
+      print_header();
+    }
+    std::printf("%10.1f %9.0f %7.0f %10.1f %10.1f %10.1f %7.1f %7llu "
+                "%9llu %10llu\n",
+                rps, snapshot.gauge_value("serve.inflight"),
+                snapshot.gauge_value("serve.queue_depth"),
+                red.quantile(0.50), red.quantile(0.95), red.quantile(0.99),
+                hit_pct, static_cast<unsigned long long>(shed),
+                static_cast<unsigned long long>(batched),
+                static_cast<unsigned long long>(requests));
+    std::fflush(stdout);
+    if (iterations != 0 && i + 1 >= iterations) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -816,6 +965,7 @@ int main(int argc, char** argv) {
     if (command == "report") return cmd_report(argc, argv);
     if (command == "serve") return cmd_serve(argc, argv);
     if (command == "query") return cmd_query(argc, argv);
+    if (command == "top") return cmd_top(argc, argv);
     usage(("unknown command: " + command).c_str());
   } catch (const std::exception& e) {
     // One-line diagnostic, never a bare stack of parser noise: the first
